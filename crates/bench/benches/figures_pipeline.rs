@@ -1,0 +1,35 @@
+//! Bench: the telemetry-figure pipelines (Figures 2 and 3: per-node latency
+//! and transmit bandwidth over repeated Sort runs) and the Figure 4 topology
+//! probe, plus the Table 2/3 characterization runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::{figure4_topology, sort_telemetry_figures};
+use experiments::tables::{table2_workload_characteristics, table3_sample};
+use std::hint::black_box;
+
+fn figure_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("figures_2_and_3_sort_runs", |b| {
+        b.iter(|| black_box(sort_telemetry_figures(2, 100_000, 77)))
+    });
+    group.bench_function("figure4_topology_probe", |b| {
+        b.iter(|| black_box(figure4_topology(77)))
+    });
+    group.finish();
+}
+
+fn table_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table2_workload_characterization", |b| {
+        b.iter(|| black_box(table2_workload_characteristics(100_000, 77)))
+    });
+    group.bench_function("table3_sample_row", |b| {
+        b.iter(|| black_box(table3_sample(77)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figure_benches, table_benches);
+criterion_main!(benches);

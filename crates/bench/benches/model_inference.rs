@@ -1,0 +1,32 @@
+//! Bench: per-node prediction latency of each model family.
+//!
+//! The scheduler issues one prediction per candidate node per decision, so
+//! inference latency bounds how fast placement decisions can be made.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcore::ModelKind;
+use std::hint::black_box;
+
+fn inference_benches(c: &mut Criterion) {
+    let dataset = bench::bench_dataset(1);
+    let (snapshot, request, candidates) = bench::bench_decision_inputs(&dataset);
+    let mut group = c.benchmark_group("model_inference");
+    for kind in ModelKind::ALL {
+        let predictor = bench::bench_predictor(&dataset, kind, 5);
+        let features = predictor.schema().construct(&snapshot, &candidates[0], &request);
+        group.bench_with_input(BenchmarkId::new("single_row", format!("{kind}")), &features, |b, f| {
+            b.iter(|| black_box(predictor.predict_from_features(black_box(f))))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("all_candidates", format!("{kind}")),
+            &candidates,
+            |b, cands| {
+                b.iter(|| black_box(predictor.predict_all(&snapshot, black_box(cands), &request)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, inference_benches);
+criterion_main!(benches);

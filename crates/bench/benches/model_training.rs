@@ -1,0 +1,50 @@
+//! Bench: offline training cost of the three model families.
+//!
+//! Supports the paper's Section 8 question about retraining costs — how long
+//! it takes to refit each model family on a 600-row and a 3600-row archive
+//! (the paper's dataset size).
+
+use bench::synthetic_logger;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcore::{ModelConfig, ModelKind, TrainedModel};
+use simcore::rng::Rng;
+use std::hint::black_box;
+
+fn training_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_training");
+    group.sample_size(10);
+    let config = bench::bench_model_config();
+    for &rows in &[600usize, 3600] {
+        let data = synthetic_logger(rows, 42).to_dataset();
+        for kind in ModelKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}"), rows),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        let mut rng = Rng::seed_from_u64(7);
+                        black_box(TrainedModel::train(kind, &config, black_box(data), &mut rng))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn retraining_pipeline(c: &mut Criterion) {
+    // Full retraining path: logger -> dataset -> random forest (what a
+    // production deployment would run periodically).
+    let logger = synthetic_logger(3600, 9);
+    let config = ModelConfig::default();
+    c.bench_function("retrain_random_forest_from_logger_3600", |b| {
+        b.iter(|| {
+            let data = logger.to_dataset();
+            let mut rng = Rng::seed_from_u64(11);
+            black_box(TrainedModel::train(ModelKind::RandomForest, &config, &data, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, training_benches, retraining_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench: end-to-end scheduling-decision latency.
+//!
+//! Covers the whole user-space path the paper describes: fetch the snapshot
+//! from the metrics store, construct features for every candidate, predict,
+//! rank and render the pinned manifest — versus the default scheduler's
+//! filter+score pass on the same cluster.
+
+use cluster::scheduler::Scheduler as _;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::FabricTestbed;
+use mlcore::ModelKind;
+use netsched_core::builder::JobBuilder;
+use netsched_core::decision::DecisionModule;
+use netsched_core::schedulers::{JobScheduler, SupervisedScheduler};
+use std::hint::black_box;
+
+fn decision_benches(c: &mut Criterion) {
+    let dataset = bench::bench_dataset(3);
+    let (snapshot, request, candidates) = bench::bench_decision_inputs(&dataset);
+    let predictor = bench::bench_predictor(&dataset, ModelKind::RandomForest, 7);
+    let cluster_state = FabricTestbed::paper().cluster;
+
+    c.bench_function("supervised_decision_rank_only", |b| {
+        b.iter(|| {
+            let predictions = predictor.predict_all(&snapshot, &candidates, &request);
+            black_box(DecisionModule.rank(&candidates, &predictions))
+        })
+    });
+
+    c.bench_function("supervised_decision_full_pipeline", |b| {
+        let mut scheduler = SupervisedScheduler::new(predictor.clone());
+        b.iter(|| {
+            let ranking = scheduler.select(&request, &snapshot, &cluster_state);
+            let target = ranking.best().map(|r| r.node.clone());
+            black_box(JobBuilder.build(&request, target.as_deref()))
+        })
+    });
+
+    c.bench_function("kube_default_filter_and_score", |b| {
+        let mut scheduler = cluster::DefaultScheduler::new(11);
+        let driver = request.to_job_spec().driver_pod(None);
+        b.iter(|| black_box(scheduler.schedule(&driver, cluster_state.nodes())))
+    });
+
+    c.bench_function("feature_construction_six_nodes", |b| {
+        b.iter(|| {
+            black_box(
+                predictor
+                    .schema()
+                    .construct_all(&snapshot, &candidates, &request),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, decision_benches);
+criterion_main!(benches);

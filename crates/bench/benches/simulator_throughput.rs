@@ -1,0 +1,62 @@
+//! Bench: substrate throughput — how fast the simulated cluster executes
+//! jobs, reallocates flow rates and serves telemetry scrapes. This bounds the
+//! wall-clock cost of regenerating the paper's 3600-sample dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::{FabricTestbed, SimWorld};
+use netsched_core::request::JobRequest;
+use simcore::SimDuration;
+use simnet::flow::FlowKind;
+use simnet::{BackgroundLoadConfig, NodeId};
+use sparksim::WorkloadKind;
+use std::hint::black_box;
+
+fn network_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_fluid_model");
+    for &flows in &[10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("run_to_quiescence", flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let mut net = FabricTestbed::paper().network;
+                for i in 0..flows {
+                    net.start_flow(
+                        NodeId(i % 6),
+                        NodeId((i + 3) % 6),
+                        10_000_000.0,
+                        FlowKind::Background,
+                    );
+                }
+                black_box(net.run_to_quiescence(SimDuration::from_secs(3600)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn job_execution_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("job_execution");
+    group.sample_size(10);
+    for kind in WorkloadKind::PAPER_SET {
+        group.bench_function(format!("{kind}_250k_records"), |b| {
+            b.iter(|| {
+                let mut world = SimWorld::new(FabricTestbed::paper(), 7);
+                world.place_background_load(2, &BackgroundLoadConfig::default());
+                world.advance_by(SimDuration::from_secs(10));
+                let request = JobRequest::named("bench", kind, 250_000, 2);
+                black_box(world.run_job(&request, "node-2"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn telemetry_bench(c: &mut Criterion) {
+    c.bench_function("scrape_and_snapshot", |b| {
+        let mut world = SimWorld::new(FabricTestbed::paper(), 5);
+        world.place_background_load(2, &BackgroundLoadConfig::default());
+        world.advance_by(SimDuration::from_secs(30));
+        b.iter(|| black_box(world.snapshot()))
+    });
+}
+
+criterion_group!(benches, network_benches, job_execution_bench, telemetry_bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench: the Table 4 pipeline at reduced scale — dataset generation (the
+//! batch workflow) and the train+evaluate pass that produces the accuracy
+//! table. Together these bound the cost of regenerating the paper's headline
+//! result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::evaluation::evaluate_table4;
+use experiments::workflow::{ExperimentConfig, Workflow};
+use std::hint::black_box;
+
+fn dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_dataset_generation");
+    group.sample_size(10);
+    group.bench_function("quick_matrix_1x1", |b| {
+        // 3 configs x 1 repeat x 6 nodes = 18 job executions per iteration.
+        b.iter(|| {
+            let config = ExperimentConfig {
+                workers: simcore::parallel::default_workers(),
+                ..ExperimentConfig::quick(1, 1, 4242)
+            };
+            black_box(Workflow::new(config).run())
+        })
+    });
+    group.finish();
+}
+
+fn train_and_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_train_and_evaluate");
+    group.sample_size(10);
+    let dataset = bench::bench_dataset(2);
+    let model_config = bench::bench_model_config();
+    group.bench_function("all_models_quick_dataset", |b| {
+        b.iter(|| black_box(evaluate_table4(&dataset, 0.25, &model_config, 13)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dataset_generation, train_and_evaluate);
+criterion_main!(benches);

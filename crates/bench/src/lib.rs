@@ -1,0 +1,101 @@
+//! # bench — shared fixtures for the Criterion benchmark harness
+//!
+//! The benches quantify what the paper's Section 8 calls "deployability and
+//! retraining costs": scheduling-decision latency, model inference and
+//! training time, simulator throughput, and the end-to-end cost of
+//! regenerating each table/figure at reduced scale.
+//!
+//! This library crate holds the fixtures the individual benches share so they
+//! are built once and stay consistent across benchmarks.
+
+#![forbid(unsafe_code)]
+
+use experiments::workflow::{ExperimentConfig, ExperimentDataset, Workflow};
+use netsched_core::features::FeatureSchema;
+use netsched_core::logger::ExecutionLogger;
+use netsched_core::predictor::CompletionTimePredictor;
+use netsched_core::request::JobRequest;
+use mlcore::{Dataset, ModelConfig, ModelKind, TrainedModel};
+use simcore::rng::Rng;
+use sparksim::WorkloadKind;
+use telemetry::ClusterSnapshot;
+
+/// A small but realistic dataset generated once per bench binary.
+pub fn bench_dataset(seed: u64) -> ExperimentDataset {
+    Workflow::new(ExperimentConfig {
+        workers: simcore::parallel::default_workers(),
+        ..ExperimentConfig::quick(2, 2, seed)
+    })
+    .run()
+}
+
+/// The training matrix derived from [`bench_dataset`].
+pub fn bench_training_data(dataset: &ExperimentDataset) -> Dataset {
+    dataset.full_logger().to_dataset()
+}
+
+/// A trained predictor of the requested family over the bench dataset.
+pub fn bench_predictor(dataset: &ExperimentDataset, kind: ModelKind, seed: u64) -> CompletionTimePredictor {
+    let data = bench_training_data(dataset);
+    let mut rng = Rng::seed_from_u64(seed);
+    let model = TrainedModel::train(kind, &bench_model_config(), &data, &mut rng);
+    CompletionTimePredictor::new(dataset.schema.clone(), model)
+}
+
+/// Model hyperparameters used across benches (kept modest so benches finish
+/// quickly while remaining representative).
+pub fn bench_model_config() -> ModelConfig {
+    ModelConfig {
+        forest: mlcore::RandomForestConfig {
+            n_trees: 50,
+            workers: simcore::parallel::default_workers(),
+            ..Default::default()
+        },
+        gbdt: mlcore::GradientBoostingConfig {
+            n_rounds: 100,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A representative snapshot and job request for decision-latency benches.
+pub fn bench_decision_inputs(dataset: &ExperimentDataset) -> (ClusterSnapshot, JobRequest, Vec<String>) {
+    let scenario = &dataset.scenarios[0];
+    (
+        scenario.snapshot.clone(),
+        JobRequest::named("bench-sort", WorkloadKind::Sort, 250_000, 2),
+        scenario.candidate_nodes(),
+    )
+}
+
+/// A synthetic logger of `n` rows for training-cost benches that do not need
+/// the full simulation.
+pub fn synthetic_logger(n: usize, seed: u64) -> ExecutionLogger {
+    let schema = FeatureSchema::standard();
+    let mut logger = ExecutionLogger::new(schema.clone());
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in 0..n {
+        let mut snapshot = ClusterSnapshot::default();
+        snapshot.nodes.insert(
+            "node-1".into(),
+            telemetry::NodeTelemetry {
+                cpu_load: rng.uniform(0.0, 6.0),
+                memory_available_bytes: rng.uniform(1e9, 8e9),
+                tx_rate: rng.uniform(0.0, 1e7),
+                rx_rate: rng.uniform(0.0, 1e7),
+            },
+        );
+        snapshot.rtt.insert(("node-1".into(), "node-2".into()), rng.uniform(0.001, 0.08));
+        let kind = WorkloadKind::PAPER_SET[i % 3];
+        let request = JobRequest::named(format!("syn-{i}"), kind, 50_000 + rng.gen_range(500_000), 2);
+        let node = snapshot.node("node-1").unwrap();
+        let duration = 20.0
+            + 5.0 * node.cpu_load
+            + 200.0 * snapshot.rtt_between("node-1", "node-2").unwrap()
+            + request.workload.input_records as f64 / 25_000.0
+            + rng.normal(0.0, 1.0);
+        logger.log_execution(&snapshot, &request, "node-1", duration.max(1.0));
+    }
+    logger
+}

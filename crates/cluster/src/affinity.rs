@@ -1,0 +1,371 @@
+//! Node selection constraints: selectors, affinity, taints and tolerations.
+//!
+//! The paper's Job Builder enforces placement by *"injecting nodeAffinity
+//! rules into the generated specification"*. To support both that mechanism
+//! and the default scheduler's filtering semantics, this module models the
+//! subset of the Kubernetes node-affinity API the experiment exercises:
+//! required (hard) and preferred (soft, weighted) node selector terms with
+//! `In` / `NotIn` / `Exists` / `DoesNotExist` operators, plus taints and
+//! tolerations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Operator of a node selector requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeSelectorOp {
+    /// The label value must be one of the listed values.
+    In,
+    /// The label value must not be any of the listed values.
+    NotIn,
+    /// The label key must exist (values ignored).
+    Exists,
+    /// The label key must not exist (values ignored).
+    DoesNotExist,
+}
+
+/// A single `key <op> values` requirement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSelectorRequirement {
+    /// Label key.
+    pub key: String,
+    /// Operator.
+    pub op: NodeSelectorOp,
+    /// Values (unused for Exists/DoesNotExist).
+    pub values: Vec<String>,
+}
+
+impl NodeSelectorRequirement {
+    /// Convenience constructor for the common `key In [value]` form.
+    pub fn key_in(key: impl Into<String>, values: Vec<String>) -> Self {
+        NodeSelectorRequirement {
+            key: key.into(),
+            op: NodeSelectorOp::In,
+            values,
+        }
+    }
+
+    /// Evaluate against a node's label map.
+    pub fn matches(&self, labels: &BTreeMap<String, String>) -> bool {
+        match self.op {
+            NodeSelectorOp::In => labels
+                .get(&self.key)
+                .map(|v| self.values.iter().any(|x| x == v))
+                .unwrap_or(false),
+            NodeSelectorOp::NotIn => labels
+                .get(&self.key)
+                .map(|v| !self.values.iter().any(|x| x == v))
+                .unwrap_or(true),
+            NodeSelectorOp::Exists => labels.contains_key(&self.key),
+            NodeSelectorOp::DoesNotExist => !labels.contains_key(&self.key),
+        }
+    }
+}
+
+/// A conjunction of requirements (all must match).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeSelectorTerm {
+    /// The requirements; an empty term matches everything.
+    pub requirements: Vec<NodeSelectorRequirement>,
+}
+
+impl NodeSelectorTerm {
+    /// A term requiring `kubernetes.io/hostname In [hostname]` — this is what
+    /// the Job Builder injects to pin a driver to a chosen node.
+    pub fn hostname(hostname: impl Into<String>) -> Self {
+        NodeSelectorTerm {
+            requirements: vec![NodeSelectorRequirement::key_in(
+                "kubernetes.io/hostname",
+                vec![hostname.into()],
+            )],
+        }
+    }
+
+    /// Evaluate against a node's labels.
+    pub fn matches(&self, labels: &BTreeMap<String, String>) -> bool {
+        self.requirements.iter().all(|r| r.matches(labels))
+    }
+}
+
+/// A preferred (soft) scheduling term with a weight in `1..=100`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreferredSchedulingTerm {
+    /// Weight added to the node's score when the term matches.
+    pub weight: u32,
+    /// The term itself.
+    pub term: NodeSelectorTerm,
+}
+
+/// Node affinity: required terms (OR of ANDs) and preferred weighted terms.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeAffinity {
+    /// Hard requirement: at least one term must match (empty = no constraint).
+    pub required_terms: Vec<NodeSelectorTerm>,
+    /// Soft preferences contributing to the scoring phase.
+    pub preferred_terms: Vec<PreferredSchedulingTerm>,
+}
+
+impl NodeAffinity {
+    /// No affinity at all.
+    pub fn none() -> Self {
+        NodeAffinity::default()
+    }
+
+    /// Hard-pin to a single hostname (the Job Builder's injection).
+    pub fn require_hostname(hostname: impl Into<String>) -> Self {
+        NodeAffinity {
+            required_terms: vec![NodeSelectorTerm::hostname(hostname)],
+            preferred_terms: Vec::new(),
+        }
+    }
+
+    /// True when the node's labels satisfy the *required* part.
+    pub fn required_matches(&self, labels: &BTreeMap<String, String>) -> bool {
+        if self.required_terms.is_empty() {
+            return true;
+        }
+        self.required_terms.iter().any(|t| t.matches(labels))
+    }
+
+    /// Sum of the weights of matching preferred terms.
+    pub fn preferred_score(&self, labels: &BTreeMap<String, String>) -> u32 {
+        self.preferred_terms
+            .iter()
+            .filter(|p| p.term.matches(labels))
+            .map(|p| p.weight.min(100))
+            .sum()
+    }
+
+    /// Whether any constraint is present.
+    pub fn is_empty(&self) -> bool {
+        self.required_terms.is_empty() && self.preferred_terms.is_empty()
+    }
+}
+
+/// Effect of a taint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaintEffect {
+    /// Pods that do not tolerate the taint are filtered out.
+    NoSchedule,
+    /// Scheduling avoids the node but may still use it (we treat it as a
+    /// scoring penalty rather than a filter).
+    PreferNoSchedule,
+}
+
+/// A node taint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Taint {
+    /// Taint key.
+    pub key: String,
+    /// Taint value.
+    pub value: String,
+    /// Effect.
+    pub effect: TaintEffect,
+}
+
+/// A pod toleration. `key == None` tolerates every taint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Toleration {
+    /// Taint key to tolerate (`None` = wildcard).
+    pub key: Option<String>,
+    /// Taint value to tolerate (`None` = any value).
+    pub value: Option<String>,
+}
+
+impl Toleration {
+    /// Tolerate any taint.
+    pub fn any() -> Self {
+        Toleration {
+            key: None,
+            value: None,
+        }
+    }
+
+    /// Tolerate taints with the given key (any value).
+    pub fn for_key(key: impl Into<String>) -> Self {
+        Toleration {
+            key: Some(key.into()),
+            value: None,
+        }
+    }
+
+    /// Does this toleration cover `taint`?
+    pub fn tolerates(&self, taint: &Taint) -> bool {
+        match (&self.key, &self.value) {
+            (None, _) => true,
+            (Some(k), None) => k == &taint.key,
+            (Some(k), Some(v)) => k == &taint.key && v == &taint.value,
+        }
+    }
+}
+
+/// True when every `NoSchedule` taint on the node is tolerated by the pod.
+pub fn tolerates_all_no_schedule(taints: &[Taint], tolerations: &[Toleration]) -> bool {
+    taints
+        .iter()
+        .filter(|t| t.effect == TaintEffect::NoSchedule)
+        .all(|t| tolerations.iter().any(|tol| tol.tolerates(t)))
+}
+
+/// Count of untolerated `PreferNoSchedule` taints (used as a scoring penalty).
+pub fn untolerated_soft_taints(taints: &[Taint], tolerations: &[Toleration]) -> usize {
+    taints
+        .iter()
+        .filter(|t| t.effect == TaintEffect::PreferNoSchedule)
+        .filter(|t| !tolerations.iter().any(|tol| tol.tolerates(t)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn requirement_operators() {
+        let l = labels(&[("zone", "ucsd"), ("tier", "worker")]);
+        assert!(NodeSelectorRequirement::key_in("zone", vec!["ucsd".into()]).matches(&l));
+        assert!(!NodeSelectorRequirement::key_in("zone", vec!["fiu".into()]).matches(&l));
+        assert!(!NodeSelectorRequirement::key_in("missing", vec!["x".into()]).matches(&l));
+        let not_in = NodeSelectorRequirement {
+            key: "zone".into(),
+            op: NodeSelectorOp::NotIn,
+            values: vec!["fiu".into()],
+        };
+        assert!(not_in.matches(&l));
+        let not_in_missing = NodeSelectorRequirement {
+            key: "missing".into(),
+            op: NodeSelectorOp::NotIn,
+            values: vec!["x".into()],
+        };
+        assert!(not_in_missing.matches(&l), "NotIn matches when the key is absent");
+        let exists = NodeSelectorRequirement {
+            key: "tier".into(),
+            op: NodeSelectorOp::Exists,
+            values: vec![],
+        };
+        assert!(exists.matches(&l));
+        let not_exists = NodeSelectorRequirement {
+            key: "gpu".into(),
+            op: NodeSelectorOp::DoesNotExist,
+            values: vec![],
+        };
+        assert!(not_exists.matches(&l));
+    }
+
+    #[test]
+    fn term_is_conjunction() {
+        let l = labels(&[("zone", "ucsd"), ("tier", "worker")]);
+        let term = NodeSelectorTerm {
+            requirements: vec![
+                NodeSelectorRequirement::key_in("zone", vec!["ucsd".into()]),
+                NodeSelectorRequirement::key_in("tier", vec!["worker".into()]),
+            ],
+        };
+        assert!(term.matches(&l));
+        let term_fail = NodeSelectorTerm {
+            requirements: vec![
+                NodeSelectorRequirement::key_in("zone", vec!["ucsd".into()]),
+                NodeSelectorRequirement::key_in("tier", vec!["driver".into()]),
+            ],
+        };
+        assert!(!term_fail.matches(&l));
+        assert!(NodeSelectorTerm::default().matches(&l), "empty term matches all");
+    }
+
+    #[test]
+    fn hostname_pinning() {
+        let aff = NodeAffinity::require_hostname("node-3");
+        assert!(aff.required_matches(&labels(&[("kubernetes.io/hostname", "node-3")])));
+        assert!(!aff.required_matches(&labels(&[("kubernetes.io/hostname", "node-4")])));
+        assert!(!aff.required_matches(&labels(&[])));
+        assert!(!aff.is_empty());
+        assert!(NodeAffinity::none().is_empty());
+    }
+
+    #[test]
+    fn required_terms_are_disjunction() {
+        let aff = NodeAffinity {
+            required_terms: vec![NodeSelectorTerm::hostname("a"), NodeSelectorTerm::hostname("b")],
+            preferred_terms: vec![],
+        };
+        assert!(aff.required_matches(&labels(&[("kubernetes.io/hostname", "a")])));
+        assert!(aff.required_matches(&labels(&[("kubernetes.io/hostname", "b")])));
+        assert!(!aff.required_matches(&labels(&[("kubernetes.io/hostname", "c")])));
+        // No required terms at all -> everything matches.
+        assert!(NodeAffinity::none().required_matches(&labels(&[])));
+    }
+
+    #[test]
+    fn preferred_terms_accumulate_weight() {
+        let aff = NodeAffinity {
+            required_terms: vec![],
+            preferred_terms: vec![
+                PreferredSchedulingTerm {
+                    weight: 40,
+                    term: NodeSelectorTerm {
+                        requirements: vec![NodeSelectorRequirement::key_in("zone", vec!["ucsd".into()])],
+                    },
+                },
+                PreferredSchedulingTerm {
+                    weight: 10,
+                    term: NodeSelectorTerm {
+                        requirements: vec![NodeSelectorRequirement::key_in("ssd", vec!["true".into()])],
+                    },
+                },
+                PreferredSchedulingTerm {
+                    weight: 500, // over the K8s max; clamped to 100
+                    term: NodeSelectorTerm::default(),
+                },
+            ],
+        };
+        let l = labels(&[("zone", "ucsd"), ("ssd", "true")]);
+        assert_eq!(aff.preferred_score(&l), 40 + 10 + 100);
+        assert_eq!(aff.preferred_score(&labels(&[("zone", "fiu")])), 100);
+    }
+
+    #[test]
+    fn taints_and_tolerations() {
+        let taints = vec![
+            Taint {
+                key: "dedicated".into(),
+                value: "gpu".into(),
+                effect: TaintEffect::NoSchedule,
+            },
+            Taint {
+                key: "flaky".into(),
+                value: "true".into(),
+                effect: TaintEffect::PreferNoSchedule,
+            },
+        ];
+        assert!(!tolerates_all_no_schedule(&taints, &[]));
+        assert!(tolerates_all_no_schedule(&taints, &[Toleration::any()]));
+        assert!(tolerates_all_no_schedule(&taints, &[Toleration::for_key("dedicated")]));
+        let exact = Toleration {
+            key: Some("dedicated".into()),
+            value: Some("gpu".into()),
+        };
+        assert!(tolerates_all_no_schedule(&taints, &[exact.clone()]));
+        let wrong_value = Toleration {
+            key: Some("dedicated".into()),
+            value: Some("fpga".into()),
+        };
+        assert!(!tolerates_all_no_schedule(&taints, &[wrong_value]));
+        // Soft taints: counted only when untolerated.
+        assert_eq!(untolerated_soft_taints(&taints, &[]), 1);
+        assert_eq!(untolerated_soft_taints(&taints, &[Toleration::for_key("flaky")]), 0);
+        assert_eq!(untolerated_soft_taints(&taints, &[exact]), 1);
+    }
+
+    #[test]
+    fn no_taints_always_tolerated() {
+        assert!(tolerates_all_no_schedule(&[], &[]));
+        assert_eq!(untolerated_soft_taints(&[], &[]), 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Declarative YAML manifest rendering.
+//!
+//! The paper's Job Builder *"renders a declarative YAML manifest that is
+//! understood by Kubernetes for job launch. Node placement is enforced by
+//! injecting nodeAffinity rules into the generated specification."* This
+//! module reproduces that rendering step with a small, dependency-free YAML
+//! emitter: given a [`PodSpec`] or a [`JobSpec`] plus a target node, it emits
+//! the manifest text a real deployment would apply with `kubectl`.
+
+use crate::affinity::{NodeAffinity, NodeSelectorOp};
+use crate::job::JobSpec;
+use crate::pod::PodSpec;
+use std::fmt::Write as _;
+
+/// Render a quantity of CPU millicores in Kubernetes notation.
+fn cpu_str(millis: u64) -> String {
+    if millis % 1000 == 0 {
+        format!("{}", millis / 1000)
+    } else {
+        format!("{millis}m")
+    }
+}
+
+/// Render a memory quantity in Kubernetes notation (Mi granularity).
+fn memory_str(bytes: u64) -> String {
+    let mib = bytes / (1024 * 1024);
+    format!("{mib}Mi")
+}
+
+fn yaml_escape(s: &str) -> String {
+    if s.chars().all(|c| c.is_ascii_alphanumeric() || "-_./".contains(c)) && !s.is_empty() {
+        s.to_string()
+    } else {
+        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+fn render_affinity(out: &mut String, affinity: &NodeAffinity, indent: &str) {
+    if affinity.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "{indent}affinity:");
+    let _ = writeln!(out, "{indent}  nodeAffinity:");
+    if !affinity.required_terms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{indent}    requiredDuringSchedulingIgnoredDuringExecution:"
+        );
+        let _ = writeln!(out, "{indent}      nodeSelectorTerms:");
+        for term in &affinity.required_terms {
+            let _ = writeln!(out, "{indent}      - matchExpressions:");
+            for req in &term.requirements {
+                let op = match req.op {
+                    NodeSelectorOp::In => "In",
+                    NodeSelectorOp::NotIn => "NotIn",
+                    NodeSelectorOp::Exists => "Exists",
+                    NodeSelectorOp::DoesNotExist => "DoesNotExist",
+                };
+                let _ = writeln!(out, "{indent}        - key: {}", yaml_escape(&req.key));
+                let _ = writeln!(out, "{indent}          operator: {op}");
+                if !req.values.is_empty() {
+                    let _ = writeln!(out, "{indent}          values:");
+                    for v in &req.values {
+                        let _ = writeln!(out, "{indent}          - {}", yaml_escape(v));
+                    }
+                }
+            }
+        }
+    }
+    if !affinity.preferred_terms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{indent}    preferredDuringSchedulingIgnoredDuringExecution:"
+        );
+        for pref in &affinity.preferred_terms {
+            let _ = writeln!(out, "{indent}    - weight: {}", pref.weight);
+            let _ = writeln!(out, "{indent}      preference:");
+            let _ = writeln!(out, "{indent}        matchExpressions:");
+            for req in &pref.term.requirements {
+                let op = match req.op {
+                    NodeSelectorOp::In => "In",
+                    NodeSelectorOp::NotIn => "NotIn",
+                    NodeSelectorOp::Exists => "Exists",
+                    NodeSelectorOp::DoesNotExist => "DoesNotExist",
+                };
+                let _ = writeln!(out, "{indent}        - key: {}", yaml_escape(&req.key));
+                let _ = writeln!(out, "{indent}          operator: {op}");
+                if !req.values.is_empty() {
+                    let _ = writeln!(out, "{indent}          values:");
+                    for v in &req.values {
+                        let _ = writeln!(out, "{indent}          - {}", yaml_escape(v));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Render a single pod manifest.
+pub fn render_pod_manifest(spec: &PodSpec) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "apiVersion: v1");
+    let _ = writeln!(out, "kind: Pod");
+    let _ = writeln!(out, "metadata:");
+    let _ = writeln!(out, "  name: {}", yaml_escape(&spec.name));
+    let _ = writeln!(out, "  namespace: {}", yaml_escape(&spec.namespace));
+    if !spec.labels.is_empty() {
+        let _ = writeln!(out, "  labels:");
+        for (k, v) in &spec.labels {
+            let _ = writeln!(out, "    {}: {}", yaml_escape(k), yaml_escape(v));
+        }
+    }
+    let _ = writeln!(out, "spec:");
+    if !spec.node_selector.is_empty() {
+        let _ = writeln!(out, "  nodeSelector:");
+        for (k, v) in &spec.node_selector {
+            let _ = writeln!(out, "    {}: {}", yaml_escape(k), yaml_escape(v));
+        }
+    }
+    render_affinity(&mut out, &spec.affinity, "  ");
+    if !spec.tolerations.is_empty() {
+        let _ = writeln!(out, "  tolerations:");
+        for tol in &spec.tolerations {
+            match (&tol.key, &tol.value) {
+                (None, _) => {
+                    let _ = writeln!(out, "  - operator: Exists");
+                }
+                (Some(k), None) => {
+                    let _ = writeln!(out, "  - key: {}", yaml_escape(k));
+                    let _ = writeln!(out, "    operator: Exists");
+                }
+                (Some(k), Some(v)) => {
+                    let _ = writeln!(out, "  - key: {}", yaml_escape(k));
+                    let _ = writeln!(out, "    operator: Equal");
+                    let _ = writeln!(out, "    value: {}", yaml_escape(v));
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "  containers:");
+    let _ = writeln!(out, "  - name: main");
+    let _ = writeln!(out, "    image: spark:3.5");
+    let _ = writeln!(out, "    resources:");
+    let _ = writeln!(out, "      requests:");
+    let _ = writeln!(out, "        cpu: {}", cpu_str(spec.requests.cpu_millis));
+    let _ = writeln!(out, "        memory: {}", memory_str(spec.requests.memory_bytes));
+    let _ = writeln!(out, "      limits:");
+    let _ = writeln!(out, "        cpu: {}", cpu_str(spec.limits.cpu_millis));
+    let _ = writeln!(out, "        memory: {}", memory_str(spec.limits.memory_bytes));
+    out
+}
+
+/// Render a SparkApplication-style manifest for a job, pinning the driver to
+/// `target_node` when given (the Job Builder's nodeAffinity injection).
+pub fn render_job_manifest(spec: &JobSpec, target_node: Option<&str>) -> String {
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(out, "apiVersion: sparkoperator.k8s.io/v1beta2");
+    let _ = writeln!(out, "kind: SparkApplication");
+    let _ = writeln!(out, "metadata:");
+    let _ = writeln!(out, "  name: {}", yaml_escape(&spec.name));
+    let _ = writeln!(out, "  namespace: default");
+    let _ = writeln!(out, "spec:");
+    let _ = writeln!(out, "  type: Scala");
+    let _ = writeln!(out, "  mode: cluster");
+    let _ = writeln!(out, "  mainApplicationFile: local:///opt/spark/examples/{}.jar", yaml_escape(&spec.app_type));
+    let _ = writeln!(out, "  arguments:");
+    let _ = writeln!(out, "  - \"{}\"", spec.input_records);
+    let _ = writeln!(out, "  - \"{}\"", spec.shuffle_partitions);
+    let _ = writeln!(out, "  driver:");
+    let _ = writeln!(out, "    cores: {}", (spec.driver_requests.cpu_millis / 1000).max(1));
+    let _ = writeln!(out, "    memory: {}", memory_str(spec.driver_requests.memory_bytes));
+    let _ = writeln!(out, "    labels:");
+    let _ = writeln!(out, "      app: {}", yaml_escape(&spec.app_type));
+    let _ = writeln!(out, "      job: {}", yaml_escape(&spec.name));
+    if let Some(node) = target_node {
+        let affinity = NodeAffinity::require_hostname(node);
+        render_affinity(&mut out, &affinity, "    ");
+    }
+    let _ = writeln!(out, "  executor:");
+    let _ = writeln!(out, "    instances: {}", spec.executor_count);
+    let _ = writeln!(out, "    cores: {}", (spec.executor_requests.cpu_millis / 1000).max(1));
+    let _ = writeln!(out, "    memory: {}", memory_str(spec.executor_requests.memory_bytes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::Toleration;
+    use crate::resources::Resources;
+
+    #[test]
+    fn cpu_and_memory_notation() {
+        assert_eq!(cpu_str(2000), "2");
+        assert_eq!(cpu_str(500), "500m");
+        assert_eq!(memory_str(512 * 1024 * 1024), "512Mi");
+        assert_eq!(memory_str(2 * 1024 * 1024 * 1024), "2048Mi");
+    }
+
+    #[test]
+    fn escaping_quotes_odd_strings() {
+        assert_eq!(yaml_escape("node-1"), "node-1");
+        assert_eq!(yaml_escape("kubernetes.io/hostname"), "kubernetes.io/hostname");
+        assert_eq!(yaml_escape("has space"), "\"has space\"");
+        assert_eq!(yaml_escape("quote\"inside"), "\"quote\\\"inside\"");
+        assert_eq!(yaml_escape(""), "\"\"");
+    }
+
+    #[test]
+    fn pod_manifest_contains_affinity_injection() {
+        let spec = PodSpec::new("sort-driver", Resources::from_cores_and_gib(1, 2))
+            .with_label("app", "sort")
+            .pinned_to("node-3")
+            .with_toleration(Toleration::for_key("dedicated"));
+        let yaml = render_pod_manifest(&spec);
+        assert!(yaml.contains("kind: Pod"));
+        assert!(yaml.contains("name: sort-driver"));
+        assert!(yaml.contains("requiredDuringSchedulingIgnoredDuringExecution"));
+        assert!(yaml.contains("key: kubernetes.io/hostname"));
+        assert!(yaml.contains("- node-3"));
+        assert!(yaml.contains("cpu: 1"));
+        assert!(yaml.contains("memory: 2048Mi"));
+        assert!(yaml.contains("tolerations:"));
+        assert!(yaml.contains("app: sort"));
+    }
+
+    #[test]
+    fn pod_manifest_without_affinity_has_no_affinity_block() {
+        let spec = PodSpec::new("plain", Resources::from_cores_and_gib(1, 1));
+        let yaml = render_pod_manifest(&spec);
+        assert!(!yaml.contains("affinity:"));
+        assert!(!yaml.contains("tolerations:"));
+        assert!(!yaml.contains("nodeSelector:"));
+    }
+
+    #[test]
+    fn pod_manifest_renders_node_selector_and_preferred_affinity() {
+        use crate::affinity::{NodeSelectorRequirement, NodeSelectorTerm, PreferredSchedulingTerm};
+        let mut spec = PodSpec::new("p", Resources::from_cores_and_gib(1, 1))
+            .with_node_selector("zone", "ucsd");
+        spec.affinity.preferred_terms.push(PreferredSchedulingTerm {
+            weight: 30,
+            term: NodeSelectorTerm {
+                requirements: vec![NodeSelectorRequirement::key_in("ssd", vec!["true".into()])],
+            },
+        });
+        let yaml = render_pod_manifest(&spec);
+        assert!(yaml.contains("nodeSelector:"));
+        assert!(yaml.contains("zone: ucsd"));
+        assert!(yaml.contains("preferredDuringSchedulingIgnoredDuringExecution"));
+        assert!(yaml.contains("weight: 30"));
+    }
+
+    #[test]
+    fn job_manifest_pins_driver_only_when_target_given() {
+        let spec = JobSpec::new("sort-100k", "sort", 100_000)
+            .with_executors(3)
+            .with_driver_requests(Resources::from_cores_and_gib(1, 2))
+            .with_executor_requests(Resources::from_cores_and_gib(1, 1));
+        let pinned = render_job_manifest(&spec, Some("node-5"));
+        assert!(pinned.contains("kind: SparkApplication"));
+        assert!(pinned.contains("instances: 3"));
+        assert!(pinned.contains("- node-5"));
+        assert!(pinned.contains("requiredDuringSchedulingIgnoredDuringExecution"));
+        let unpinned = render_job_manifest(&spec, None);
+        assert!(!unpinned.contains("requiredDuringScheduling"));
+        assert!(unpinned.contains("- \"100000\""));
+    }
+}

@@ -1,0 +1,234 @@
+//! Pods: the unit of placement.
+
+use crate::affinity::{NodeAffinity, Toleration};
+use crate::resources::Resources;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a pod within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PodId(pub u64);
+
+impl fmt::Display for PodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pod-{}", self.0)
+    }
+}
+
+/// The role a pod plays in a Spark-style application (used by the workload
+/// model and for manifest rendering; plain pods use [`PodRole::Standalone`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodRole {
+    /// Application driver.
+    Driver,
+    /// Application executor.
+    Executor,
+    /// Background or standalone pod.
+    Standalone,
+}
+
+/// Desired state of a pod.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodSpec {
+    /// Pod name (unique within the cluster in this model).
+    pub name: String,
+    /// Namespace (cosmetic; defaults to `default`).
+    pub namespace: String,
+    /// Labels attached to the pod.
+    pub labels: BTreeMap<String, String>,
+    /// Requested resources (used by scheduling).
+    pub requests: Resources,
+    /// Resource limits (not enforced by the simulator but carried in manifests).
+    pub limits: Resources,
+    /// Simple node selector (`key == value` for every entry).
+    pub node_selector: BTreeMap<String, String>,
+    /// Node affinity (required + preferred terms).
+    pub affinity: NodeAffinity,
+    /// Tolerations for node taints.
+    pub tolerations: Vec<Toleration>,
+    /// Role within an application.
+    pub role: PodRole,
+}
+
+impl PodSpec {
+    /// Create a minimal pod spec with the given name and requests.
+    pub fn new(name: impl Into<String>, requests: Resources) -> Self {
+        PodSpec {
+            name: name.into(),
+            namespace: "default".to_string(),
+            labels: BTreeMap::new(),
+            requests,
+            limits: requests,
+            node_selector: BTreeMap::new(),
+            affinity: NodeAffinity::none(),
+            tolerations: Vec::new(),
+            role: PodRole::Standalone,
+        }
+    }
+
+    /// Builder-style: set a label.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder-style: set the role.
+    pub fn with_role(mut self, role: PodRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Builder-style: set resource limits.
+    pub fn with_limits(mut self, limits: Resources) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Builder-style: require placement on a specific hostname via affinity
+    /// (this is the paper's Job Builder injection).
+    pub fn pinned_to(mut self, hostname: impl Into<String>) -> Self {
+        self.affinity = NodeAffinity::require_hostname(hostname);
+        self
+    }
+
+    /// Builder-style: add a node selector entry.
+    pub fn with_node_selector(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.node_selector.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder-style: add a toleration.
+    pub fn with_toleration(mut self, toleration: Toleration) -> Self {
+        self.tolerations.push(toleration);
+        self
+    }
+
+    /// Does the simple node selector match a node's labels?
+    pub fn node_selector_matches(&self, labels: &BTreeMap<String, String>) -> bool {
+        self.node_selector
+            .iter()
+            .all(|(k, v)| labels.get(k) == Some(v))
+    }
+}
+
+/// Lifecycle phase of a pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodPhase {
+    /// Submitted but not yet bound to a node.
+    Pending,
+    /// Bound and running on a node.
+    Running,
+    /// Finished successfully.
+    Succeeded,
+    /// Finished with an error.
+    Failed,
+}
+
+/// A pod: spec plus observed status.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pod {
+    /// Identifier assigned by the cluster.
+    pub id: PodId,
+    /// The desired state.
+    pub spec: PodSpec,
+    /// Current phase.
+    pub phase: PodPhase,
+    /// The node the pod is bound to, if any.
+    pub node: Option<String>,
+    /// When the pod was created.
+    pub created_at: SimTime,
+    /// When the pod started running.
+    pub started_at: Option<SimTime>,
+    /// When the pod finished (succeeded or failed).
+    pub finished_at: Option<SimTime>,
+}
+
+impl Pod {
+    /// Create a pending pod.
+    pub fn new(id: PodId, spec: PodSpec, now: SimTime) -> Self {
+        Pod {
+            id,
+            spec,
+            phase: PodPhase::Pending,
+            node: None,
+            created_at: now,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// True when the pod is in a terminal phase.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.phase, PodPhase::Succeeded | PodPhase::Failed)
+    }
+
+    /// Wall-clock running duration (or `None` when it never started / hasn't finished).
+    pub fn run_duration(&self) -> Option<simcore::SimDuration> {
+        match (self.started_at, self.finished_at) {
+            (Some(s), Some(f)) => Some(f - s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let spec = PodSpec::new("driver-1", Resources::from_cores_and_gib(1, 2))
+            .with_label("app", "spark")
+            .with_role(PodRole::Driver)
+            .with_limits(Resources::from_cores_and_gib(2, 4))
+            .pinned_to("node-5")
+            .with_node_selector("tier", "worker")
+            .with_toleration(Toleration::any());
+        assert_eq!(spec.name, "driver-1");
+        assert_eq!(spec.labels.get("app").unwrap(), "spark");
+        assert_eq!(spec.role, PodRole::Driver);
+        assert_eq!(spec.limits.memory_gib(), 4.0);
+        assert!(!spec.affinity.is_empty());
+        assert_eq!(spec.tolerations.len(), 1);
+        assert_eq!(spec.namespace, "default");
+    }
+
+    #[test]
+    fn node_selector_matching() {
+        let spec = PodSpec::new("p", Resources::ZERO).with_node_selector("zone", "ucsd");
+        let mut labels = BTreeMap::new();
+        assert!(!spec.node_selector_matches(&labels));
+        labels.insert("zone".to_string(), "ucsd".to_string());
+        assert!(spec.node_selector_matches(&labels));
+        labels.insert("zone".to_string(), "fiu".to_string());
+        assert!(!spec.node_selector_matches(&labels));
+        // Empty selector matches anything.
+        assert!(PodSpec::new("q", Resources::ZERO).node_selector_matches(&labels));
+    }
+
+    #[test]
+    fn lifecycle_and_duration() {
+        let mut pod = Pod::new(
+            PodId(1),
+            PodSpec::new("p", Resources::ZERO),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(pod.phase, PodPhase::Pending);
+        assert!(!pod.is_terminal());
+        assert_eq!(pod.run_duration(), None);
+        pod.phase = PodPhase::Running;
+        pod.started_at = Some(SimTime::from_secs(2));
+        assert_eq!(pod.run_duration(), None);
+        pod.phase = PodPhase::Succeeded;
+        pod.finished_at = Some(SimTime::from_secs(10));
+        assert!(pod.is_terminal());
+        assert_eq!(pod.run_duration().unwrap().as_secs_f64(), 8.0);
+    }
+
+    #[test]
+    fn pod_id_display() {
+        assert_eq!(format!("{}", PodId(3)), "pod-3");
+    }
+}

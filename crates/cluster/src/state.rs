@@ -1,0 +1,368 @@
+//! Cluster state: the API-server-ish view of nodes and pods.
+
+use crate::node::Node;
+use crate::pod::{Pod, PodId, PodPhase, PodSpec};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors returned by cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterError {
+    /// The referenced node does not exist.
+    NoSuchNode(String),
+    /// The referenced pod does not exist.
+    NoSuchPod(u64),
+    /// The pod cannot be bound (does not fit, node cordoned, already bound...).
+    BindFailed(String),
+    /// The operation is invalid for the pod's current phase.
+    InvalidPhase(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            ClusterError::NoSuchPod(id) => write!(f, "no such pod: pod-{id}"),
+            ClusterError::BindFailed(msg) => write!(f, "bind failed: {msg}"),
+            ClusterError::InvalidPhase(msg) => write!(f, "invalid phase: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A recorded cluster event (a simplified `corev1.Event`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Subject (pod or node name).
+    pub subject: String,
+    /// Short reason code (`Scheduled`, `Started`, `Completed`, ...).
+    pub reason: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// The cluster: nodes, pods and an event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterState {
+    nodes: Vec<Node>,
+    pods: BTreeMap<u64, Pod>,
+    next_pod_id: u64,
+    events: Vec<ClusterEvent>,
+}
+
+impl ClusterState {
+    /// Create an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node to the cluster.
+    pub fn add_node(&mut self, node: Node) {
+        self.nodes.push(node);
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable access to all nodes (used to inject background load).
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// Find a node by name.
+    pub fn node(&self, name: &str) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Find a node by name (mutable).
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut Node> {
+        self.nodes.iter_mut().find(|n| n.name == name)
+    }
+
+    /// Names of all nodes in order.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.name.clone()).collect()
+    }
+
+    /// Create a pod in the `Pending` phase and return its id.
+    pub fn create_pod(&mut self, spec: PodSpec, now: SimTime) -> PodId {
+        let id = PodId(self.next_pod_id);
+        self.next_pod_id += 1;
+        let name = spec.name.clone();
+        self.pods.insert(id.0, Pod::new(id, spec, now));
+        self.record(now, name, "Created", "pod created");
+        id
+    }
+
+    /// Look up a pod.
+    pub fn pod(&self, id: PodId) -> Option<&Pod> {
+        self.pods.get(&id.0)
+    }
+
+    /// All pods (any phase), in id order.
+    pub fn pods(&self) -> impl Iterator<Item = &Pod> {
+        self.pods.values()
+    }
+
+    /// Pods currently bound to `node_name` and not yet terminal.
+    pub fn pods_on_node(&self, node_name: &str) -> Vec<&Pod> {
+        self.pods
+            .values()
+            .filter(|p| p.node.as_deref() == Some(node_name) && !p.is_terminal())
+            .collect()
+    }
+
+    /// Bind a pending pod to a node, reserving resources.
+    pub fn bind_pod(&mut self, id: PodId, node_name: &str, now: SimTime) -> Result<(), ClusterError> {
+        let pod = self
+            .pods
+            .get(&id.0)
+            .ok_or(ClusterError::NoSuchPod(id.0))?;
+        if pod.phase != PodPhase::Pending {
+            return Err(ClusterError::InvalidPhase(format!(
+                "pod {} is {:?}, expected Pending",
+                pod.spec.name, pod.phase
+            )));
+        }
+        let requests = pod.spec.requests;
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.name == node_name)
+            .ok_or_else(|| ClusterError::NoSuchNode(node_name.to_string()))?;
+        if !node.bind(id, requests) {
+            return Err(ClusterError::BindFailed(format!(
+                "pod {} does not fit on {}",
+                pod.spec.name, node_name
+            )));
+        }
+        let pod = self.pods.get_mut(&id.0).expect("checked above");
+        pod.node = Some(node_name.to_string());
+        pod.phase = PodPhase::Running;
+        pod.started_at = Some(now);
+        let msg = format!("bound to {node_name}");
+        let name = pod.spec.name.clone();
+        self.record(now, name, "Scheduled", msg);
+        Ok(())
+    }
+
+    /// Mark a running pod as finished, releasing its resources.
+    pub fn complete_pod(&mut self, id: PodId, succeeded: bool, now: SimTime) -> Result<(), ClusterError> {
+        let pod = self
+            .pods
+            .get_mut(&id.0)
+            .ok_or(ClusterError::NoSuchPod(id.0))?;
+        if pod.phase != PodPhase::Running {
+            return Err(ClusterError::InvalidPhase(format!(
+                "pod {} is {:?}, expected Running",
+                pod.spec.name, pod.phase
+            )));
+        }
+        pod.phase = if succeeded { PodPhase::Succeeded } else { PodPhase::Failed };
+        pod.finished_at = Some(now);
+        let requests = pod.spec.requests;
+        let node_name = pod.node.clone().expect("running pod has a node");
+        let pod_name = pod.spec.name.clone();
+        if let Some(node) = self.nodes.iter_mut().find(|n| n.name == node_name) {
+            node.release(id, requests);
+        }
+        self.record(
+            now,
+            pod_name,
+            if succeeded { "Completed" } else { "Failed" },
+            format!("released from {node_name}"),
+        );
+        Ok(())
+    }
+
+    /// Delete a pod in any phase, releasing resources if it was running.
+    pub fn delete_pod(&mut self, id: PodId, now: SimTime) -> Result<(), ClusterError> {
+        let pod = self.pods.remove(&id.0).ok_or(ClusterError::NoSuchPod(id.0))?;
+        if pod.phase == PodPhase::Running {
+            if let (Some(node_name), requests) = (pod.node.clone(), pod.spec.requests) {
+                if let Some(node) = self.nodes.iter_mut().find(|n| n.name == node_name) {
+                    node.release(id, requests);
+                }
+            }
+        }
+        self.record(now, pod.spec.name, "Deleted", "pod deleted");
+        Ok(())
+    }
+
+    /// Record an event.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        subject: impl Into<String>,
+        reason: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.events.push(ClusterEvent {
+            time,
+            subject: subject.into(),
+            reason: reason.into(),
+            message: message.into(),
+        });
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    /// Total allocatable resources across all nodes.
+    pub fn total_allocatable(&self) -> crate::resources::Resources {
+        self.nodes
+            .iter()
+            .fold(crate::resources::Resources::ZERO, |acc, n| acc + n.allocatable)
+    }
+
+    /// Total requested resources across all nodes.
+    pub fn total_allocated(&self) -> crate::resources::Resources {
+        self.nodes
+            .iter()
+            .fold(crate::resources::Resources::ZERO, |acc, n| acc + n.allocated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::Resources;
+    use simnet::NodeId;
+
+    fn cluster() -> ClusterState {
+        let mut c = ClusterState::new();
+        for i in 0..3 {
+            c.add_node(Node::new(
+                format!("node-{}", i + 1),
+                NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                "SITE",
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn create_bind_complete_lifecycle() {
+        let mut c = cluster();
+        let t0 = SimTime::from_secs(1);
+        let id = c.create_pod(PodSpec::new("driver", Resources::from_cores_and_gib(2, 2)), t0);
+        assert_eq!(c.pod(id).unwrap().phase, PodPhase::Pending);
+        c.bind_pod(id, "node-2", SimTime::from_secs(2)).unwrap();
+        assert_eq!(c.pod(id).unwrap().phase, PodPhase::Running);
+        assert_eq!(c.pod(id).unwrap().node.as_deref(), Some("node-2"));
+        assert_eq!(c.node("node-2").unwrap().allocated(), Resources::from_cores_and_gib(2, 2));
+        assert_eq!(c.pods_on_node("node-2").len(), 1);
+        assert_eq!(c.pods_on_node("node-1").len(), 0);
+        c.complete_pod(id, true, SimTime::from_secs(30)).unwrap();
+        assert_eq!(c.pod(id).unwrap().phase, PodPhase::Succeeded);
+        assert_eq!(c.node("node-2").unwrap().allocated(), Resources::ZERO);
+        assert_eq!(c.pods_on_node("node-2").len(), 0);
+        assert_eq!(c.pod(id).unwrap().run_duration().unwrap().as_secs_f64(), 28.0);
+        // Events were recorded in order.
+        let reasons: Vec<&str> = c.events().iter().map(|e| e.reason.as_str()).collect();
+        assert_eq!(reasons, vec!["Created", "Scheduled", "Completed"]);
+    }
+
+    #[test]
+    fn bind_errors() {
+        let mut c = cluster();
+        let t = SimTime::ZERO;
+        let id = c.create_pod(PodSpec::new("p", Resources::from_cores_and_gib(2, 2)), t);
+        assert!(matches!(
+            c.bind_pod(id, "nope", t),
+            Err(ClusterError::NoSuchNode(_))
+        ));
+        let huge = c.create_pod(PodSpec::new("huge", Resources::from_cores_and_gib(64, 64)), t);
+        assert!(matches!(
+            c.bind_pod(huge, "node-1", t),
+            Err(ClusterError::BindFailed(_))
+        ));
+        c.bind_pod(id, "node-1", t).unwrap();
+        // Binding twice is an invalid phase.
+        assert!(matches!(
+            c.bind_pod(id, "node-1", t),
+            Err(ClusterError::InvalidPhase(_))
+        ));
+        assert!(matches!(
+            c.bind_pod(PodId(999), "node-1", t),
+            Err(ClusterError::NoSuchPod(999))
+        ));
+    }
+
+    #[test]
+    fn complete_errors() {
+        let mut c = cluster();
+        let t = SimTime::ZERO;
+        let id = c.create_pod(PodSpec::new("p", Resources::ZERO), t);
+        assert!(matches!(
+            c.complete_pod(id, true, t),
+            Err(ClusterError::InvalidPhase(_))
+        ));
+        assert!(matches!(
+            c.complete_pod(PodId(42), true, t),
+            Err(ClusterError::NoSuchPod(42))
+        ));
+    }
+
+    #[test]
+    fn failed_pod_releases_resources() {
+        let mut c = cluster();
+        let t = SimTime::ZERO;
+        let id = c.create_pod(PodSpec::new("p", Resources::from_cores_and_gib(1, 1)), t);
+        c.bind_pod(id, "node-1", t).unwrap();
+        c.complete_pod(id, false, SimTime::from_secs(5)).unwrap();
+        assert_eq!(c.pod(id).unwrap().phase, PodPhase::Failed);
+        assert_eq!(c.node("node-1").unwrap().allocated(), Resources::ZERO);
+    }
+
+    #[test]
+    fn delete_running_pod_releases_resources() {
+        let mut c = cluster();
+        let t = SimTime::ZERO;
+        let id = c.create_pod(PodSpec::new("p", Resources::from_cores_and_gib(1, 1)), t);
+        c.bind_pod(id, "node-3", t).unwrap();
+        c.delete_pod(id, SimTime::from_secs(1)).unwrap();
+        assert!(c.pod(id).is_none());
+        assert_eq!(c.node("node-3").unwrap().allocated(), Resources::ZERO);
+        assert!(matches!(
+            c.delete_pod(id, SimTime::from_secs(2)),
+            Err(ClusterError::NoSuchPod(_))
+        ));
+    }
+
+    #[test]
+    fn totals_aggregate_over_nodes() {
+        let mut c = cluster();
+        assert_eq!(c.total_allocatable(), Resources::from_cores_and_gib(18, 24));
+        let t = SimTime::ZERO;
+        let id = c.create_pod(PodSpec::new("p", Resources::from_cores_and_gib(2, 2)), t);
+        c.bind_pod(id, "node-1", t).unwrap();
+        assert_eq!(c.total_allocated(), Resources::from_cores_and_gib(2, 2));
+    }
+
+    #[test]
+    fn node_lookup_and_names() {
+        let c = cluster();
+        assert!(c.node("node-2").is_some());
+        assert!(c.node("nope").is_none());
+        assert_eq!(c.node_names(), vec!["node-1", "node-2", "node-3"]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", ClusterError::NoSuchNode("x".into())).contains("x"));
+        assert!(format!("{}", ClusterError::NoSuchPod(3)).contains("pod-3"));
+        assert!(format!("{}", ClusterError::BindFailed("m".into())).contains("m"));
+        assert!(format!("{}", ClusterError::InvalidPhase("p".into())).contains("p"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The Job Builder.
+//!
+//! *"The module generates and submits jobs to the Kubernetes cluster based on
+//! the placement decision. It renders a declarative YAML manifest ... Node
+//! placement is enforced by injecting nodeAffinity rules into the generated
+//! specification."*
+
+use crate::request::JobRequest;
+use cluster::manifest::{render_job_manifest, render_pod_manifest};
+use cluster::pod::PodSpec;
+use cluster::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// A fully rendered job ready for submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuiltJob {
+    /// The cluster-level job specification.
+    pub spec: JobSpec,
+    /// The driver pod spec, pinned to the selected node.
+    pub driver_pod: PodSpec,
+    /// Executor pod specs (left to the default scheduler).
+    pub executor_pods: Vec<PodSpec>,
+    /// The node the driver is pinned to (None = no pinning, default behaviour).
+    pub target_node: Option<String>,
+    /// The rendered SparkApplication YAML manifest.
+    pub manifest_yaml: String,
+}
+
+/// Builds Kubernetes-style job objects from a request and a placement decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobBuilder;
+
+impl JobBuilder {
+    /// Build the job pinned to `target_node` (or unpinned when `None`, which
+    /// reproduces the default-scheduler baseline behaviour).
+    pub fn build(&self, request: &JobRequest, target_node: Option<&str>) -> BuiltJob {
+        let spec = request.to_job_spec();
+        let driver_pod = spec.driver_pod(target_node);
+        let executor_pods = spec.executor_pods();
+        let manifest_yaml = render_job_manifest(&spec, target_node);
+        BuiltJob {
+            spec,
+            driver_pod,
+            executor_pods,
+            target_node: target_node.map(str::to_string),
+            manifest_yaml,
+        }
+    }
+
+    /// Render just the driver pod manifest (useful for debugging/logging).
+    pub fn driver_manifest(&self, request: &JobRequest, target_node: Option<&str>) -> String {
+        let spec = request.to_job_spec();
+        render_pod_manifest(&spec.driver_pod(target_node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::WorkloadKind;
+    use std::collections::BTreeMap;
+
+    fn request() -> JobRequest {
+        JobRequest::named("sort-42", WorkloadKind::Sort, 100_000, 3)
+    }
+
+    #[test]
+    fn pinned_build_injects_affinity_everywhere() {
+        let built = JobBuilder.build(&request(), Some("node-5"));
+        assert_eq!(built.target_node.as_deref(), Some("node-5"));
+        // Driver pod has the required-hostname affinity.
+        let mut labels = BTreeMap::new();
+        labels.insert("kubernetes.io/hostname".to_string(), "node-5".to_string());
+        assert!(built.driver_pod.affinity.required_matches(&labels));
+        // Executors are not pinned.
+        assert!(built.executor_pods.iter().all(|e| e.affinity.is_empty()));
+        assert_eq!(built.executor_pods.len(), 3);
+        // Manifest carries the injection.
+        assert!(built.manifest_yaml.contains("requiredDuringSchedulingIgnoredDuringExecution"));
+        assert!(built.manifest_yaml.contains("- node-5"));
+        assert!(built.manifest_yaml.contains("kind: SparkApplication"));
+    }
+
+    #[test]
+    fn unpinned_build_has_no_affinity() {
+        let built = JobBuilder.build(&request(), None);
+        assert_eq!(built.target_node, None);
+        assert!(built.driver_pod.affinity.is_empty());
+        assert!(!built.manifest_yaml.contains("requiredDuringScheduling"));
+    }
+
+    #[test]
+    fn driver_manifest_is_pod_yaml() {
+        let yaml = JobBuilder.driver_manifest(&request(), Some("node-2"));
+        assert!(yaml.contains("kind: Pod"));
+        assert!(yaml.contains("sort-42-driver"));
+        assert!(yaml.contains("- node-2"));
+    }
+
+    #[test]
+    fn spec_matches_request() {
+        let built = JobBuilder.build(&request(), Some("node-1"));
+        assert_eq!(built.spec.executor_count, 3);
+        assert_eq!(built.spec.app_type, "sort");
+        assert_eq!(built.spec.input_records, 100_000);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Decision Module.
+//!
+//! *"Once the supervised model predicts expected job completion times across
+//! candidate nodes, the scheduler ranks nodes in ascending order of predicted
+//! duration. The top-ranked node is selected as the launch node."*
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate node with its predicted completion time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedNode {
+    /// Node name.
+    pub node: String,
+    /// Predicted job completion time in seconds.
+    pub predicted_seconds: f64,
+}
+
+/// The full ranking produced for one scheduling decision.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeRanking {
+    /// Candidates sorted by ascending predicted duration (best first).
+    pub ranked: Vec<RankedNode>,
+}
+
+impl NodeRanking {
+    /// The selected (top-ranked) node, if any candidate existed.
+    pub fn best(&self) -> Option<&RankedNode> {
+        self.ranked.first()
+    }
+
+    /// Names of the top `k` nodes.
+    pub fn top_k(&self, k: usize) -> Vec<&str> {
+        self.ranked.iter().take(k).map(|r| r.node.as_str()).collect()
+    }
+
+    /// Position (0-based) of a node in the ranking.
+    pub fn position_of(&self, node: &str) -> Option<usize> {
+        self.ranked.iter().position(|r| r.node == node)
+    }
+
+    /// Number of candidates ranked.
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// True when no candidates were ranked.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+}
+
+/// Ranks candidate nodes by predicted completion time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecisionModule;
+
+impl DecisionModule {
+    /// Build a ranking from parallel slices of candidates and predictions.
+    /// Ties break lexicographically by node name so decisions are
+    /// deterministic and auditable.
+    pub fn rank(&self, candidates: &[String], predictions: &[f64]) -> NodeRanking {
+        assert_eq!(
+            candidates.len(),
+            predictions.len(),
+            "one prediction per candidate"
+        );
+        let mut ranked: Vec<RankedNode> = candidates
+            .iter()
+            .zip(predictions)
+            .map(|(node, &p)| RankedNode {
+                node: node.clone(),
+                predicted_seconds: p,
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.predicted_seconds
+                .partial_cmp(&b.predicted_seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.node.cmp(&b.node))
+        });
+        NodeRanking { ranked }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn ranks_ascending_by_prediction() {
+        let ranking = DecisionModule.rank(
+            &candidates(&["node-1", "node-2", "node-3"]),
+            &[30.0, 10.0, 20.0],
+        );
+        assert_eq!(ranking.len(), 3);
+        assert_eq!(ranking.best().unwrap().node, "node-2");
+        assert_eq!(ranking.top_k(2), vec!["node-2", "node-3"]);
+        assert_eq!(ranking.position_of("node-1"), Some(2));
+        assert_eq!(ranking.position_of("node-9"), None);
+        assert!(!ranking.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_name() {
+        let ranking = DecisionModule.rank(&candidates(&["node-b", "node-a"]), &[5.0, 5.0]);
+        assert_eq!(ranking.best().unwrap().node, "node-a");
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_ranking() {
+        let ranking = DecisionModule.rank(&[], &[]);
+        assert!(ranking.is_empty());
+        assert_eq!(ranking.best(), None);
+        assert!(ranking.top_k(3).is_empty());
+    }
+
+    #[test]
+    fn top_k_clamps_to_length() {
+        let ranking = DecisionModule.rank(&candidates(&["a", "b"]), &[1.0, 2.0]);
+        assert_eq!(ranking.top_k(10).len(), 2);
+        assert_eq!(ranking.top_k(0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per candidate")]
+    fn mismatched_lengths_panic() {
+        DecisionModule.rank(&candidates(&["a"]), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_predictions_do_not_crash_ranking() {
+        let ranking = DecisionModule.rank(&candidates(&["a", "b", "c"]), &[f64::NAN, 1.0, 2.0]);
+        assert_eq!(ranking.len(), 3);
+        // All nodes still present.
+        assert!(ranking.position_of("a").is_some());
+    }
+}

@@ -1,0 +1,99 @@
+//! The Telemetry Fetcher.
+//!
+//! *"This component queries the Prometheus metrics server at scheduling time
+//! to retrieve the most recent telemetry snapshot."* In this reproduction the
+//! metrics server is the `telemetry` crate's [`telemetry::ScrapeManager`]; the
+//! fetcher wraps its store with the scheduler-side query configuration (rate
+//! window, staleness tolerance).
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use telemetry::{ClusterSnapshot, ScrapeManager, TimeSeriesStore};
+
+/// Scheduler-side telemetry query configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TelemetryFetcher {
+    /// Lookback window used to derive throughput rates from byte counters.
+    pub rate_window: SimDuration,
+}
+
+impl Default for TelemetryFetcher {
+    fn default() -> Self {
+        TelemetryFetcher {
+            rate_window: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl TelemetryFetcher {
+    /// Create a fetcher with an explicit rate window.
+    pub fn new(rate_window: SimDuration) -> Self {
+        TelemetryFetcher { rate_window }
+    }
+
+    /// Fetch the most recent snapshot from a raw time-series store.
+    pub fn fetch_from_store(&self, store: &TimeSeriesStore, now: SimTime) -> ClusterSnapshot {
+        ClusterSnapshot::from_store(store, now, self.rate_window)
+    }
+
+    /// Fetch the most recent snapshot from the metrics server.
+    pub fn fetch(&self, metrics_server: &ScrapeManager, now: SimTime) -> ClusterSnapshot {
+        self.fetch_from_store(metrics_server.store(), now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::{Sample, SeriesKey, METRIC_NODE_LOAD1, METRIC_NODE_TX_BYTES};
+
+    #[test]
+    fn fetch_reads_latest_values_and_rates() {
+        let mut store = TimeSeriesStore::new();
+        store.append(Sample::gauge(
+            SeriesKey::per_node(METRIC_NODE_LOAD1, "node-1"),
+            1.25,
+            SimTime::from_secs(50),
+        ));
+        store.append(Sample::counter(
+            SeriesKey::per_node(METRIC_NODE_TX_BYTES, "node-1"),
+            0.0,
+            SimTime::from_secs(30),
+        ));
+        store.append(Sample::counter(
+            SeriesKey::per_node(METRIC_NODE_TX_BYTES, "node-1"),
+            20e6,
+            SimTime::from_secs(50),
+        ));
+        let fetcher = TelemetryFetcher::default();
+        let snap = fetcher.fetch_from_store(&store, SimTime::from_secs(55));
+        let node = snap.node("node-1").unwrap();
+        assert_eq!(node.cpu_load, 1.25);
+        assert!((node.tx_rate - 1e6).abs() < 1.0);
+        assert_eq!(snap.time, SimTime::from_secs(55));
+    }
+
+    #[test]
+    fn narrow_rate_window_misses_old_counters() {
+        let mut store = TimeSeriesStore::new();
+        store.append(Sample::gauge(
+            SeriesKey::per_node(METRIC_NODE_LOAD1, "node-1"),
+            0.5,
+            SimTime::from_secs(100),
+        ));
+        store.append(Sample::counter(
+            SeriesKey::per_node(METRIC_NODE_TX_BYTES, "node-1"),
+            0.0,
+            SimTime::from_secs(10),
+        ));
+        store.append(Sample::counter(
+            SeriesKey::per_node(METRIC_NODE_TX_BYTES, "node-1"),
+            1e6,
+            SimTime::from_secs(20),
+        ));
+        let fetcher = TelemetryFetcher::new(SimDuration::from_secs(5));
+        let snap = fetcher.fetch_from_store(&store, SimTime::from_secs(100));
+        // Both counter samples fall outside the 5 s window ending at t=100.
+        assert_eq!(snap.node("node-1").unwrap().tx_rate, 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The supervised completion-time predictor.
+//!
+//! Wraps a trained `mlcore` model together with the feature schema it was
+//! trained on, so callers can go straight from (telemetry snapshot, candidate
+//! node, job request) to a predicted completion time in seconds.
+
+use crate::features::{FeatureSchema, FeatureVector};
+use crate::request::JobRequest;
+use mlcore::{ModelKind, Regressor, TrainedModel};
+use serde::{Deserialize, Serialize};
+use telemetry::ClusterSnapshot;
+
+/// A trained model plus its feature schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompletionTimePredictor {
+    schema: FeatureSchema,
+    model: TrainedModel,
+}
+
+impl CompletionTimePredictor {
+    /// Wrap a trained model with the schema its training features used.
+    pub fn new(schema: FeatureSchema, model: TrainedModel) -> Self {
+        CompletionTimePredictor { schema, model }
+    }
+
+    /// The feature schema.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// The model family.
+    pub fn model_kind(&self) -> ModelKind {
+        self.model.kind()
+    }
+
+    /// Access the underlying model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Predict the completion time (seconds) of `job` if its driver were
+    /// placed on `candidate_node`. Predictions are clamped to be non-negative.
+    pub fn predict(&self, snapshot: &ClusterSnapshot, candidate_node: &str, job: &JobRequest) -> f64 {
+        let features = self.schema.construct(snapshot, candidate_node, job);
+        self.predict_from_features(&features)
+    }
+
+    /// Predict directly from an already constructed feature vector.
+    pub fn predict_from_features(&self, features: &FeatureVector) -> f64 {
+        self.model.predict_row(features).max(0.0)
+    }
+
+    /// Predict for every candidate node, in order.
+    pub fn predict_all(
+        &self,
+        snapshot: &ClusterSnapshot,
+        candidates: &[String],
+        job: &JobRequest,
+    ) -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|node| self.predict(snapshot, node, job))
+            .collect()
+    }
+
+    /// Serialize (schema + model) to JSON for persistence.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("predictor serialization cannot fail")
+    }
+
+    /// Load a predictor previously saved with [`CompletionTimePredictor::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcore::{Dataset, ModelConfig, RandomForestConfig};
+    use simcore::rng::Rng;
+    use simcore::SimTime;
+    use sparksim::WorkloadKind;
+    use telemetry::NodeTelemetry;
+
+    fn snapshot_with(load1: f64, load2: f64) -> ClusterSnapshot {
+        let mut snap = ClusterSnapshot {
+            time: SimTime::from_secs(10),
+            ..Default::default()
+        };
+        for (name, load) in [("node-1", load1), ("node-2", load2)] {
+            snap.nodes.insert(
+                name.into(),
+                NodeTelemetry {
+                    cpu_load: load,
+                    memory_available_bytes: 6e9,
+                    tx_rate: 0.0,
+                    rx_rate: 0.0,
+                },
+            );
+        }
+        snap.rtt.insert(("node-1".into(), "node-2".into()), 0.01);
+        snap.rtt.insert(("node-2".into(), "node-1".into()), 0.01);
+        snap
+    }
+
+    /// Train a predictor on synthetic data where completion time grows with
+    /// the candidate's CPU load — so the fitted model should prefer idle nodes.
+    fn trained_predictor(kind: ModelKind) -> CompletionTimePredictor {
+        let schema = FeatureSchema::standard();
+        let mut data = Dataset::new(schema.names().to_vec());
+        let mut rng = Rng::seed_from_u64(7);
+        let job = JobRequest::named("sort", WorkloadKind::Sort, 100_000, 2);
+        for _ in 0..400 {
+            let load = rng.uniform(0.0, 6.0);
+            let snap = snapshot_with(load, 0.0);
+            let features = schema.construct(&snap, "node-1", &job);
+            let duration = 20.0 + 5.0 * load + rng.normal(0.0, 0.2);
+            data.push(features, duration).unwrap();
+        }
+        let config = ModelConfig {
+            forest: RandomForestConfig {
+                n_trees: 30,
+                workers: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = TrainedModel::train(kind, &config, &data, &mut rng);
+        CompletionTimePredictor::new(schema, model)
+    }
+
+    #[test]
+    fn predicts_longer_times_on_loaded_nodes() {
+        for kind in [ModelKind::Linear, ModelKind::RandomForest] {
+            let predictor = trained_predictor(kind);
+            assert_eq!(predictor.model_kind(), kind);
+            let job = JobRequest::named("sort", WorkloadKind::Sort, 100_000, 2);
+            let snap = snapshot_with(5.0, 0.2);
+            let busy = predictor.predict(&snap, "node-1", &job);
+            let idle = predictor.predict(&snap, "node-2", &job);
+            assert!(busy > idle, "{kind}: busy {busy} should exceed idle {idle}");
+            let all = predictor.predict_all(&snap, &["node-1".into(), "node-2".into()], &job);
+            assert_eq!(all, vec![busy, idle]);
+        }
+    }
+
+    #[test]
+    fn predictions_are_never_negative() {
+        let predictor = trained_predictor(ModelKind::Linear);
+        let job = JobRequest::named("sort", WorkloadKind::Sort, 1, 1);
+        // An absurd snapshot far outside the training distribution.
+        let snap = snapshot_with(-100.0, -100.0);
+        assert!(predictor.predict(&snap, "node-1", &job) >= 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let predictor = trained_predictor(ModelKind::RandomForest);
+        let json = predictor.to_json();
+        let restored = CompletionTimePredictor::from_json(&json).unwrap();
+        assert_eq!(restored.model_kind(), ModelKind::RandomForest);
+        assert_eq!(restored.schema().len(), predictor.schema().len());
+        let job = JobRequest::named("sort", WorkloadKind::Sort, 100_000, 2);
+        let snap = snapshot_with(3.0, 1.0);
+        assert_eq!(
+            predictor.predict(&snap, "node-1", &job),
+            restored.predict(&snap, "node-1", &job)
+        );
+        assert!(CompletionTimePredictor::from_json("{").is_err());
+    }
+
+    #[test]
+    fn predict_from_features_matches_predict() {
+        let predictor = trained_predictor(ModelKind::Linear);
+        let job = JobRequest::named("sort", WorkloadKind::Sort, 100_000, 2);
+        let snap = snapshot_with(2.0, 0.5);
+        let features = predictor.schema().construct(&snap, "node-1", &job);
+        assert_eq!(
+            predictor.predict(&snap, "node-1", &job),
+            predictor.predict_from_features(&features)
+        );
+        assert!(predictor.model().predict_row(&features).is_finite());
+    }
+}

@@ -1,0 +1,430 @@
+//! Scheduling policies: the supervised scheduler and the baselines it is
+//! compared against.
+//!
+//! Every policy implements [`JobScheduler`]: given a job request, the latest
+//! telemetry snapshot and the cluster state, produce a [`NodeRanking`] over
+//! the feasible candidate nodes (best first). Table 4 of the paper compares
+//! the supervised models against the Kubernetes default scheduler; the random
+//! and heuristic policies are additional reference points used by the
+//! ablation experiments.
+
+use crate::decision::{DecisionModule, NodeRanking, RankedNode};
+use crate::predictor::CompletionTimePredictor;
+use crate::request::JobRequest;
+use cluster::scheduler::FilterResult;
+use cluster::{ClusterState, DefaultScheduler};
+use simcore::rng::Rng;
+use telemetry::ClusterSnapshot;
+
+/// A placement policy.
+pub trait JobScheduler {
+    /// Human-readable policy name (used in result tables).
+    fn name(&self) -> String;
+
+    /// Rank the feasible nodes for this job, best first. An empty ranking
+    /// means no node can host the driver.
+    fn select(
+        &mut self,
+        request: &JobRequest,
+        snapshot: &ClusterSnapshot,
+        cluster: &ClusterState,
+    ) -> NodeRanking;
+}
+
+/// Names of nodes on which the job's driver pod passes the default
+/// scheduler's filtering phase (resource fit, affinity, taints). All policies
+/// rank within this same candidate set so comparisons are apples-to-apples.
+pub fn feasible_candidates(request: &JobRequest, cluster: &ClusterState) -> Vec<String> {
+    let driver = request.to_job_spec().driver_pod(None);
+    cluster
+        .nodes()
+        .iter()
+        .filter(|node| DefaultScheduler::filter(&driver, node) == FilterResult::Feasible)
+        .map(|node| node.name.clone())
+        .collect()
+}
+
+/// The paper's contribution: rank by supervised completion-time predictions.
+#[derive(Debug, Clone)]
+pub struct SupervisedScheduler {
+    predictor: CompletionTimePredictor,
+    decision: DecisionModule,
+}
+
+impl SupervisedScheduler {
+    /// Create a supervised scheduler from a trained predictor.
+    pub fn new(predictor: CompletionTimePredictor) -> Self {
+        SupervisedScheduler {
+            predictor,
+            decision: DecisionModule,
+        }
+    }
+
+    /// Access the underlying predictor.
+    pub fn predictor(&self) -> &CompletionTimePredictor {
+        &self.predictor
+    }
+}
+
+impl JobScheduler for SupervisedScheduler {
+    fn name(&self) -> String {
+        format!("supervised-{}", self.predictor.model_kind().display_name())
+    }
+
+    fn select(
+        &mut self,
+        request: &JobRequest,
+        snapshot: &ClusterSnapshot,
+        cluster: &ClusterState,
+    ) -> NodeRanking {
+        let candidates = feasible_candidates(request, cluster);
+        let predictions = self.predictor.predict_all(snapshot, &candidates, request);
+        self.decision.rank(&candidates, &predictions)
+    }
+}
+
+/// The Kubernetes default scheduler baseline: resource-availability scoring,
+/// blind to telemetry, with random tie-breaking among equal scores.
+#[derive(Debug, Clone)]
+pub struct KubeDefaultScheduler {
+    inner: DefaultScheduler,
+    rng: Rng,
+}
+
+impl KubeDefaultScheduler {
+    /// Create the baseline with a tie-breaking seed.
+    pub fn new(seed: u64) -> Self {
+        KubeDefaultScheduler {
+            inner: DefaultScheduler::new(seed),
+            rng: Rng::seed_from_u64(seed ^ 0xD1CE_BA5E),
+        }
+    }
+}
+
+impl JobScheduler for KubeDefaultScheduler {
+    fn name(&self) -> String {
+        "kubernetes-default".to_string()
+    }
+
+    fn select(
+        &mut self,
+        request: &JobRequest,
+        _snapshot: &ClusterSnapshot,
+        cluster: &ClusterState,
+    ) -> NodeRanking {
+        let driver = request.to_job_spec().driver_pod(None);
+        use cluster::scheduler::Scheduler as _;
+        match self.inner.schedule(&driver, cluster.nodes()) {
+            cluster::ScheduleOutcome::Unschedulable { .. } => NodeRanking::default(),
+            cluster::ScheduleOutcome::Scheduled { node, ranking } => {
+                // Within equal-score groups kube-scheduler has no preference;
+                // shuffle each tie group so Top-2 reflects that indifference,
+                // then force the actually selected node to the front.
+                let mut groups: Vec<Vec<cluster::ScoredNode>> = Vec::new();
+                for scored in ranking {
+                    match groups.last_mut() {
+                        Some(group)
+                            if (group[0].score - scored.score).abs() < 1e-9 =>
+                        {
+                            group.push(scored)
+                        }
+                        _ => groups.push(vec![scored]),
+                    }
+                }
+                let mut ordered: Vec<cluster::ScoredNode> = Vec::new();
+                for mut group in groups {
+                    // Fisher-Yates over the group.
+                    let mut order: Vec<usize> = (0..group.len()).collect();
+                    self.rng.shuffle(&mut order);
+                    for i in order {
+                        ordered.push(group[i].clone());
+                    }
+                    group.clear();
+                }
+                if let Some(pos) = ordered.iter().position(|s| s.node == node) {
+                    let selected = ordered.remove(pos);
+                    ordered.insert(0, selected);
+                }
+                NodeRanking {
+                    ranked: ordered
+                        .into_iter()
+                        .map(|s| RankedNode {
+                            node: s.node,
+                            // Pseudo-prediction: higher kube score = "faster".
+                            predicted_seconds: (100.0 - s.score).max(0.0),
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+/// Uniform-random placement over the feasible candidates.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: Rng,
+}
+
+impl RandomScheduler {
+    /// Create a random scheduler.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl JobScheduler for RandomScheduler {
+    fn name(&self) -> String {
+        "random".to_string()
+    }
+
+    fn select(
+        &mut self,
+        request: &JobRequest,
+        _snapshot: &ClusterSnapshot,
+        cluster: &ClusterState,
+    ) -> NodeRanking {
+        let mut candidates = feasible_candidates(request, cluster);
+        self.rng.shuffle(&mut candidates);
+        NodeRanking {
+            ranked: candidates
+                .into_iter()
+                .enumerate()
+                .map(|(i, node)| RankedNode {
+                    node,
+                    predicted_seconds: i as f64,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Heuristic baseline: pick the node with the lowest CPU load average.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoadedScheduler;
+
+impl JobScheduler for LeastLoadedScheduler {
+    fn name(&self) -> String {
+        "least-loaded-heuristic".to_string()
+    }
+
+    fn select(
+        &mut self,
+        request: &JobRequest,
+        snapshot: &ClusterSnapshot,
+        cluster: &ClusterState,
+    ) -> NodeRanking {
+        let candidates = feasible_candidates(request, cluster);
+        let loads: Vec<f64> = candidates
+            .iter()
+            .map(|n| snapshot.node(n).map(|t| t.cpu_load).unwrap_or(f64::MAX))
+            .collect();
+        DecisionModule.rank(&candidates, &loads)
+    }
+}
+
+/// Heuristic baseline: pick the node with the lowest mean RTT to its peers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowestRttScheduler;
+
+impl JobScheduler for LowestRttScheduler {
+    fn name(&self) -> String {
+        "lowest-rtt-heuristic".to_string()
+    }
+
+    fn select(
+        &mut self,
+        request: &JobRequest,
+        snapshot: &ClusterSnapshot,
+        cluster: &ClusterState,
+    ) -> NodeRanking {
+        let candidates = feasible_candidates(request, cluster);
+        let rtts: Vec<f64> = candidates
+            .iter()
+            .map(|n| {
+                let (mean, _, _) = snapshot.rtt_stats_from(n);
+                if mean > 0.0 {
+                    mean
+                } else {
+                    f64::MAX
+                }
+            })
+            .collect();
+        DecisionModule.rank(&candidates, &rtts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSchema;
+    use cluster::{Node, Resources};
+    use mlcore::{Dataset, ModelConfig, ModelKind, TrainedModel};
+    use simcore::SimTime;
+    use simnet::NodeId;
+    use sparksim::WorkloadKind;
+    use telemetry::NodeTelemetry;
+
+    fn cluster(n: usize) -> ClusterState {
+        let mut c = ClusterState::new();
+        for i in 0..n {
+            c.add_node(Node::new(
+                format!("node-{}", i + 1),
+                NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                "SITE",
+            ));
+        }
+        c
+    }
+
+    fn snapshot(n: usize) -> ClusterSnapshot {
+        let mut snap = ClusterSnapshot {
+            time: SimTime::from_secs(10),
+            ..Default::default()
+        };
+        for i in 0..n {
+            let name = format!("node-{}", i + 1);
+            snap.nodes.insert(
+                name.clone(),
+                NodeTelemetry {
+                    cpu_load: i as f64,
+                    memory_available_bytes: 6e9,
+                    tx_rate: 0.0,
+                    rx_rate: 0.0,
+                },
+            );
+            for j in 0..n {
+                if i != j {
+                    snap.rtt.insert(
+                        (name.clone(), format!("node-{}", j + 1)),
+                        0.01 * (i + 1) as f64,
+                    );
+                }
+            }
+        }
+        snap
+    }
+
+    fn request() -> JobRequest {
+        JobRequest::named("sort-t", WorkloadKind::Sort, 100_000, 2)
+    }
+
+    /// A predictor trained to prefer low-CPU-load nodes.
+    fn predictor() -> CompletionTimePredictor {
+        let schema = FeatureSchema::standard();
+        let mut data = Dataset::new(schema.names().to_vec());
+        let mut rng = Rng::seed_from_u64(5);
+        let job = request();
+        for load in 0..30 {
+            let mut snap = snapshot(1);
+            snap.nodes.get_mut("node-1").unwrap().cpu_load = load as f64 / 5.0;
+            let features = schema.construct(&snap, "node-1", &job);
+            data.push(features, 10.0 + 4.0 * load as f64 / 5.0).unwrap();
+        }
+        let model = TrainedModel::train(ModelKind::Linear, &ModelConfig::default(), &data, &mut rng);
+        CompletionTimePredictor::new(schema, model)
+    }
+
+    #[test]
+    fn feasible_candidates_respects_capacity() {
+        let mut c = cluster(3);
+        // Fill node-2 completely.
+        let id = c.create_pod(
+            cluster::PodSpec::new("hog", Resources::from_cores_and_gib(6, 8)),
+            SimTime::ZERO,
+        );
+        c.bind_pod(id, "node-2", SimTime::ZERO).unwrap();
+        let candidates = feasible_candidates(&request(), &c);
+        assert_eq!(candidates, vec!["node-1", "node-3"]);
+    }
+
+    #[test]
+    fn supervised_scheduler_prefers_idle_nodes() {
+        let mut sched = SupervisedScheduler::new(predictor());
+        assert!(sched.name().contains("Linear"));
+        assert!(sched.predictor().schema().len() > 0);
+        let ranking = sched.select(&request(), &snapshot(4), &cluster(4));
+        assert_eq!(ranking.len(), 4);
+        // node-1 has the lowest load in the snapshot.
+        assert_eq!(ranking.best().unwrap().node, "node-1");
+        // Predictions ascend down the ranking.
+        for pair in ranking.ranked.windows(2) {
+            assert!(pair[0].predicted_seconds <= pair[1].predicted_seconds);
+        }
+    }
+
+    #[test]
+    fn kube_default_covers_all_feasible_nodes_and_spreads_choices() {
+        let mut sched = KubeDefaultScheduler::new(11);
+        assert_eq!(sched.name(), "kubernetes-default");
+        let c = cluster(6);
+        let snap = snapshot(6);
+        let mut firsts = std::collections::BTreeSet::new();
+        for _ in 0..30 {
+            let ranking = sched.select(&request(), &snap, &c);
+            assert_eq!(ranking.len(), 6);
+            firsts.insert(ranking.best().unwrap().node.clone());
+        }
+        assert!(firsts.len() >= 3, "tie-breaking should spread: {firsts:?}");
+    }
+
+    #[test]
+    fn kube_default_empty_when_unschedulable() {
+        let mut sched = KubeDefaultScheduler::new(3);
+        let c = cluster(2);
+        let huge = JobRequest::named("huge", WorkloadKind::Sort, 1000, 1)
+            .with_driver_resources(64_000, 64 * 1024 * 1024 * 1024);
+        let ranking = sched.select(&huge, &snapshot(2), &c);
+        assert!(ranking.is_empty());
+    }
+
+    #[test]
+    fn random_scheduler_is_uniformish_and_seeded() {
+        let c = cluster(6);
+        let snap = snapshot(6);
+        let mut a = RandomScheduler::new(42);
+        let mut b = RandomScheduler::new(42);
+        let picks_a: Vec<String> = (0..20)
+            .map(|_| a.select(&request(), &snap, &c).best().unwrap().node.clone())
+            .collect();
+        let picks_b: Vec<String> = (0..20)
+            .map(|_| b.select(&request(), &snap, &c).best().unwrap().node.clone())
+            .collect();
+        assert_eq!(picks_a, picks_b);
+        let distinct: std::collections::BTreeSet<&String> = picks_a.iter().collect();
+        assert!(distinct.len() >= 3);
+        assert_eq!(a.name(), "random");
+    }
+
+    #[test]
+    fn heuristics_rank_by_their_signals() {
+        let c = cluster(4);
+        let snap = snapshot(4);
+        let mut least_loaded = LeastLoadedScheduler;
+        let r = least_loaded.select(&request(), &snap, &c);
+        assert_eq!(r.best().unwrap().node, "node-1", "lowest cpu_load");
+        assert_eq!(least_loaded.name(), "least-loaded-heuristic");
+
+        let mut lowest_rtt = LowestRttScheduler;
+        let r = lowest_rtt.select(&request(), &snap, &c);
+        assert_eq!(r.best().unwrap().node, "node-1", "lowest mean RTT");
+        assert_eq!(lowest_rtt.name(), "lowest-rtt-heuristic");
+    }
+
+    #[test]
+    fn heuristics_push_unknown_nodes_last() {
+        let c = cluster(3);
+        let mut snap = snapshot(3);
+        snap.nodes.remove("node-1");
+        snap.rtt.retain(|(s, _), _| s != "node-1");
+        let mut least_loaded = LeastLoadedScheduler;
+        let r = least_loaded.select(&request(), &snap, &c);
+        assert_eq!(r.ranked.last().unwrap().node, "node-1");
+        let mut lowest_rtt = LowestRttScheduler;
+        let r = lowest_rtt.select(&request(), &snap, &c);
+        assert_eq!(r.ranked.last().unwrap().node, "node-1");
+    }
+}

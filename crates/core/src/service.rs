@@ -1,0 +1,317 @@
+//! The end-to-end scheduler service.
+//!
+//! [`SchedulerService`] wires the paper's pipeline together: fetch telemetry,
+//! construct features, predict per-node completion times, rank, build the
+//! pinned job manifest, and log the outcome for retraining. It runs entirely
+//! in user space against the metrics server and the cluster API — no control
+//! plane modification, exactly as the paper emphasizes.
+
+use crate::builder::{BuiltJob, JobBuilder};
+use crate::decision::NodeRanking;
+use crate::fetcher::TelemetryFetcher;
+use crate::logger::ExecutionLogger;
+use crate::predictor::CompletionTimePredictor;
+use crate::request::JobRequest;
+use crate::schedulers::{feasible_candidates, JobScheduler, SupervisedScheduler};
+use crate::training::TrainingPipeline;
+use cluster::ClusterState;
+use mlcore::ModelKind;
+use serde::{Deserialize, Serialize};
+use simcore::rng::Rng;
+use simcore::{SimDuration, SimTime};
+use telemetry::{ClusterSnapshot, ScrapeManager};
+
+/// Service configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Which model family to use once trained.
+    pub model_kind: ModelKind,
+    /// Telemetry rate window for throughput derivation.
+    pub rate_window: SimDuration,
+    /// Minimum number of logged executions before the service switches from
+    /// fallback placement to supervised placement.
+    pub min_training_samples: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            model_kind: ModelKind::RandomForest,
+            rate_window: SimDuration::from_secs(30),
+            min_training_samples: 50,
+        }
+    }
+}
+
+/// The result of one scheduling decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulingDecision {
+    /// The job as built (manifests, pinned driver pod).
+    pub job: BuiltJob,
+    /// The ranking over candidate nodes.
+    pub ranking: NodeRanking,
+    /// The telemetry snapshot the decision was based on.
+    pub snapshot: ClusterSnapshot,
+    /// Whether the supervised model was used (false = fallback placement
+    /// because no model is trained yet).
+    pub used_model: bool,
+}
+
+/// The user-space scheduling service.
+#[derive(Debug, Clone)]
+pub struct SchedulerService {
+    config: SchedulerConfig,
+    fetcher: TelemetryFetcher,
+    builder: JobBuilder,
+    logger: ExecutionLogger,
+    pipeline: TrainingPipeline,
+    predictor: Option<CompletionTimePredictor>,
+    fallback_rng: Rng,
+}
+
+impl SchedulerService {
+    /// Create a service with no trained model yet.
+    pub fn new(config: SchedulerConfig, seed: u64) -> Self {
+        let pipeline = TrainingPipeline::default();
+        SchedulerService {
+            fetcher: TelemetryFetcher::new(config.rate_window),
+            builder: JobBuilder,
+            logger: ExecutionLogger::new(pipeline.schema.clone()),
+            pipeline,
+            predictor: None,
+            config,
+            fallback_rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Create a service from an already trained predictor.
+    pub fn with_predictor(config: SchedulerConfig, predictor: CompletionTimePredictor, seed: u64) -> Self {
+        let mut service = Self::new(config, seed);
+        service.logger = ExecutionLogger::new(predictor.schema().clone());
+        service.pipeline = TrainingPipeline::with_schema(predictor.schema().clone());
+        service.predictor = Some(predictor);
+        service
+    }
+
+    /// The active predictor, if trained.
+    pub fn predictor(&self) -> Option<&CompletionTimePredictor> {
+        self.predictor.as_ref()
+    }
+
+    /// The execution log collected so far.
+    pub fn logger(&self) -> &ExecutionLogger {
+        &self.logger
+    }
+
+    /// Number of logged executions.
+    pub fn logged_executions(&self) -> usize {
+        self.logger.len()
+    }
+
+    /// Whether the service currently schedules with the supervised model.
+    pub fn is_model_active(&self) -> bool {
+        self.predictor.is_some()
+    }
+
+    /// Make a placement decision for `request` at time `now`.
+    ///
+    /// Telemetry is fetched from `metrics_server`; feasibility comes from the
+    /// cluster state. Before a model is available the service falls back to a
+    /// uniformly random feasible node (matching how the paper bootstraps its
+    /// training data with varied `target_node` assignments).
+    pub fn schedule(
+        &mut self,
+        request: &JobRequest,
+        metrics_server: &ScrapeManager,
+        cluster: &ClusterState,
+        now: SimTime,
+    ) -> SchedulingDecision {
+        let snapshot = self.fetcher.fetch(metrics_server, now);
+        let (ranking, used_model) = match &self.predictor {
+            Some(predictor) => {
+                let mut scheduler = SupervisedScheduler::new(predictor.clone());
+                (scheduler.select(request, &snapshot, cluster), true)
+            }
+            None => {
+                let mut candidates = feasible_candidates(request, cluster);
+                self.fallback_rng.shuffle(&mut candidates);
+                let ranking = NodeRanking {
+                    ranked: candidates
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, node)| crate::decision::RankedNode {
+                            node,
+                            predicted_seconds: i as f64,
+                        })
+                        .collect(),
+                };
+                (ranking, false)
+            }
+        };
+        let target = ranking.best().map(|r| r.node.clone());
+        let job = self.builder.build(request, target.as_deref());
+        SchedulingDecision {
+            job,
+            ranking,
+            snapshot,
+            used_model,
+        }
+    }
+
+    /// Record a completed execution for future retraining.
+    pub fn record_outcome(
+        &mut self,
+        snapshot: &ClusterSnapshot,
+        request: &JobRequest,
+        target_node: &str,
+        completion_seconds: f64,
+    ) {
+        self.logger
+            .log_execution(snapshot, request, target_node, completion_seconds);
+    }
+
+    /// Retrain the configured model family from the accumulated log. Returns
+    /// `false` (and leaves any existing model untouched) when fewer than
+    /// `min_training_samples` executions have been recorded.
+    pub fn retrain(&mut self, rng: &mut Rng) -> bool {
+        if self.logger.len() < self.config.min_training_samples {
+            return false;
+        }
+        let data = self.logger.to_dataset();
+        let outcome = self.pipeline.train_one(self.config.model_kind, &data, rng);
+        self.predictor = Some(outcome.predictor);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Node, Resources};
+    use simcore::SimDuration;
+    use simnet::{gbps, mbps, Network, NodeId, TopologyBuilder};
+    use sparksim::WorkloadKind;
+    use telemetry::ScrapeConfig;
+
+    fn test_world() -> (ClusterState, Network, ScrapeManager) {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_site("UCSD", SimDuration::from_micros(200), gbps(10.0));
+        let s1 = b.add_site("FIU", SimDuration::from_micros(200), gbps(10.0));
+        for i in 0..2 {
+            b.add_node(format!("node-{}", i + 1), s0, gbps(1.0), gbps(1.0));
+        }
+        for i in 2..4 {
+            b.add_node(format!("node-{}", i + 1), s1, gbps(1.0), gbps(1.0));
+        }
+        b.connect_sites(s0, s1, SimDuration::from_millis(30), mbps(500.0));
+        let network = Network::new(b.build().unwrap());
+        let mut cluster = ClusterState::new();
+        for i in 0..4 {
+            cluster.add_node(Node::new(
+                format!("node-{}", i + 1),
+                NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                if i < 2 { "UCSD" } else { "FIU" },
+            ));
+        }
+        let mut scrape = ScrapeManager::new(ScrapeConfig::default());
+        scrape.scrape(&cluster, &network, SimTime::from_secs(1));
+        (cluster, network, scrape)
+    }
+
+    fn request(i: usize) -> JobRequest {
+        JobRequest::named(format!("sort-{i}"), WorkloadKind::Sort, 100_000, 2)
+    }
+
+    #[test]
+    fn fallback_placement_before_any_training() {
+        let (cluster, _network, scrape) = test_world();
+        let mut service = SchedulerService::new(SchedulerConfig::default(), 7);
+        assert!(!service.is_model_active());
+        let decision = service.schedule(&request(0), &scrape, &cluster, SimTime::from_secs(2));
+        assert!(!decision.used_model);
+        assert_eq!(decision.ranking.len(), 4);
+        assert!(decision.job.target_node.is_some());
+        assert!(decision.job.manifest_yaml.contains("SparkApplication"));
+        assert!(!decision.snapshot.is_empty());
+    }
+
+    #[test]
+    fn retrain_requires_minimum_samples_then_activates_model() {
+        let (cluster, _network, scrape) = test_world();
+        let mut service = SchedulerService::new(
+            SchedulerConfig {
+                min_training_samples: 30,
+                model_kind: ModelKind::Linear,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut rng = Rng::seed_from_u64(4);
+        assert!(!service.retrain(&mut rng), "no data yet");
+
+        // Log synthetic executions whose duration depends on cpu load.
+        for i in 0..40 {
+            let decision = service.schedule(&request(i), &scrape, &cluster, SimTime::from_secs(2));
+            let node = decision.job.target_node.clone().unwrap();
+            let load = decision
+                .snapshot
+                .node(&node)
+                .map(|t| t.cpu_load)
+                .unwrap_or(0.0);
+            let duration = 20.0 + 5.0 * load + (i % 3) as f64;
+            service.record_outcome(&decision.snapshot, &request(i), &node, duration);
+        }
+        assert_eq!(service.logged_executions(), 40);
+        assert!(service.retrain(&mut rng));
+        assert!(service.is_model_active());
+        assert!(service.predictor().is_some());
+
+        // Decisions now use the model and produce a full ranking.
+        let decision = service.schedule(&request(99), &scrape, &cluster, SimTime::from_secs(3));
+        assert!(decision.used_model);
+        assert_eq!(decision.ranking.len(), 4);
+        assert!(decision
+            .ranking
+            .ranked
+            .iter()
+            .all(|r| r.predicted_seconds.is_finite()));
+    }
+
+    #[test]
+    fn with_predictor_constructor_is_active_immediately() {
+        let (cluster, _network, scrape) = test_world();
+        // Train a tiny predictor via the service path first.
+        let mut bootstrap = SchedulerService::new(
+            SchedulerConfig {
+                min_training_samples: 5,
+                model_kind: ModelKind::Linear,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut rng = Rng::seed_from_u64(2);
+        for i in 0..10 {
+            let d = bootstrap.schedule(&request(i), &scrape, &cluster, SimTime::from_secs(2));
+            let node = d.job.target_node.clone().unwrap();
+            bootstrap.record_outcome(&d.snapshot, &request(i), &node, 25.0 + i as f64);
+        }
+        assert!(bootstrap.retrain(&mut rng));
+        let predictor = bootstrap.predictor().unwrap().clone();
+
+        let service =
+            SchedulerService::with_predictor(SchedulerConfig::default(), predictor, 9);
+        assert!(service.is_model_active());
+        assert_eq!(service.logged_executions(), 0);
+    }
+
+    #[test]
+    fn logged_outcomes_are_exported_via_logger() {
+        let (cluster, _network, scrape) = test_world();
+        let mut service = SchedulerService::new(SchedulerConfig::default(), 5);
+        let d = service.schedule(&request(0), &scrape, &cluster, SimTime::from_secs(2));
+        service.record_outcome(&d.snapshot, &request(0), "node-1", 17.5);
+        assert_eq!(service.logger().len(), 1);
+        assert!(service.logger().to_csv().contains("sort-0"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerate **Figure 2**: average latency per node across five runs of Sort.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin figure2_latency [runs] [input_records]
+//! ```
+
+use experiments::figures::sort_telemetry_figures;
+use experiments::report::{csv_table, emit, markdown_table, write_result_file};
+
+fn main() {
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let records: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    let figures = sort_telemetry_figures(runs, records, 2025);
+
+    let rows: Vec<Vec<String>> = figures
+        .figure2_latency()
+        .into_iter()
+        .map(|(node, latency)| vec![node, format!("{latency:.2}")])
+        .collect();
+    let md = markdown_table(&["Node", "Avg latency (ms)"], &rows);
+    emit(
+        &format!("Figure 2 — Average latency per node across {runs} runs of Sort"),
+        "figure2_latency.md",
+        &md,
+    );
+    write_result_file("figure2_latency.csv", &csv_table(&["node", "latency_ms"], &rows));
+}

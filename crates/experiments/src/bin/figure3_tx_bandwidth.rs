@@ -1,0 +1,31 @@
+//! Regenerate **Figure 3**: average transmit bandwidth per node across five
+//! runs of Sort.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin figure3_tx_bandwidth [runs] [input_records]
+//! ```
+
+use experiments::figures::sort_telemetry_figures;
+use experiments::report::{csv_table, emit, markdown_table, write_result_file};
+
+fn main() {
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let records: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    let figures = sort_telemetry_figures(runs, records, 2025);
+
+    let rows: Vec<Vec<String>> = figures
+        .figure3_tx_bandwidth()
+        .into_iter()
+        .map(|(node, mbps)| vec![node, format!("{mbps:.2}")])
+        .collect();
+    let md = markdown_table(&["Node", "Avg Tx bandwidth (MB/s)"], &rows);
+    emit(
+        &format!("Figure 3 — Average transmit bandwidth per node across {runs} runs of Sort"),
+        "figure3_tx_bandwidth.md",
+        &md,
+    );
+    write_result_file(
+        "figure3_tx_bandwidth.csv",
+        &csv_table(&["node", "tx_mb_per_s"], &rows),
+    );
+}

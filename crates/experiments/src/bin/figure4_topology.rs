@@ -1,0 +1,18 @@
+//! Regenerate **Figure 4**: the geographical layout of the cluster across the
+//! three FABRIC sites with inter-site RTT measurements.
+//!
+//! ```text
+//! cargo run -p experiments --bin figure4_topology
+//! ```
+
+use experiments::figures::figure4_topology;
+use experiments::report::emit;
+
+fn main() {
+    let figure = figure4_topology(2025);
+    emit(
+        "Figure 4 — Cluster layout across FABRIC sites with RTT measurements",
+        "figure4_topology.md",
+        &figure.to_markdown(),
+    );
+}

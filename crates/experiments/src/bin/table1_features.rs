@@ -1,0 +1,17 @@
+//! Regenerate **Table 1**: the input features used by the scheduling model.
+//!
+//! ```text
+//! cargo run -p experiments --bin table1_features
+//! ```
+
+use experiments::report::emit;
+use experiments::tables::table1_feature_schema;
+
+fn main() {
+    let table = table1_feature_schema();
+    emit(
+        "Table 1 — Input features used by the scheduling model",
+        "table1_features.md",
+        &table,
+    );
+}

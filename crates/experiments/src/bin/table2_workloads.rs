@@ -1,0 +1,23 @@
+//! Regenerate **Table 2**: characteristics of the selected workloads, backed
+//! by measured single-run numbers on the simulated testbed.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin table2_workloads [input_records]
+//! ```
+
+use experiments::report::emit;
+use experiments::tables::{table2_markdown, table2_workload_characteristics};
+
+fn main() {
+    let input_records: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250_000);
+    let rows = table2_workload_characteristics(input_records, 2025);
+    let md = table2_markdown(&rows);
+    emit(
+        &format!("Table 2 — Workload characteristics ({input_records} input records)"),
+        "table2_workloads.md",
+        &md,
+    );
+}

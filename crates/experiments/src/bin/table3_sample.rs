@@ -1,0 +1,19 @@
+//! Regenerate **Table 3**: a representative training sample (input feature
+//! subset plus the measured completion time).
+//!
+//! ```text
+//! cargo run --release -p experiments --bin table3_sample [seed]
+//! ```
+
+use experiments::report::emit;
+use experiments::tables::{table3_markdown, table3_sample};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2025);
+    let row = table3_sample(seed);
+    let md = table3_markdown(&row);
+    emit("Table 3 — Representative training sample", "table3_sample.md", &md);
+}

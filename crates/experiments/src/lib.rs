@@ -1,0 +1,44 @@
+//! # experiments — reproduction harness for every table and figure
+//!
+//! This crate drives the full evaluation of Sections 4–6 of the paper on the
+//! simulated substrate:
+//!
+//! * [`fabric`] — the Figure 4 testbed: three FABRIC sites (UCSD, FIU, SRI),
+//!   two nodes per site (6 CPUs / 8 GB each), inter-site RTTs of 66/10/72 ms,
+//!   and asymmetric WAN capacities.
+//! * [`world`] — a self-contained simulated world (cluster + network +
+//!   metrics server + background-load pods) that can execute one Spark-like
+//!   job for a chosen driver node while background traffic keeps flowing.
+//! * [`config`] — the Section 5.2 job matrix: 60 distinct configurations over
+//!   the three paper workloads, input sizes, executor counts and memory.
+//! * [`workflow`] — the batch experiment workflow: for every configuration ×
+//!   repeat it snapshots telemetry, runs the job once per candidate driver
+//!   node under identical conditions, and logs the 3600-sample dataset.
+//! * [`evaluation`] — Table 4: Top-1 / Top-2 node-selection accuracy of the
+//!   Kubernetes default scheduler and the three supervised models.
+//! * [`figures`] — Figures 2 and 3 (per-node latency and transmit bandwidth
+//!   across five Sort runs) and the Figure 4 RTT matrix.
+//! * [`tables`] — Tables 1, 2 and 3 (feature schema, workload
+//!   characterization, representative training row).
+//! * [`ablation`] — feature-group, model and background-load ablations.
+//! * [`report`] — markdown/CSV rendering helpers shared by the harness
+//!   binaries (one binary per table/figure, see `src/bin/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod config;
+pub mod evaluation;
+pub mod fabric;
+pub mod figures;
+pub mod report;
+pub mod tables;
+pub mod workflow;
+pub mod world;
+
+pub use config::{job_matrix, JobConfig};
+pub use evaluation::{evaluate_table4, SchedulerAccuracy, Table4Report};
+pub use fabric::{FabricConfig, FabricTestbed};
+pub use workflow::{ExperimentConfig, ExperimentDataset, ScenarioRecord, Workflow};
+pub use world::SimWorld;

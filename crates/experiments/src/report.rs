@@ -1,0 +1,112 @@
+//! Report rendering and result-file helpers shared by the harness binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Render a generic markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Render a CSV document.
+pub fn csv_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// The directory experiment outputs are written to (`results/` under the
+/// workspace root, overridable with the `NETSCHED_RESULTS_DIR` environment
+/// variable).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("NETSCHED_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // Walk up from the crate manifest to the workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let workspace = manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest);
+    workspace.join("results")
+}
+
+/// Write `content` to `results/<name>`, creating the directory if needed.
+/// Returns the written path. Errors are reported but not fatal (the harness
+/// binaries also print everything to stdout).
+pub fn write_result_file(name: &str, content: &str) -> Option<PathBuf> {
+    let dir = results_dir();
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return None;
+    }
+    let path = dir.join(name);
+    match fs::File::create(&path).and_then(|mut f| f.write_all(content.as_bytes())) {
+        Ok(()) => Some(path),
+        Err(err) => {
+            eprintln!("warning: could not write {}: {err}", path.display());
+            None
+        }
+    }
+}
+
+/// Print a titled section to stdout and persist it under `results/`.
+pub fn emit(title: &str, file_name: &str, content: &str) {
+    println!("\n== {title} ==\n");
+    println!("{content}");
+    if let Some(path) = write_result_file(file_name, content) {
+        println!("(written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(
+            &["Method", "Top-1"],
+            &[vec!["RF".into(), "0.7".into()], vec!["LR".into(), "0.5".into()]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| Method | Top-1 |");
+        assert_eq!(lines[1], "|---|---|");
+        assert!(lines[2].contains("RF"));
+    }
+
+    #[test]
+    fn csv_table_shape() {
+        let csv = csv_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn results_dir_env_override_and_write() {
+        let tmp = std::env::temp_dir().join(format!("netsched-results-test-{}", std::process::id()));
+        std::env::set_var("NETSCHED_RESULTS_DIR", &tmp);
+        assert_eq!(results_dir(), tmp);
+        let path = write_result_file("unit_test.md", "hello").expect("writable temp dir");
+        assert!(path.exists());
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "hello");
+        std::env::remove_var("NETSCHED_RESULTS_DIR");
+        let _ = fs::remove_dir_all(&tmp);
+        // Without the override the directory ends with `results`.
+        assert!(results_dir().ends_with("results"));
+    }
+}

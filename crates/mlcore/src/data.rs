@@ -1,0 +1,401 @@
+//! Tabular dataset container, splitting and standardization.
+
+use serde::{Deserialize, Serialize};
+use simcore::rng::Rng;
+use std::fmt;
+
+/// A tabular regression dataset: named feature columns, one row per sample,
+/// one target per row.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+/// Errors raised by dataset operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A row's length does not match the number of feature columns.
+    DimensionMismatch {
+        /// Expected number of features.
+        expected: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+    /// The dataset has no rows but the operation needs at least one.
+    Empty,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DimensionMismatch { expected, got } => {
+                write!(f, "row has {got} features, expected {expected}")
+            }
+            DataError::Empty => write!(f, "dataset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl Dataset {
+    /// Create an empty dataset with the given feature names.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), DataError> {
+        if features.len() != self.n_features() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.n_features(),
+                got: features.len(),
+            });
+        }
+        self.rows.push(features);
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// One row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// One target.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// Index of a feature by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// Build a new dataset containing only the given row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.feature_names.clone());
+        out.rows.reserve(indices.len());
+        out.targets.reserve(indices.len());
+        for &i in indices {
+            out.rows.push(self.rows[i].clone());
+            out.targets.push(self.targets[i]);
+        }
+        out
+    }
+
+    /// Split into `(train, test)` with `test_fraction` of rows (rounded) going
+    /// to the test set, shuffled by `rng`.
+    pub fn train_test_split(&self, test_fraction: f64, rng: &mut Rng) -> (Dataset, Dataset) {
+        let idx = SplitIndices::train_test(self.len(), test_fraction, rng);
+        (self.subset(&idx.train), self.subset(&idx.test))
+    }
+
+    /// Mean of each feature column.
+    pub fn feature_means(&self) -> Vec<f64> {
+        let n = self.len().max(1) as f64;
+        let mut means = vec![0.0; self.n_features()];
+        for row in &self.rows {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        means
+    }
+
+    /// Mean of the target column.
+    pub fn target_mean(&self) -> f64 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f64>() / self.targets.len() as f64
+        }
+    }
+}
+
+/// Train/test or fold index sets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitIndices {
+    /// Row indices of the training partition.
+    pub train: Vec<usize>,
+    /// Row indices of the held-out partition.
+    pub test: Vec<usize>,
+}
+
+impl SplitIndices {
+    /// Random train/test split of `n` rows.
+    pub fn train_test(n: usize, test_fraction: f64, rng: &mut Rng) -> SplitIndices {
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let test_len = ((n as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+        let test_len = test_len.min(n);
+        SplitIndices {
+            test: order[..test_len].to_vec(),
+            train: order[test_len..].to_vec(),
+        }
+    }
+
+    /// `k` cross-validation folds over `n` rows (each fold is a test set; its
+    /// complement is the training set).
+    pub fn k_folds(n: usize, k: usize, rng: &mut Rng) -> Vec<SplitIndices> {
+        let k = k.max(2).min(n.max(2));
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, idx) in order.into_iter().enumerate() {
+            folds[i % k].push(idx);
+        }
+        (0..k)
+            .map(|fold| {
+                let test = folds[fold].clone();
+                let train = folds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != fold)
+                    .flat_map(|(_, f)| f.iter().copied())
+                    .collect();
+                SplitIndices { train, test }
+            })
+            .collect()
+    }
+}
+
+/// Per-feature standardization (z-score) fitted on a training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit a scaler to a dataset's feature columns.
+    pub fn fit(data: &Dataset) -> Scaler {
+        let n = data.len().max(1) as f64;
+        let means = data.feature_means();
+        let mut vars = vec![0.0; data.n_features()];
+        for row in data.rows() {
+            for ((v, &x), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Scaler { means, stds }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transform a copy of the row.
+    pub fn transformed(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.transform_row(&mut out);
+        out
+    }
+
+    /// Transform a whole dataset (features only; targets are untouched).
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(data.feature_names().to_vec());
+        for (row, &y) in data.rows().iter().zip(data.targets()) {
+            out.push(self.transformed(row), y).expect("same width");
+        }
+        out
+    }
+
+    /// Per-feature means captured at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations captured at fit time.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..10 {
+            d.push(vec![i as f64, (i * 2) as f64], i as f64 * 3.0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert!(!d.is_empty());
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(3), &[3.0, 6.0]);
+        assert_eq!(d.target(3), 9.0);
+        assert_eq!(d.feature_index("b"), Some(1));
+        assert_eq!(d.feature_index("z"), None);
+        assert_eq!(d.feature_names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn push_rejects_wrong_width() {
+        let mut d = toy();
+        assert_eq!(
+            d.push(vec![1.0], 0.0),
+            Err(DataError::DimensionMismatch { expected: 2, got: 1 })
+        );
+        assert!(format!("{}", DataError::Empty).contains("empty"));
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy();
+        let s = d.subset(&[0, 5, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(1), &[5.0, 10.0]);
+        assert_eq!(s.target(2), 27.0);
+    }
+
+    #[test]
+    fn means_are_correct() {
+        let d = toy();
+        let means = d.feature_means();
+        assert!((means[0] - 4.5).abs() < 1e-12);
+        assert!((means[1] - 9.0).abs() < 1e-12);
+        assert!((d.target_mean() - 13.5).abs() < 1e-12);
+        assert_eq!(Dataset::new(vec!["x".into()]).target_mean(), 0.0);
+    }
+
+    #[test]
+    fn train_test_split_covers_all_rows() {
+        let d = toy();
+        let mut rng = Rng::seed_from_u64(1);
+        let (train, test) = d.train_test_split(0.3, &mut rng);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 3);
+        // Deterministic per seed.
+        let mut rng2 = Rng::seed_from_u64(1);
+        let (train2, test2) = d.train_test_split(0.3, &mut rng2);
+        assert_eq!(train.rows(), train2.rows());
+        assert_eq!(test.targets(), test2.targets());
+    }
+
+    #[test]
+    fn split_indices_extremes() {
+        let mut rng = Rng::seed_from_u64(4);
+        let all_test = SplitIndices::train_test(10, 1.0, &mut rng);
+        assert_eq!(all_test.test.len(), 10);
+        assert!(all_test.train.is_empty());
+        let none_test = SplitIndices::train_test(10, 0.0, &mut rng);
+        assert!(none_test.test.is_empty());
+        assert_eq!(none_test.train.len(), 10);
+        // Out-of-range fractions clamp.
+        let clamped = SplitIndices::train_test(10, 7.0, &mut rng);
+        assert_eq!(clamped.test.len(), 10);
+    }
+
+    #[test]
+    fn k_folds_partition_rows() {
+        let mut rng = Rng::seed_from_u64(2);
+        let folds = SplitIndices::k_folds(25, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|f| f.test.iter().copied()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..25).collect::<Vec<usize>>(), "test folds partition the data");
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), 25);
+            // Train and test are disjoint.
+            for t in &fold.test {
+                assert!(!fold.train.contains(t));
+            }
+        }
+        // k below 2 clamps to 2.
+        let two = SplitIndices::k_folds(10, 1, &mut rng);
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn scaler_standardizes_columns() {
+        let d = toy();
+        let scaler = Scaler::fit(&d);
+        let scaled = scaler.transform_dataset(&d);
+        let means = scaled.feature_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-9));
+        // Variance ~ 1 for each column.
+        for col in 0..2 {
+            let var: f64 = scaled.rows().iter().map(|r| r[col] * r[col]).sum::<f64>() / 10.0;
+            assert!((var - 1.0).abs() < 1e-9, "var {var}");
+        }
+        // Targets untouched.
+        assert_eq!(scaled.targets(), d.targets());
+        assert_eq!(scaler.means().len(), 2);
+        assert_eq!(scaler.stds().len(), 2);
+    }
+
+    #[test]
+    fn scaler_handles_constant_columns() {
+        let mut d = Dataset::new(vec!["c".into()]);
+        for _ in 0..5 {
+            d.push(vec![7.0], 1.0).unwrap();
+        }
+        let scaler = Scaler::fit(&d);
+        let row = scaler.transformed(&[7.0]);
+        assert_eq!(row, vec![0.0]);
+        // Constant column gets unit std to avoid division by zero.
+        assert_eq!(scaler.stds(), &[1.0]);
+    }
+}

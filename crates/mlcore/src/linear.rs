@@ -1,0 +1,331 @@
+//! Linear regression (ordinary least squares / ridge).
+//!
+//! Solved with normal equations: `(XᵀX + λI) w = Xᵀy`, Gaussian elimination
+//! with partial pivoting. Features are standardized internally (fit-time
+//! scaler) so the ridge penalty treats all columns equally and the solver is
+//! well conditioned on telemetry columns with wildly different scales (bytes
+//! vs. load averages vs. seconds).
+
+use crate::data::{Dataset, Scaler};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of the linear model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegressionConfig {
+    /// L2 regularization strength (0 = ordinary least squares).
+    pub l2: f64,
+    /// Whether to standardize features before fitting.
+    pub standardize: bool,
+}
+
+impl Default for LinearRegressionConfig {
+    fn default() -> Self {
+        LinearRegressionConfig {
+            l2: 1e-6,
+            standardize: true,
+        }
+    }
+}
+
+/// A fitted (or not yet fitted) linear regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    config: LinearRegressionConfig,
+    /// Weights over (possibly standardized) features.
+    weights: Vec<f64>,
+    intercept: f64,
+    scaler: Option<Scaler>,
+    fitted: bool,
+}
+
+/// Errors raised by model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set is empty.
+    EmptyDataset,
+    /// The normal-equation system is singular and could not be solved.
+    SingularSystem,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyDataset => write!(f, "cannot fit on an empty dataset"),
+            FitError::SingularSystem => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new(LinearRegressionConfig::default())
+    }
+}
+
+impl LinearRegression {
+    /// Create an unfitted model.
+    pub fn new(config: LinearRegressionConfig) -> Self {
+        LinearRegression {
+            config,
+            weights: Vec::new(),
+            intercept: 0.0,
+            scaler: None,
+            fitted: false,
+        }
+    }
+
+    /// Fitted weights (in the standardized feature space when standardization
+    /// is enabled).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Whether `fit` has been called successfully.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// Fit the model to a dataset.
+    pub fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        let (rows, scaler): (Vec<Vec<f64>>, Option<Scaler>) = if self.config.standardize {
+            let scaler = Scaler::fit(data);
+            (
+                data.rows().iter().map(|r| scaler.transformed(r)).collect(),
+                Some(scaler),
+            )
+        } else {
+            (data.rows().to_vec(), None)
+        };
+        let y = data.targets();
+        let p = data.n_features() + 1; // + intercept column
+
+        // Build the normal equations A w = b with A = XᵀX + λI, b = Xᵀy.
+        let mut a = vec![vec![0.0f64; p]; p];
+        let mut b = vec![0.0f64; p];
+        for (row, &yi) in rows.iter().zip(y) {
+            // Augmented row: [1, x...]
+            for i in 0..p {
+                let xi = if i == 0 { 1.0 } else { row[i - 1] };
+                b[i] += xi * yi;
+                for j in 0..p {
+                    let xj = if j == 0 { 1.0 } else { row[j - 1] };
+                    a[i][j] += xi * xj;
+                }
+            }
+        }
+        // Ridge penalty on the non-intercept diagonal.
+        for (i, row) in a.iter_mut().enumerate().skip(1) {
+            row[i] += self.config.l2.max(0.0) * rows.len() as f64;
+        }
+
+        let solution = solve_linear_system(&mut a, &mut b).ok_or(FitError::SingularSystem)?;
+        self.intercept = solution[0];
+        self.weights = solution[1..].to_vec();
+        self.scaler = scaler;
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Predict the target for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        let transformed;
+        let row = match &self.scaler {
+            Some(s) => {
+                transformed = s.transformed(row);
+                transformed.as_slice()
+            }
+            None => row,
+        };
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+
+    /// Predict the targets for every row of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.rows().iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+/// Solve `A x = b` in place by Gaussian elimination with partial pivoting.
+/// Returns `None` when the matrix is singular.
+fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col][col].abs();
+        for (row, a_row) in a.iter().enumerate().skip(col + 1) {
+            if a_row[col].abs() > best {
+                best = a_row[col].abs();
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= a[i][j] * x[j];
+        }
+        x[i] = sum / a[i][i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RegressionMetrics;
+    use simcore::rng::Rng;
+
+    fn linear_dataset(n: usize, noise: f64, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["x1".into(), "x2".into(), "x3".into()]);
+        for _ in 0..n {
+            let x1 = rng.uniform(0.0, 10.0);
+            let x2 = rng.uniform(-5.0, 5.0);
+            let x3 = rng.uniform(0.0, 1.0);
+            let y = 3.0 + 2.0 * x1 - 1.5 * x2 + 0.5 * x3 + rng.normal(0.0, noise);
+            d.push(vec![x1, x2, x3], y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let data = linear_dataset(200, 0.0, 1);
+        let mut model = LinearRegression::new(LinearRegressionConfig {
+            l2: 0.0,
+            standardize: true,
+        });
+        assert!(!model.is_fitted());
+        model.fit(&data).unwrap();
+        assert!(model.is_fitted());
+        let preds = model.predict(&data);
+        let m = RegressionMetrics::compute(&preds, data.targets());
+        assert!(m.rmse < 1e-6, "rmse {}", m.rmse);
+        assert!(m.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_is_reasonable_and_generalizes() {
+        let data = linear_dataset(500, 1.0, 2);
+        let mut rng = Rng::seed_from_u64(3);
+        let (train, test) = data.train_test_split(0.3, &mut rng);
+        let mut model = LinearRegression::default();
+        model.fit(&train).unwrap();
+        let m = RegressionMetrics::compute(&model.predict(&test), test.targets());
+        assert!(m.r2 > 0.9, "r2 {}", m.r2);
+        assert!(m.rmse < 2.0, "rmse {}", m.rmse);
+    }
+
+    #[test]
+    fn unstandardized_fit_also_works() {
+        let data = linear_dataset(200, 0.0, 4);
+        let mut model = LinearRegression::new(LinearRegressionConfig {
+            l2: 0.0,
+            standardize: false,
+        });
+        model.fit(&data).unwrap();
+        // Without standardization the raw weights are interpretable.
+        assert!((model.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((model.weights()[1] + 1.5).abs() < 1e-6);
+        assert!((model.weights()[2] - 0.5).abs() < 1e-6);
+        assert!((model.intercept() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let mut model = LinearRegression::default();
+        let empty = Dataset::new(vec!["x".into()]);
+        assert_eq!(model.fit(&empty), Err(FitError::EmptyDataset));
+        assert!(format!("{}", FitError::EmptyDataset).contains("empty"));
+        assert!(format!("{}", FitError::SingularSystem).contains("singular"));
+    }
+
+    #[test]
+    fn unfitted_model_predicts_zero() {
+        let model = LinearRegression::default();
+        assert_eq!(model.predict_row(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn duplicate_feature_columns_are_handled_by_ridge() {
+        // Perfectly collinear features would make OLS singular; ridge keeps it solvable.
+        let mut d = Dataset::new(vec!["a".into(), "a_copy".into()]);
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            let x = rng.uniform(0.0, 1.0);
+            d.push(vec![x, x], 5.0 * x + 1.0).unwrap();
+        }
+        let mut model = LinearRegression::new(LinearRegressionConfig {
+            l2: 1e-3,
+            standardize: true,
+        });
+        model.fit(&d).unwrap();
+        let m = RegressionMetrics::compute(&model.predict(&d), d.targets());
+        assert!(m.r2 > 0.99);
+    }
+
+    #[test]
+    fn constant_feature_does_not_break_fit() {
+        let mut d = Dataset::new(vec!["x".into(), "const".into()]);
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..50 {
+            let x = rng.uniform(0.0, 1.0);
+            d.push(vec![x, 42.0], 2.0 * x).unwrap();
+        }
+        let mut model = LinearRegression::default();
+        model.fit(&d).unwrap();
+        let m = RegressionMetrics::compute(&model.predict(&d), d.targets());
+        assert!(m.r2 > 0.999);
+    }
+
+    #[test]
+    fn solver_detects_singularity() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(solve_linear_system(&mut a, &mut b), None);
+        let mut a2 = vec![vec![2.0, 0.0], vec![0.0, 3.0]];
+        let mut b2 = vec![4.0, 9.0];
+        let x = solve_linear_system(&mut a2, &mut b2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

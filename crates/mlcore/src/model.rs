@@ -1,0 +1,300 @@
+//! The unified model interface the scheduler plugs into.
+//!
+//! The paper evaluates three model families. [`ModelKind`] names them,
+//! [`TrainedModel`] wraps a fitted instance behind a single enum (so it can be
+//! serialized to disk and reloaded by a long-running scheduler process), and
+//! [`Regressor`] is the minimal object-safe interface the decision module
+//! needs: predict a completion time for one feature vector.
+
+use crate::data::Dataset;
+use crate::forest::{RandomForest, RandomForestConfig};
+use crate::gbdt::{GradientBoosting, GradientBoostingConfig};
+use crate::linear::{LinearRegression, LinearRegressionConfig};
+use serde::{Deserialize, Serialize};
+use simcore::rng::Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// A fitted regression model usable for prediction.
+pub trait Regressor {
+    /// Predict the target for one feature row.
+    fn predict_row(&self, row: &[f64]) -> f64;
+
+    /// Predict the targets for every row of a dataset.
+    fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.rows().iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+impl Regressor for LinearRegression {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        LinearRegression::predict_row(self, row)
+    }
+    fn name(&self) -> &'static str {
+        "linear-regression"
+    }
+}
+
+impl Regressor for RandomForest {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        RandomForest::predict_row(self, row)
+    }
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+impl Regressor for GradientBoosting {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        GradientBoosting::predict_row(self, row)
+    }
+    fn name(&self) -> &'static str {
+        "gradient-boosting"
+    }
+}
+
+/// The model families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Ordinary least squares / ridge linear regression.
+    Linear,
+    /// Random forest.
+    RandomForest,
+    /// Gradient-boosted trees (the XGBoost stand-in).
+    GradientBoosting,
+}
+
+impl ModelKind {
+    /// All model kinds, in the order the paper reports them.
+    pub const ALL: [ModelKind; 3] = [
+        ModelKind::Linear,
+        ModelKind::GradientBoosting,
+        ModelKind::RandomForest,
+    ];
+
+    /// Display name matching the paper's Table 4 rows.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ModelKind::Linear => "Linear Regression",
+            ModelKind::RandomForest => "Random Forest",
+            ModelKind::GradientBoosting => "XGBoost",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+impl FromStr for ModelKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+            "linear" | "linearregression" | "lr" | "ols" | "ridge" => Ok(ModelKind::Linear),
+            "randomforest" | "rf" | "forest" => Ok(ModelKind::RandomForest),
+            "gradientboosting" | "gbdt" | "xgboost" | "xgb" | "boosting" => {
+                Ok(ModelKind::GradientBoosting)
+            }
+            other => Err(format!("unknown model kind: {other}")),
+        }
+    }
+}
+
+/// Hyperparameters for every model family (only the selected family's entry
+/// is used at fit time).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Linear regression settings.
+    pub linear: LinearRegressionConfig,
+    /// Random forest settings.
+    pub forest: RandomForestConfig,
+    /// Gradient boosting settings.
+    pub gbdt: GradientBoostingConfig,
+}
+
+/// A fitted model of any family, with the feature schema it was trained on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TrainedModel {
+    /// A fitted linear regression.
+    Linear(LinearRegression),
+    /// A fitted random forest.
+    RandomForest(RandomForest),
+    /// A fitted gradient-boosting ensemble.
+    GradientBoosting(GradientBoosting),
+}
+
+impl TrainedModel {
+    /// Train a model of the requested family on `data`.
+    pub fn train(kind: ModelKind, config: &ModelConfig, data: &Dataset, rng: &mut Rng) -> TrainedModel {
+        match kind {
+            ModelKind::Linear => {
+                let mut model = LinearRegression::new(config.linear);
+                // An empty dataset is the only error path; fall back to the
+                // unfitted model (predicts 0) rather than poisoning callers.
+                let _ = model.fit(data);
+                TrainedModel::Linear(model)
+            }
+            ModelKind::RandomForest => {
+                let mut model = RandomForest::new(config.forest);
+                model.fit(data, rng);
+                TrainedModel::RandomForest(model)
+            }
+            ModelKind::GradientBoosting => {
+                let mut model = GradientBoosting::new(config.gbdt);
+                model.fit(data, rng);
+                TrainedModel::GradientBoosting(model)
+            }
+        }
+    }
+
+    /// Which family this model belongs to.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            TrainedModel::Linear(_) => ModelKind::Linear,
+            TrainedModel::RandomForest(_) => ModelKind::RandomForest,
+            TrainedModel::GradientBoosting(_) => ModelKind::GradientBoosting,
+        }
+    }
+
+    /// Serialize to a JSON string (for saving a trained scheduler model).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<TrainedModel, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+impl Regressor for TrainedModel {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            TrainedModel::Linear(m) => m.predict_row(row),
+            TrainedModel::RandomForest(m) => m.predict_row(row),
+            TrainedModel::GradientBoosting(m) => m.predict_row(row),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            TrainedModel::Linear(_) => "linear-regression",
+            TrainedModel::RandomForest(_) => "random-forest",
+            TrainedModel::GradientBoosting(_) => "gradient-boosting",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RegressionMetrics;
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["x1".into(), "x2".into()]);
+        for _ in 0..n {
+            let x1 = rng.uniform(0.0, 5.0);
+            let x2 = rng.uniform(0.0, 5.0);
+            d.push(vec![x1, x2], 2.0 * x1 + x2 * x2 + rng.normal(0.0, 0.2)).unwrap();
+        }
+        d
+    }
+
+    fn small_config() -> ModelConfig {
+        ModelConfig {
+            forest: RandomForestConfig {
+                n_trees: 25,
+                workers: 2,
+                ..Default::default()
+            },
+            gbdt: GradientBoostingConfig {
+                n_rounds: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn kind_parsing_and_display() {
+        assert_eq!("rf".parse::<ModelKind>().unwrap(), ModelKind::RandomForest);
+        assert_eq!("XGBoost".parse::<ModelKind>().unwrap(), ModelKind::GradientBoosting);
+        assert_eq!("linear regression".parse::<ModelKind>().unwrap(), ModelKind::Linear);
+        assert!("svm".parse::<ModelKind>().is_err());
+        assert_eq!(format!("{}", ModelKind::RandomForest), "Random Forest");
+        assert_eq!(ModelKind::GradientBoosting.display_name(), "XGBoost");
+        assert_eq!(ModelKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn all_families_train_and_predict() {
+        let data = dataset(400, 1);
+        let mut rng = Rng::seed_from_u64(2);
+        let (train, test) = data.train_test_split(0.25, &mut rng);
+        for kind in ModelKind::ALL {
+            let model = TrainedModel::train(kind, &small_config(), &train, &mut rng);
+            assert_eq!(model.kind(), kind);
+            let m = RegressionMetrics::compute(&model.predict(&test), test.targets());
+            assert!(m.r2 > 0.7, "{kind}: r2 {}", m.r2);
+            assert!(!model.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn tree_models_beat_linear_on_nonlinear_target() {
+        let data = dataset(600, 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let (train, test) = data.train_test_split(0.25, &mut rng);
+        let config = small_config();
+        let linear = TrainedModel::train(ModelKind::Linear, &config, &train, &mut rng);
+        let forest = TrainedModel::train(ModelKind::RandomForest, &config, &train, &mut rng);
+        let lm = RegressionMetrics::compute(&linear.predict(&test), test.targets());
+        let fm = RegressionMetrics::compute(&forest.predict(&test), test.targets());
+        assert!(fm.rmse < lm.rmse, "forest {} vs linear {}", fm.rmse, lm.rmse);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let data = dataset(200, 5);
+        let mut rng = Rng::seed_from_u64(6);
+        for kind in ModelKind::ALL {
+            let model = TrainedModel::train(kind, &small_config(), &data, &mut rng);
+            let json = model.to_json();
+            let restored = TrainedModel::from_json(&json).unwrap();
+            assert_eq!(restored.kind(), kind);
+            for row in data.rows().iter().take(20) {
+                assert!(
+                    (model.predict_row(row) - restored.predict_row(row)).abs() < 1e-12,
+                    "{kind} roundtrip mismatch"
+                );
+            }
+        }
+        assert!(TrainedModel::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn training_on_empty_data_is_safe() {
+        let empty = Dataset::new(vec!["x".into()]);
+        let mut rng = Rng::seed_from_u64(7);
+        for kind in ModelKind::ALL {
+            let model = TrainedModel::train(kind, &small_config(), &empty, &mut rng);
+            assert_eq!(model.predict_row(&[1.0]), 0.0);
+        }
+    }
+
+    #[test]
+    fn regressor_trait_object_usable() {
+        let data = dataset(100, 8);
+        let mut rng = Rng::seed_from_u64(9);
+        let model = TrainedModel::train(ModelKind::Linear, &small_config(), &data, &mut rng);
+        let boxed: Box<dyn Regressor> = Box::new(model);
+        assert!(boxed.predict_row(&[1.0, 1.0]).is_finite());
+        assert_eq!(boxed.predict(&data).len(), data.len());
+    }
+}

@@ -1,0 +1,463 @@
+//! CART regression trees.
+//!
+//! Splits minimize the weighted variance of the two children (equivalently,
+//! maximize variance reduction). Candidate thresholds are midpoints between
+//! consecutive distinct feature values of the sorted node samples. Trees
+//! support depth / leaf-size limits and per-split feature subsampling (used by
+//! the random forest).
+
+use crate::data::Dataset;
+use serde::{Deserialize, Serialize};
+use simcore::rng::Rng;
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples required in each child.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split (`None` = all features).
+    pub max_features: Option<usize>,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+/// A tree node: either an internal split or a leaf prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        prediction: f64,
+        samples: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+        samples: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Sum of variance reduction attributed to each feature (impurity importance).
+    feature_importance: Vec<f64>,
+    fitted: bool,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new(DecisionTreeConfig::default())
+    }
+}
+
+struct BuildCtx<'a> {
+    rows: &'a [Vec<f64>],
+    targets: &'a [f64],
+    config: DecisionTreeConfig,
+}
+
+impl DecisionTree {
+    /// Create an unfitted tree.
+    pub fn new(config: DecisionTreeConfig) -> Self {
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+            feature_importance: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Whether `fit` has been called.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth_of(nodes, *left).max(depth_of(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Impurity-based feature importance (normalized to sum to 1 when any
+    /// split exists).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let total: f64 = self.feature_importance.iter().sum();
+        if total <= 0.0 {
+            return self.feature_importance.clone();
+        }
+        self.feature_importance.iter().map(|v| v / total).collect()
+    }
+
+    /// Fit on all rows of `data`.
+    pub fn fit(&mut self, data: &Dataset, rng: &mut Rng) {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_on_indices(data, &indices, rng);
+    }
+
+    /// Fit on a subset of row indices (used by bootstrap aggregation).
+    pub fn fit_on_indices(&mut self, data: &Dataset, indices: &[usize], rng: &mut Rng) {
+        self.n_features = data.n_features();
+        self.nodes.clear();
+        self.feature_importance = vec![0.0; self.n_features];
+        if indices.is_empty() || data.is_empty() {
+            self.nodes.push(Node::Leaf {
+                prediction: data.target_mean(),
+                samples: 0,
+            });
+            self.fitted = true;
+            return;
+        }
+        let ctx = BuildCtx {
+            rows: data.rows(),
+            targets: data.targets(),
+            config: self.config,
+        };
+        let mut idx = indices.to_vec();
+        self.build_node(&ctx, &mut idx, 0, rng);
+        self.fitted = true;
+    }
+
+    /// Recursively build a node over `indices`, returning its index in `self.nodes`.
+    fn build_node(&mut self, ctx: &BuildCtx<'_>, indices: &mut [usize], depth: usize, rng: &mut Rng) -> usize {
+        let n = indices.len();
+        let (sum, sum_sq) = indices.iter().fold((0.0, 0.0), |(s, ss), &i| {
+            let y = ctx.targets[i];
+            (s + y, ss + y * y)
+        });
+        let mean = sum / n as f64;
+        let variance = (sum_sq / n as f64 - mean * mean).max(0.0);
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let idx = nodes.len();
+            nodes.push(Node::Leaf {
+                prediction: mean,
+                samples: n,
+            });
+            idx
+        };
+
+        if depth >= ctx.config.max_depth
+            || n < ctx.config.min_samples_split
+            || variance < 1e-12
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Candidate features for this split.
+        let feature_candidates: Vec<usize> = match ctx.config.max_features {
+            Some(k) if k < self.n_features => rng.sample_indices(self.n_features, k.max(1)),
+            _ => (0..self.n_features).collect(),
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let parent_score = variance * n as f64;
+        for &feature in &feature_candidates {
+            // Sort indices by this feature.
+            indices.sort_by(|&a, &b| {
+                ctx.rows[a][feature]
+                    .partial_cmp(&ctx.rows[b][feature])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Prefix sums for O(n) split scan.
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for split_at in 1..n {
+                let i = indices[split_at - 1];
+                let y = ctx.targets[i];
+                left_sum += y;
+                left_sq += y * y;
+                // Only split between distinct feature values.
+                let prev = ctx.rows[indices[split_at - 1]][feature];
+                let next = ctx.rows[indices[split_at]][feature];
+                if next <= prev {
+                    continue;
+                }
+                let left_n = split_at;
+                let right_n = n - split_at;
+                if left_n < ctx.config.min_samples_leaf || right_n < ctx.config.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = sum - left_sum;
+                let right_sq = sum_sq - left_sq;
+                let left_var = (left_sq / left_n as f64 - (left_sum / left_n as f64).powi(2)).max(0.0);
+                let right_var = (right_sq / right_n as f64 - (right_sum / right_n as f64).powi(2)).max(0.0);
+                let weighted = left_var * left_n as f64 + right_var * right_n as f64;
+                let reduction = parent_score - weighted;
+                if reduction > 1e-12
+                    && best.map(|(_, _, b)| reduction > b).unwrap_or(true)
+                {
+                    best = Some((feature, (prev + next) / 2.0, reduction));
+                }
+            }
+        }
+
+        let Some((feature, threshold, reduction)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        self.feature_importance[feature] += reduction;
+
+        // Partition indices in place around the chosen split.
+        indices.sort_by(|&a, &b| {
+            ctx.rows[a][feature]
+                .partial_cmp(&ctx.rows[b][feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let split_at = indices
+            .iter()
+            .position(|&i| ctx.rows[i][feature] > threshold)
+            .unwrap_or(indices.len());
+        // Reserve this node's slot before building children so the root ends
+        // up at index 0.
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            prediction: mean,
+            samples: n,
+        });
+        let (left_idx_slice, right_idx_slice) = indices.split_at_mut(split_at);
+        let left = self.build_node(ctx, left_idx_slice, depth + 1, rng);
+        let right = self.build_node(ctx, right_idx_slice, depth + 1, rng);
+        self.nodes[node_idx] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            samples: n,
+        };
+        node_idx
+    }
+
+    /// Predict the target for one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { prediction, .. } => return *prediction,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predict every row of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.rows().iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RegressionMetrics;
+
+    fn step_dataset() -> Dataset {
+        // y = 10 when x < 5, else 20 — a single split should fit perfectly.
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..10 {
+            let x = i as f64;
+            d.push(vec![x], if x < 5.0 { 10.0 } else { 20.0 }).unwrap();
+        }
+        d
+    }
+
+    fn nonlinear_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["x1".into(), "x2".into()]);
+        for _ in 0..n {
+            let x1 = rng.uniform(0.0, 10.0);
+            let x2 = rng.uniform(0.0, 10.0);
+            // Interaction + threshold effects: trees should beat linear models here.
+            let y = if x1 > 5.0 { 50.0 } else { 0.0 } + x1 * x2 + rng.normal(0.0, 0.5);
+            d.push(vec![x1, x2], y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let data = step_dataset();
+        let mut tree = DecisionTree::default();
+        assert!(!tree.is_fitted());
+        let mut rng = Rng::seed_from_u64(1);
+        tree.fit(&data, &mut rng);
+        assert!(tree.is_fitted());
+        assert_eq!(tree.predict_row(&[2.0]), 10.0);
+        assert_eq!(tree.predict_row(&[7.0]), 20.0);
+        assert!(tree.node_count() >= 3);
+        assert!(tree.depth() >= 1);
+        // Only one feature: it gets all importance.
+        assert_eq!(tree.feature_importance(), vec![1.0]);
+    }
+
+    #[test]
+    fn captures_nonlinear_interactions() {
+        let data = nonlinear_dataset(600, 2);
+        let mut rng = Rng::seed_from_u64(3);
+        let (train, test) = data.train_test_split(0.25, &mut rng);
+        let mut tree = DecisionTree::default();
+        tree.fit(&train, &mut rng);
+        let m = RegressionMetrics::compute(&tree.predict(&test), test.targets());
+        assert!(m.r2 > 0.85, "r2 {}", m.r2);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let data = nonlinear_dataset(300, 4);
+        let mut rng = Rng::seed_from_u64(5);
+        let mut stump = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
+        stump.fit(&data, &mut rng);
+        assert!(stump.depth() <= 1);
+        assert!(stump.node_count() <= 3);
+        let mut deep = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 8,
+            ..Default::default()
+        });
+        deep.fit(&data, &mut rng);
+        assert!(deep.depth() <= 8);
+        assert!(deep.depth() > 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_leaves() {
+        let data = nonlinear_dataset(100, 6);
+        let mut rng = Rng::seed_from_u64(7);
+        let mut tree = DecisionTree::new(DecisionTreeConfig {
+            min_samples_leaf: 20,
+            ..Default::default()
+        });
+        tree.fit(&data, &mut rng);
+        // With >= 20 samples per leaf on 100 samples the tree must be small.
+        assert!(tree.node_count() <= 9, "node_count {}", tree.node_count());
+    }
+
+    #[test]
+    fn constant_targets_become_single_leaf() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..20 {
+            d.push(vec![i as f64], 5.0).unwrap();
+        }
+        let mut rng = Rng::seed_from_u64(8);
+        let mut tree = DecisionTree::default();
+        tree.fit(&d, &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_row(&[100.0]), 5.0);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn empty_fit_yields_safe_leaf() {
+        let d = Dataset::new(vec!["x".into()]);
+        let mut rng = Rng::seed_from_u64(9);
+        let mut tree = DecisionTree::default();
+        tree.fit(&d, &mut rng);
+        assert!(tree.is_fitted());
+        assert_eq!(tree.predict_row(&[1.0]), 0.0);
+        // Unfitted tree also predicts 0.
+        let unfitted = DecisionTree::default();
+        assert_eq!(unfitted.predict_row(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let data = nonlinear_dataset(400, 10);
+        let mut rng = Rng::seed_from_u64(11);
+        let mut tree = DecisionTree::new(DecisionTreeConfig {
+            max_features: Some(1),
+            ..Default::default()
+        });
+        tree.fit(&data, &mut rng);
+        let m = RegressionMetrics::compute(&tree.predict(&data), data.targets());
+        assert!(m.r2 > 0.5, "even with per-split subsampling the tree learns, r2 {}", m.r2);
+    }
+
+    #[test]
+    fn importance_identifies_the_informative_feature() {
+        // y depends only on x1; x2 is noise.
+        let mut rng = Rng::seed_from_u64(12);
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()]);
+        for _ in 0..300 {
+            let x1 = rng.uniform(0.0, 10.0);
+            let x2 = rng.uniform(0.0, 10.0);
+            d.push(vec![x1, x2], x1 * 3.0).unwrap();
+        }
+        let mut tree = DecisionTree::default();
+        tree.fit(&d, &mut rng);
+        let imp = tree.feature_importance();
+        assert!(imp[0] > 0.95, "signal importance {imp:?}");
+        assert!(imp[1] < 0.05);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let data = nonlinear_dataset(200, 13);
+        let mut t1 = DecisionTree::new(DecisionTreeConfig {
+            max_features: Some(1),
+            ..Default::default()
+        });
+        let mut t2 = t1.clone();
+        let mut r1 = Rng::seed_from_u64(99);
+        let mut r2 = Rng::seed_from_u64(99);
+        t1.fit(&data, &mut r1);
+        t2.fit(&data, &mut r2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn predict_handles_short_rows_gracefully() {
+        let data = step_dataset();
+        let mut rng = Rng::seed_from_u64(14);
+        let mut tree = DecisionTree::default();
+        tree.fit(&data, &mut rng);
+        // Missing feature values are treated as 0.0 (go left).
+        let pred = tree.predict_row(&[]);
+        assert_eq!(pred, 10.0);
+    }
+}

@@ -1,0 +1,375 @@
+//! The discrete-event engine.
+//!
+//! Applications model their domain as a [`World`]: a state machine with an
+//! associated event type. The [`Engine`] owns the clock and the event queue,
+//! pops events in time order and hands them to the world together with a
+//! [`Schedule`] handle through which the handler may enqueue follow-up events.
+//!
+//! ```
+//! use simcore::prelude::*;
+//!
+//! /// Counts down from `n` with one event per tick.
+//! struct Countdown { remaining: u32, finished_at: Option<SimTime> }
+//!
+//! enum Tick { Step }
+//!
+//! impl World for Countdown {
+//!     type Event = Tick;
+//!     fn handle(&mut self, now: SimTime, _ev: Tick, sched: &mut simcore::engine::Schedule<Tick>) {
+//!         if self.remaining == 0 {
+//!             self.finished_at = Some(now);
+//!         } else {
+//!             self.remaining -= 1;
+//!             sched.at(now + SimDuration::from_secs(1), Tick::Step);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Countdown { remaining: 3, finished_at: None });
+//! engine.schedule(SimTime::ZERO, Tick::Step);
+//! engine.run();
+//! assert_eq!(engine.world().finished_at, Some(SimTime::from_secs(3)));
+//! ```
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Handle given to event handlers for scheduling follow-up events.
+#[derive(Debug)]
+pub struct Schedule<E> {
+    pending: Vec<(SimTime, E)>,
+    now: SimTime,
+    stop_requested: bool,
+}
+
+impl<E> Schedule<E> {
+    fn new(now: SimTime) -> Self {
+        Schedule {
+            pending: Vec::new(),
+            now,
+            stop_requested: false,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an event at an absolute time. Times in the past are clamped
+    /// to "now" so causality is never violated.
+    pub fn at(&mut self, time: SimTime, event: E) {
+        let t = time.max(self.now);
+        self.pending.push((t, event));
+    }
+
+    /// Schedule an event after a delay from the current time.
+    pub fn after(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedule an event at the current instant (fires after already queued
+    /// events for this instant, preserving FIFO order).
+    pub fn immediately(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+
+    /// Ask the engine to stop after the current handler returns.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// A simulated world: domain state plus an event handler.
+pub trait World {
+    /// The event vocabulary of this world.
+    type Event;
+
+    /// Handle one event. `now` is the event's timestamp; `sched` is used to
+    /// enqueue follow-up events.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Schedule<Self::Event>);
+}
+
+/// Outcome of a single [`Engine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// An event was processed.
+    Progressed,
+    /// The queue is empty; the simulation is finished.
+    Idle,
+    /// A handler requested a stop.
+    Stopped,
+    /// The configured event-count or time horizon was reached.
+    HorizonReached,
+}
+
+/// The discrete-event engine: clock + queue + world.
+#[derive(Debug)]
+pub struct Engine<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    processed: u64,
+    horizon: Option<SimTime>,
+    max_events: Option<u64>,
+    stopped: bool,
+}
+
+impl<W: World> Engine<W> {
+    /// Create an engine wrapping `world`, with the clock at zero.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            horizon: None,
+            max_events: None,
+            stopped: false,
+        }
+    }
+
+    /// Set a time horizon: events scheduled strictly after it are not processed.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Set a cap on the number of processed events (runaway guard).
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for setup and inspection between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the engine and return the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule an event from outside a handler (setup code, tests).
+    pub fn schedule(&mut self, time: SimTime, event: W::Event) {
+        self.queue.push(time.max(self.now), event);
+    }
+
+    /// Process a single event.
+    pub fn step(&mut self) -> StepResult {
+        if self.stopped {
+            return StepResult::Stopped;
+        }
+        if let Some(max) = self.max_events {
+            if self.processed >= max {
+                return StepResult::HorizonReached;
+            }
+        }
+        let Some(next_time) = self.queue.peek_time() else {
+            return StepResult::Idle;
+        };
+        if let Some(h) = self.horizon {
+            if next_time > h {
+                return StepResult::HorizonReached;
+            }
+        }
+        let entry = self.queue.pop().expect("peeked entry must exist");
+        debug_assert!(entry.time >= self.now, "time must be monotone");
+        self.now = entry.time;
+        let mut sched = Schedule::new(self.now);
+        self.world.handle(self.now, entry.event, &mut sched);
+        for (t, e) in sched.pending {
+            self.queue.push(t, e);
+        }
+        if sched.stop_requested {
+            self.stopped = true;
+        }
+        self.processed += 1;
+        StepResult::Progressed
+    }
+
+    /// Run until the queue drains, a handler stops the engine, or a horizon /
+    /// event cap is hit. Returns the final step result.
+    pub fn run(&mut self) -> StepResult {
+        loop {
+            match self.step() {
+                StepResult::Progressed => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// Run until the given time (inclusive). Events after `until` stay queued.
+    pub fn run_until(&mut self, until: SimTime) -> StepResult {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => match self.step() {
+                    StepResult::Progressed => continue,
+                    other => return other,
+                },
+                Some(_) => {
+                    // Advance the clock to the requested time even though no
+                    // event fires exactly then — callers use this to sample
+                    // telemetry at fixed wall-clock points.
+                    self.now = self.now.max(until);
+                    return StepResult::HorizonReached;
+                }
+                None => {
+                    self.now = self.now.max(until);
+                    return StepResult::Idle;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Counter {
+        fired: Vec<(SimTime, u32)>,
+        respawn: u32,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Fire(u32),
+    }
+
+    impl World for Counter {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Schedule<Ev>) {
+            let Ev::Fire(id) = event;
+            self.fired.push((now, id));
+            if id < self.respawn {
+                sched.after(SimDuration::from_secs(1), Ev::Fire(id + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_clock() {
+        let mut engine = Engine::new(Counter { fired: vec![], respawn: 4 });
+        engine.schedule(SimTime::ZERO, Ev::Fire(0));
+        let result = engine.run();
+        assert_eq!(result, StepResult::Idle);
+        assert_eq!(engine.processed(), 5);
+        assert_eq!(engine.now(), SimTime::from_secs(4));
+        let ids: Vec<u32> = engine.world().fired.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn horizon_stops_processing() {
+        let mut engine =
+            Engine::new(Counter { fired: vec![], respawn: 100 }).with_horizon(SimTime::from_secs(3));
+        engine.schedule(SimTime::ZERO, Ev::Fire(0));
+        let result = engine.run();
+        assert_eq!(result, StepResult::HorizonReached);
+        assert_eq!(engine.world().fired.len(), 4); // t = 0,1,2,3
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn max_events_guard() {
+        let mut engine =
+            Engine::new(Counter { fired: vec![], respawn: u32::MAX }).with_max_events(10);
+        engine.schedule(SimTime::ZERO, Ev::Fire(0));
+        assert_eq!(engine.run(), StepResult::HorizonReached);
+        assert_eq!(engine.processed(), 10);
+    }
+
+    struct Stopper {
+        handled: u32,
+    }
+    enum StopEv {
+        Tick,
+        Stop,
+    }
+    impl World for Stopper {
+        type Event = StopEv;
+        fn handle(&mut self, _now: SimTime, event: StopEv, sched: &mut Schedule<StopEv>) {
+            match event {
+                StopEv::Tick => {
+                    self.handled += 1;
+                    sched.immediately(StopEv::Tick);
+                    if self.handled == 5 {
+                        sched.immediately(StopEv::Stop);
+                    }
+                }
+                StopEv::Stop => sched.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn stop_request_halts_even_with_pending_events() {
+        let mut engine = Engine::new(Stopper { handled: 0 });
+        engine.schedule(SimTime::ZERO, StopEv::Tick);
+        let result = engine.run();
+        assert_eq!(result, StepResult::Stopped);
+        assert!(engine.pending() > 0);
+        assert_eq!(engine.world().handled, 6, "stop fires after one more tick (FIFO at same instant)");
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_requested_time() {
+        let mut engine = Engine::new(Counter { fired: vec![], respawn: 2 });
+        engine.schedule(SimTime::from_secs(10), Ev::Fire(0));
+        let result = engine.run_until(SimTime::from_secs(5));
+        assert_eq!(result, StepResult::HorizonReached);
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+        assert_eq!(engine.world().fired.len(), 0);
+        // Continue to drain.
+        engine.run();
+        assert_eq!(engine.world().fired.len(), 3);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        struct PastWorld {
+            times: Vec<SimTime>,
+        }
+        enum PEv {
+            First,
+            Second,
+        }
+        impl World for PastWorld {
+            type Event = PEv;
+            fn handle(&mut self, now: SimTime, event: PEv, sched: &mut Schedule<PEv>) {
+                self.times.push(now);
+                if matches!(event, PEv::First) {
+                    // Try to schedule in the past: must clamp to `now`.
+                    sched.at(SimTime::ZERO, PEv::Second);
+                }
+            }
+        }
+        let mut engine = Engine::new(PastWorld { times: vec![] });
+        engine.schedule(SimTime::from_secs(3), PEv::First);
+        engine.run();
+        assert_eq!(engine.world().times, vec![SimTime::from_secs(3), SimTime::from_secs(3)]);
+    }
+}

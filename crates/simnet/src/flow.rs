@@ -1,0 +1,206 @@
+//! Bulk data flows.
+//!
+//! A flow is a one-way transfer of a fixed number of bytes between two nodes
+//! (a Spark shuffle fetch, a result upload, or a background download). The
+//! fluid model in [`crate::network`] advances every active flow at its current
+//! max-min fair rate.
+
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::fmt;
+
+/// Identifier of a flow (unique within one [`crate::network::Network`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow-{}", self.0)
+    }
+}
+
+/// Lifecycle state of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowState {
+    /// Actively transferring bytes.
+    Active,
+    /// All bytes delivered.
+    Completed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+/// Classification of the traffic, used for accounting and experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// Spark shuffle data between executors.
+    Shuffle,
+    /// Input data load (e.g. reading a partition from a remote store).
+    InputRead,
+    /// Result/output upload.
+    Output,
+    /// Background contention traffic (the paper's curl-loop pod).
+    Background,
+    /// Control-plane chatter (heartbeats, small RPCs).
+    Control,
+}
+
+/// A single flow tracked by the network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Flow {
+    /// Identifier.
+    pub id: FlowId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Total bytes to transfer.
+    pub total_bytes: f64,
+    /// Bytes delivered so far.
+    pub transferred_bytes: f64,
+    /// Current allocated rate in bytes/sec (updated on every reallocation).
+    pub rate: f64,
+    /// Lifecycle state.
+    pub state: FlowState,
+    /// Traffic class.
+    pub kind: FlowKind,
+    /// When the flow was started.
+    pub started_at: SimTime,
+    /// When the flow completed (if it has).
+    pub completed_at: Option<SimTime>,
+}
+
+impl Flow {
+    /// Create a new active flow.
+    pub fn new(
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        total_bytes: f64,
+        kind: FlowKind,
+        now: SimTime,
+    ) -> Self {
+        Flow {
+            id,
+            src,
+            dst,
+            total_bytes: total_bytes.max(0.0),
+            transferred_bytes: 0.0,
+            rate: 0.0,
+            state: FlowState::Active,
+            kind,
+            started_at: now,
+            completed_at: None,
+        }
+    }
+
+    /// Bytes still to transfer.
+    pub fn remaining_bytes(&self) -> f64 {
+        (self.total_bytes - self.transferred_bytes).max(0.0)
+    }
+
+    /// True when the flow has delivered all bytes.
+    pub fn is_complete(&self) -> bool {
+        self.state == FlowState::Completed
+    }
+
+    /// True when the flow is still transferring.
+    pub fn is_active(&self) -> bool {
+        self.state == FlowState::Active
+    }
+
+    /// Time to completion at the current rate, or `None` if the rate is zero.
+    pub fn eta_seconds(&self) -> Option<f64> {
+        if self.rate > 0.0 {
+            Some(self.remaining_bytes() / self.rate)
+        } else if self.remaining_bytes() == 0.0 {
+            Some(0.0)
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of bytes delivered in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total_bytes <= 0.0 {
+            1.0
+        } else {
+            (self.transferred_bytes / self.total_bytes).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Observed throughput since start (bytes/sec), or 0 before any time passes.
+    pub fn average_throughput(&self, now: SimTime) -> f64 {
+        let elapsed = (now - self.started_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.transferred_bytes / elapsed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(total: f64) -> Flow {
+        Flow::new(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            total,
+            FlowKind::Shuffle,
+            SimTime::from_secs(1),
+        )
+    }
+
+    #[test]
+    fn new_flow_is_active_with_zero_progress() {
+        let f = flow(1000.0);
+        assert!(f.is_active());
+        assert!(!f.is_complete());
+        assert_eq!(f.remaining_bytes(), 1000.0);
+        assert_eq!(f.progress(), 0.0);
+        assert_eq!(f.eta_seconds(), None, "no rate allocated yet");
+    }
+
+    #[test]
+    fn negative_sizes_clamp_to_zero() {
+        let f = flow(-5.0);
+        assert_eq!(f.total_bytes, 0.0);
+        assert_eq!(f.progress(), 1.0);
+        assert_eq!(f.eta_seconds(), Some(0.0));
+    }
+
+    #[test]
+    fn eta_uses_current_rate() {
+        let mut f = flow(1_000_000.0);
+        f.rate = 250_000.0;
+        assert_eq!(f.eta_seconds(), Some(4.0));
+        f.transferred_bytes = 500_000.0;
+        assert_eq!(f.eta_seconds(), Some(2.0));
+    }
+
+    #[test]
+    fn progress_clamps() {
+        let mut f = flow(100.0);
+        f.transferred_bytes = 150.0;
+        assert_eq!(f.progress(), 1.0);
+        assert_eq!(f.remaining_bytes(), 0.0);
+    }
+
+    #[test]
+    fn average_throughput_over_elapsed_time() {
+        let mut f = flow(10_000.0);
+        f.transferred_bytes = 5_000.0;
+        assert_eq!(f.average_throughput(SimTime::from_secs(1)), 0.0);
+        assert_eq!(f.average_throughput(SimTime::from_secs(6)), 1_000.0);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(format!("{}", FlowId(7)), "flow-7");
+    }
+}

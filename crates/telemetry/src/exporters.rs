@@ -1,0 +1,193 @@
+//! The two exporters the paper deploys.
+//!
+//! * **Node exporter** — per-node host metrics: 1-minute load average,
+//!   available memory, cumulative transmit/receive byte counters.
+//! * **Ping-mesh exporter** — a DaemonSet probing every other node and
+//!   exporting the observed RTT (the paper uses `ping_exporter`).
+//!
+//! Both are pure functions over the simulated cluster and network state, so
+//! they can be called from the scrape loop or directly from tests.
+
+use crate::metrics::{Sample, SeriesKey};
+use crate::{
+    METRIC_NODE_LOAD1, METRIC_NODE_MEM_AVAILABLE, METRIC_NODE_RX_BYTES, METRIC_NODE_TX_BYTES,
+    METRIC_PING_RTT,
+};
+use cluster::ClusterState;
+use simcore::SimTime;
+use simnet::Network;
+
+/// Collect node-exporter samples for every node in the cluster.
+///
+/// Counters (tx/rx bytes) come from the network's interface counters; gauges
+/// (load, available memory) come from the cluster's host-load model.
+pub fn node_exporter_samples(
+    cluster: &ClusterState,
+    network: &Network,
+    now: SimTime,
+) -> Vec<Sample> {
+    let mut samples = Vec::with_capacity(cluster.nodes().len() * 4);
+    for node in cluster.nodes() {
+        let instance = node.name.as_str();
+        let counters = network.counters(node.net_id);
+        samples.push(Sample::gauge(
+            SeriesKey::per_node(METRIC_NODE_LOAD1, instance),
+            node.cpu_load(),
+            now,
+        ));
+        samples.push(Sample::gauge(
+            SeriesKey::per_node(METRIC_NODE_MEM_AVAILABLE, instance),
+            node.memory_available(),
+            now,
+        ));
+        samples.push(Sample::counter(
+            SeriesKey::per_node(METRIC_NODE_TX_BYTES, instance),
+            counters.tx_bytes,
+            now,
+        ));
+        samples.push(Sample::counter(
+            SeriesKey::per_node(METRIC_NODE_RX_BYTES, instance),
+            counters.rx_bytes,
+            now,
+        ));
+    }
+    samples
+}
+
+/// Collect full-mesh ping samples: one `ping_rtt_seconds{source, target}`
+/// gauge per ordered node pair (excluding self-pairs).
+///
+/// The jitter seed mixes the pair identity and the scrape time so repeated
+/// scrapes see realistic variation while remaining reproducible.
+pub fn ping_mesh_samples(cluster: &ClusterState, network: &Network, now: SimTime) -> Vec<Sample> {
+    let nodes = cluster.nodes();
+    let mut samples = Vec::with_capacity(nodes.len() * nodes.len());
+    for a in nodes {
+        for b in nodes {
+            if a.name == b.name {
+                continue;
+            }
+            let seed = pair_seed(a.net_id.0 as u64, b.net_id.0 as u64, now);
+            let rtt = network.current_rtt(a.net_id, b.net_id, seed);
+            samples.push(Sample::gauge(
+                SeriesKey::new(
+                    METRIC_PING_RTT,
+                    &[("source", a.name.as_str()), ("target", b.name.as_str())],
+                ),
+                rtt.as_secs_f64(),
+                now,
+            ));
+        }
+    }
+    samples
+}
+
+/// Deterministic jitter seed for a (source, target, time) triple.
+fn pair_seed(a: u64, b: u64, now: SimTime) -> u64 {
+    let mut h = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= now.as_nanos().wrapping_mul(0x1656_67B1_9E37_79F9);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Node, Resources};
+    use simcore::SimDuration;
+    use simnet::{gbps, mbps, FlowId, NodeId, TopologyBuilder};
+
+    fn setup() -> (ClusterState, Network) {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_site("UCSD", SimDuration::from_micros(200), gbps(10.0));
+        let s1 = b.add_site("FIU", SimDuration::from_micros(200), gbps(10.0));
+        b.add_node("node-1", s0, gbps(1.0), gbps(1.0));
+        b.add_node("node-2", s0, gbps(1.0), gbps(1.0));
+        b.add_node("node-3", s1, gbps(1.0), gbps(1.0));
+        b.connect_sites(s0, s1, SimDuration::from_millis(33), mbps(500.0));
+        let network = Network::new(b.build().unwrap());
+        let mut cluster = ClusterState::new();
+        for (i, name) in ["node-1", "node-2", "node-3"].iter().enumerate() {
+            cluster.add_node(Node::new(
+                *name,
+                NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                if i < 2 { "UCSD" } else { "FIU" },
+            ));
+        }
+        (cluster, network)
+    }
+
+    #[test]
+    fn node_exporter_emits_four_metrics_per_node() {
+        let (cluster, network) = setup();
+        let samples = node_exporter_samples(&cluster, &network, SimTime::from_secs(5));
+        assert_eq!(samples.len(), 3 * 4);
+        let load_samples: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.key.name == METRIC_NODE_LOAD1)
+            .collect();
+        assert_eq!(load_samples.len(), 3);
+        assert!(load_samples.iter().all(|s| s.value > 0.0));
+        let mem: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.key.name == METRIC_NODE_MEM_AVAILABLE)
+            .collect();
+        assert!(mem.iter().all(|s| s.value > 6.0 * 1024.0 * 1024.0 * 1024.0));
+        // Idle network: counters are zero.
+        assert!(samples
+            .iter()
+            .filter(|s| s.key.name == METRIC_NODE_TX_BYTES)
+            .all(|s| s.value == 0.0));
+    }
+
+    #[test]
+    fn tx_counters_grow_after_traffic() {
+        let (cluster, mut network) = setup();
+        let _: FlowId = network.start_flow(NodeId(0), NodeId(2), 10_000_000.0, simnet::flow::FlowKind::Background);
+        network.advance_to(SimTime::from_secs(5));
+        let samples = node_exporter_samples(&cluster, &network, SimTime::from_secs(5));
+        let tx_node1 = samples
+            .iter()
+            .find(|s| s.key.name == METRIC_NODE_TX_BYTES && s.key.label("instance") == Some("node-1"))
+            .unwrap();
+        assert!(tx_node1.value > 0.0);
+        let rx_node3 = samples
+            .iter()
+            .find(|s| s.key.name == METRIC_NODE_RX_BYTES && s.key.label("instance") == Some("node-3"))
+            .unwrap();
+        assert!((rx_node3.value - tx_node1.value).abs() < 1.0);
+    }
+
+    #[test]
+    fn ping_mesh_covers_all_ordered_pairs() {
+        let (cluster, network) = setup();
+        let samples = ping_mesh_samples(&cluster, &network, SimTime::from_secs(1));
+        assert_eq!(samples.len(), 3 * 2);
+        // Inter-site pairs see the WAN RTT (~66 ms), intra-site pairs are sub-millisecond.
+        let inter = samples
+            .iter()
+            .find(|s| s.key.label("source") == Some("node-1") && s.key.label("target") == Some("node-3"))
+            .unwrap();
+        assert!(inter.value > 0.05, "inter-site RTT {}", inter.value);
+        let intra = samples
+            .iter()
+            .find(|s| s.key.label("source") == Some("node-1") && s.key.label("target") == Some("node-2"))
+            .unwrap();
+        assert!(intra.value < 0.005, "intra-site RTT {}", intra.value);
+        // No self-pings.
+        assert!(!samples
+            .iter()
+            .any(|s| s.key.label("source") == s.key.label("target")));
+    }
+
+    #[test]
+    fn ping_mesh_is_deterministic_for_same_time() {
+        let (cluster, network) = setup();
+        let a = ping_mesh_samples(&cluster, &network, SimTime::from_secs(7));
+        let b = ping_mesh_samples(&cluster, &network, SimTime::from_secs(7));
+        assert_eq!(a, b);
+        let c = ping_mesh_samples(&cluster, &network, SimTime::from_secs(8));
+        // Jitter varies with the scrape time (values differ even if close).
+        assert_ne!(a, c);
+    }
+}

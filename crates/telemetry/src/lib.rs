@@ -1,0 +1,47 @@
+//! # telemetry — a Prometheus-like metrics substrate
+//!
+//! The paper's metrics server is *"a Prometheus instance configured to scrape
+//! telemetry from multiple sources, including node-exporter for host-level
+//! statistics and custom ping mesh exporters for inter-node network latency"*.
+//! This crate rebuilds that pipeline for the simulated cluster:
+//!
+//! * [`metrics`] — metric samples: a name, a sorted label set, a value and a
+//!   timestamp, plus the counter/gauge distinction.
+//! * [`store`] — an append-only time-series store with instant queries,
+//!   range queries, `rate()` over counters and retention-based pruning.
+//! * [`exporters`] — the two exporters the paper deploys: a node exporter
+//!   (CPU load average, available memory, cumulative tx/rx bytes) and a
+//!   full-mesh ping exporter (pairwise RTT), both reading the simulated
+//!   cluster and network state.
+//! * [`scrape`] — the scrape manager: drives all exporters on a fixed
+//!   interval and appends into the store, exactly like a Prometheus server's
+//!   scrape loop.
+//! * [`snapshot`] — the query surface the scheduler consumes: a
+//!   [`snapshot::ClusterSnapshot`] with per-node CPU/memory/tx/rx and the RTT
+//!   mesh, assembled from the store at decision time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exporters;
+pub mod metrics;
+pub mod scrape;
+pub mod snapshot;
+pub mod store;
+
+pub use exporters::{node_exporter_samples, ping_mesh_samples};
+pub use metrics::{Labels, MetricKind, Sample, SeriesKey};
+pub use scrape::{ScrapeConfig, ScrapeManager};
+pub use snapshot::{ClusterSnapshot, NodeTelemetry, RttMesh};
+pub use store::TimeSeriesStore;
+
+/// Metric name for the 1-minute load average (node exporter).
+pub const METRIC_NODE_LOAD1: &str = "node_load1";
+/// Metric name for available memory in bytes (node exporter).
+pub const METRIC_NODE_MEM_AVAILABLE: &str = "node_memory_MemAvailable_bytes";
+/// Metric name for cumulative transmitted bytes (node exporter).
+pub const METRIC_NODE_TX_BYTES: &str = "node_network_transmit_bytes_total";
+/// Metric name for cumulative received bytes (node exporter).
+pub const METRIC_NODE_RX_BYTES: &str = "node_network_receive_bytes_total";
+/// Metric name for ping-mesh round-trip time in seconds.
+pub const METRIC_PING_RTT: &str = "ping_rtt_seconds";

@@ -1,0 +1,177 @@
+//! The scrape manager: the Prometheus server's scrape loop.
+
+use crate::exporters::{node_exporter_samples, ping_mesh_samples};
+use crate::store::TimeSeriesStore;
+use cluster::ClusterState;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use simnet::Network;
+
+/// Scrape configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScrapeConfig {
+    /// Interval between scrapes (Prometheus default is 15 s; the paper scrapes
+    /// frequently enough that decisions see fresh data).
+    pub interval: SimDuration,
+    /// Window used when deriving rates from counters.
+    pub rate_window: SimDuration,
+    /// Optional retention limit for the store.
+    pub retention: Option<SimDuration>,
+}
+
+impl Default for ScrapeConfig {
+    fn default() -> Self {
+        ScrapeConfig {
+            interval: SimDuration::from_secs(5),
+            rate_window: SimDuration::from_secs(30),
+            retention: Some(SimDuration::from_secs(3600)),
+        }
+    }
+}
+
+/// Drives the exporters on a fixed interval and stores the samples.
+#[derive(Debug, Clone)]
+pub struct ScrapeManager {
+    config: ScrapeConfig,
+    store: TimeSeriesStore,
+    last_scrape: Option<SimTime>,
+    scrape_count: u64,
+}
+
+impl ScrapeManager {
+    /// Create a manager with the given configuration.
+    pub fn new(config: ScrapeConfig) -> Self {
+        let store = match config.retention {
+            Some(r) => TimeSeriesStore::with_retention(r),
+            None => TimeSeriesStore::new(),
+        };
+        ScrapeManager {
+            config,
+            store,
+            last_scrape: None,
+            scrape_count: 0,
+        }
+    }
+
+    /// The scrape configuration.
+    pub fn config(&self) -> &ScrapeConfig {
+        &self.config
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// When the next scrape is due (immediately if never scraped).
+    pub fn next_scrape_due(&self) -> SimTime {
+        match self.last_scrape {
+            None => SimTime::ZERO,
+            Some(t) => t + self.config.interval,
+        }
+    }
+
+    /// Number of scrapes performed.
+    pub fn scrape_count(&self) -> u64 {
+        self.scrape_count
+    }
+
+    /// Perform one scrape of all exporters at time `now`.
+    pub fn scrape(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) {
+        self.store
+            .append_all(node_exporter_samples(cluster, network, now));
+        self.store
+            .append_all(ping_mesh_samples(cluster, network, now));
+        self.last_scrape = Some(now);
+        self.scrape_count += 1;
+    }
+
+    /// Scrape only if the configured interval has elapsed since the last one.
+    /// Returns `true` when a scrape happened.
+    pub fn scrape_if_due(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) -> bool {
+        if now >= self.next_scrape_due() {
+            self.scrape(cluster, network, now);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{METRIC_NODE_LOAD1, METRIC_PING_RTT};
+    use cluster::{Node, Resources};
+    use simnet::{gbps, mbps, NodeId, TopologyBuilder};
+
+    fn setup() -> (ClusterState, Network) {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_site("UCSD", SimDuration::from_micros(200), gbps(10.0));
+        let s1 = b.add_site("FIU", SimDuration::from_micros(200), gbps(10.0));
+        b.add_node("node-1", s0, gbps(1.0), gbps(1.0));
+        b.add_node("node-2", s1, gbps(1.0), gbps(1.0));
+        b.connect_sites(s0, s1, SimDuration::from_millis(10), mbps(500.0));
+        let network = Network::new(b.build().unwrap());
+        let mut cluster = ClusterState::new();
+        cluster.add_node(Node::new("node-1", NodeId(0), Resources::from_cores_and_gib(6, 8), "UCSD"));
+        cluster.add_node(Node::new("node-2", NodeId(1), Resources::from_cores_and_gib(6, 8), "FIU"));
+        (cluster, network)
+    }
+
+    #[test]
+    fn scrape_populates_store() {
+        let (cluster, network) = setup();
+        let mut mgr = ScrapeManager::new(ScrapeConfig::default());
+        assert_eq!(mgr.scrape_count(), 0);
+        mgr.scrape(&cluster, &network, SimTime::from_secs(10));
+        assert_eq!(mgr.scrape_count(), 1);
+        // 2 nodes x 4 node metrics + 2 ping pairs = 10 series.
+        assert_eq!(mgr.store().series_count(), 10);
+        assert_eq!(
+            mgr.store().instant_by_name(METRIC_NODE_LOAD1, SimTime::from_secs(20)).len(),
+            2
+        );
+        assert_eq!(
+            mgr.store().instant_by_name(METRIC_PING_RTT, SimTime::from_secs(20)).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn scrape_if_due_respects_interval() {
+        let (cluster, network) = setup();
+        let mut mgr = ScrapeManager::new(ScrapeConfig {
+            interval: SimDuration::from_secs(15),
+            ..Default::default()
+        });
+        assert_eq!(mgr.next_scrape_due(), SimTime::ZERO);
+        assert!(mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(0)));
+        assert!(!mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(10)));
+        assert_eq!(mgr.next_scrape_due(), SimTime::from_secs(15));
+        assert!(mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(15)));
+        assert_eq!(mgr.scrape_count(), 2);
+    }
+
+    #[test]
+    fn repeated_scrapes_accumulate_points() {
+        let (cluster, network) = setup();
+        let mut mgr = ScrapeManager::new(ScrapeConfig::default());
+        for i in 0..5u64 {
+            mgr.scrape(&cluster, &network, SimTime::from_secs(i * 5));
+        }
+        assert_eq!(mgr.store().point_count(), 10 * 5);
+        assert_eq!(mgr.config().rate_window, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn no_retention_config_is_supported() {
+        let (cluster, network) = setup();
+        let mut mgr = ScrapeManager::new(ScrapeConfig {
+            retention: None,
+            ..Default::default()
+        });
+        mgr.scrape(&cluster, &network, SimTime::from_secs(1));
+        assert!(mgr.store().point_count() > 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The telemetry snapshot consumed by the scheduler.
+//!
+//! The paper's Telemetry Fetcher *"queries the Prometheus metrics server at
+//! scheduling time to retrieve the most recent telemetry snapshot. It fetches
+//! inter-node RTTs from the ping mesh, as well as per-node metrics such as CPU
+//! and memory load."* [`ClusterSnapshot::from_store`] performs exactly that
+//! query against the [`TimeSeriesStore`], deriving tx/rx *rates* from the
+//! cumulative byte counters over the configured rate window.
+
+use crate::metrics::SeriesKey;
+use crate::store::TimeSeriesStore;
+use crate::{
+    METRIC_NODE_LOAD1, METRIC_NODE_MEM_AVAILABLE, METRIC_NODE_RX_BYTES, METRIC_NODE_TX_BYTES,
+    METRIC_PING_RTT,
+};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Host-level telemetry for one node at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeTelemetry {
+    /// 1-minute load average (runnable processes).
+    pub cpu_load: f64,
+    /// Available memory in bytes.
+    pub memory_available_bytes: f64,
+    /// Transmit throughput in bytes/sec (derived via `rate()`).
+    pub tx_rate: f64,
+    /// Receive throughput in bytes/sec (derived via `rate()`).
+    pub rx_rate: f64,
+}
+
+/// The pairwise RTT mesh in seconds, keyed by `(source, target)` node names.
+pub type RttMesh = BTreeMap<(String, String), f64>;
+
+/// A point-in-time view of the whole cluster, as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Snapshot timestamp.
+    pub time: SimTime,
+    /// Per-node host telemetry, keyed by node name.
+    pub nodes: BTreeMap<String, NodeTelemetry>,
+    /// Pairwise RTT measurements.
+    pub rtt: RttMesh,
+}
+
+impl ClusterSnapshot {
+    /// Assemble a snapshot from the store at time `at`.
+    ///
+    /// `rate_window` controls the lookback used to turn tx/rx byte counters
+    /// into rates; when fewer than two counter samples exist in the window
+    /// the rate is reported as 0 (cold start).
+    pub fn from_store(store: &TimeSeriesStore, at: SimTime, rate_window: SimDuration) -> Self {
+        let mut nodes: BTreeMap<String, NodeTelemetry> = BTreeMap::new();
+
+        for (key, value) in store.instant_by_name(METRIC_NODE_LOAD1, at) {
+            if let Some(instance) = key.label("instance") {
+                nodes.entry(instance.to_string()).or_default().cpu_load = value;
+            }
+        }
+        for (key, value) in store.instant_by_name(METRIC_NODE_MEM_AVAILABLE, at) {
+            if let Some(instance) = key.label("instance") {
+                nodes
+                    .entry(instance.to_string())
+                    .or_default()
+                    .memory_available_bytes = value;
+            }
+        }
+        let node_names: Vec<String> = nodes.keys().cloned().collect();
+        for name in &node_names {
+            let tx_key = SeriesKey::per_node(METRIC_NODE_TX_BYTES, name);
+            let rx_key = SeriesKey::per_node(METRIC_NODE_RX_BYTES, name);
+            let entry = nodes.get_mut(name).expect("inserted above");
+            entry.tx_rate = store.rate(&tx_key, at, rate_window).unwrap_or(0.0);
+            entry.rx_rate = store.rate(&rx_key, at, rate_window).unwrap_or(0.0);
+        }
+
+        let mut rtt: RttMesh = BTreeMap::new();
+        for (key, value) in store.instant_by_name(METRIC_PING_RTT, at) {
+            if let (Some(src), Some(dst)) = (key.label("source"), key.label("target")) {
+                rtt.insert((src.to_string(), dst.to_string()), value);
+            }
+        }
+
+        ClusterSnapshot { time: at, nodes, rtt }
+    }
+
+    /// Telemetry for one node.
+    pub fn node(&self, name: &str) -> Option<&NodeTelemetry> {
+        self.nodes.get(name)
+    }
+
+    /// Node names present in the snapshot.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.keys().cloned().collect()
+    }
+
+    /// RTT from `source` to `target` in seconds, if probed.
+    pub fn rtt_between(&self, source: &str, target: &str) -> Option<f64> {
+        self.rtt.get(&(source.to_string(), target.to_string())).copied()
+    }
+
+    /// All RTTs observed *from* `source` to its peers.
+    pub fn rtts_from(&self, source: &str) -> Vec<f64> {
+        self.rtt
+            .iter()
+            .filter(|((s, _), _)| s == source)
+            .map(|(_, &v)| v)
+            .collect()
+    }
+
+    /// Summary statistics (mean, max, std-dev) of the RTTs from `source` —
+    /// exactly the three RTT features in Table 1 of the paper.
+    pub fn rtt_stats_from(&self, source: &str) -> (f64, f64, f64) {
+        let rtts = self.rtts_from(source);
+        if rtts.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut stats = simcore::OnlineStats::new();
+        for r in &rtts {
+            stats.push(*r);
+        }
+        (stats.mean(), stats.max(), stats.std_dev())
+    }
+
+    /// True when the snapshot has no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Sample;
+
+    fn build_store() -> TimeSeriesStore {
+        let mut store = TimeSeriesStore::new();
+        let t0 = SimTime::from_secs(0);
+        let t1 = SimTime::from_secs(30);
+        for node in ["node-1", "node-2"] {
+            store.append(Sample::gauge(SeriesKey::per_node(METRIC_NODE_LOAD1, node), 1.5, t1));
+            store.append(Sample::gauge(
+                SeriesKey::per_node(METRIC_NODE_MEM_AVAILABLE, node),
+                6e9,
+                t1,
+            ));
+            // 2 MB/s tx, 1 MB/s rx over 30 s.
+            store.append(Sample::counter(SeriesKey::per_node(METRIC_NODE_TX_BYTES, node), 0.0, t0));
+            store.append(Sample::counter(
+                SeriesKey::per_node(METRIC_NODE_TX_BYTES, node),
+                60e6,
+                t1,
+            ));
+            store.append(Sample::counter(SeriesKey::per_node(METRIC_NODE_RX_BYTES, node), 0.0, t0));
+            store.append(Sample::counter(
+                SeriesKey::per_node(METRIC_NODE_RX_BYTES, node),
+                30e6,
+                t1,
+            ));
+        }
+        store.append(Sample::gauge(
+            SeriesKey::new(METRIC_PING_RTT, &[("source", "node-1"), ("target", "node-2")]),
+            0.066,
+            t1,
+        ));
+        store.append(Sample::gauge(
+            SeriesKey::new(METRIC_PING_RTT, &[("source", "node-2"), ("target", "node-1")]),
+            0.067,
+            t1,
+        ));
+        store
+    }
+
+    #[test]
+    fn snapshot_assembles_all_signals() {
+        let store = build_store();
+        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        assert!(!snap.is_empty());
+        assert_eq!(snap.node_names(), vec!["node-1", "node-2"]);
+        let n1 = snap.node("node-1").unwrap();
+        assert_eq!(n1.cpu_load, 1.5);
+        assert_eq!(n1.memory_available_bytes, 6e9);
+        assert!((n1.tx_rate - 2e6).abs() < 1.0);
+        assert!((n1.rx_rate - 1e6).abs() < 1.0);
+        assert_eq!(snap.rtt_between("node-1", "node-2"), Some(0.066));
+        assert_eq!(snap.rtt_between("node-2", "node-1"), Some(0.067));
+        assert_eq!(snap.rtt_between("node-1", "node-9"), None);
+        assert!(snap.node("node-9").is_none());
+    }
+
+    #[test]
+    fn rates_default_to_zero_without_history() {
+        let mut store = TimeSeriesStore::new();
+        store.append(Sample::gauge(
+            SeriesKey::per_node(METRIC_NODE_LOAD1, "node-1"),
+            0.5,
+            SimTime::from_secs(10),
+        ));
+        // Only one counter point: no rate can be derived.
+        store.append(Sample::counter(
+            SeriesKey::per_node(METRIC_NODE_TX_BYTES, "node-1"),
+            1000.0,
+            SimTime::from_secs(10),
+        ));
+        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(12), SimDuration::from_secs(30));
+        let n = snap.node("node-1").unwrap();
+        assert_eq!(n.tx_rate, 0.0);
+        assert_eq!(n.rx_rate, 0.0);
+        assert_eq!(n.cpu_load, 0.5);
+    }
+
+    #[test]
+    fn rtt_stats_match_table1_semantics() {
+        let mut store = build_store();
+        store.append(Sample::gauge(
+            SeriesKey::new(METRIC_PING_RTT, &[("source", "node-1"), ("target", "node-3")]),
+            0.010,
+            SimTime::from_secs(30),
+        ));
+        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        let rtts = snap.rtts_from("node-1");
+        assert_eq!(rtts.len(), 2);
+        let (mean, max, std) = snap.rtt_stats_from("node-1");
+        assert!((mean - 0.038).abs() < 1e-9);
+        assert_eq!(max, 0.066);
+        assert!(std > 0.0);
+        assert_eq!(snap.rtt_stats_from("node-99"), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn empty_store_yields_empty_snapshot() {
+        let store = TimeSeriesStore::new();
+        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(1), SimDuration::from_secs(30));
+        assert!(snap.is_empty());
+        assert!(snap.node_names().is_empty());
+        assert!(snap.rtts_from("node-1").is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Append-only time-series storage with Prometheus-flavoured queries.
+
+use crate::metrics::{MetricKind, Sample, SeriesKey};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One stored series: its kind and time-ordered points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Series {
+    kind: MetricKind,
+    points: Vec<(SimTime, f64)>,
+}
+
+/// The time-series database backing the metrics server.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeriesStore {
+    series: BTreeMap<SeriesKey, Series>,
+    retention: Option<SimDuration>,
+}
+
+impl TimeSeriesStore {
+    /// Create an empty store with unlimited retention.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a store that prunes points older than `retention` behind the
+    /// latest appended timestamp.
+    pub fn with_retention(retention: SimDuration) -> Self {
+        TimeSeriesStore {
+            series: BTreeMap::new(),
+            retention: Some(retention),
+        }
+    }
+
+    /// Append one sample. Out-of-order samples (older than the series tail)
+    /// are dropped, mirroring Prometheus behaviour.
+    pub fn append(&mut self, sample: Sample) {
+        let series = self.series.entry(sample.key.clone()).or_insert_with(|| Series {
+            kind: sample.kind,
+            points: Vec::new(),
+        });
+        if let Some(&(last_t, _)) = series.points.last() {
+            if sample.timestamp < last_t {
+                return;
+            }
+        }
+        series.points.push((sample.timestamp, sample.value));
+        if let Some(retention) = self.retention {
+            let cutoff_nanos = sample.timestamp.as_nanos().saturating_sub(retention.as_nanos());
+            let cutoff = SimTime::from_nanos(cutoff_nanos);
+            let keep_from = series.points.partition_point(|&(t, _)| t < cutoff);
+            if keep_from > 0 {
+                series.points.drain(..keep_from);
+            }
+        }
+    }
+
+    /// Append many samples.
+    pub fn append_all(&mut self, samples: impl IntoIterator<Item = Sample>) {
+        for s in samples {
+            self.append(s);
+        }
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total number of stored points across all series.
+    pub fn point_count(&self) -> usize {
+        self.series.values().map(|s| s.points.len()).sum()
+    }
+
+    /// Latest value of a series at or before `at`.
+    pub fn instant(&self, key: &SeriesKey, at: SimTime) -> Option<f64> {
+        let series = self.series.get(key)?;
+        let idx = series.points.partition_point(|&(t, _)| t <= at);
+        if idx == 0 {
+            None
+        } else {
+            Some(series.points[idx - 1].1)
+        }
+    }
+
+    /// All points of a series with timestamps in `[from, to]`.
+    pub fn range(&self, key: &SeriesKey, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
+        let Some(series) = self.series.get(key) else {
+            return Vec::new();
+        };
+        series
+            .points
+            .iter()
+            .copied()
+            .filter(|&(t, _)| t >= from && t <= to)
+            .collect()
+    }
+
+    /// Prometheus-style `rate()`: the per-second increase of a counter over
+    /// the window `[at - window, at]`. Returns `None` when fewer than two
+    /// points fall in the window or the series is not a counter.
+    pub fn rate(&self, key: &SeriesKey, at: SimTime, window: SimDuration) -> Option<f64> {
+        let series = self.series.get(key)?;
+        if series.kind != MetricKind::Counter {
+            return None;
+        }
+        let from_nanos = at.as_nanos().saturating_sub(window.as_nanos());
+        let from = SimTime::from_nanos(from_nanos);
+        let pts: Vec<(SimTime, f64)> = series
+            .points
+            .iter()
+            .copied()
+            .filter(|&(t, _)| t >= from && t <= at)
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let (t0, v0) = pts[0];
+        let (t1, v1) = pts[pts.len() - 1];
+        let dt = (t1 - t0).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        // Counters never decrease in our exporters; clamp defensively anyway.
+        Some(((v1 - v0).max(0.0)) / dt)
+    }
+
+    /// Latest gauge value per matching series: every series with the given
+    /// metric name, returned with its label set.
+    pub fn instant_by_name(&self, name: &str, at: SimTime) -> Vec<(SeriesKey, f64)> {
+        self.series
+            .keys()
+            .filter(|k| k.name == name)
+            .filter_map(|k| self.instant(k, at).map(|v| (k.clone(), v)))
+            .collect()
+    }
+
+    /// Average of a series over `[at - window, at]` (gauges).
+    pub fn avg_over(&self, key: &SeriesKey, at: SimTime, window: SimDuration) -> Option<f64> {
+        let from_nanos = at.as_nanos().saturating_sub(window.as_nanos());
+        let pts = self.range(key, SimTime::from_nanos(from_nanos), at);
+        if pts.is_empty() {
+            return None;
+        }
+        Some(pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64)
+    }
+
+    /// All series keys (sorted).
+    pub fn keys(&self) -> impl Iterator<Item = &SeriesKey> {
+        self.series.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &str, node: &str) -> SeriesKey {
+        SeriesKey::per_node(name, node)
+    }
+
+    #[test]
+    fn append_and_instant_query() {
+        let mut store = TimeSeriesStore::new();
+        let k = key("node_load1", "node-1");
+        store.append(Sample::gauge(k.clone(), 0.5, SimTime::from_secs(10)));
+        store.append(Sample::gauge(k.clone(), 0.9, SimTime::from_secs(20)));
+        assert_eq!(store.instant(&k, SimTime::from_secs(5)), None);
+        assert_eq!(store.instant(&k, SimTime::from_secs(10)), Some(0.5));
+        assert_eq!(store.instant(&k, SimTime::from_secs(15)), Some(0.5));
+        assert_eq!(store.instant(&k, SimTime::from_secs(25)), Some(0.9));
+        assert_eq!(store.series_count(), 1);
+        assert_eq!(store.point_count(), 2);
+        // Unknown series.
+        assert_eq!(store.instant(&key("nope", "node-1"), SimTime::from_secs(30)), None);
+    }
+
+    #[test]
+    fn out_of_order_samples_are_dropped() {
+        let mut store = TimeSeriesStore::new();
+        let k = key("node_load1", "node-1");
+        store.append(Sample::gauge(k.clone(), 1.0, SimTime::from_secs(10)));
+        store.append(Sample::gauge(k.clone(), 2.0, SimTime::from_secs(5)));
+        assert_eq!(store.point_count(), 1);
+        assert_eq!(store.instant(&k, SimTime::from_secs(30)), Some(1.0));
+        // Equal timestamps are accepted (last write wins on query order).
+        store.append(Sample::gauge(k.clone(), 3.0, SimTime::from_secs(10)));
+        assert_eq!(store.point_count(), 2);
+    }
+
+    #[test]
+    fn range_query_filters_window() {
+        let mut store = TimeSeriesStore::new();
+        let k = key("node_load1", "node-2");
+        for i in 0..10u64 {
+            store.append(Sample::gauge(k.clone(), i as f64, SimTime::from_secs(i * 10)));
+        }
+        let pts = store.range(&k, SimTime::from_secs(25), SimTime::from_secs(55));
+        assert_eq!(pts.len(), 3); // t = 30, 40, 50
+        assert_eq!(pts[0].1, 3.0);
+        assert_eq!(pts[2].1, 5.0);
+        assert!(store.range(&key("x", "y"), SimTime::ZERO, SimTime::MAX).is_empty());
+    }
+
+    #[test]
+    fn rate_over_counter_window() {
+        let mut store = TimeSeriesStore::new();
+        let k = key("node_network_transmit_bytes_total", "node-1");
+        // 1000 bytes/sec for 60 seconds, scraped every 15 s.
+        for i in 0..=4u64 {
+            store.append(Sample::counter(k.clone(), (i * 15_000) as f64, SimTime::from_secs(i * 15)));
+        }
+        let rate = store
+            .rate(&k, SimTime::from_secs(60), SimDuration::from_secs(30))
+            .unwrap();
+        assert!((rate - 1000.0).abs() < 1e-9);
+        // Window too small for two samples.
+        assert_eq!(store.rate(&k, SimTime::from_secs(60), SimDuration::from_secs(10)), None);
+        // Gauges have no rate.
+        let g = key("node_load1", "node-1");
+        store.append(Sample::gauge(g.clone(), 1.0, SimTime::from_secs(0)));
+        store.append(Sample::gauge(g.clone(), 2.0, SimTime::from_secs(30)));
+        assert_eq!(store.rate(&g, SimTime::from_secs(60), SimDuration::from_secs(60)), None);
+    }
+
+    #[test]
+    fn rate_clamps_counter_resets() {
+        let mut store = TimeSeriesStore::new();
+        let k = key("ctr", "node-1");
+        store.append(Sample::counter(k.clone(), 1000.0, SimTime::from_secs(0)));
+        store.append(Sample::counter(k.clone(), 10.0, SimTime::from_secs(10)));
+        let r = store.rate(&k, SimTime::from_secs(10), SimDuration::from_secs(20)).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn retention_prunes_old_points() {
+        let mut store = TimeSeriesStore::with_retention(SimDuration::from_secs(30));
+        let k = key("node_load1", "node-1");
+        for i in 0..10u64 {
+            store.append(Sample::gauge(k.clone(), i as f64, SimTime::from_secs(i * 10)));
+        }
+        // Last timestamp is 90 s; retention 30 s keeps points at >= 60 s.
+        assert_eq!(store.point_count(), 4);
+        assert_eq!(store.instant(&k, SimTime::from_secs(55)), None);
+        assert_eq!(store.instant(&k, SimTime::from_secs(95)), Some(9.0));
+    }
+
+    #[test]
+    fn instant_by_name_collects_all_nodes() {
+        let mut store = TimeSeriesStore::new();
+        for node in ["node-1", "node-2", "node-3"] {
+            store.append(Sample::gauge(key("node_load1", node), 1.0, SimTime::from_secs(10)));
+        }
+        store.append(Sample::gauge(key("other_metric", "node-1"), 5.0, SimTime::from_secs(10)));
+        let got = store.instant_by_name("node_load1", SimTime::from_secs(20));
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(k, v)| k.name == "node_load1" && *v == 1.0));
+    }
+
+    #[test]
+    fn avg_over_window() {
+        let mut store = TimeSeriesStore::new();
+        let k = key("node_load1", "node-1");
+        for (t, v) in [(10u64, 1.0), (20, 2.0), (30, 3.0), (40, 4.0)] {
+            store.append(Sample::gauge(k.clone(), v, SimTime::from_secs(t)));
+        }
+        let avg = store.avg_over(&k, SimTime::from_secs(40), SimDuration::from_secs(20)).unwrap();
+        assert!((avg - 3.0).abs() < 1e-9); // points at 20, 30, 40
+        assert_eq!(store.avg_over(&k, SimTime::from_secs(5), SimDuration::from_secs(2)), None);
+    }
+
+    #[test]
+    fn keys_iterates_sorted() {
+        let mut store = TimeSeriesStore::new();
+        store.append(Sample::gauge(key("b_metric", "node-1"), 1.0, SimTime::ZERO));
+        store.append(Sample::gauge(key("a_metric", "node-1"), 1.0, SimTime::ZERO));
+        let names: Vec<&str> = store.keys().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, vec!["a_metric", "b_metric"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Compare every scheduling policy on freshly generated scenarios: the
+//! Kubernetes default scheduler, a uniform-random picker, two telemetry
+//! heuristics and the three supervised models — the Table 4 comparison plus
+//! the extra baselines.
+//!
+//! ```text
+//! cargo run --release --example compare_schedulers [configs_per_workload] [repeats]
+//! ```
+
+use netsched::core::predictor::CompletionTimePredictor;
+use netsched::core::schedulers::{
+    JobScheduler, KubeDefaultScheduler, LeastLoadedScheduler, LowestRttScheduler, RandomScheduler,
+    SupervisedScheduler,
+};
+use netsched::experiments::evaluation::evaluate_table4;
+use netsched::experiments::workflow::{ExperimentConfig, Workflow};
+use netsched::experiments::FabricTestbed;
+use netsched::mlcore::{ModelConfig, ModelKind, TrainedModel};
+use netsched::simcore::rng::Rng;
+
+fn main() {
+    let per_workload: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let repeats: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let config = ExperimentConfig::quick(per_workload, repeats, 2025);
+    println!(
+        "generating {} scenarios ({} samples) ...",
+        config.scenario_count(),
+        config.scenario_count() * 6
+    );
+    let dataset = Workflow::new(config).run();
+
+    // --- The paper's Table 4 (default scheduler + three supervised models). ---
+    let report = evaluate_table4(&dataset, 0.25, &ModelConfig::default(), 13);
+    println!("\nTable 4 reproduction:\n{}", report.to_markdown());
+
+    // --- Extra baselines on the same held-out scenarios. ---
+    let mut rng = Rng::seed_from_u64(17);
+    let (train_idx, test_idx) = dataset.split_scenarios(0.25, &mut rng);
+    let train = dataset.logger_for(&train_idx).to_dataset();
+    let rf = TrainedModel::train(ModelKind::RandomForest, &ModelConfig::default(), &train, &mut rng);
+    let predictor = CompletionTimePredictor::new(dataset.schema.clone(), rf);
+    let cluster = FabricTestbed::paper().cluster;
+
+    let mut policies: Vec<Box<dyn JobScheduler>> = vec![
+        Box::new(RandomScheduler::new(5)),
+        Box::new(KubeDefaultScheduler::new(5)),
+        Box::new(LeastLoadedScheduler),
+        Box::new(LowestRttScheduler),
+        Box::new(SupervisedScheduler::new(predictor)),
+    ];
+
+    println!("extended comparison (same held-out scenarios):\n");
+    println!("| Policy | Top-1 | Top-2 |");
+    println!("|---|---|---|");
+    for policy in policies.iter_mut() {
+        let mut top1 = 0usize;
+        let mut top2 = 0usize;
+        for &idx in &test_idx {
+            let scenario = &dataset.scenarios[idx];
+            let ranking = policy.select(&scenario.request(), &scenario.snapshot, &cluster);
+            let fastest = scenario.fastest_node();
+            if ranking.best().map(|r| r.node.as_str()) == Some(fastest) {
+                top1 += 1;
+            }
+            if ranking.top_k(2).iter().any(|n| *n == fastest) {
+                top2 += 1;
+            }
+        }
+        let denom = test_idx.len().max(1) as f64;
+        println!(
+            "| {} | {:.3} | {:.3} |",
+            policy.name(),
+            top1 as f64 / denom,
+            top2 as f64 / denom
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the public API (proptest).
+//!
+//! These complement the unit-level proptests inside `simnet` by checking
+//! cross-crate invariants: conservation of bytes in the fluid network, ranking
+//! invariants of the decision module, schema/feature alignment and monotone
+//! behaviour of the execution model.
+
+use netsched::core::decision::DecisionModule;
+use netsched::core::features::FeatureSchema;
+use netsched::core::request::JobRequest;
+use netsched::experiments::{FabricTestbed, SimWorld};
+use netsched::simcore::{SimDuration, SimTime};
+use netsched::simnet::flow::FlowKind;
+use netsched::simnet::{Network, NodeId};
+use netsched::sparksim::WorkloadKind;
+use proptest::prelude::*;
+
+fn paper_network() -> Network {
+    FabricTestbed::paper().network
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every byte a flow delivers shows up once in the source's tx counter and
+    /// once in the destination's rx counter, and completed flows deliver
+    /// exactly their size.
+    #[test]
+    fn network_conserves_bytes(
+        flows in prop::collection::vec((0usize..6, 0usize..6, 1_000.0f64..50_000_000.0), 1..8),
+        horizon_secs in 10u64..200,
+    ) {
+        let mut net = paper_network();
+        let mut expected_total = 0.0;
+        for &(src, dst, bytes) in &flows {
+            net.start_flow(NodeId(src), NodeId(dst), bytes, FlowKind::Shuffle);
+            if src != dst {
+                expected_total += bytes;
+            }
+        }
+        net.run_to_quiescence(SimDuration::from_secs(horizon_secs * 10));
+        let total_tx: f64 = (0..6).map(|i| net.counters(NodeId(i)).tx_bytes).sum();
+        let total_rx: f64 = (0..6).map(|i| net.counters(NodeId(i)).rx_bytes).sum();
+        prop_assert!((total_tx - expected_total).abs() < 1.0, "tx {total_tx} vs expected {expected_total}");
+        prop_assert!((total_rx - expected_total).abs() < 1.0, "rx {total_rx} vs expected {expected_total}");
+        prop_assert_eq!(net.active_flow_count(), 0);
+    }
+
+    /// Advancing the network clock is monotone and counters never decrease.
+    #[test]
+    fn counters_are_monotone(
+        steps in prop::collection::vec(1u64..30, 1..10),
+    ) {
+        let mut net = paper_network();
+        net.start_flow(NodeId(0), NodeId(2), 1e9, FlowKind::Background);
+        net.start_flow(NodeId(3), NodeId(1), 5e8, FlowKind::Background);
+        let mut last_tx = 0.0;
+        let mut now = SimTime::ZERO;
+        for step in steps {
+            now = now + SimDuration::from_secs(step);
+            net.advance_to(now);
+            let tx: f64 = (0..6).map(|i| net.counters(NodeId(i)).tx_bytes).sum();
+            prop_assert!(tx + 1e-9 >= last_tx);
+            prop_assert_eq!(net.now(), now);
+            last_tx = tx;
+        }
+    }
+
+    /// The decision module's ranking is a permutation of the candidates with
+    /// non-decreasing predictions, regardless of the prediction values.
+    #[test]
+    fn ranking_is_a_sorted_permutation(predictions in prop::collection::vec(0.0f64..10_000.0, 1..12)) {
+        let candidates: Vec<String> = (0..predictions.len()).map(|i| format!("node-{i}")).collect();
+        let ranking = DecisionModule.rank(&candidates, &predictions);
+        prop_assert_eq!(ranking.len(), candidates.len());
+        let mut returned: Vec<&str> = ranking.ranked.iter().map(|r| r.node.as_str()).collect();
+        returned.sort_unstable();
+        let mut expected: Vec<&str> = candidates.iter().map(String::as_str).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(returned, expected);
+        for pair in ranking.ranked.windows(2) {
+            prop_assert!(pair[0].predicted_seconds <= pair[1].predicted_seconds);
+        }
+        // The best node really does carry the minimum prediction.
+        let min = predictions.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((ranking.best().unwrap().predicted_seconds - min).abs() < 1e-12);
+    }
+
+    /// Feature vectors always match the schema width, contain only finite
+    /// values, and encode exactly one application indicator.
+    #[test]
+    fn feature_vectors_are_well_formed(
+        records in 1_000u64..5_000_000,
+        executors in 1u32..6,
+        memory_gb in 1u64..8,
+        workload_idx in 0usize..5,
+        node_idx in 0usize..8,
+    ) {
+        let mut world = SimWorld::new(FabricTestbed::paper(), 3);
+        world.advance_by(SimDuration::from_secs(6));
+        let snapshot = world.snapshot();
+        let schema = FeatureSchema::standard();
+        let kind = WorkloadKind::ALL[workload_idx];
+        let request = JobRequest::new(
+            "prop-job",
+            netsched::sparksim::WorkloadRequest::new(kind, records)
+                .with_executors(executors)
+                .with_executor_memory(memory_gb << 30),
+        );
+        // node_idx may point past the real cluster: unknown nodes still yield a valid vector.
+        let node = format!("node-{}", node_idx + 1);
+        let features = schema.construct(&snapshot, &node, &request);
+        prop_assert_eq!(features.len(), schema.len());
+        prop_assert!(features.iter().all(|v| v.is_finite()));
+        let one_hot: f64 = WorkloadKind::ALL
+            .iter()
+            .map(|k| features[schema.index_of(&format!("app_{}", k.as_str())).unwrap()])
+            .sum();
+        prop_assert_eq!(one_hot, 1.0);
+        prop_assert_eq!(features[schema.index_of("input_records").unwrap()], records as f64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Larger inputs never complete faster than smaller ones under identical
+    /// conditions (monotonicity of the execution model).
+    #[test]
+    fn completion_time_is_monotone_in_input_size(base in 50_000u64..200_000, factor in 2u64..6) {
+        let run = |records: u64| -> f64 {
+            let mut world = SimWorld::new(FabricTestbed::paper(), 12345);
+            world.advance_by(SimDuration::from_secs(5));
+            let request = JobRequest::named("mono", WorkloadKind::Sort, records, 2);
+            world.run_job(&request, "node-2").unwrap().result.completion_seconds()
+        };
+        let small = run(base);
+        let large = run(base * factor);
+        prop_assert!(large >= small, "large {large} < small {small}");
+    }
+}
