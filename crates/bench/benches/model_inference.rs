@@ -13,10 +13,14 @@ fn inference_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_inference");
     for kind in ModelKind::ALL {
         let predictor = bench::bench_predictor(&dataset, kind, 5);
-        let features = predictor.schema().construct(&snapshot, &candidates[0], &request);
-        group.bench_with_input(BenchmarkId::new("single_row", format!("{kind}")), &features, |b, f| {
-            b.iter(|| black_box(predictor.predict_from_features(black_box(f))))
-        });
+        let features = predictor
+            .schema()
+            .construct(&snapshot, &candidates[0], &request);
+        group.bench_with_input(
+            BenchmarkId::new("single_row", format!("{kind}")),
+            &features,
+            |b, f| b.iter(|| black_box(predictor.predict_from_features(black_box(f)))),
+        );
         group.bench_with_input(
             BenchmarkId::new("all_candidates", format!("{kind}")),
             &candidates,

@@ -23,7 +23,12 @@ fn training_benches(c: &mut Criterion) {
                 |b, data| {
                     b.iter(|| {
                         let mut rng = Rng::seed_from_u64(7);
-                        black_box(TrainedModel::train(kind, &config, black_box(data), &mut rng))
+                        black_box(TrainedModel::train(
+                            kind,
+                            &config,
+                            black_box(data),
+                            &mut rng,
+                        ))
                     })
                 },
             );
@@ -41,7 +46,12 @@ fn retraining_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let data = logger.to_dataset();
             let mut rng = Rng::seed_from_u64(11);
-            black_box(TrainedModel::train(ModelKind::RandomForest, &config, &data, &mut rng))
+            black_box(TrainedModel::train(
+                ModelKind::RandomForest,
+                &config,
+                &data,
+                &mut rng,
+            ))
         })
     });
 }

@@ -1,17 +1,21 @@
 //! Bench: end-to-end scheduling-decision latency.
 //!
-//! Covers the whole user-space path the paper describes: fetch the snapshot
-//! from the metrics store, construct features for every candidate, predict,
-//! rank and render the pinned manifest — versus the default scheduler's
-//! filter+score pass on the same cluster.
+//! Covers the whole user-space path the paper describes: index the snapshot
+//! into a scheduling context, construct features for every candidate,
+//! predict, rank and render the pinned manifest — versus the default
+//! scheduler's filter+score pass on the same cluster — plus the batch path
+//! that amortizes the context across a burst of jobs.
 
 use cluster::scheduler::Scheduler as _;
 use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::FabricTestbed;
 use mlcore::ModelKind;
 use netsched_core::builder::JobBuilder;
+use netsched_core::context::SchedulingContext;
 use netsched_core::decision::DecisionModule;
+use netsched_core::request::JobRequest;
 use netsched_core::schedulers::{JobScheduler, SupervisedScheduler};
+use sparksim::WorkloadKind;
 use std::hint::black_box;
 
 fn decision_benches(c: &mut Criterion) {
@@ -19,20 +23,43 @@ fn decision_benches(c: &mut Criterion) {
     let (snapshot, request, candidates) = bench::bench_decision_inputs(&dataset);
     let predictor = bench::bench_predictor(&dataset, ModelKind::RandomForest, 7);
     let cluster_state = FabricTestbed::paper().cluster;
+    let candidate_ids: Vec<cluster::NodeId> = candidates
+        .iter()
+        .filter_map(|name| cluster_state.node_id(name))
+        .collect();
 
     c.bench_function("supervised_decision_rank_only", |b| {
         b.iter(|| {
             let predictions = predictor.predict_all(&snapshot, &candidates, &request);
-            black_box(DecisionModule.rank(&candidates, &predictions))
+            black_box(DecisionModule.rank(&candidate_ids, &predictions))
         })
     });
 
     c.bench_function("supervised_decision_full_pipeline", |b| {
         let mut scheduler = SupervisedScheduler::new(predictor.clone());
         b.iter(|| {
-            let ranking = scheduler.select(&request, &snapshot, &cluster_state);
-            let target = ranking.best().map(|r| r.node.clone());
-            black_box(JobBuilder.build(&request, target.as_deref()))
+            let mut ctx = SchedulingContext::new(&snapshot, &cluster_state);
+            let ranking = scheduler.select(&request, &mut ctx);
+            black_box(JobBuilder.build(&request, ranking.best_name(&cluster_state)))
+        })
+    });
+
+    c.bench_function("supervised_decision_batch16", |b| {
+        let mut scheduler = SupervisedScheduler::new(predictor.clone());
+        let requests: Vec<JobRequest> = (0..16)
+            .map(|i| {
+                JobRequest::named(
+                    format!("burst-{i}"),
+                    WorkloadKind::PAPER_SET[i % 3],
+                    100_000 + i as u64 * 25_000,
+                    2,
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut ctx = SchedulingContext::new(&snapshot, &cluster_state);
+            let rankings = scheduler.select_batch(&requests, &mut ctx);
+            black_box(rankings.len())
         })
     });
 

@@ -14,20 +14,24 @@ use std::hint::black_box;
 fn network_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_fluid_model");
     for &flows in &[10usize, 100] {
-        group.bench_with_input(BenchmarkId::new("run_to_quiescence", flows), &flows, |b, &flows| {
-            b.iter(|| {
-                let mut net = FabricTestbed::paper().network;
-                for i in 0..flows {
-                    net.start_flow(
-                        NodeId(i % 6),
-                        NodeId((i + 3) % 6),
-                        10_000_000.0,
-                        FlowKind::Background,
-                    );
-                }
-                black_box(net.run_to_quiescence(SimDuration::from_secs(3600)))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("run_to_quiescence", flows),
+            &flows,
+            |b, &flows| {
+                b.iter(|| {
+                    let mut net = FabricTestbed::paper().network;
+                    for i in 0..flows {
+                        net.start_flow(
+                            NodeId(i % 6),
+                            NodeId((i + 3) % 6),
+                            10_000_000.0,
+                            FlowKind::Background,
+                        );
+                    }
+                    black_box(net.run_to_quiescence(SimDuration::from_secs(3600)))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -58,5 +62,10 @@ fn telemetry_bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, network_benches, job_execution_bench, telemetry_bench);
+criterion_group!(
+    benches,
+    network_benches,
+    job_execution_bench,
+    telemetry_bench
+);
 criterion_main!(benches);

@@ -11,11 +11,11 @@
 #![forbid(unsafe_code)]
 
 use experiments::workflow::{ExperimentConfig, ExperimentDataset, Workflow};
+use mlcore::{Dataset, ModelConfig, ModelKind, TrainedModel};
 use netsched_core::features::FeatureSchema;
 use netsched_core::logger::ExecutionLogger;
 use netsched_core::predictor::CompletionTimePredictor;
 use netsched_core::request::JobRequest;
-use mlcore::{Dataset, ModelConfig, ModelKind, TrainedModel};
 use simcore::rng::Rng;
 use sparksim::WorkloadKind;
 use telemetry::ClusterSnapshot;
@@ -35,7 +35,11 @@ pub fn bench_training_data(dataset: &ExperimentDataset) -> Dataset {
 }
 
 /// A trained predictor of the requested family over the bench dataset.
-pub fn bench_predictor(dataset: &ExperimentDataset, kind: ModelKind, seed: u64) -> CompletionTimePredictor {
+pub fn bench_predictor(
+    dataset: &ExperimentDataset,
+    kind: ModelKind,
+    seed: u64,
+) -> CompletionTimePredictor {
     let data = bench_training_data(dataset);
     let mut rng = Rng::seed_from_u64(seed);
     let model = TrainedModel::train(kind, &bench_model_config(), &data, &mut rng);
@@ -60,7 +64,9 @@ pub fn bench_model_config() -> ModelConfig {
 }
 
 /// A representative snapshot and job request for decision-latency benches.
-pub fn bench_decision_inputs(dataset: &ExperimentDataset) -> (ClusterSnapshot, JobRequest, Vec<String>) {
+pub fn bench_decision_inputs(
+    dataset: &ExperimentDataset,
+) -> (ClusterSnapshot, JobRequest, Vec<String>) {
     let scenario = &dataset.scenarios[0];
     (
         scenario.snapshot.clone(),
@@ -86,9 +92,12 @@ pub fn synthetic_logger(n: usize, seed: u64) -> ExecutionLogger {
                 rx_rate: rng.uniform(0.0, 1e7),
             },
         );
-        snapshot.rtt.insert(("node-1".into(), "node-2".into()), rng.uniform(0.001, 0.08));
+        snapshot
+            .rtt
+            .insert(("node-1".into(), "node-2".into()), rng.uniform(0.001, 0.08));
         let kind = WorkloadKind::PAPER_SET[i % 3];
-        let request = JobRequest::named(format!("syn-{i}"), kind, 50_000 + rng.gen_range(500_000), 2);
+        let request =
+            JobRequest::named(format!("syn-{i}"), kind, 50_000 + rng.gen_range(500_000), 2);
         let node = snapshot.node("node-1").unwrap();
         let duration = 20.0
             + 5.0 * node.cpu_load

@@ -244,7 +244,10 @@ mod tests {
             op: NodeSelectorOp::NotIn,
             values: vec!["x".into()],
         };
-        assert!(not_in_missing.matches(&l), "NotIn matches when the key is absent");
+        assert!(
+            not_in_missing.matches(&l),
+            "NotIn matches when the key is absent"
+        );
         let exists = NodeSelectorRequirement {
             key: "tier".into(),
             op: NodeSelectorOp::Exists,
@@ -276,7 +279,10 @@ mod tests {
             ],
         };
         assert!(!term_fail.matches(&l));
-        assert!(NodeSelectorTerm::default().matches(&l), "empty term matches all");
+        assert!(
+            NodeSelectorTerm::default().matches(&l),
+            "empty term matches all"
+        );
     }
 
     #[test]
@@ -292,7 +298,10 @@ mod tests {
     #[test]
     fn required_terms_are_disjunction() {
         let aff = NodeAffinity {
-            required_terms: vec![NodeSelectorTerm::hostname("a"), NodeSelectorTerm::hostname("b")],
+            required_terms: vec![
+                NodeSelectorTerm::hostname("a"),
+                NodeSelectorTerm::hostname("b"),
+            ],
             preferred_terms: vec![],
         };
         assert!(aff.required_matches(&labels(&[("kubernetes.io/hostname", "a")])));
@@ -310,13 +319,19 @@ mod tests {
                 PreferredSchedulingTerm {
                     weight: 40,
                     term: NodeSelectorTerm {
-                        requirements: vec![NodeSelectorRequirement::key_in("zone", vec!["ucsd".into()])],
+                        requirements: vec![NodeSelectorRequirement::key_in(
+                            "zone",
+                            vec!["ucsd".into()],
+                        )],
                     },
                 },
                 PreferredSchedulingTerm {
                     weight: 10,
                     term: NodeSelectorTerm {
-                        requirements: vec![NodeSelectorRequirement::key_in("ssd", vec!["true".into()])],
+                        requirements: vec![NodeSelectorRequirement::key_in(
+                            "ssd",
+                            vec!["true".into()],
+                        )],
                     },
                 },
                 PreferredSchedulingTerm {
@@ -346,12 +361,18 @@ mod tests {
         ];
         assert!(!tolerates_all_no_schedule(&taints, &[]));
         assert!(tolerates_all_no_schedule(&taints, &[Toleration::any()]));
-        assert!(tolerates_all_no_schedule(&taints, &[Toleration::for_key("dedicated")]));
+        assert!(tolerates_all_no_schedule(
+            &taints,
+            &[Toleration::for_key("dedicated")]
+        ));
         let exact = Toleration {
             key: Some("dedicated".into()),
             value: Some("gpu".into()),
         };
-        assert!(tolerates_all_no_schedule(&taints, &[exact.clone()]));
+        assert!(tolerates_all_no_schedule(
+            &taints,
+            std::slice::from_ref(&exact)
+        ));
         let wrong_value = Toleration {
             key: Some("dedicated".into()),
             value: Some("fpga".into()),
@@ -359,7 +380,10 @@ mod tests {
         assert!(!tolerates_all_no_schedule(&taints, &[wrong_value]));
         // Soft taints: counted only when untolerated.
         assert_eq!(untolerated_soft_taints(&taints, &[]), 1);
-        assert_eq!(untolerated_soft_taints(&taints, &[Toleration::for_key("flaky")]), 0);
+        assert_eq!(
+            untolerated_soft_taints(&taints, &[Toleration::for_key("flaky")]),
+            0
+        );
         assert_eq!(untolerated_soft_taints(&taints, &[exact]), 1);
     }
 

@@ -113,11 +113,14 @@ impl JobSpec {
     pub fn executor_pods(&self) -> Vec<PodSpec> {
         (0..self.executor_count)
             .map(|i| {
-                PodSpec::new(format!("{}-exec-{}", self.name, i + 1), self.executor_requests)
-                    .with_role(PodRole::Executor)
-                    .with_label("app", self.app_type.clone())
-                    .with_label("spark-role", "executor")
-                    .with_label("job", self.name.clone())
+                PodSpec::new(
+                    format!("{}-exec-{}", self.name, i + 1),
+                    self.executor_requests,
+                )
+                .with_role(PodRole::Executor)
+                .with_label("app", self.app_type.clone())
+                .with_label("spark-role", "executor")
+                .with_label("job", self.name.clone())
             })
             .collect()
     }
@@ -192,7 +195,10 @@ mod tests {
             .with_shuffle_partitions(16);
         assert_eq!(spec.executor_count, 3);
         assert_eq!(spec.shuffle_partitions, 16);
-        assert_eq!(spec.total_requests(), Resources::from_cores_and_gib(1 + 6, 2 + 6));
+        assert_eq!(
+            spec.total_requests(),
+            Resources::from_cores_and_gib(1 + 6, 2 + 6)
+        );
     }
 
     #[test]
@@ -217,12 +223,18 @@ mod tests {
         assert_eq!(execs[0].name, "join-2-exec-1");
         assert_eq!(execs[3].name, "join-2-exec-4");
         assert!(execs.iter().all(|e| e.role == PodRole::Executor));
-        assert!(execs.iter().all(|e| e.labels.get("job").unwrap() == "join-2"));
+        assert!(execs
+            .iter()
+            .all(|e| e.labels.get("job").unwrap() == "join-2"));
     }
 
     #[test]
     fn job_lifecycle() {
-        let mut job = Job::new(JobId(1), JobSpec::new("j", "sort", 1000), SimTime::from_secs(10));
+        let mut job = Job::new(
+            JobId(1),
+            JobSpec::new("j", "sort", 1000),
+            SimTime::from_secs(10),
+        );
         assert_eq!(job.phase, JobPhase::Pending);
         assert!(!job.is_terminal());
         assert_eq!(job.completion_time(), None);

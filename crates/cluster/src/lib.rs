@@ -39,10 +39,13 @@ pub mod resources;
 pub mod scheduler;
 pub mod state;
 
-pub use affinity::{NodeAffinity, NodeSelectorOp, NodeSelectorRequirement, NodeSelectorTerm, Taint, TaintEffect, Toleration};
+pub use affinity::{
+    NodeAffinity, NodeSelectorOp, NodeSelectorRequirement, NodeSelectorTerm, Taint, TaintEffect,
+    Toleration,
+};
 pub use job::{Job, JobId, JobPhase, JobSpec};
 pub use node::{Node, NodeName};
 pub use pod::{Pod, PodId, PodPhase, PodSpec};
 pub use resources::Resources;
 pub use scheduler::{DefaultScheduler, FilterResult, ScheduleOutcome, Scheduler, ScoredNode};
-pub use state::{ClusterError, ClusterEvent, ClusterState};
+pub use state::{ClusterError, ClusterEvent, ClusterState, NodeId};

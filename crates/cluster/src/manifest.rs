@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 
 /// Render a quantity of CPU millicores in Kubernetes notation.
 fn cpu_str(millis: u64) -> String {
-    if millis % 1000 == 0 {
+    if millis.is_multiple_of(1000) {
         format!("{}", millis / 1000)
     } else {
         format!("{millis}m")
@@ -28,7 +28,10 @@ fn memory_str(bytes: u64) -> String {
 }
 
 fn yaml_escape(s: &str) -> String {
-    if s.chars().all(|c| c.is_ascii_alphanumeric() || "-_./".contains(c)) && !s.is_empty() {
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || "-_./".contains(c))
+        && !s.is_empty()
+    {
         s.to_string()
     } else {
         format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
@@ -143,10 +146,18 @@ pub fn render_pod_manifest(spec: &PodSpec) -> String {
     let _ = writeln!(out, "    resources:");
     let _ = writeln!(out, "      requests:");
     let _ = writeln!(out, "        cpu: {}", cpu_str(spec.requests.cpu_millis));
-    let _ = writeln!(out, "        memory: {}", memory_str(spec.requests.memory_bytes));
+    let _ = writeln!(
+        out,
+        "        memory: {}",
+        memory_str(spec.requests.memory_bytes)
+    );
     let _ = writeln!(out, "      limits:");
     let _ = writeln!(out, "        cpu: {}", cpu_str(spec.limits.cpu_millis));
-    let _ = writeln!(out, "        memory: {}", memory_str(spec.limits.memory_bytes));
+    let _ = writeln!(
+        out,
+        "        memory: {}",
+        memory_str(spec.limits.memory_bytes)
+    );
     out
 }
 
@@ -162,13 +173,25 @@ pub fn render_job_manifest(spec: &JobSpec, target_node: Option<&str>) -> String 
     let _ = writeln!(out, "spec:");
     let _ = writeln!(out, "  type: Scala");
     let _ = writeln!(out, "  mode: cluster");
-    let _ = writeln!(out, "  mainApplicationFile: local:///opt/spark/examples/{}.jar", yaml_escape(&spec.app_type));
+    let _ = writeln!(
+        out,
+        "  mainApplicationFile: local:///opt/spark/examples/{}.jar",
+        yaml_escape(&spec.app_type)
+    );
     let _ = writeln!(out, "  arguments:");
     let _ = writeln!(out, "  - \"{}\"", spec.input_records);
     let _ = writeln!(out, "  - \"{}\"", spec.shuffle_partitions);
     let _ = writeln!(out, "  driver:");
-    let _ = writeln!(out, "    cores: {}", (spec.driver_requests.cpu_millis / 1000).max(1));
-    let _ = writeln!(out, "    memory: {}", memory_str(spec.driver_requests.memory_bytes));
+    let _ = writeln!(
+        out,
+        "    cores: {}",
+        (spec.driver_requests.cpu_millis / 1000).max(1)
+    );
+    let _ = writeln!(
+        out,
+        "    memory: {}",
+        memory_str(spec.driver_requests.memory_bytes)
+    );
     let _ = writeln!(out, "    labels:");
     let _ = writeln!(out, "      app: {}", yaml_escape(&spec.app_type));
     let _ = writeln!(out, "      job: {}", yaml_escape(&spec.name));
@@ -178,8 +201,16 @@ pub fn render_job_manifest(spec: &JobSpec, target_node: Option<&str>) -> String 
     }
     let _ = writeln!(out, "  executor:");
     let _ = writeln!(out, "    instances: {}", spec.executor_count);
-    let _ = writeln!(out, "    cores: {}", (spec.executor_requests.cpu_millis / 1000).max(1));
-    let _ = writeln!(out, "    memory: {}", memory_str(spec.executor_requests.memory_bytes));
+    let _ = writeln!(
+        out,
+        "    cores: {}",
+        (spec.executor_requests.cpu_millis / 1000).max(1)
+    );
+    let _ = writeln!(
+        out,
+        "    memory: {}",
+        memory_str(spec.executor_requests.memory_bytes)
+    );
     out
 }
 
@@ -200,7 +231,10 @@ mod tests {
     #[test]
     fn escaping_quotes_odd_strings() {
         assert_eq!(yaml_escape("node-1"), "node-1");
-        assert_eq!(yaml_escape("kubernetes.io/hostname"), "kubernetes.io/hostname");
+        assert_eq!(
+            yaml_escape("kubernetes.io/hostname"),
+            "kubernetes.io/hostname"
+        );
         assert_eq!(yaml_escape("has space"), "\"has space\"");
         assert_eq!(yaml_escape("quote\"inside"), "\"quote\\\"inside\"");
         assert_eq!(yaml_escape(""), "\"\"");

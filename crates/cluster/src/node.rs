@@ -243,7 +243,12 @@ mod tests {
 
     #[test]
     fn memory_never_negative() {
-        let mut n = Node::new("tiny", NodeId(1), Resources::from_cores_and_mib(1, 256), "X");
+        let mut n = Node::new(
+            "tiny",
+            NodeId(1),
+            Resources::from_cores_and_mib(1, 256),
+            "X",
+        );
         n.base_memory_used = 1e12;
         assert_eq!(n.memory_available(), 0.0);
         assert_eq!(n.memory_utilization(), 1.0);

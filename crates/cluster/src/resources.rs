@@ -10,7 +10,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A bundle of requested or allocatable compute resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Resources {
     /// CPU in millicores (1000 = one core).
     pub cpu_millis: u64,
@@ -211,7 +213,12 @@ impl SubAssign for Resources {
 
 impl fmt::Display for Resources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cpu={}m, mem={:.0}Mi", self.cpu_millis, self.memory_mib())
+        write!(
+            f,
+            "cpu={}m, mem={:.0}Mi",
+            self.cpu_millis,
+            self.memory_mib()
+        )
     }
 }
 
@@ -250,7 +257,10 @@ mod tests {
         c -= Resources::new(10_000, 10_000);
         assert_eq!(c, Resources::ZERO);
         assert_eq!(a.checked_add(&b), Some(Resources::new(1400, 250)));
-        assert_eq!(Resources::new(u64::MAX, 0).checked_add(&Resources::new(1, 0)), None);
+        assert_eq!(
+            Resources::new(u64::MAX, 0).checked_add(&Resources::new(1, 0)),
+            None
+        );
     }
 
     #[test]
@@ -259,7 +269,10 @@ mod tests {
         let used = Resources::new(250, 500);
         assert_eq!(used.utilization_of(&cap), (0.25, 0.5));
         assert_eq!(Resources::ZERO.utilization_of(&Resources::ZERO), (0.0, 0.0));
-        assert_eq!(Resources::new(5, 5).utilization_of(&Resources::ZERO), (1.0, 1.0));
+        assert_eq!(
+            Resources::new(5, 5).utilization_of(&Resources::ZERO),
+            (1.0, 1.0)
+        );
         // Over-commit clamps to 1.
         assert_eq!(Resources::new(2000, 0).utilization_of(&cap).0, 1.0);
     }
@@ -280,7 +293,10 @@ mod tests {
         assert_eq!(Resources::parse_memory("1024").unwrap(), 1024);
         assert_eq!(Resources::parse_memory("1Ki").unwrap(), 1024);
         assert_eq!(Resources::parse_memory("512Mi").unwrap(), 512 * 1024 * 1024);
-        assert_eq!(Resources::parse_memory("8Gi").unwrap(), 8 * 1024 * 1024 * 1024);
+        assert_eq!(
+            Resources::parse_memory("8Gi").unwrap(),
+            8 * 1024 * 1024 * 1024
+        );
         assert_eq!(Resources::parse_memory("1Ti").unwrap(), 1024u64.pow(4));
         assert_eq!(Resources::parse_memory("100M").unwrap(), 100_000_000);
         assert_eq!(Resources::parse_memory("2G").unwrap(), 2_000_000_000);

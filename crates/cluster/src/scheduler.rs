@@ -186,7 +186,11 @@ impl DefaultScheduler {
 
         let weight_sum = self.config.least_requested_weight
             + self.config.balanced_allocation_weight
-            + if total_pref > 0 { self.config.affinity_weight } else { 0.0 };
+            + if total_pref > 0 {
+                self.config.affinity_weight
+            } else {
+                0.0
+            };
         let weighted = self.config.least_requested_weight * least_requested
             + self.config.balanced_allocation_weight * balanced_allocation
             + if total_pref > 0 {
@@ -254,7 +258,9 @@ impl Scheduler for DefaultScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::affinity::{NodeAffinity, PreferredSchedulingTerm, NodeSelectorTerm, Taint, TaintEffect, Toleration};
+    use crate::affinity::{
+        NodeAffinity, NodeSelectorTerm, PreferredSchedulingTerm, Taint, TaintEffect, Toleration,
+    };
     use crate::resources::Resources;
     use simnet::NodeId;
     use std::collections::BTreeMap;
@@ -266,7 +272,13 @@ mod tests {
                     format!("node-{}", i + 1),
                     NodeId(i),
                     Resources::from_cores_and_gib(6, 8),
-                    if i < 2 { "UCSD" } else if i < 4 { "FIU" } else { "SRI" },
+                    if i < 2 {
+                        "UCSD"
+                    } else if i < 4 {
+                        "FIU"
+                    } else {
+                        "SRI"
+                    },
                 )
             })
             .collect()
@@ -279,7 +291,10 @@ mod tests {
     #[test]
     fn filters_resource_shortfall() {
         let nodes = mk_nodes(2);
-        assert_eq!(DefaultScheduler::filter(&pod(2, 2), &nodes[0]), FilterResult::Feasible);
+        assert_eq!(
+            DefaultScheduler::filter(&pod(2, 2), &nodes[0]),
+            FilterResult::Feasible
+        );
         assert_eq!(
             DefaultScheduler::filter(&pod(8, 2), &nodes[0]),
             FilterResult::InsufficientResources
@@ -301,21 +316,37 @@ mod tests {
         );
 
         let pinned = pod(1, 1).pinned_to("node-2");
-        assert_eq!(DefaultScheduler::filter(&pinned, &nodes[0]), FilterResult::AffinityMismatch);
-        assert_eq!(DefaultScheduler::filter(&pinned, &nodes[1]), FilterResult::Feasible);
+        assert_eq!(
+            DefaultScheduler::filter(&pinned, &nodes[0]),
+            FilterResult::AffinityMismatch
+        );
+        assert_eq!(
+            DefaultScheduler::filter(&pinned, &nodes[1]),
+            FilterResult::Feasible
+        );
 
-        let tainted = Node::new("t", NodeId(5), Resources::from_cores_and_gib(6, 8), "X").with_taint(Taint {
-            key: "dedicated".into(),
-            value: "infra".into(),
-            effect: TaintEffect::NoSchedule,
-        });
-        assert_eq!(DefaultScheduler::filter(&pod(1, 1), &tainted), FilterResult::UntoleratedTaint);
+        let tainted = Node::new("t", NodeId(5), Resources::from_cores_and_gib(6, 8), "X")
+            .with_taint(Taint {
+                key: "dedicated".into(),
+                value: "infra".into(),
+                effect: TaintEffect::NoSchedule,
+            });
+        assert_eq!(
+            DefaultScheduler::filter(&pod(1, 1), &tainted),
+            FilterResult::UntoleratedTaint
+        );
         let tolerant = pod(1, 1).with_toleration(Toleration::for_key("dedicated"));
-        assert_eq!(DefaultScheduler::filter(&tolerant, &tainted), FilterResult::Feasible);
+        assert_eq!(
+            DefaultScheduler::filter(&tolerant, &tainted),
+            FilterResult::Feasible
+        );
 
         let mut cordoned = mk_nodes(1).remove(0);
         cordoned.schedulable = false;
-        assert_eq!(DefaultScheduler::filter(&pod(1, 1), &cordoned), FilterResult::Unschedulable);
+        assert_eq!(
+            DefaultScheduler::filter(&pod(1, 1), &cordoned),
+            FilterResult::Unschedulable
+        );
     }
 
     #[test]
@@ -359,18 +390,33 @@ mod tests {
         let picks_a: Vec<String> = {
             let mut sched = DefaultScheduler::new(42);
             (0..40)
-                .map(|_| sched.schedule(&pod(1, 1), &nodes).node().unwrap().to_string())
+                .map(|_| {
+                    sched
+                        .schedule(&pod(1, 1), &nodes)
+                        .node()
+                        .unwrap()
+                        .to_string()
+                })
                 .collect()
         };
         let picks_b: Vec<String> = {
             let mut sched = DefaultScheduler::new(42);
             (0..40)
-                .map(|_| sched.schedule(&pod(1, 1), &nodes).node().unwrap().to_string())
+                .map(|_| {
+                    sched
+                        .schedule(&pod(1, 1), &nodes)
+                        .node()
+                        .unwrap()
+                        .to_string()
+                })
                 .collect()
         };
         assert_eq!(picks_a, picks_b, "same seed, same picks");
         let distinct: std::collections::BTreeSet<&String> = picks_a.iter().collect();
-        assert!(distinct.len() >= 3, "tie-breaking should spread across nodes, got {distinct:?}");
+        assert!(
+            distinct.len() >= 3,
+            "tie-breaking should spread across nodes, got {distinct:?}"
+        );
     }
 
     #[test]
@@ -427,11 +473,12 @@ mod tests {
         let sched = DefaultScheduler::new(0);
         let plain = &mk_nodes(1)[0];
         let mut labelled = plain.clone();
-        labelled
-            .labels
-            .insert("unrelated".into(), "value".into());
+        labelled.labels.insert("unrelated".into(), "value".into());
         let p = pod(2, 2);
-        assert_eq!(sched.score(&p, plain).score, sched.score(&p, &labelled).score);
+        assert_eq!(
+            sched.score(&p, plain).score,
+            sched.score(&p, &labelled).score
+        );
         let _ = BTreeMap::<String, String>::new();
     }
 

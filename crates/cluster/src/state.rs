@@ -1,4 +1,10 @@
 //! Cluster state: the API-server-ish view of nodes and pods.
+//!
+//! The cluster also owns the node-name intern table: every node gets a small
+//! copyable [`NodeId`] (its index in registration order) so the scheduling hot
+//! path can pass node identities around without cloning `String`s. Names are
+//! resolved back through [`ClusterState::node_name`] only at the edges
+//! (manifests, logs, reports).
 
 use crate::node::Node;
 use crate::pod::{Pod, PodId, PodPhase, PodSpec};
@@ -6,6 +12,35 @@ use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Interned node identity: a dense index into the cluster's node table.
+///
+/// `NodeId`s are assigned in node-registration order and are stable for the
+/// lifetime of the cluster (nodes are never removed). They are deliberately
+/// tiny and `Copy` so rankings, feature pipelines and scratch buffers can
+/// carry node identities without touching the heap. Distinct from
+/// [`simnet::NodeId`], which identifies a NIC in the network substrate; the
+/// two are linked through [`Node::net_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index into the cluster's node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a table index.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
 
 /// Errors returned by cluster operations.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +85,8 @@ pub struct ClusterEvent {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusterState {
     nodes: Vec<Node>,
+    /// Name → [`NodeId`] intern index (kept in sync with `nodes`).
+    name_index: BTreeMap<String, u32>,
     pods: BTreeMap<u64, Pod>,
     next_pod_id: u64,
     events: Vec<ClusterEvent>,
@@ -61,29 +98,81 @@ impl ClusterState {
         Self::default()
     }
 
-    /// Add a node to the cluster.
-    pub fn add_node(&mut self, node: Node) {
+    /// Add a node to the cluster, interning its name. Returns the node's
+    /// stable [`NodeId`].
+    ///
+    /// # Panics
+    /// Panics when a node with the same name is already registered — a
+    /// silent remap would leave the intern table and resource accounting
+    /// pointing at different nodes.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let previous = self.name_index.insert(node.name.clone(), id.0);
+        assert!(
+            previous.is_none(),
+            "duplicate node name registered: {}",
+            node.name
+        );
         self.nodes.push(node);
+        id
     }
 
-    /// All nodes.
+    /// All nodes, indexed by [`NodeId`].
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
     }
 
-    /// Mutable access to all nodes (used to inject background load).
+    /// Mutable access to all nodes (used to inject background load). Node
+    /// names must not be changed through this; the intern table would go
+    /// stale.
     pub fn nodes_mut(&mut self) -> &mut [Node] {
         &mut self.nodes
     }
 
+    /// Number of nodes (== the number of interned [`NodeId`]s).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Ids of all nodes in registration order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Resolve a node name to its interned id.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied().map(NodeId)
+    }
+
+    /// Resolve an interned id back to the node name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this cluster.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Look up a node by interned id.
+    pub fn node_by_id(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Look up a node by interned id (mutable).
+    pub fn node_by_id_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id.index())
+    }
+
     /// Find a node by name.
     pub fn node(&self, name: &str) -> Option<&Node> {
-        self.nodes.iter().find(|n| n.name == name)
+        self.node_id(name).and_then(|id| self.nodes.get(id.index()))
     }
 
     /// Find a node by name (mutable).
     pub fn node_mut(&mut self, name: &str) -> Option<&mut Node> {
-        self.nodes.iter_mut().find(|n| n.name == name)
+        match self.node_id(name) {
+            Some(id) => self.nodes.get_mut(id.index()),
+            None => None,
+        }
     }
 
     /// Names of all nodes in order.
@@ -120,11 +209,13 @@ impl ClusterState {
     }
 
     /// Bind a pending pod to a node, reserving resources.
-    pub fn bind_pod(&mut self, id: PodId, node_name: &str, now: SimTime) -> Result<(), ClusterError> {
-        let pod = self
-            .pods
-            .get(&id.0)
-            .ok_or(ClusterError::NoSuchPod(id.0))?;
+    pub fn bind_pod(
+        &mut self,
+        id: PodId,
+        node_name: &str,
+        now: SimTime,
+    ) -> Result<(), ClusterError> {
+        let pod = self.pods.get(&id.0).ok_or(ClusterError::NoSuchPod(id.0))?;
         if pod.phase != PodPhase::Pending {
             return Err(ClusterError::InvalidPhase(format!(
                 "pod {} is {:?}, expected Pending",
@@ -132,15 +223,13 @@ impl ClusterState {
             )));
         }
         let requests = pod.spec.requests;
+        let pod_name = pod.spec.name.clone();
         let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.name == node_name)
+            .node_mut(node_name)
             .ok_or_else(|| ClusterError::NoSuchNode(node_name.to_string()))?;
         if !node.bind(id, requests) {
             return Err(ClusterError::BindFailed(format!(
-                "pod {} does not fit on {}",
-                pod.spec.name, node_name
+                "pod {pod_name} does not fit on {node_name}"
             )));
         }
         let pod = self.pods.get_mut(&id.0).expect("checked above");
@@ -154,7 +243,12 @@ impl ClusterState {
     }
 
     /// Mark a running pod as finished, releasing its resources.
-    pub fn complete_pod(&mut self, id: PodId, succeeded: bool, now: SimTime) -> Result<(), ClusterError> {
+    pub fn complete_pod(
+        &mut self,
+        id: PodId,
+        succeeded: bool,
+        now: SimTime,
+    ) -> Result<(), ClusterError> {
         let pod = self
             .pods
             .get_mut(&id.0)
@@ -165,12 +259,16 @@ impl ClusterState {
                 pod.spec.name, pod.phase
             )));
         }
-        pod.phase = if succeeded { PodPhase::Succeeded } else { PodPhase::Failed };
+        pod.phase = if succeeded {
+            PodPhase::Succeeded
+        } else {
+            PodPhase::Failed
+        };
         pod.finished_at = Some(now);
         let requests = pod.spec.requests;
         let node_name = pod.node.clone().expect("running pod has a node");
         let pod_name = pod.spec.name.clone();
-        if let Some(node) = self.nodes.iter_mut().find(|n| n.name == node_name) {
+        if let Some(node) = self.node_mut(&node_name) {
             node.release(id, requests);
         }
         self.record(
@@ -184,10 +282,13 @@ impl ClusterState {
 
     /// Delete a pod in any phase, releasing resources if it was running.
     pub fn delete_pod(&mut self, id: PodId, now: SimTime) -> Result<(), ClusterError> {
-        let pod = self.pods.remove(&id.0).ok_or(ClusterError::NoSuchPod(id.0))?;
+        let pod = self
+            .pods
+            .remove(&id.0)
+            .ok_or(ClusterError::NoSuchPod(id.0))?;
         if pod.phase == PodPhase::Running {
             if let (Some(node_name), requests) = (pod.node.clone(), pod.spec.requests) {
-                if let Some(node) = self.nodes.iter_mut().find(|n| n.name == node_name) {
+                if let Some(node) = self.node_mut(&node_name) {
                     node.release(id, requests);
                 }
             }
@@ -221,14 +322,18 @@ impl ClusterState {
     pub fn total_allocatable(&self) -> crate::resources::Resources {
         self.nodes
             .iter()
-            .fold(crate::resources::Resources::ZERO, |acc, n| acc + n.allocatable)
+            .fold(crate::resources::Resources::ZERO, |acc, n| {
+                acc + n.allocatable
+            })
     }
 
     /// Total requested resources across all nodes.
     pub fn total_allocated(&self) -> crate::resources::Resources {
         self.nodes
             .iter()
-            .fold(crate::resources::Resources::ZERO, |acc, n| acc + n.allocated())
+            .fold(crate::resources::Resources::ZERO, |acc, n| {
+                acc + n.allocated()
+            })
     }
 }
 
@@ -255,19 +360,28 @@ mod tests {
     fn create_bind_complete_lifecycle() {
         let mut c = cluster();
         let t0 = SimTime::from_secs(1);
-        let id = c.create_pod(PodSpec::new("driver", Resources::from_cores_and_gib(2, 2)), t0);
+        let id = c.create_pod(
+            PodSpec::new("driver", Resources::from_cores_and_gib(2, 2)),
+            t0,
+        );
         assert_eq!(c.pod(id).unwrap().phase, PodPhase::Pending);
         c.bind_pod(id, "node-2", SimTime::from_secs(2)).unwrap();
         assert_eq!(c.pod(id).unwrap().phase, PodPhase::Running);
         assert_eq!(c.pod(id).unwrap().node.as_deref(), Some("node-2"));
-        assert_eq!(c.node("node-2").unwrap().allocated(), Resources::from_cores_and_gib(2, 2));
+        assert_eq!(
+            c.node("node-2").unwrap().allocated(),
+            Resources::from_cores_and_gib(2, 2)
+        );
         assert_eq!(c.pods_on_node("node-2").len(), 1);
         assert_eq!(c.pods_on_node("node-1").len(), 0);
         c.complete_pod(id, true, SimTime::from_secs(30)).unwrap();
         assert_eq!(c.pod(id).unwrap().phase, PodPhase::Succeeded);
         assert_eq!(c.node("node-2").unwrap().allocated(), Resources::ZERO);
         assert_eq!(c.pods_on_node("node-2").len(), 0);
-        assert_eq!(c.pod(id).unwrap().run_duration().unwrap().as_secs_f64(), 28.0);
+        assert_eq!(
+            c.pod(id).unwrap().run_duration().unwrap().as_secs_f64(),
+            28.0
+        );
         // Events were recorded in order.
         let reasons: Vec<&str> = c.events().iter().map(|e| e.reason.as_str()).collect();
         assert_eq!(reasons, vec!["Created", "Scheduled", "Completed"]);
@@ -282,7 +396,10 @@ mod tests {
             c.bind_pod(id, "nope", t),
             Err(ClusterError::NoSuchNode(_))
         ));
-        let huge = c.create_pod(PodSpec::new("huge", Resources::from_cores_and_gib(64, 64)), t);
+        let huge = c.create_pod(
+            PodSpec::new("huge", Resources::from_cores_and_gib(64, 64)),
+            t,
+        );
         assert!(matches!(
             c.bind_pod(huge, "node-1", t),
             Err(ClusterError::BindFailed(_))
@@ -356,6 +473,49 @@ mod tests {
         assert!(c.node("node-2").is_some());
         assert!(c.node("nope").is_none());
         assert_eq!(c.node_names(), vec!["node-1", "node-2", "node-3"]);
+    }
+
+    #[test]
+    fn node_ids_are_interned_in_registration_order() {
+        let mut c = ClusterState::new();
+        let ids: Vec<super::NodeId> = (0..3)
+            .map(|i| {
+                c.add_node(Node::new(
+                    format!("node-{}", i + 1),
+                    NodeId(i),
+                    Resources::from_cores_and_gib(6, 8),
+                    "SITE",
+                ))
+            })
+            .collect();
+        assert_eq!(
+            ids,
+            vec![super::NodeId(0), super::NodeId(1), super::NodeId(2)]
+        );
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.node_id("node-2"), Some(super::NodeId(1)));
+        assert_eq!(c.node_id("nope"), None);
+        assert_eq!(c.node_name(super::NodeId(2)), "node-3");
+        assert_eq!(c.node_by_id(super::NodeId(0)).unwrap().name, "node-1");
+        assert!(c.node_by_id(super::NodeId(9)).is_none());
+        assert_eq!(c.node_ids().collect::<Vec<_>>(), ids);
+        assert_eq!(format!("{}", super::NodeId(4)), "#4");
+        assert_eq!(super::NodeId::from_index(7).index(), 7);
+        // Mutable id lookup reaches the same node.
+        c.node_by_id_mut(super::NodeId(1)).unwrap().schedulable = false;
+        assert!(!c.node("node-2").unwrap().schedulable);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_node_names_are_rejected() {
+        let mut c = cluster();
+        c.add_node(Node::new(
+            "node-1",
+            NodeId(9),
+            Resources::from_cores_and_gib(2, 2),
+            "SITE",
+        ));
     }
 
     #[test]

@@ -76,7 +76,9 @@ mod tests {
         assert!(built.executor_pods.iter().all(|e| e.affinity.is_empty()));
         assert_eq!(built.executor_pods.len(), 3);
         // Manifest carries the injection.
-        assert!(built.manifest_yaml.contains("requiredDuringSchedulingIgnoredDuringExecution"));
+        assert!(built
+            .manifest_yaml
+            .contains("requiredDuringSchedulingIgnoredDuringExecution"));
         assert!(built.manifest_yaml.contains("- node-5"));
         assert!(built.manifest_yaml.contains("kind: SparkApplication"));
     }

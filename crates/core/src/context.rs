@@ -1,0 +1,226 @@
+//! The borrowed, reusable scheduling context.
+//!
+//! Placement decisions arrive in bursts: many jobs ranked against the same
+//! telemetry snapshot and cluster state. [`SchedulingContext`] is the
+//! amortization point for such a burst. Built once from a borrowed snapshot +
+//! cluster, it:
+//!
+//! * resolves the name-keyed snapshot into a dense [`NodeId`]-indexed view
+//!   (telemetry lookups become array indexing; the RTT mesh is scanned once,
+//!   not once per candidate per decision),
+//! * caches the feasibility filter result across consecutive jobs with the
+//!   same driver sizing (the common case in a burst), and
+//! * owns the candidate / prediction / feature scratch buffers every policy
+//!   reuses, so steady-state decisions allocate only their output ranking.
+//!
+//! All [`crate::schedulers::JobScheduler`] policies take `&mut
+//! SchedulingContext` in [`crate::schedulers::JobScheduler::select`] and
+//! `select_batch`.
+
+use crate::decision::{DecisionModule, NodeRanking};
+use crate::features::FeatureVector;
+use crate::request::JobRequest;
+use cluster::scheduler::FilterResult;
+use cluster::{ClusterState, DefaultScheduler, NodeId};
+use telemetry::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry};
+
+/// Per-burst scheduling state: borrowed world view plus reusable scratch.
+#[derive(Debug)]
+pub struct SchedulingContext<'a> {
+    snapshot: &'a ClusterSnapshot,
+    cluster: &'a ClusterState,
+    telemetry: IndexedTelemetry,
+    /// Scratch: the current feasible candidate set.
+    pub(crate) candidates: Vec<NodeId>,
+    /// Driver sizing the cached candidate set was computed for.
+    candidate_key: Option<(u64, u64)>,
+    /// Scratch: one prediction per candidate.
+    pub(crate) predictions: Vec<f64>,
+    /// Scratch: feature vector reused across candidates.
+    pub(crate) features: FeatureVector,
+}
+
+impl<'a> SchedulingContext<'a> {
+    /// Build a context for one burst of decisions against a frozen snapshot
+    /// and cluster state. Costs one pass over the snapshot (nodes + RTT
+    /// mesh); everything after that is per-decision work.
+    pub fn new(snapshot: &'a ClusterSnapshot, cluster: &'a ClusterState) -> Self {
+        let nodes = cluster.node_count();
+        SchedulingContext {
+            telemetry: snapshot.index_for(cluster),
+            snapshot,
+            cluster,
+            candidates: Vec::with_capacity(nodes),
+            candidate_key: None,
+            predictions: Vec::with_capacity(nodes),
+            features: FeatureVector::new(),
+        }
+    }
+
+    /// The telemetry snapshot this burst decides against.
+    pub fn snapshot(&self) -> &'a ClusterSnapshot {
+        self.snapshot
+    }
+
+    /// The cluster state this burst decides against.
+    pub fn cluster(&self) -> &'a ClusterState {
+        self.cluster
+    }
+
+    /// The dense node-indexed telemetry view.
+    pub fn telemetry(&self) -> &IndexedTelemetry {
+        &self.telemetry
+    }
+
+    /// Host telemetry for one node (`None` when it was not scraped).
+    pub fn node_telemetry(&self, id: NodeId) -> Option<&NodeTelemetry> {
+        self.telemetry.node(id)
+    }
+
+    /// Precomputed (mean, max, std-dev) RTT statistics from one node.
+    pub fn rtt_stats(&self, id: NodeId) -> (f64, f64, f64) {
+        self.telemetry.rtt_stats(id)
+    }
+
+    /// Ids of the nodes on which the job's driver pod passes the default
+    /// scheduler's filtering phase (resource fit, affinity, taints). All
+    /// policies rank within this same candidate set so comparisons are
+    /// apples-to-apples.
+    ///
+    /// The result is cached across consecutive calls with identical driver
+    /// sizing — an unpinned driver pod's feasibility depends only on its
+    /// resource requests — which amortizes filtering across a burst of
+    /// same-shaped jobs.
+    pub fn feasible_candidates(&mut self, request: &JobRequest) -> &[NodeId] {
+        let key = (request.driver_cpu_millis, request.driver_memory_bytes);
+        if self.candidate_key != Some(key) {
+            let driver = request.to_job_spec().driver_pod(None);
+            self.candidates.clear();
+            for (index, node) in self.cluster.nodes().iter().enumerate() {
+                if DefaultScheduler::filter(&driver, node) == FilterResult::Feasible {
+                    self.candidates.push(NodeId::from_index(index));
+                }
+            }
+            self.candidate_key = Some(key);
+        }
+        &self.candidates
+    }
+
+    /// Rank the feasible candidates for `request` by a per-node score
+    /// (lower is better, ties break by [`NodeId`]). This is the shared
+    /// scoring scaffold for score-based policies: it owns the
+    /// candidates/predictions alignment invariant that
+    /// [`DecisionModule::rank`] asserts on, so policies only supply the
+    /// score itself.
+    pub fn rank_feasible(
+        &mut self,
+        request: &JobRequest,
+        mut score: impl FnMut(&mut Self, NodeId) -> f64,
+    ) -> NodeRanking {
+        let count = self.feasible_candidates(request).len();
+        self.predictions.clear();
+        for i in 0..count {
+            let id = self.candidates[i];
+            let value = score(self, id);
+            self.predictions.push(value);
+        }
+        DecisionModule.rank(&self.candidates, &self.predictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Node, PodSpec, Resources};
+    use simcore::SimTime;
+    use sparksim::WorkloadKind;
+    use telemetry::NodeTelemetry;
+
+    fn cluster(n: usize) -> ClusterState {
+        let mut c = ClusterState::new();
+        for i in 0..n {
+            c.add_node(Node::new(
+                format!("node-{}", i + 1),
+                simnet::NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                "SITE",
+            ));
+        }
+        c
+    }
+
+    fn snapshot(n: usize) -> ClusterSnapshot {
+        let mut snap = ClusterSnapshot {
+            time: SimTime::from_secs(10),
+            ..Default::default()
+        };
+        for i in 0..n {
+            let name = format!("node-{}", i + 1);
+            snap.nodes.insert(
+                name.clone(),
+                NodeTelemetry {
+                    cpu_load: i as f64,
+                    memory_available_bytes: 6e9,
+                    tx_rate: 0.0,
+                    rx_rate: 0.0,
+                },
+            );
+            for j in 0..n {
+                if i != j {
+                    snap.rtt.insert(
+                        (name.clone(), format!("node-{}", j + 1)),
+                        0.01 * (i + 1) as f64,
+                    );
+                }
+            }
+        }
+        snap
+    }
+
+    fn request(name: &str) -> JobRequest {
+        JobRequest::named(name, WorkloadKind::Sort, 100_000, 2)
+    }
+
+    #[test]
+    fn context_exposes_indexed_telemetry() {
+        let c = cluster(3);
+        let snap = snapshot(3);
+        let ctx = SchedulingContext::new(&snap, &c);
+        assert_eq!(ctx.cluster().node_count(), 3);
+        assert_eq!(ctx.snapshot().time, SimTime::from_secs(10));
+        assert_eq!(ctx.telemetry().len(), 3);
+        let id = c.node_id("node-2").unwrap();
+        assert_eq!(ctx.node_telemetry(id).unwrap().cpu_load, 1.0);
+        let (mean, _, _) = ctx.rtt_stats(id);
+        assert!((mean - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_is_cached_per_driver_sizing_and_refreshed_on_change() {
+        let mut c = cluster(3);
+        // Fill node-2 completely.
+        let id = c.create_pod(
+            PodSpec::new("hog", Resources::from_cores_and_gib(6, 8)),
+            SimTime::ZERO,
+        );
+        c.bind_pod(id, "node-2", SimTime::ZERO).unwrap();
+        let snap = snapshot(3);
+        let mut ctx = SchedulingContext::new(&snap, &c);
+
+        let small_a = ctx.feasible_candidates(&request("a")).to_vec();
+        assert_eq!(
+            small_a,
+            vec![c.node_id("node-1").unwrap(), c.node_id("node-3").unwrap()]
+        );
+        // Same sizing, different job: served from cache (same result).
+        let small_b = ctx.feasible_candidates(&request("b")).to_vec();
+        assert_eq!(small_a, small_b);
+
+        // An oversized driver fits nowhere; the cache must not serve the
+        // small-driver result.
+        let huge = request("huge").with_driver_resources(64_000, 64 * 1024 * 1024 * 1024);
+        assert!(ctx.feasible_candidates(&huge).is_empty());
+        // And switching back recomputes the small set.
+        assert_eq!(ctx.feasible_candidates(&request("c")).to_vec(), small_a);
+    }
+}

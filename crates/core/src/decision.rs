@@ -3,14 +3,20 @@
 //! *"Once the supervised model predicts expected job completion times across
 //! candidate nodes, the scheduler ranks nodes in ascending order of predicted
 //! duration. The top-ranked node is selected as the launch node."*
+//!
+//! Rankings carry interned [`NodeId`]s, not node names: the hot path never
+//! clones a `String`. Names are resolved through the cluster's intern table
+//! only at the edges (manifest rendering, logs, reports) via
+//! [`NodeRanking::best_name`] / [`NodeRanking::names`].
 
+use cluster::{ClusterState, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// One candidate node with its predicted completion time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RankedNode {
-    /// Node name.
-    pub node: String,
+    /// Interned node identity (resolve via the cluster that issued it).
+    pub node: NodeId,
     /// Predicted job completion time in seconds.
     pub predicted_seconds: f64,
 }
@@ -28,13 +34,26 @@ impl NodeRanking {
         self.ranked.first()
     }
 
-    /// Names of the top `k` nodes.
-    pub fn top_k(&self, k: usize) -> Vec<&str> {
-        self.ranked.iter().take(k).map(|r| r.node.as_str()).collect()
+    /// Name of the selected node, resolved against the issuing cluster.
+    pub fn best_name<'a>(&self, cluster: &'a ClusterState) -> Option<&'a str> {
+        self.best().map(|r| cluster.node_name(r.node))
+    }
+
+    /// Ids of the top `k` nodes.
+    pub fn top_k(&self, k: usize) -> Vec<NodeId> {
+        self.ranked.iter().take(k).map(|r| r.node).collect()
+    }
+
+    /// All ranked node names in order, resolved against the issuing cluster.
+    pub fn names<'a>(&self, cluster: &'a ClusterState) -> Vec<&'a str> {
+        self.ranked
+            .iter()
+            .map(|r| cluster.node_name(r.node))
+            .collect()
     }
 
     /// Position (0-based) of a node in the ranking.
-    pub fn position_of(&self, node: &str) -> Option<usize> {
+    pub fn position_of(&self, node: NodeId) -> Option<usize> {
         self.ranked.iter().position(|r| r.node == node)
     }
 
@@ -55,9 +74,9 @@ pub struct DecisionModule;
 
 impl DecisionModule {
     /// Build a ranking from parallel slices of candidates and predictions.
-    /// Ties break lexicographically by node name so decisions are
-    /// deterministic and auditable.
-    pub fn rank(&self, candidates: &[String], predictions: &[f64]) -> NodeRanking {
+    /// Ties break by ascending [`NodeId`] (registration order) so decisions
+    /// are deterministic and auditable.
+    pub fn rank(&self, candidates: &[NodeId], predictions: &[f64]) -> NodeRanking {
         assert_eq!(
             candidates.len(),
             predictions.len(),
@@ -66,8 +85,8 @@ impl DecisionModule {
         let mut ranked: Vec<RankedNode> = candidates
             .iter()
             .zip(predictions)
-            .map(|(node, &p)| RankedNode {
-                node: node.clone(),
+            .map(|(&node, &p)| RankedNode {
+                node,
                 predicted_seconds: p,
             })
             .collect();
@@ -85,28 +104,25 @@ impl DecisionModule {
 mod tests {
     use super::*;
 
-    fn candidates(names: &[&str]) -> Vec<String> {
-        names.iter().map(|s| s.to_string()).collect()
+    fn ids(indices: &[u32]) -> Vec<NodeId> {
+        indices.iter().map(|&i| NodeId(i)).collect()
     }
 
     #[test]
     fn ranks_ascending_by_prediction() {
-        let ranking = DecisionModule.rank(
-            &candidates(&["node-1", "node-2", "node-3"]),
-            &[30.0, 10.0, 20.0],
-        );
+        let ranking = DecisionModule.rank(&ids(&[0, 1, 2]), &[30.0, 10.0, 20.0]);
         assert_eq!(ranking.len(), 3);
-        assert_eq!(ranking.best().unwrap().node, "node-2");
-        assert_eq!(ranking.top_k(2), vec!["node-2", "node-3"]);
-        assert_eq!(ranking.position_of("node-1"), Some(2));
-        assert_eq!(ranking.position_of("node-9"), None);
+        assert_eq!(ranking.best().unwrap().node, NodeId(1));
+        assert_eq!(ranking.top_k(2), ids(&[1, 2]));
+        assert_eq!(ranking.position_of(NodeId(0)), Some(2));
+        assert_eq!(ranking.position_of(NodeId(9)), None);
         assert!(!ranking.is_empty());
     }
 
     #[test]
-    fn ties_break_by_name() {
-        let ranking = DecisionModule.rank(&candidates(&["node-b", "node-a"]), &[5.0, 5.0]);
-        assert_eq!(ranking.best().unwrap().node, "node-a");
+    fn ties_break_by_node_id() {
+        let ranking = DecisionModule.rank(&ids(&[5, 2]), &[5.0, 5.0]);
+        assert_eq!(ranking.best().unwrap().node, NodeId(2));
     }
 
     #[test]
@@ -119,7 +135,7 @@ mod tests {
 
     #[test]
     fn top_k_clamps_to_length() {
-        let ranking = DecisionModule.rank(&candidates(&["a", "b"]), &[1.0, 2.0]);
+        let ranking = DecisionModule.rank(&ids(&[0, 1]), &[1.0, 2.0]);
         assert_eq!(ranking.top_k(10).len(), 2);
         assert_eq!(ranking.top_k(0).len(), 0);
     }
@@ -127,14 +143,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "one prediction per candidate")]
     fn mismatched_lengths_panic() {
-        DecisionModule.rank(&candidates(&["a"]), &[1.0, 2.0]);
+        DecisionModule.rank(&ids(&[0]), &[1.0, 2.0]);
     }
 
     #[test]
     fn nan_predictions_do_not_crash_ranking() {
-        let ranking = DecisionModule.rank(&candidates(&["a", "b", "c"]), &[f64::NAN, 1.0, 2.0]);
+        let ranking = DecisionModule.rank(&ids(&[0, 1, 2]), &[f64::NAN, 1.0, 2.0]);
         assert_eq!(ranking.len(), 3);
         // All nodes still present.
-        assert!(ranking.position_of("a").is_some());
+        assert!(ranking.position_of(NodeId(0)).is_some());
+    }
+
+    #[test]
+    fn names_resolve_through_cluster() {
+        use cluster::{Node, Resources};
+        let mut c = ClusterState::new();
+        for i in 0..2 {
+            c.add_node(Node::new(
+                format!("node-{}", i + 1),
+                simnet::NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                "SITE",
+            ));
+        }
+        let ranking = DecisionModule.rank(&ids(&[1, 0]), &[1.0, 2.0]);
+        assert_eq!(ranking.best_name(&c), Some("node-2"));
+        assert_eq!(ranking.names(&c), vec!["node-2", "node-1"]);
     }
 }

@@ -20,7 +20,7 @@
 use crate::request::JobRequest;
 use serde::{Deserialize, Serialize};
 use sparksim::WorkloadKind;
-use telemetry::ClusterSnapshot;
+use telemetry::{ClusterSnapshot, NodeTelemetry};
 
 /// Which group a feature belongs to (Table 1's Type column). Used by the
 /// ablation experiments to drop whole groups.
@@ -127,8 +127,27 @@ impl FeatureSchema {
         job: &JobRequest,
     ) -> FeatureVector {
         let node = snapshot.node(candidate_node).copied().unwrap_or_default();
-        let (rtt_mean, rtt_max, rtt_std) = snapshot.rtt_stats_from(candidate_node);
+        let rtt_stats = snapshot.rtt_stats_from(candidate_node);
         let mut out = Vec::with_capacity(self.len());
+        self.construct_into(&mut out, &node, rtt_stats, job);
+        out
+    }
+
+    /// Allocation-free feature construction from pre-resolved telemetry: the
+    /// hot-path variant used by the scheduling context, which resolves
+    /// per-node telemetry and RTT statistics once per burst. `out` is cleared
+    /// and refilled; reuse it across candidates to avoid per-candidate
+    /// allocation.
+    pub fn construct_into(
+        &self,
+        out: &mut FeatureVector,
+        node: &NodeTelemetry,
+        rtt_stats: (f64, f64, f64),
+        job: &JobRequest,
+    ) {
+        let (rtt_mean, rtt_max, rtt_std) = rtt_stats;
+        out.clear();
+        out.reserve(self.len());
         for name in &self.names {
             let value = match name.as_str() {
                 "rtt_mean_s" => rtt_mean,
@@ -159,7 +178,6 @@ impl FeatureSchema {
             };
             out.push(value);
         }
-        out
     }
 
     /// Build a vector per candidate node, in the given order.
@@ -238,9 +256,21 @@ mod tests {
         assert_eq!(schema.names().len(), schema.groups().len());
         assert_eq!(schema.index_of("cpu_load"), Some(5));
         assert_eq!(schema.index_of("does_not_exist"), None);
-        let network = schema.groups().iter().filter(|g| **g == FeatureGroup::Network).count();
-        let node = schema.groups().iter().filter(|g| **g == FeatureGroup::Node).count();
-        let jobg = schema.groups().iter().filter(|g| **g == FeatureGroup::Job).count();
+        let network = schema
+            .groups()
+            .iter()
+            .filter(|g| **g == FeatureGroup::Network)
+            .count();
+        let node = schema
+            .groups()
+            .iter()
+            .filter(|g| **g == FeatureGroup::Node)
+            .count();
+        let jobg = schema
+            .groups()
+            .iter()
+            .filter(|g| **g == FeatureGroup::Job)
+            .count();
         assert_eq!((network, node, jobg), (5, 2, 10));
     }
 
@@ -277,6 +307,19 @@ mod tests {
     }
 
     #[test]
+    fn construct_into_matches_construct_and_reuses_buffer() {
+        let schema = FeatureSchema::standard();
+        let snap = snapshot();
+        let job = job();
+        let mut buffer = FeatureVector::new();
+        for node in ["node-1", "node-2", "node-99"] {
+            let telemetry = snap.node(node).copied().unwrap_or_default();
+            schema.construct_into(&mut buffer, &telemetry, snap.rtt_stats_from(node), &job);
+            assert_eq!(buffer, schema.construct(&snap, node, &job), "{node}");
+        }
+    }
+
+    #[test]
     fn construct_all_orders_by_candidates() {
         let schema = FeatureSchema::standard();
         let candidates = vec!["node-2".to_string(), "node-1".to_string()];
@@ -291,7 +334,10 @@ mod tests {
     fn group_restricted_schemas() {
         let network_only = FeatureSchema::with_groups(&[FeatureGroup::Network]);
         assert_eq!(network_only.len(), 5);
-        assert!(network_only.names().iter().all(|n| n.starts_with("rtt") || n.contains("rate")));
+        assert!(network_only
+            .names()
+            .iter()
+            .all(|n| n.starts_with("rtt") || n.contains("rate")));
         let no_network = FeatureSchema::with_groups(&[FeatureGroup::Node, FeatureGroup::Job]);
         assert_eq!(no_network.len(), 12);
         let vec = no_network.construct(&snapshot(), "node-1", &job());

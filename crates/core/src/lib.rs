@@ -22,11 +22,18 @@
 //! against (the Kubernetes default scheduler adapter, a uniform-random picker
 //! and two telemetry heuristics), all behind one [`schedulers::JobScheduler`]
 //! trait, and [`service::SchedulerService`] wires the whole pipeline together.
+//!
+//! Decisions run against a borrowed [`context::SchedulingContext`]: one
+//! burst-scoped view that indexes telemetry by interned [`cluster::NodeId`],
+//! caches feasibility filtering and owns the scratch buffers, so ranking a
+//! job allocates nothing but its output and batches amortize all shared work
+//! ([`schedulers::JobScheduler::select_batch`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod context;
 pub mod decision;
 pub mod features;
 pub mod fetcher;
@@ -38,6 +45,7 @@ pub mod service;
 pub mod training;
 
 pub use builder::JobBuilder;
+pub use context::SchedulingContext;
 pub use decision::{DecisionModule, NodeRanking, RankedNode};
 pub use features::{FeatureGroup, FeatureSchema, FeatureVector};
 pub use fetcher::TelemetryFetcher;

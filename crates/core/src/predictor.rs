@@ -40,7 +40,12 @@ impl CompletionTimePredictor {
 
     /// Predict the completion time (seconds) of `job` if its driver were
     /// placed on `candidate_node`. Predictions are clamped to be non-negative.
-    pub fn predict(&self, snapshot: &ClusterSnapshot, candidate_node: &str, job: &JobRequest) -> f64 {
+    pub fn predict(
+        &self,
+        snapshot: &ClusterSnapshot,
+        candidate_node: &str,
+        job: &JobRequest,
+    ) -> f64 {
         let features = self.schema.construct(snapshot, candidate_node, job);
         self.predict_from_features(&features)
     }

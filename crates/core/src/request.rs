@@ -73,11 +73,15 @@ impl JobRequest {
 
     /// Convert into a cluster-level [`JobSpec`] (driver + executor templates).
     pub fn to_job_spec(&self) -> JobSpec {
-        JobSpec::new(self.name.clone(), self.app_type(), self.workload.input_records)
-            .with_executors(self.workload.executor_count)
-            .with_driver_requests(self.driver_resources())
-            .with_executor_requests(self.executor_resources())
-            .with_shuffle_partitions(self.workload.shuffle_partitions)
+        JobSpec::new(
+            self.name.clone(),
+            self.app_type(),
+            self.workload.input_records,
+        )
+        .with_executors(self.workload.executor_count)
+        .with_driver_requests(self.driver_resources())
+        .with_executor_requests(self.executor_resources())
+        .with_shuffle_partitions(self.workload.shuffle_partitions)
     }
 }
 

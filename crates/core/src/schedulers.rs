@@ -1,20 +1,25 @@
 //! Scheduling policies: the supervised scheduler and the baselines it is
 //! compared against.
 //!
-//! Every policy implements [`JobScheduler`]: given a job request, the latest
-//! telemetry snapshot and the cluster state, produce a [`NodeRanking`] over
-//! the feasible candidate nodes (best first). Table 4 of the paper compares
-//! the supervised models against the Kubernetes default scheduler; the random
-//! and heuristic policies are additional reference points used by the
-//! ablation experiments.
+//! Every policy implements [`JobScheduler`]: given a job request and a
+//! [`SchedulingContext`] (the frozen snapshot + cluster for the current
+//! burst, plus shared scratch buffers), produce a [`NodeRanking`] over the
+//! feasible candidate nodes (best first). Rankings carry interned
+//! [`cluster::NodeId`]s; names are resolved only at the edges. Table 4 of the
+//! paper compares the supervised models against the Kubernetes default
+//! scheduler; the random and heuristic policies are additional reference
+//! points used by the ablation experiments.
+//!
+//! [`JobScheduler::select_batch`] ranks a whole burst of requests against one
+//! context, amortizing feasibility filtering and telemetry indexing across
+//! the burst.
 
-use crate::decision::{DecisionModule, NodeRanking, RankedNode};
+use crate::context::SchedulingContext;
+use crate::decision::{NodeRanking, RankedNode};
 use crate::predictor::CompletionTimePredictor;
 use crate::request::JobRequest;
-use cluster::scheduler::FilterResult;
-use cluster::{ClusterState, DefaultScheduler};
+use cluster::{ClusterState, DefaultScheduler, NodeId};
 use simcore::rng::Rng;
-use telemetry::ClusterSnapshot;
 
 /// A placement policy.
 pub trait JobScheduler {
@@ -23,23 +28,37 @@ pub trait JobScheduler {
 
     /// Rank the feasible nodes for this job, best first. An empty ranking
     /// means no node can host the driver.
-    fn select(
+    fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking;
+
+    /// Rank a burst of requests against one shared context. The default
+    /// implementation calls [`JobScheduler::select`] per request; the context
+    /// carries the amortized state (indexed telemetry, cached feasibility,
+    /// scratch buffers) between them, so even the default is batch-cheap.
+    /// Policies with additional cross-request structure can override it.
+    fn select_batch(
         &mut self,
-        request: &JobRequest,
-        snapshot: &ClusterSnapshot,
-        cluster: &ClusterState,
-    ) -> NodeRanking;
+        requests: &[JobRequest],
+        ctx: &mut SchedulingContext<'_>,
+    ) -> Vec<NodeRanking> {
+        requests
+            .iter()
+            .map(|request| self.select(request, ctx))
+            .collect()
+    }
 }
 
 /// Names of nodes on which the job's driver pod passes the default
-/// scheduler's filtering phase (resource fit, affinity, taints). All policies
-/// rank within this same candidate set so comparisons are apples-to-apples.
+/// scheduler's filtering phase. Convenience wrapper over
+/// [`SchedulingContext::feasible_candidates`] for callers that want names and
+/// have no burst to amortize; the hot path uses the context directly.
 pub fn feasible_candidates(request: &JobRequest, cluster: &ClusterState) -> Vec<String> {
     let driver = request.to_job_spec().driver_pod(None);
     cluster
         .nodes()
         .iter()
-        .filter(|node| DefaultScheduler::filter(&driver, node) == FilterResult::Feasible)
+        .filter(|node| {
+            DefaultScheduler::filter(&driver, node) == cluster::scheduler::FilterResult::Feasible
+        })
         .map(|node| node.name.clone())
         .collect()
 }
@@ -48,21 +67,22 @@ pub fn feasible_candidates(request: &JobRequest, cluster: &ClusterState) -> Vec<
 #[derive(Debug, Clone)]
 pub struct SupervisedScheduler {
     predictor: CompletionTimePredictor,
-    decision: DecisionModule,
 }
 
 impl SupervisedScheduler {
     /// Create a supervised scheduler from a trained predictor.
     pub fn new(predictor: CompletionTimePredictor) -> Self {
-        SupervisedScheduler {
-            predictor,
-            decision: DecisionModule,
-        }
+        SupervisedScheduler { predictor }
     }
 
     /// Access the underlying predictor.
     pub fn predictor(&self) -> &CompletionTimePredictor {
         &self.predictor
+    }
+
+    /// Replace the predictor (used by the service after retraining).
+    pub fn set_predictor(&mut self, predictor: CompletionTimePredictor) {
+        self.predictor = predictor;
     }
 }
 
@@ -71,15 +91,16 @@ impl JobScheduler for SupervisedScheduler {
         format!("supervised-{}", self.predictor.model_kind().display_name())
     }
 
-    fn select(
-        &mut self,
-        request: &JobRequest,
-        snapshot: &ClusterSnapshot,
-        cluster: &ClusterState,
-    ) -> NodeRanking {
-        let candidates = feasible_candidates(request, cluster);
-        let predictions = self.predictor.predict_all(snapshot, &candidates, request);
-        self.decision.rank(&candidates, &predictions)
+    fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking {
+        let predictor = &self.predictor;
+        ctx.rank_feasible(request, |ctx, id| {
+            let telemetry = ctx.telemetry().node(id).copied().unwrap_or_default();
+            let rtt_stats = ctx.telemetry().rtt_stats(id);
+            predictor
+                .schema()
+                .construct_into(&mut ctx.features, &telemetry, rtt_stats, request);
+            predictor.predict_from_features(&ctx.features)
+        })
     }
 }
 
@@ -106,13 +127,9 @@ impl JobScheduler for KubeDefaultScheduler {
         "kubernetes-default".to_string()
     }
 
-    fn select(
-        &mut self,
-        request: &JobRequest,
-        _snapshot: &ClusterSnapshot,
-        cluster: &ClusterState,
-    ) -> NodeRanking {
+    fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking {
         let driver = request.to_job_spec().driver_pod(None);
+        let cluster = ctx.cluster();
         use cluster::scheduler::Scheduler as _;
         match self.inner.schedule(&driver, cluster.nodes()) {
             cluster::ScheduleOutcome::Unschedulable { .. } => NodeRanking::default(),
@@ -123,9 +140,7 @@ impl JobScheduler for KubeDefaultScheduler {
                 let mut groups: Vec<Vec<cluster::ScoredNode>> = Vec::new();
                 for scored in ranking {
                     match groups.last_mut() {
-                        Some(group)
-                            if (group[0].score - scored.score).abs() < 1e-9 =>
-                        {
+                        Some(group) if (group[0].score - scored.score).abs() < 1e-9 => {
                             group.push(scored)
                         }
                         _ => groups.push(vec![scored]),
@@ -148,10 +163,12 @@ impl JobScheduler for KubeDefaultScheduler {
                 NodeRanking {
                     ranked: ordered
                         .into_iter()
-                        .map(|s| RankedNode {
-                            node: s.node,
-                            // Pseudo-prediction: higher kube score = "faster".
-                            predicted_seconds: (100.0 - s.score).max(0.0),
+                        .filter_map(|s| {
+                            cluster.node_id(&s.node).map(|id| RankedNode {
+                                node: id,
+                                // Pseudo-prediction: higher kube score = "faster".
+                                predicted_seconds: (100.0 - s.score).max(0.0),
+                            })
                         })
                         .collect(),
                 }
@@ -180,13 +197,8 @@ impl JobScheduler for RandomScheduler {
         "random".to_string()
     }
 
-    fn select(
-        &mut self,
-        request: &JobRequest,
-        _snapshot: &ClusterSnapshot,
-        cluster: &ClusterState,
-    ) -> NodeRanking {
-        let mut candidates = feasible_candidates(request, cluster);
+    fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking {
+        let mut candidates: Vec<NodeId> = ctx.feasible_candidates(request).to_vec();
         self.rng.shuffle(&mut candidates);
         NodeRanking {
             ranked: candidates
@@ -210,18 +222,13 @@ impl JobScheduler for LeastLoadedScheduler {
         "least-loaded-heuristic".to_string()
     }
 
-    fn select(
-        &mut self,
-        request: &JobRequest,
-        snapshot: &ClusterSnapshot,
-        cluster: &ClusterState,
-    ) -> NodeRanking {
-        let candidates = feasible_candidates(request, cluster);
-        let loads: Vec<f64> = candidates
-            .iter()
-            .map(|n| snapshot.node(n).map(|t| t.cpu_load).unwrap_or(f64::MAX))
-            .collect();
-        DecisionModule.rank(&candidates, &loads)
+    fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking {
+        ctx.rank_feasible(request, |ctx, id| {
+            ctx.telemetry()
+                .node(id)
+                .map(|t| t.cpu_load)
+                .unwrap_or(f64::MAX)
+        })
     }
 }
 
@@ -234,25 +241,15 @@ impl JobScheduler for LowestRttScheduler {
         "lowest-rtt-heuristic".to_string()
     }
 
-    fn select(
-        &mut self,
-        request: &JobRequest,
-        snapshot: &ClusterSnapshot,
-        cluster: &ClusterState,
-    ) -> NodeRanking {
-        let candidates = feasible_candidates(request, cluster);
-        let rtts: Vec<f64> = candidates
-            .iter()
-            .map(|n| {
-                let (mean, _, _) = snapshot.rtt_stats_from(n);
-                if mean > 0.0 {
-                    mean
-                } else {
-                    f64::MAX
-                }
-            })
-            .collect();
-        DecisionModule.rank(&candidates, &rtts)
+    fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking {
+        ctx.rank_feasible(request, |ctx, id| {
+            let (mean, _, _) = ctx.telemetry().rtt_stats(id);
+            if mean > 0.0 {
+                mean
+            } else {
+                f64::MAX
+            }
+        })
     }
 }
 
@@ -263,16 +260,15 @@ mod tests {
     use cluster::{Node, Resources};
     use mlcore::{Dataset, ModelConfig, ModelKind, TrainedModel};
     use simcore::SimTime;
-    use simnet::NodeId;
     use sparksim::WorkloadKind;
-    use telemetry::NodeTelemetry;
+    use telemetry::{ClusterSnapshot, NodeTelemetry};
 
     fn cluster(n: usize) -> ClusterState {
         let mut c = ClusterState::new();
         for i in 0..n {
             c.add_node(Node::new(
                 format!("node-{}", i + 1),
-                NodeId(i),
+                simnet::NodeId(i),
                 Resources::from_cores_and_gib(6, 8),
                 "SITE",
             ));
@@ -324,7 +320,8 @@ mod tests {
             let features = schema.construct(&snap, "node-1", &job);
             data.push(features, 10.0 + 4.0 * load as f64 / 5.0).unwrap();
         }
-        let model = TrainedModel::train(ModelKind::Linear, &ModelConfig::default(), &data, &mut rng);
+        let model =
+            TrainedModel::train(ModelKind::Linear, &ModelConfig::default(), &data, &mut rng);
         CompletionTimePredictor::new(schema, model)
     }
 
@@ -339,17 +336,29 @@ mod tests {
         c.bind_pod(id, "node-2", SimTime::ZERO).unwrap();
         let candidates = feasible_candidates(&request(), &c);
         assert_eq!(candidates, vec!["node-1", "node-3"]);
+        // The context agrees, id-for-name.
+        let snap = snapshot(3);
+        let mut ctx = SchedulingContext::new(&snap, &c);
+        let ids: Vec<&str> = ctx
+            .feasible_candidates(&request())
+            .iter()
+            .map(|&id| c.node_name(id))
+            .collect();
+        assert_eq!(ids, candidates);
     }
 
     #[test]
     fn supervised_scheduler_prefers_idle_nodes() {
         let mut sched = SupervisedScheduler::new(predictor());
         assert!(sched.name().contains("Linear"));
-        assert!(sched.predictor().schema().len() > 0);
-        let ranking = sched.select(&request(), &snapshot(4), &cluster(4));
+        assert!(!sched.predictor().schema().is_empty());
+        let c = cluster(4);
+        let snap = snapshot(4);
+        let mut ctx = SchedulingContext::new(&snap, &c);
+        let ranking = sched.select(&request(), &mut ctx);
         assert_eq!(ranking.len(), 4);
         // node-1 has the lowest load in the snapshot.
-        assert_eq!(ranking.best().unwrap().node, "node-1");
+        assert_eq!(ranking.best_name(&c), Some("node-1"));
         // Predictions ascend down the ranking.
         for pair in ranking.ranked.windows(2) {
             assert!(pair[0].predicted_seconds <= pair[1].predicted_seconds);
@@ -362,11 +371,12 @@ mod tests {
         assert_eq!(sched.name(), "kubernetes-default");
         let c = cluster(6);
         let snap = snapshot(6);
+        let mut ctx = SchedulingContext::new(&snap, &c);
         let mut firsts = std::collections::BTreeSet::new();
         for _ in 0..30 {
-            let ranking = sched.select(&request(), &snap, &c);
+            let ranking = sched.select(&request(), &mut ctx);
             assert_eq!(ranking.len(), 6);
-            firsts.insert(ranking.best().unwrap().node.clone());
+            firsts.insert(ranking.best_name(&c).unwrap().to_string());
         }
         assert!(firsts.len() >= 3, "tie-breaking should spread: {firsts:?}");
     }
@@ -375,9 +385,11 @@ mod tests {
     fn kube_default_empty_when_unschedulable() {
         let mut sched = KubeDefaultScheduler::new(3);
         let c = cluster(2);
+        let snap = snapshot(2);
+        let mut ctx = SchedulingContext::new(&snap, &c);
         let huge = JobRequest::named("huge", WorkloadKind::Sort, 1000, 1)
             .with_driver_resources(64_000, 64 * 1024 * 1024 * 1024);
-        let ranking = sched.select(&huge, &snapshot(2), &c);
+        let ranking = sched.select(&huge, &mut ctx);
         assert!(ranking.is_empty());
     }
 
@@ -387,11 +399,22 @@ mod tests {
         let snap = snapshot(6);
         let mut a = RandomScheduler::new(42);
         let mut b = RandomScheduler::new(42);
+        let mut ctx = SchedulingContext::new(&snap, &c);
         let picks_a: Vec<String> = (0..20)
-            .map(|_| a.select(&request(), &snap, &c).best().unwrap().node.clone())
+            .map(|_| {
+                a.select(&request(), &mut ctx)
+                    .best_name(&c)
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         let picks_b: Vec<String> = (0..20)
-            .map(|_| b.select(&request(), &snap, &c).best().unwrap().node.clone())
+            .map(|_| {
+                b.select(&request(), &mut ctx)
+                    .best_name(&c)
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         assert_eq!(picks_a, picks_b);
         let distinct: std::collections::BTreeSet<&String> = picks_a.iter().collect();
@@ -403,14 +426,15 @@ mod tests {
     fn heuristics_rank_by_their_signals() {
         let c = cluster(4);
         let snap = snapshot(4);
+        let mut ctx = SchedulingContext::new(&snap, &c);
         let mut least_loaded = LeastLoadedScheduler;
-        let r = least_loaded.select(&request(), &snap, &c);
-        assert_eq!(r.best().unwrap().node, "node-1", "lowest cpu_load");
+        let r = least_loaded.select(&request(), &mut ctx);
+        assert_eq!(r.best_name(&c), Some("node-1"), "lowest cpu_load");
         assert_eq!(least_loaded.name(), "least-loaded-heuristic");
 
         let mut lowest_rtt = LowestRttScheduler;
-        let r = lowest_rtt.select(&request(), &snap, &c);
-        assert_eq!(r.best().unwrap().node, "node-1", "lowest mean RTT");
+        let r = lowest_rtt.select(&request(), &mut ctx);
+        assert_eq!(r.best_name(&c), Some("node-1"), "lowest mean RTT");
         assert_eq!(lowest_rtt.name(), "lowest-rtt-heuristic");
     }
 
@@ -420,11 +444,52 @@ mod tests {
         let mut snap = snapshot(3);
         snap.nodes.remove("node-1");
         snap.rtt.retain(|(s, _), _| s != "node-1");
+        let mut ctx = SchedulingContext::new(&snap, &c);
         let mut least_loaded = LeastLoadedScheduler;
-        let r = least_loaded.select(&request(), &snap, &c);
-        assert_eq!(r.ranked.last().unwrap().node, "node-1");
+        let r = least_loaded.select(&request(), &mut ctx);
+        assert_eq!(c.node_name(r.ranked.last().unwrap().node), "node-1");
         let mut lowest_rtt = LowestRttScheduler;
-        let r = lowest_rtt.select(&request(), &snap, &c);
-        assert_eq!(r.ranked.last().unwrap().node, "node-1");
+        let r = lowest_rtt.select(&request(), &mut ctx);
+        assert_eq!(c.node_name(r.ranked.last().unwrap().node), "node-1");
+    }
+
+    #[test]
+    fn select_batch_equals_sequential_selects_for_every_policy() {
+        let c = cluster(5);
+        let snap = snapshot(5);
+        let requests: Vec<JobRequest> = (0..4)
+            .map(|i| {
+                JobRequest::named(
+                    format!("batch-{i}"),
+                    WorkloadKind::PAPER_SET[i % 3],
+                    50_000 + i as u64 * 10_000,
+                    2,
+                )
+            })
+            .collect();
+
+        // Stateless policies: batch must equal per-request selects exactly.
+        let mut supervised_a = SupervisedScheduler::new(predictor());
+        let mut supervised_b = SupervisedScheduler::new(predictor());
+        let mut ctx_a = SchedulingContext::new(&snap, &c);
+        let mut ctx_b = SchedulingContext::new(&snap, &c);
+        let batch = supervised_a.select_batch(&requests, &mut ctx_a);
+        let sequential: Vec<NodeRanking> = requests
+            .iter()
+            .map(|r| supervised_b.select(r, &mut ctx_b))
+            .collect();
+        assert_eq!(batch, sequential);
+
+        // Stateful (seeded) policies: batch must consume the RNG exactly like
+        // sequential selects, so equal seeds give equal outputs.
+        let batch = RandomScheduler::new(9).select_batch(&requests, &mut ctx_a);
+        let sequential: Vec<NodeRanking> = {
+            let mut policy = RandomScheduler::new(9);
+            requests
+                .iter()
+                .map(|r| policy.select(r, &mut ctx_b))
+                .collect()
+        };
+        assert_eq!(batch, sequential);
     }
 }

@@ -7,18 +7,20 @@
 //! plane modification, exactly as the paper emphasizes.
 
 use crate::builder::{BuiltJob, JobBuilder};
-use crate::decision::NodeRanking;
+use crate::context::SchedulingContext;
+use crate::decision::{NodeRanking, RankedNode};
 use crate::fetcher::TelemetryFetcher;
 use crate::logger::ExecutionLogger;
 use crate::predictor::CompletionTimePredictor;
 use crate::request::JobRequest;
-use crate::schedulers::{feasible_candidates, JobScheduler, SupervisedScheduler};
+use crate::schedulers::{JobScheduler, SupervisedScheduler};
 use crate::training::TrainingPipeline;
-use cluster::ClusterState;
+use cluster::{ClusterState, NodeId};
 use mlcore::ModelKind;
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
 use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
 use telemetry::{ClusterSnapshot, ScrapeManager};
 
 /// Service configuration.
@@ -50,14 +52,19 @@ pub struct SchedulingDecision {
     pub job: BuiltJob,
     /// The ranking over candidate nodes.
     pub ranking: NodeRanking,
-    /// The telemetry snapshot the decision was based on.
-    pub snapshot: ClusterSnapshot,
+    /// The telemetry snapshot the decision was based on. Shared (not deep
+    /// copied) across every decision of a batch.
+    pub snapshot: Arc<ClusterSnapshot>,
     /// Whether the supervised model was used (false = fallback placement
     /// because no model is trained yet).
     pub used_model: bool,
 }
 
 /// The user-space scheduling service.
+///
+/// The supervised scheduler is built once when a model becomes available and
+/// cached on the service; it is invalidated only by [`SchedulerService::retrain`].
+/// Decisions never clone the predictor.
 #[derive(Debug, Clone)]
 pub struct SchedulerService {
     config: SchedulerConfig,
@@ -65,7 +72,7 @@ pub struct SchedulerService {
     builder: JobBuilder,
     logger: ExecutionLogger,
     pipeline: TrainingPipeline,
-    predictor: Option<CompletionTimePredictor>,
+    scheduler: Option<SupervisedScheduler>,
     fallback_rng: Rng,
 }
 
@@ -78,24 +85,28 @@ impl SchedulerService {
             builder: JobBuilder,
             logger: ExecutionLogger::new(pipeline.schema.clone()),
             pipeline,
-            predictor: None,
+            scheduler: None,
             config,
             fallback_rng: Rng::seed_from_u64(seed),
         }
     }
 
     /// Create a service from an already trained predictor.
-    pub fn with_predictor(config: SchedulerConfig, predictor: CompletionTimePredictor, seed: u64) -> Self {
+    pub fn with_predictor(
+        config: SchedulerConfig,
+        predictor: CompletionTimePredictor,
+        seed: u64,
+    ) -> Self {
         let mut service = Self::new(config, seed);
         service.logger = ExecutionLogger::new(predictor.schema().clone());
         service.pipeline = TrainingPipeline::with_schema(predictor.schema().clone());
-        service.predictor = Some(predictor);
+        service.scheduler = Some(SupervisedScheduler::new(predictor));
         service
     }
 
     /// The active predictor, if trained.
     pub fn predictor(&self) -> Option<&CompletionTimePredictor> {
-        self.predictor.as_ref()
+        self.scheduler.as_ref().map(SupervisedScheduler::predictor)
     }
 
     /// The execution log collected so far.
@@ -110,7 +121,7 @@ impl SchedulerService {
 
     /// Whether the service currently schedules with the supervised model.
     pub fn is_model_active(&self) -> bool {
-        self.predictor.is_some()
+        self.scheduler.is_some()
     }
 
     /// Make a placement decision for `request` at time `now`.
@@ -126,20 +137,63 @@ impl SchedulerService {
         cluster: &ClusterState,
         now: SimTime,
     ) -> SchedulingDecision {
-        let snapshot = self.fetcher.fetch(metrics_server, now);
-        let (ranking, used_model) = match &self.predictor {
-            Some(predictor) => {
-                let mut scheduler = SupervisedScheduler::new(predictor.clone());
-                (scheduler.select(request, &snapshot, cluster), true)
-            }
+        let snapshot = Arc::new(self.fetcher.fetch(metrics_server, now));
+        let mut ctx = SchedulingContext::new(&snapshot, cluster);
+        let (ranking, used_model) = self.decide(request, &mut ctx);
+        drop(ctx);
+        let job = self.builder.build(request, ranking.best_name(cluster));
+        SchedulingDecision {
+            job,
+            ranking,
+            snapshot,
+            used_model,
+        }
+    }
+
+    /// Make placement decisions for a whole burst of requests against one
+    /// telemetry fetch and one [`SchedulingContext`], amortizing snapshot
+    /// indexing and feasibility filtering across the burst.
+    pub fn schedule_batch(
+        &mut self,
+        requests: &[JobRequest],
+        metrics_server: &ScrapeManager,
+        cluster: &ClusterState,
+        now: SimTime,
+    ) -> Vec<SchedulingDecision> {
+        let snapshot = Arc::new(self.fetcher.fetch(metrics_server, now));
+        let mut ctx = SchedulingContext::new(&snapshot, cluster);
+        requests
+            .iter()
+            .map(|request| {
+                let (ranking, used_model) = self.decide(request, &mut ctx);
+                let job = self.builder.build(request, ranking.best_name(cluster));
+                SchedulingDecision {
+                    job,
+                    ranking,
+                    snapshot: Arc::clone(&snapshot),
+                    used_model,
+                }
+            })
+            .collect()
+    }
+
+    /// The core decision: supervised when a model is cached, random-feasible
+    /// fallback otherwise. Uses the cached scheduler — no predictor clone.
+    fn decide(
+        &mut self,
+        request: &JobRequest,
+        ctx: &mut SchedulingContext<'_>,
+    ) -> (NodeRanking, bool) {
+        match &mut self.scheduler {
+            Some(scheduler) => (scheduler.select(request, ctx), true),
             None => {
-                let mut candidates = feasible_candidates(request, cluster);
+                let mut candidates: Vec<NodeId> = ctx.feasible_candidates(request).to_vec();
                 self.fallback_rng.shuffle(&mut candidates);
                 let ranking = NodeRanking {
                     ranked: candidates
                         .into_iter()
                         .enumerate()
-                        .map(|(i, node)| crate::decision::RankedNode {
+                        .map(|(i, node)| RankedNode {
                             node,
                             predicted_seconds: i as f64,
                         })
@@ -147,14 +201,6 @@ impl SchedulerService {
                 };
                 (ranking, false)
             }
-        };
-        let target = ranking.best().map(|r| r.node.clone());
-        let job = self.builder.build(request, target.as_deref());
-        SchedulingDecision {
-            job,
-            ranking,
-            snapshot,
-            used_model,
         }
     }
 
@@ -172,14 +218,18 @@ impl SchedulerService {
 
     /// Retrain the configured model family from the accumulated log. Returns
     /// `false` (and leaves any existing model untouched) when fewer than
-    /// `min_training_samples` executions have been recorded.
+    /// `min_training_samples` executions have been recorded. This is the only
+    /// point that invalidates the cached supervised scheduler.
     pub fn retrain(&mut self, rng: &mut Rng) -> bool {
         if self.logger.len() < self.config.min_training_samples {
             return false;
         }
         let data = self.logger.to_dataset();
         let outcome = self.pipeline.train_one(self.config.model_kind, &data, rng);
-        self.predictor = Some(outcome.predictor);
+        match &mut self.scheduler {
+            Some(scheduler) => scheduler.set_predictor(outcome.predictor),
+            None => self.scheduler = Some(SupervisedScheduler::new(outcome.predictor)),
+        }
         true
     }
 }
@@ -299,10 +349,30 @@ mod tests {
         assert!(bootstrap.retrain(&mut rng));
         let predictor = bootstrap.predictor().unwrap().clone();
 
-        let service =
-            SchedulerService::with_predictor(SchedulerConfig::default(), predictor, 9);
+        let service = SchedulerService::with_predictor(SchedulerConfig::default(), predictor, 9);
         assert!(service.is_model_active());
         assert_eq!(service.logged_executions(), 0);
+    }
+
+    #[test]
+    fn schedule_batch_matches_sequential_decisions() {
+        let (cluster, _network, scrape) = test_world();
+        let requests: Vec<JobRequest> = (0..5).map(request).collect();
+        let now = SimTime::from_secs(2);
+
+        // Fallback (pre-training) path: the RNG stream must advance the same
+        // way through the batch as through sequential calls.
+        let mut batch_service = SchedulerService::new(SchedulerConfig::default(), 7);
+        let mut seq_service = SchedulerService::new(SchedulerConfig::default(), 7);
+        let batch = batch_service.schedule_batch(&requests, &scrape, &cluster, now);
+        assert_eq!(batch.len(), requests.len());
+        for (request, batched) in requests.iter().zip(&batch) {
+            let sequential = seq_service.schedule(request, &scrape, &cluster, now);
+            assert_eq!(batched.ranking, sequential.ranking);
+            assert_eq!(batched.job.target_node, sequential.job.target_node);
+            assert_eq!(batched.used_model, sequential.used_model);
+            assert_eq!(batched.snapshot, sequential.snapshot);
+        }
     }
 
     #[test]

@@ -9,9 +9,7 @@
 use crate::features::FeatureSchema;
 use crate::logger::ExecutionLogger;
 use crate::predictor::CompletionTimePredictor;
-use mlcore::{
-    evaluate_on, Dataset, ModelKind, RegressionMetrics, TrainedModel,
-};
+use mlcore::{evaluate_on, Dataset, ModelKind, RegressionMetrics, TrainedModel};
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
 
@@ -83,7 +81,11 @@ impl TrainingPipeline {
     }
 
     /// Train every model family on the logger's archive.
-    pub fn train_from_logger(&self, logger: &ExecutionLogger, rng: &mut Rng) -> Vec<TrainingOutcome> {
+    pub fn train_from_logger(
+        &self,
+        logger: &ExecutionLogger,
+        rng: &mut Rng,
+    ) -> Vec<TrainingOutcome> {
         let data = logger.to_dataset();
         ModelKind::ALL
             .iter()
@@ -132,11 +134,8 @@ mod tests {
             let kind = *rng.choose(&WorkloadKind::PAPER_SET).unwrap();
             let records = 50_000 + rng.gen_range(200_000);
             let request = JobRequest::named(format!("job-{i}"), kind, records, 2);
-            let duration = 15.0
-                + 6.0 * load
-                + 300.0 * rtt
-                + records as f64 / 20_000.0
-                + rng.normal(0.0, 0.5);
+            let duration =
+                15.0 + 6.0 * load + 300.0 * rtt + records as f64 / 20_000.0 + rng.normal(0.0, 0.5);
             logger.log_execution(&snap, &request, "node-1", duration);
         }
         logger

@@ -30,7 +30,8 @@ pub struct AblationRow {
 
 /// Render ablation rows as a markdown table.
 pub fn ablation_markdown(title: &str, rows: &[AblationRow]) -> String {
-    let mut out = format!("### {title}\n\n| Variant | Top-1 | Top-2 | Scenarios |\n|---|---|---|---|\n");
+    let mut out =
+        format!("### {title}\n\n| Variant | Top-1 | Top-2 | Scenarios |\n|---|---|---|---|\n");
     for row in rows {
         out.push_str(&format!(
             "| {} | {:.3} | {:.3} | {} |\n",
@@ -60,7 +61,9 @@ fn evaluate_with_schema(
         let request = scenario.request();
         for outcome in &scenario.outcomes {
             let features = schema.construct(&scenario.snapshot, &outcome.node, &request);
-            train.push(features, outcome.completion_seconds).expect("schema width");
+            train
+                .push(features, outcome.completion_seconds)
+                .expect("schema width");
         }
     }
     let model = TrainedModel::train(kind, model_config, &train, &mut rng);
@@ -105,10 +108,22 @@ pub fn feature_group_ablation(
     seed: u64,
 ) -> Vec<AblationRow> {
     let variants: Vec<(&str, Vec<FeatureGroup>)> = vec![
-        ("full (network + node + job)", vec![FeatureGroup::Network, FeatureGroup::Node, FeatureGroup::Job]),
-        ("no network telemetry", vec![FeatureGroup::Node, FeatureGroup::Job]),
-        ("no node telemetry", vec![FeatureGroup::Network, FeatureGroup::Job]),
-        ("no job configuration", vec![FeatureGroup::Network, FeatureGroup::Node]),
+        (
+            "full (network + node + job)",
+            vec![FeatureGroup::Network, FeatureGroup::Node, FeatureGroup::Job],
+        ),
+        (
+            "no network telemetry",
+            vec![FeatureGroup::Node, FeatureGroup::Job],
+        ),
+        (
+            "no node telemetry",
+            vec![FeatureGroup::Network, FeatureGroup::Job],
+        ),
+        (
+            "no job configuration",
+            vec![FeatureGroup::Network, FeatureGroup::Node],
+        ),
         ("network telemetry only", vec![FeatureGroup::Network]),
         ("job configuration only", vec![FeatureGroup::Job]),
     ];
@@ -237,8 +252,14 @@ mod tests {
         // The full feature set should not be worse than job-configuration-only
         // features (which carry no placement signal at all).
         let full = rows.iter().find(|r| r.variant.starts_with("full")).unwrap();
-        let job_only = rows.iter().find(|r| r.variant.contains("job configuration only")).unwrap();
-        assert!(full.top2 + 1e-9 >= job_only.top2, "full {full:?} vs job-only {job_only:?}");
+        let job_only = rows
+            .iter()
+            .find(|r| r.variant.contains("job configuration only"))
+            .unwrap();
+        assert!(
+            full.top2 + 1e-9 >= job_only.top2,
+            "full {full:?} vs job-only {job_only:?}"
+        );
         let md = ablation_markdown("Feature groups", &rows);
         assert!(md.contains("Feature groups") && md.contains("no network telemetry"));
     }

@@ -13,7 +13,10 @@ use experiments::workflow::{ExperimentConfig, Workflow};
 use mlcore::{GradientBoostingConfig, ModelConfig, RandomForestConfig};
 
 fn main() {
-    let full = std::env::args().nth(1).map(|a| a == "full").unwrap_or(false);
+    let full = std::env::args()
+        .nth(1)
+        .map(|a| a == "full")
+        .unwrap_or(false);
     let base = if full {
         ExperimentConfig {
             repeats_per_config: 5,
@@ -34,7 +37,10 @@ fn main() {
         ..Default::default()
     };
 
-    eprintln!("generating dataset ({} scenarios) ...", base.scenario_count());
+    eprintln!(
+        "generating dataset ({} scenarios) ...",
+        base.scenario_count()
+    );
     let dataset = Workflow::new(base.clone()).run();
 
     let mut output = String::new();

@@ -9,8 +9,14 @@ use experiments::figures::sort_telemetry_figures;
 use experiments::report::{csv_table, emit, markdown_table, write_result_file};
 
 fn main() {
-    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
-    let records: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let records: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
     let figures = sort_telemetry_figures(runs, records, 2025);
 
     let rows: Vec<Vec<String>> = figures

@@ -15,5 +15,9 @@ fn main() {
         .unwrap_or(2025);
     let row = table3_sample(seed);
     let md = table3_markdown(&row);
-    emit("Table 3 — Representative training sample", "table3_sample.md", &md);
+    emit(
+        "Table 3 — Representative training sample",
+        "table3_sample.md",
+        &md,
+    );
 }

@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(request.workload.kind, config.kind);
         assert_eq!(request.workload.input_records, config.input_records);
         assert_eq!(request.workload.executor_count, config.executor_count);
-        assert_eq!(request.workload.executor_memory_bytes, config.executor_memory_bytes);
+        assert_eq!(
+            request.workload.executor_memory_bytes,
+            config.executor_memory_bytes
+        );
         assert_eq!(request.name, config.name());
     }
 
@@ -138,7 +141,12 @@ mod tests {
         let matrix = job_matrix();
         let sort_small = matrix
             .iter()
-            .find(|c| c.kind == WorkloadKind::Sort && c.input_records == 50_000 && c.executor_count == 2 && c.executor_memory_bytes == 1 << 30)
+            .find(|c| {
+                c.kind == WorkloadKind::Sort
+                    && c.input_records == 50_000
+                    && c.executor_count == 2
+                    && c.executor_memory_bytes == 1 << 30
+            })
             .unwrap();
         assert_eq!(sort_small.name(), "sort-50k-2x-1g");
     }

@@ -20,6 +20,7 @@ use crate::fabric::FabricTestbed;
 use crate::workflow::{ExperimentDataset, ScenarioRecord};
 use mlcore::metrics::top_k_contains_best;
 use mlcore::{evaluate_on, ModelConfig, ModelKind, RegressionMetrics, TrainedModel};
+use netsched_core::context::SchedulingContext;
 use netsched_core::predictor::CompletionTimePredictor;
 use netsched_core::schedulers::{JobScheduler, KubeDefaultScheduler, SupervisedScheduler};
 use serde::{Deserialize, Serialize};
@@ -138,10 +139,19 @@ pub fn evaluate_table4(
 
     // --- Kubernetes default scheduler baseline. ---
     let mut kube = KubeDefaultScheduler::new(seed ^ 0xAB);
-    rows.push(accuracy_over("Kubernetes Default", &test_scenarios, |scenario| {
-        let ranking = kube.select(&scenario.request(), &scenario.snapshot, &baseline_cluster);
-        ranking.ranked.into_iter().map(|r| r.node).collect()
-    }));
+    rows.push(accuracy_over(
+        "Kubernetes Default",
+        &test_scenarios,
+        |scenario| {
+            let mut ctx = SchedulingContext::new(&scenario.snapshot, &baseline_cluster);
+            let ranking = kube.select(&scenario.request(), &mut ctx);
+            ranking
+                .names(&baseline_cluster)
+                .into_iter()
+                .map(str::to_string)
+                .collect()
+        },
+    ));
 
     // --- Supervised models. ---
     for kind in ModelKind::ALL {
@@ -153,15 +163,35 @@ pub fn evaluate_table4(
         };
         model_fits.push(ModelFit { kind, metrics: fit });
         let predictor = CompletionTimePredictor::new(dataset.schema.clone(), model);
-        let mut scheduler = SupervisedScheduler::new(predictor.clone());
-        rows.push(accuracy_over(kind.display_name(), &test_scenarios, |scenario| {
-            // Rank over the scenario's own candidate set using its snapshot.
-            let candidates = scenario.candidate_nodes();
-            let predictions = predictor.predict_all(&scenario.snapshot, &candidates, &scenario.request());
-            let ranking = netsched_core::decision::DecisionModule.rank(&candidates, &predictions);
-            let _ = &mut scheduler; // scheduler kept for API parity; ranking computed directly
-            ranking.ranked.into_iter().map(|r| r.node).collect()
-        }));
+        let scheduler = SupervisedScheduler::new(predictor);
+        rows.push(accuracy_over(
+            kind.display_name(),
+            &test_scenarios,
+            |scenario| {
+                // Rank over the scenario's own candidate set (the nodes that
+                // actually ran the job) using its snapshot.
+                let candidates = scenario.candidate_nodes();
+                let predictions = scheduler.predictor().predict_all(
+                    &scenario.snapshot,
+                    &candidates,
+                    &scenario.request(),
+                );
+                let mut ids: Vec<cluster::NodeId> = Vec::with_capacity(candidates.len());
+                let mut aligned: Vec<f64> = Vec::with_capacity(candidates.len());
+                for (name, &p) in candidates.iter().zip(&predictions) {
+                    if let Some(id) = baseline_cluster.node_id(name) {
+                        ids.push(id);
+                        aligned.push(p);
+                    }
+                }
+                let ranking = netsched_core::decision::DecisionModule.rank(&ids, &aligned);
+                ranking
+                    .names(&baseline_cluster)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect()
+            },
+        ));
     }
 
     Table4Report {
@@ -222,7 +252,11 @@ mod tests {
         assert_eq!(report.train_samples, report.train_scenarios * 6);
         for row in &report.rows {
             assert!(row.top1 >= 0.0 && row.top1 <= 1.0);
-            assert!(row.top2 >= row.top1 - 1e-9, "{}: top2 must dominate top1", row.method);
+            assert!(
+                row.top2 >= row.top1 - 1e-9,
+                "{}: top2 must dominate top1",
+                row.method
+            );
             assert_eq!(row.evaluated, report.test_scenarios);
         }
         // The default scheduler is blind to telemetry: near-uniform accuracy.
@@ -256,13 +290,20 @@ mod tests {
             assert!(fit.metrics.rmse.is_finite());
         }
         // At least one model should explain a good part of the variance.
-        let best_r2 = report.model_fits.iter().map(|f| f.metrics.r2).fold(f64::MIN, f64::max);
+        let best_r2 = report
+            .model_fits
+            .iter()
+            .map(|f| f.metrics.r2)
+            .fold(f64::MIN, f64::max);
         assert!(best_r2 > 0.3, "best r2 {best_r2}");
     }
 
     #[test]
     fn ranking_hits_helper() {
-        assert_eq!(ranking_hits(&[1.0, 2.0, 3.0], &[5.0, 1.0, 9.0]), (false, true));
+        assert_eq!(
+            ranking_hits(&[1.0, 2.0, 3.0], &[5.0, 1.0, 9.0]),
+            (false, true)
+        );
         assert_eq!(ranking_hits(&[2.0, 1.0], &[9.0, 1.0]), (true, true));
     }
 

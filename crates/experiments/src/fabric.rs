@@ -89,7 +89,10 @@ impl FabricTestbed {
                 Node::new(
                     node.name.clone(),
                     node.id,
-                    Resources::from_cores_and_gib(config.cores_per_node, config.memory_gib_per_node),
+                    Resources::from_cores_and_gib(
+                        config.cores_per_node,
+                        config.memory_gib_per_node,
+                    ),
                     site,
                 )
                 // Give each host a distinct idle footprint (daemons, page
@@ -124,7 +127,12 @@ impl FabricTestbed {
         // node-1..node-6 assigned round-robin: UCSD {1,4}, FIU {2,5}, SRI {3,6}.
         for i in 0..(config.nodes_per_site * 3) {
             let site = sites[i % 3];
-            b.add_node(format!("node-{}", i + 1), site, config.nic_bps, config.nic_bps);
+            b.add_node(
+                format!("node-{}", i + 1),
+                site,
+                config.nic_bps,
+                config.nic_bps,
+            );
         }
         // One-way delay = RTT / 2.
         b.connect_sites(
@@ -193,7 +201,10 @@ mod tests {
         assert_eq!(tb.node_count(), 6);
         assert_eq!(tb.network.topology().sites().len(), 3);
         assert_eq!(tb.network.topology().links().len(), 3);
-        assert_eq!(tb.node_names(), vec!["node-1", "node-2", "node-3", "node-4", "node-5", "node-6"]);
+        assert_eq!(
+            tb.node_names(),
+            vec!["node-1", "node-2", "node-3", "node-4", "node-5", "node-6"]
+        );
         // Nodes have the paper's capacity.
         for node in tb.cluster.nodes() {
             assert_eq!(node.allocatable.cpu_cores(), 6.0);
@@ -205,7 +216,12 @@ mod tests {
                 .cluster
                 .nodes()
                 .iter()
-                .filter(|n| n.labels.get("topology.kubernetes.io/zone").map(String::as_str) == Some(site))
+                .filter(|n| {
+                    n.labels
+                        .get("topology.kubernetes.io/zone")
+                        .map(String::as_str)
+                        == Some(site)
+                })
                 .count();
             assert_eq!(count, 2, "{site}");
         }

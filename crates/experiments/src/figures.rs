@@ -194,7 +194,12 @@ pub fn figure4_topology(seed: u64) -> Figure4Topology {
             .cluster
             .nodes()
             .iter()
-            .filter(|n| n.labels.get("topology.kubernetes.io/zone").map(String::as_str) == Some(site))
+            .filter(|n| {
+                n.labels
+                    .get("topology.kubernetes.io/zone")
+                    .map(String::as_str)
+                    == Some(site)
+            })
             .map(|n| n.name.clone())
             .collect();
         sites.push((site.to_string(), nodes));
@@ -256,10 +261,19 @@ mod tests {
         let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = latencies.iter().cloned().fold(0.0, f64::max);
         assert!(max > min, "latency must differ across nodes: {latencies:?}");
-        assert!(max > 10.0, "WAN nodes see tens of milliseconds: {latencies:?}");
-        assert!(figures.per_node.iter().all(|n| n.avg_tx_bandwidth_mbps >= 0.0));
+        assert!(
+            max > 10.0,
+            "WAN nodes see tens of milliseconds: {latencies:?}"
+        );
+        assert!(figures
+            .per_node
+            .iter()
+            .all(|n| n.avg_tx_bandwidth_mbps >= 0.0));
         // Some node transmitted shuffle data.
-        assert!(figures.per_node.iter().any(|n| n.avg_tx_bandwidth_mbps > 0.1));
+        assert!(figures
+            .per_node
+            .iter()
+            .any(|n| n.avg_tx_bandwidth_mbps > 0.1));
         // Figure accessors and markdown.
         assert_eq!(figures.figure2_latency().len(), 6);
         assert_eq!(figures.figure3_tx_bandwidth().len(), 6);
@@ -273,10 +287,18 @@ mod tests {
         assert_eq!(fig.sites.len(), 3);
         assert!(fig.sites.iter().all(|(_, nodes)| nodes.len() == 2));
         assert_eq!(fig.edges.len(), 3);
-        let ucsd_fiu = fig.edges.iter().find(|e| e.a == "UCSD" && e.b == "FIU").unwrap();
+        let ucsd_fiu = fig
+            .edges
+            .iter()
+            .find(|e| e.a == "UCSD" && e.b == "FIU")
+            .unwrap();
         assert_eq!(ucsd_fiu.rtt_ms, 66.0);
         // Measured RTT is within jitter/congestion tolerance of the configured value.
-        assert!((ucsd_fiu.measured_rtt_ms - 66.0).abs() < 10.0, "{}", ucsd_fiu.measured_rtt_ms);
+        assert!(
+            (ucsd_fiu.measured_rtt_ms - 66.0).abs() < 10.0,
+            "{}",
+            ucsd_fiu.measured_rtt_ms
+        );
         let md = fig.to_markdown();
         assert!(md.contains("UCSD") && md.contains("Measured RTT"));
     }

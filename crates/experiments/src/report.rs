@@ -80,7 +80,10 @@ mod tests {
     fn markdown_table_shape() {
         let md = markdown_table(
             &["Method", "Top-1"],
-            &[vec!["RF".into(), "0.7".into()], vec!["LR".into(), "0.5".into()]],
+            &[
+                vec!["RF".into(), "0.7".into()],
+                vec!["LR".into(), "0.5".into()],
+            ],
         );
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -97,7 +100,8 @@ mod tests {
 
     #[test]
     fn results_dir_env_override_and_write() {
-        let tmp = std::env::temp_dir().join(format!("netsched-results-test-{}", std::process::id()));
+        let tmp =
+            std::env::temp_dir().join(format!("netsched-results-test-{}", std::process::id()));
         std::env::set_var("NETSCHED_RESULTS_DIR", &tmp);
         assert_eq!(results_dir(), tmp);
         let path = write_result_file("unit_test.md", "hello").expect("writable temp dir");

@@ -38,16 +38,23 @@ pub struct WorkloadCharacteristics {
     /// Measured completion time on an idle cluster, seconds.
     pub completion_seconds: f64,
     /// The paper's qualitative rationale.
-    pub rationale: &'static str,
+    pub rationale: String,
 }
 
 /// Table 2: characterize the paper's three workloads by actually running them
 /// once each on an otherwise idle testbed.
-pub fn table2_workload_characteristics(input_records: u64, seed: u64) -> Vec<WorkloadCharacteristics> {
+pub fn table2_workload_characteristics(
+    input_records: u64,
+    seed: u64,
+) -> Vec<WorkloadCharacteristics> {
     let rationale = |kind: WorkloadKind| -> &'static str {
         match kind {
-            WorkloadKind::Sort => "High network and CPU usage from large shuffles; moderate memory load",
-            WorkloadKind::PageRank => "High network and CPU usage from iterative data exchange; moderate memory load",
+            WorkloadKind::Sort => {
+                "High network and CPU usage from large shuffles; moderate memory load"
+            }
+            WorkloadKind::PageRank => {
+                "High network and CPU usage from iterative data exchange; moderate memory load"
+            }
             WorkloadKind::Join => "Skewed network, CPU, and memory usage due to imbalanced joins",
             WorkloadKind::GroupBy => "Combiner-reduced shuffle; moderate CPU",
             WorkloadKind::WordCount => "Map-heavy CPU; minimal shuffle",
@@ -75,7 +82,7 @@ pub fn table2_workload_characteristics(input_records: u64, seed: u64) -> Vec<Wor
                 peak_task_memory_mb: dag.peak_memory_per_task() / 1e6,
                 skew: max_skew,
                 completion_seconds: completion,
-                rationale: rationale(kind),
+                rationale: rationale(kind).to_string(),
             }
         })
         .collect()
@@ -129,7 +136,9 @@ pub fn table3_sample(seed: u64) -> TrainingSampleRow {
     world.advance_by(SimDuration::from_secs(12));
     let request = JobRequest::named("sort-sample", WorkloadKind::Sort, 100_000, 2);
     let target = "node-2";
-    let outcome = world.run_job(&request, target).expect("sample job is feasible");
+    let outcome = world
+        .run_job(&request, target)
+        .expect("sample job is feasible");
     let snapshot = &outcome.pre_run_snapshot;
     let telemetry = snapshot.node(target).copied().unwrap_or_default();
     let (rtt_mean, _, _) = snapshot.rtt_stats_from(target);

@@ -231,7 +231,8 @@ impl Workflow {
             .configs
             .iter()
             .flat_map(|config| {
-                (0..self.config.repeats_per_config).map(move |repeat| (config.id, config.clone(), repeat))
+                (0..self.config.repeats_per_config)
+                    .map(move |repeat| (config.id, config.clone(), repeat))
             })
             .enumerate()
             .map(|(scenario_id, (_cfg_id, config, repeat))| (scenario_id, config, repeat))
@@ -250,14 +251,22 @@ impl Workflow {
 
     /// Run a single scenario: freeze a contended system state and measure the
     /// job's completion time for every candidate driver node.
-    pub fn run_scenario(&self, scenario_id: usize, config: &JobConfig, repeat: usize) -> ScenarioRecord {
+    pub fn run_scenario(
+        &self,
+        scenario_id: usize,
+        config: &JobConfig,
+        repeat: usize,
+    ) -> ScenarioRecord {
         // Independent deterministic stream per scenario.
         let scenario_seed = self
             .config
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(scenario_id as u64);
-        let mut world = SimWorld::new(FabricTestbed::build(self.config.fabric.clone()), scenario_seed);
+        let mut world = SimWorld::new(
+            FabricTestbed::build(self.config.fabric.clone()),
+            scenario_seed,
+        );
 
         // Background contention: a random number of pods on random nodes.
         let (lo, hi) = self.config.background_pods;
@@ -272,7 +281,9 @@ impl Workflow {
 
         // Warm-up so telemetry (rates, RTT inflation) reflects the contention.
         let (w_lo, w_hi) = self.config.warmup_seconds;
-        let warmup = world.rng_mut().uniform(w_lo.min(w_hi), w_hi.max(w_lo + 1e-9));
+        let warmup = world
+            .rng_mut()
+            .uniform(w_lo.min(w_hi), w_hi.max(w_lo + 1e-9));
         world.advance_by(SimDuration::from_secs_f64(warmup.max(1.0)));
 
         let background_hosts = world.background_hosts();
@@ -345,7 +356,11 @@ mod tests {
             let completions = scenario.completions();
             let min = completions.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = completions.iter().cloned().fold(0.0, f64::max);
-            assert!(max > min, "placement must matter in scenario {}", scenario.scenario_id);
+            assert!(
+                max > min,
+                "placement must matter in scenario {}",
+                scenario.scenario_id
+            );
         }
     }
 

@@ -74,7 +74,10 @@ impl ContentionDriver for BackgroundDriver {
         for (i, generator) in self.generators.iter_mut().enumerate() {
             // Has the pod's current download finished?
             if let Some(flow_id) = self.in_flight[i] {
-                let still_active = network.flow(flow_id).map(|f| f.is_active()).unwrap_or(false);
+                let still_active = network
+                    .flow(flow_id)
+                    .map(|f| f.is_active())
+                    .unwrap_or(false);
                 if still_active {
                     // Completion is tracked by the network's own event horizon.
                     continue;
@@ -91,8 +94,12 @@ impl ContentionDriver for BackgroundDriver {
             if self.in_flight[i].is_none() {
                 if self.next_start[i] <= now {
                     let transfer = generator.next_transfer(&mut self.rng);
-                    let flow =
-                        network.start_flow(transfer.src, transfer.dst, transfer.bytes, transfer.kind);
+                    let flow = network.start_flow(
+                        transfer.src,
+                        transfer.dst,
+                        transfer.bytes,
+                        transfer.kind,
+                    );
                     self.in_flight[i] = Some(flow);
                 } else {
                     next = Some(match next {
@@ -296,7 +303,11 @@ impl SimWorld {
         // Bind the driver pod to the chosen node.
         let driver_pod_spec = spec.driver_pod(Some(driver_node));
         let driver_pod = self.cluster.create_pod(driver_pod_spec, self.now);
-        if self.cluster.bind_pod(driver_pod, driver_node, self.now).is_err() {
+        if self
+            .cluster
+            .bind_pod(driver_pod, driver_node, self.now)
+            .is_err()
+        {
             let _ = self.cluster.delete_pod(driver_pod, self.now);
             return None;
         }
@@ -304,7 +315,9 @@ impl SimWorld {
         // Executors go wherever the default scheduler puts them.
         let mut executor_pods: Vec<(PodId, String)> = Vec::new();
         for exec_spec in spec.executor_pods() {
-            let outcome = self.executor_scheduler.schedule(&exec_spec, self.cluster.nodes());
+            let outcome = self
+                .executor_scheduler
+                .schedule(&exec_spec, self.cluster.nodes());
             let Some(node_name) = outcome.node().map(str::to_string) else {
                 // Roll back everything we bound so far.
                 self.rollback(driver_pod, &executor_pods);
@@ -402,7 +415,12 @@ mod tests {
         w.place_background_load(2, &BackgroundLoadConfig::default());
         assert!(w.has_background_load());
         assert_eq!(w.background_hosts().len(), 2);
-        let loaded: Vec<f64> = w.cluster.nodes().iter().map(|n| n.background_cpu_load).collect();
+        let loaded: Vec<f64> = w
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| n.background_cpu_load)
+            .collect();
         assert_eq!(loaded.iter().filter(|&&l| l > 0.0).count(), 2);
         w.advance_by(SimDuration::from_secs(20));
         // The downloads moved bytes somewhere.
@@ -413,7 +431,11 @@ mod tests {
         assert!(snap.nodes.values().any(|t| t.rx_rate > 0.0));
         w.clear_background_load();
         assert!(!w.has_background_load());
-        assert!(w.cluster.nodes().iter().all(|n| n.background_cpu_load == 0.0));
+        assert!(w
+            .cluster
+            .nodes()
+            .iter()
+            .all(|n| n.background_cpu_load == 0.0));
     }
 
     #[test]
@@ -452,7 +474,10 @@ mod tests {
         let mut b = base.clone();
         let ra = a.run_job(&request(150_000), "node-2").unwrap();
         let rb = b.run_job(&request(150_000), "node-2").unwrap();
-        assert_eq!(ra.result.completion_seconds(), rb.result.completion_seconds());
+        assert_eq!(
+            ra.result.completion_seconds(),
+            rb.result.completion_seconds()
+        );
         assert_eq!(ra.executor_nodes, rb.executor_nodes);
     }
 
@@ -465,7 +490,10 @@ mod tests {
             .iter()
             .map(|node| {
                 let mut w = base.clone();
-                w.run_job(&request(200_000), node).unwrap().result.completion_seconds()
+                w.run_job(&request(200_000), node)
+                    .unwrap()
+                    .result
+                    .completion_seconds()
             })
             .collect();
         let min = completions.iter().cloned().fold(f64::INFINITY, f64::min);

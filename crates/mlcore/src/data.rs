@@ -273,7 +273,8 @@ mod tests {
     fn toy() -> Dataset {
         let mut d = Dataset::new(vec!["a".into(), "b".into()]);
         for i in 0..10 {
-            d.push(vec![i as f64, (i * 2) as f64], i as f64 * 3.0).unwrap();
+            d.push(vec![i as f64, (i * 2) as f64], i as f64 * 3.0)
+                .unwrap();
         }
         d
     }
@@ -296,7 +297,10 @@ mod tests {
         let mut d = toy();
         assert_eq!(
             d.push(vec![1.0], 0.0),
-            Err(DataError::DimensionMismatch { expected: 2, got: 1 })
+            Err(DataError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         );
         assert!(format!("{}", DataError::Empty).contains("empty"));
     }
@@ -355,7 +359,11 @@ mod tests {
         assert_eq!(folds.len(), 5);
         let mut all_test: Vec<usize> = folds.iter().flat_map(|f| f.test.iter().copied()).collect();
         all_test.sort_unstable();
-        assert_eq!(all_test, (0..25).collect::<Vec<usize>>(), "test folds partition the data");
+        assert_eq!(
+            all_test,
+            (0..25).collect::<Vec<usize>>(),
+            "test folds partition the data"
+        );
         for fold in &folds {
             assert_eq!(fold.train.len() + fold.test.len(), 25);
             // Train and test are disjoint.

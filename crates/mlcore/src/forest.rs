@@ -94,10 +94,13 @@ impl RandomForest {
             return;
         }
         let n = data.len();
-        let sample_size = ((n as f64) * self.config.sample_fraction.clamp(0.05, 1.0)).round() as usize;
+        let sample_size =
+            ((n as f64) * self.config.sample_fraction.clamp(0.05, 1.0)).round() as usize;
         let sample_size = sample_size.max(1);
         let max_features = match self.config.feature_fraction {
-            Some(frac) => ((self.n_features as f64 * frac).round() as usize).clamp(1, self.n_features),
+            Some(frac) => {
+                ((self.n_features as f64 * frac).round() as usize).clamp(1, self.n_features)
+            }
             None => ((self.n_features as f64).sqrt().round() as usize).clamp(1, self.n_features),
         };
         let tree_config = DecisionTreeConfig {
@@ -249,7 +252,12 @@ mod tests {
     fn importance_highlights_informative_features() {
         // Only x0 and x3 matter strongly in this response.
         let mut rng = Rng::seed_from_u64(11);
-        let mut d = Dataset::new(vec!["a".into(), "noise1".into(), "noise2".into(), "b".into()]);
+        let mut d = Dataset::new(vec![
+            "a".into(),
+            "noise1".into(),
+            "noise2".into(),
+            "b".into(),
+        ]);
         for _ in 0..500 {
             let a = rng.uniform(0.0, 1.0);
             let n1 = rng.uniform(0.0, 1.0);
@@ -272,7 +280,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(14);
         let mut forest = RandomForest::new(RandomForestConfig {
             n_trees: 5,
-            sample_fraction: 0.0, // clamps to 0.05
+            sample_fraction: 0.0,         // clamps to 0.05
             feature_fraction: Some(10.0), // clamps to all features
             workers: 2,
             ..Default::default()

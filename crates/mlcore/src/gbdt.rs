@@ -92,8 +92,9 @@ impl GradientBoosting {
         }
 
         // Optional validation holdout for early stopping.
-        let use_validation =
-            self.config.validation_fraction > 0.0 && data.len() >= 20 && self.config.early_stopping_rounds > 0;
+        let use_validation = self.config.validation_fraction > 0.0
+            && data.len() >= 20
+            && self.config.early_stopping_rounds > 0;
         let (train, valid) = if use_validation {
             let (t, v) = data.train_test_split(self.config.validation_fraction, rng);
             (t, Some(v))
@@ -211,7 +212,8 @@ mod tests {
             let x1 = rng.uniform(0.0, 1.0);
             let x2 = rng.uniform(0.0, 1.0);
             let x3 = rng.uniform(0.0, 1.0);
-            let y = 10.0 * (x1 * x2).sqrt() + if x3 > 0.5 { 20.0 } else { 0.0 } + rng.normal(0.0, 0.3);
+            let y =
+                10.0 * (x1 * x2).sqrt() + if x3 > 0.5 { 20.0 } else { 0.0 } + rng.normal(0.0, 0.3);
             d.push(vec![x1, x2, x3], y).unwrap();
         }
         d
@@ -264,7 +266,8 @@ mod tests {
         let mut rng = Rng::seed_from_u64(5);
         let mut d = Dataset::new(vec!["x".into()]);
         for _ in 0..300 {
-            d.push(vec![rng.uniform(0.0, 1.0)], rng.normal(0.0, 1.0)).unwrap();
+            d.push(vec![rng.uniform(0.0, 1.0)], rng.normal(0.0, 1.0))
+                .unwrap();
         }
         let mut model = GradientBoosting::new(GradientBoostingConfig {
             n_rounds: 500,
@@ -308,7 +311,11 @@ mod tests {
             ..Default::default()
         });
         model.fit(&data, &mut rng);
-        assert_eq!(model.rounds_used(), 20, "too few rows for a validation split");
+        assert_eq!(
+            model.rounds_used(),
+            20,
+            "too few rows for a validation split"
+        );
         let m = RegressionMetrics::compute(&model.predict(&data), data.targets());
         assert!(m.r2 > 0.8);
     }

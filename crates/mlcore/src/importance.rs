@@ -87,7 +87,8 @@ mod tests {
             let s = rng.uniform(0.0, 10.0);
             let w = rng.uniform(0.0, 10.0);
             let n = rng.uniform(0.0, 10.0);
-            d.push(vec![s, w, n], 10.0 * s + 1.0 * w + rng.normal(0.0, 0.1)).unwrap();
+            d.push(vec![s, w, n], 10.0 * s + 1.0 * w + rng.normal(0.0, 0.1))
+                .unwrap();
         }
         d
     }

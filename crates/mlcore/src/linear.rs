@@ -184,16 +184,19 @@ fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
-        // Eliminate below.
-        for row in col + 1..n {
-            let factor = a[row][col] / a[col][col];
+        // Eliminate below. Split so the pivot row and target rows can be
+        // borrowed simultaneously.
+        let (pivot_rows, target_rows) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (offset, target_row) in target_rows.iter_mut().enumerate() {
+            let factor = target_row[col] / pivot_row[col];
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (t, p) in target_row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *t -= factor * p;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b[col];
         }
     }
     // Back substitution.

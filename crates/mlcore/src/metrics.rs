@@ -55,12 +55,20 @@ impl RegressionMetrics {
                 mape_n += 1;
             }
         }
-        let r2 = if ss_tot > 0.0 { 1.0 - sq_sum / ss_tot } else { 0.0 };
+        let r2 = if ss_tot > 0.0 {
+            1.0 - sq_sum / ss_tot
+        } else {
+            0.0
+        };
         RegressionMetrics {
             mae: abs_sum / nf,
             rmse: (sq_sum / nf).sqrt(),
             r2,
-            mape: if mape_n > 0 { mape_sum / mape_n as f64 } else { 0.0 },
+            mape: if mape_n > 0 {
+                mape_sum / mape_n as f64
+            } else {
+                0.0
+            },
             count: n,
         }
     }

@@ -130,7 +130,12 @@ pub enum TrainedModel {
 
 impl TrainedModel {
     /// Train a model of the requested family on `data`.
-    pub fn train(kind: ModelKind, config: &ModelConfig, data: &Dataset, rng: &mut Rng) -> TrainedModel {
+    pub fn train(
+        kind: ModelKind,
+        config: &ModelConfig,
+        data: &Dataset,
+        rng: &mut Rng,
+    ) -> TrainedModel {
         match kind {
             ModelKind::Linear => {
                 let mut model = LinearRegression::new(config.linear);
@@ -201,7 +206,8 @@ mod tests {
         for _ in 0..n {
             let x1 = rng.uniform(0.0, 5.0);
             let x2 = rng.uniform(0.0, 5.0);
-            d.push(vec![x1, x2], 2.0 * x1 + x2 * x2 + rng.normal(0.0, 0.2)).unwrap();
+            d.push(vec![x1, x2], 2.0 * x1 + x2 * x2 + rng.normal(0.0, 0.2))
+                .unwrap();
         }
         d
     }
@@ -224,8 +230,14 @@ mod tests {
     #[test]
     fn kind_parsing_and_display() {
         assert_eq!("rf".parse::<ModelKind>().unwrap(), ModelKind::RandomForest);
-        assert_eq!("XGBoost".parse::<ModelKind>().unwrap(), ModelKind::GradientBoosting);
-        assert_eq!("linear regression".parse::<ModelKind>().unwrap(), ModelKind::Linear);
+        assert_eq!(
+            "XGBoost".parse::<ModelKind>().unwrap(),
+            ModelKind::GradientBoosting
+        );
+        assert_eq!(
+            "linear regression".parse::<ModelKind>().unwrap(),
+            ModelKind::Linear
+        );
         assert!("svm".parse::<ModelKind>().is_err());
         assert_eq!(format!("{}", ModelKind::RandomForest), "Random Forest");
         assert_eq!(ModelKind::GradientBoosting.display_name(), "XGBoost");
@@ -256,7 +268,12 @@ mod tests {
         let forest = TrainedModel::train(ModelKind::RandomForest, &config, &train, &mut rng);
         let lm = RegressionMetrics::compute(&linear.predict(&test), test.targets());
         let fm = RegressionMetrics::compute(&forest.predict(&test), test.targets());
-        assert!(fm.rmse < lm.rmse, "forest {} vs linear {}", fm.rmse, lm.rmse);
+        assert!(
+            fm.rmse < lm.rmse,
+            "forest {} vs linear {}",
+            fm.rmse,
+            lm.rmse
+        );
     }
 
     #[test]

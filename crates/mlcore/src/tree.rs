@@ -100,7 +100,9 @@ impl DecisionTree {
         fn depth_of(nodes: &[Node], idx: usize) -> usize {
             match &nodes[idx] {
                 Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => 1 + depth_of(nodes, *left).max(depth_of(nodes, *right)),
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
             }
         }
         if self.nodes.is_empty() {
@@ -150,7 +152,13 @@ impl DecisionTree {
     }
 
     /// Recursively build a node over `indices`, returning its index in `self.nodes`.
-    fn build_node(&mut self, ctx: &BuildCtx<'_>, indices: &mut [usize], depth: usize, rng: &mut Rng) -> usize {
+    fn build_node(
+        &mut self,
+        ctx: &BuildCtx<'_>,
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
         let n = indices.len();
         let (sum, sum_sq) = indices.iter().fold((0.0, 0.0), |(s, ss), &i| {
             let y = ctx.targets[i];
@@ -168,10 +176,7 @@ impl DecisionTree {
             idx
         };
 
-        if depth >= ctx.config.max_depth
-            || n < ctx.config.min_samples_split
-            || variance < 1e-12
-        {
+        if depth >= ctx.config.max_depth || n < ctx.config.min_samples_split || variance < 1e-12 {
             return make_leaf(&mut self.nodes);
         }
 
@@ -211,13 +216,13 @@ impl DecisionTree {
                 }
                 let right_sum = sum - left_sum;
                 let right_sq = sum_sq - left_sq;
-                let left_var = (left_sq / left_n as f64 - (left_sum / left_n as f64).powi(2)).max(0.0);
-                let right_var = (right_sq / right_n as f64 - (right_sum / right_n as f64).powi(2)).max(0.0);
+                let left_var =
+                    (left_sq / left_n as f64 - (left_sum / left_n as f64).powi(2)).max(0.0);
+                let right_var =
+                    (right_sq / right_n as f64 - (right_sum / right_n as f64).powi(2)).max(0.0);
                 let weighted = left_var * left_n as f64 + right_var * right_n as f64;
                 let reduction = parent_score - weighted;
-                if reduction > 1e-12
-                    && best.map(|(_, _, b)| reduction > b).unwrap_or(true)
-                {
+                if reduction > 1e-12 && best.map(|(_, _, b)| reduction > b).unwrap_or(true) {
                     best = Some((feature, (prev + next) / 2.0, reduction));
                 }
             }
@@ -415,7 +420,11 @@ mod tests {
         });
         tree.fit(&data, &mut rng);
         let m = RegressionMetrics::compute(&tree.predict(&data), data.targets());
-        assert!(m.r2 > 0.5, "even with per-split subsampling the tree learns, r2 {}", m.r2);
+        assert!(
+            m.r2 > 0.5,
+            "even with per-split subsampling the tree learns, r2 {}",
+            m.r2
+        );
     }
 
     #[test]

@@ -84,7 +84,8 @@ mod tests {
         for _ in 0..n {
             let x1 = rng.uniform(0.0, 5.0);
             let x2 = rng.uniform(0.0, 5.0);
-            d.push(vec![x1, x2], 3.0 * x1 - x2 + rng.normal(0.0, 0.1)).unwrap();
+            d.push(vec![x1, x2], 3.0 * x1 - x2 + rng.normal(0.0, 0.1))
+                .unwrap();
         }
         d
     }

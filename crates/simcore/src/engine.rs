@@ -272,7 +272,10 @@ mod tests {
 
     #[test]
     fn chain_of_events_advances_clock() {
-        let mut engine = Engine::new(Counter { fired: vec![], respawn: 4 });
+        let mut engine = Engine::new(Counter {
+            fired: vec![],
+            respawn: 4,
+        });
         engine.schedule(SimTime::ZERO, Ev::Fire(0));
         let result = engine.run();
         assert_eq!(result, StepResult::Idle);
@@ -284,8 +287,11 @@ mod tests {
 
     #[test]
     fn horizon_stops_processing() {
-        let mut engine =
-            Engine::new(Counter { fired: vec![], respawn: 100 }).with_horizon(SimTime::from_secs(3));
+        let mut engine = Engine::new(Counter {
+            fired: vec![],
+            respawn: 100,
+        })
+        .with_horizon(SimTime::from_secs(3));
         engine.schedule(SimTime::ZERO, Ev::Fire(0));
         let result = engine.run();
         assert_eq!(result, StepResult::HorizonReached);
@@ -295,8 +301,11 @@ mod tests {
 
     #[test]
     fn max_events_guard() {
-        let mut engine =
-            Engine::new(Counter { fired: vec![], respawn: u32::MAX }).with_max_events(10);
+        let mut engine = Engine::new(Counter {
+            fired: vec![],
+            respawn: u32::MAX,
+        })
+        .with_max_events(10);
         engine.schedule(SimTime::ZERO, Ev::Fire(0));
         assert_eq!(engine.run(), StepResult::HorizonReached);
         assert_eq!(engine.processed(), 10);
@@ -332,12 +341,19 @@ mod tests {
         let result = engine.run();
         assert_eq!(result, StepResult::Stopped);
         assert!(engine.pending() > 0);
-        assert_eq!(engine.world().handled, 6, "stop fires after one more tick (FIFO at same instant)");
+        assert_eq!(
+            engine.world().handled,
+            6,
+            "stop fires after one more tick (FIFO at same instant)"
+        );
     }
 
     #[test]
     fn run_until_advances_clock_to_requested_time() {
-        let mut engine = Engine::new(Counter { fired: vec![], respawn: 2 });
+        let mut engine = Engine::new(Counter {
+            fired: vec![],
+            respawn: 2,
+        });
         engine.schedule(SimTime::from_secs(10), Ev::Fire(0));
         let result = engine.run_until(SimTime::from_secs(5));
         assert_eq!(result, StepResult::HorizonReached);
@@ -370,6 +386,9 @@ mod tests {
         let mut engine = Engine::new(PastWorld { times: vec![] });
         engine.schedule(SimTime::from_secs(3), PEv::First);
         engine.run();
-        assert_eq!(engine.world().times, vec![SimTime::from_secs(3), SimTime::from_secs(3)]);
+        assert_eq!(
+            engine.world().times,
+            vec![SimTime::from_secs(3), SimTime::from_secs(3)]
+        );
     }
 }

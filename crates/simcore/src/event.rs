@@ -162,7 +162,11 @@ mod tests {
         assert_eq!(q.scheduled_count(), 10);
         q.clear();
         assert!(q.is_empty());
-        assert_eq!(q.scheduled_count(), 10, "scheduled_count counts lifetime pushes");
+        assert_eq!(
+            q.scheduled_count(),
+            10,
+            "scheduled_count counts lifetime pushes"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ where
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every index is processed exactly once"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every index is processed exactly once")
+        })
         .collect()
 }
 

@@ -368,7 +368,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut whole = OnlineStats::new();
         for &v in &values {
             whole.push(v);

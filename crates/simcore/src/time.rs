@@ -17,11 +17,15 @@ pub const NANOS_PER_MILLI: u64 = 1_000_000;
 pub const NANOS_PER_MICRO: u64 = 1_000;
 
 /// An instant on the simulated clock (nanoseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -261,7 +265,10 @@ mod tests {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(-0.5), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -308,9 +315,15 @@ mod tests {
     #[test]
     fn checked_and_saturating_add() {
         assert_eq!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)), None);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_nanos(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_nanos(1)),
+            SimTime::MAX
+        );
         let t = SimTime::from_secs(1);
-        assert_eq!(t.checked_add(SimDuration::from_secs(1)), Some(SimTime::from_secs(2)));
+        assert_eq!(
+            t.checked_add(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(2))
+        );
     }
 
     #[test]

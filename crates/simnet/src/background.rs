@@ -175,7 +175,8 @@ mod tests {
     #[test]
     fn download_direction_targets_host() {
         let mut rng = Rng::seed_from_u64(1);
-        let mut g = BackgroundLoadGenerator::new(NodeId(2), NodeId(5), BackgroundLoadConfig::default());
+        let mut g =
+            BackgroundLoadGenerator::new(NodeId(2), NodeId(5), BackgroundLoadConfig::default());
         let t = g.next_transfer(&mut rng);
         assert_eq!(t.dst, NodeId(2));
         assert_eq!(t.src, NodeId(5));
@@ -199,10 +200,15 @@ mod tests {
     #[test]
     fn transfer_sizes_vary_around_nominal() {
         let mut rng = Rng::seed_from_u64(7);
-        let mut g = BackgroundLoadGenerator::new(NodeId(0), NodeId(1), BackgroundLoadConfig::default());
+        let mut g =
+            BackgroundLoadGenerator::new(NodeId(0), NodeId(1), BackgroundLoadConfig::default());
         for _ in 0..200 {
             let t = g.next_transfer(&mut rng);
-            assert!(t.bytes >= 9_000_000.0 && t.bytes <= 11_000_000.0, "{}", t.bytes);
+            assert!(
+                t.bytes >= 9_000_000.0 && t.bytes <= 11_000_000.0,
+                "{}",
+                t.bytes
+            );
             assert!(t.gap >= SimDuration::ZERO);
             assert!(t.gap <= SimDuration::from_secs(2), "gap capped at 10x mean");
         }
@@ -212,8 +218,10 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let mut r1 = Rng::seed_from_u64(99);
         let mut r2 = Rng::seed_from_u64(99);
-        let mut g1 = BackgroundLoadGenerator::new(NodeId(0), NodeId(1), BackgroundLoadConfig::default());
-        let mut g2 = BackgroundLoadGenerator::new(NodeId(0), NodeId(1), BackgroundLoadConfig::default());
+        let mut g1 =
+            BackgroundLoadGenerator::new(NodeId(0), NodeId(1), BackgroundLoadConfig::default());
+        let mut g2 =
+            BackgroundLoadGenerator::new(NodeId(0), NodeId(1), BackgroundLoadConfig::default());
         for _ in 0..20 {
             assert_eq!(g1.next_transfer(&mut r1), g2.next_transfer(&mut r2));
         }
@@ -223,7 +231,8 @@ mod tests {
     fn random_placement_picks_distinct_hosts_and_valid_peers() {
         let mut rng = Rng::seed_from_u64(5);
         let all = nodes(6);
-        let gens = place_random_background_load(&all, &all, 3, &BackgroundLoadConfig::default(), &mut rng);
+        let gens =
+            place_random_background_load(&all, &all, 3, &BackgroundLoadConfig::default(), &mut rng);
         assert_eq!(gens.len(), 3);
         let mut hosts: Vec<usize> = gens.iter().map(|g| g.host.0).collect();
         hosts.sort_unstable();
@@ -239,11 +248,31 @@ mod tests {
         let mut rng = Rng::seed_from_u64(5);
         let all = nodes(6);
         // Requesting more pods than candidates clamps.
-        let gens = place_random_background_load(&all[..2], &all, 10, &BackgroundLoadConfig::default(), &mut rng);
+        let gens = place_random_background_load(
+            &all[..2],
+            &all,
+            10,
+            &BackgroundLoadConfig::default(),
+            &mut rng,
+        );
         assert_eq!(gens.len(), 2);
         // No candidates -> nothing.
-        assert!(place_random_background_load(&[], &all, 3, &BackgroundLoadConfig::default(), &mut rng).is_empty());
+        assert!(place_random_background_load(
+            &[],
+            &all,
+            3,
+            &BackgroundLoadConfig::default(),
+            &mut rng
+        )
+        .is_empty());
         // Single node overall -> nothing (no valid peer).
-        assert!(place_random_background_load(&all[..1], &all[..1], 1, &BackgroundLoadConfig::default(), &mut rng).is_empty());
+        assert!(place_random_background_load(
+            &all[..1],
+            &all[..1],
+            1,
+            &BackgroundLoadConfig::default(),
+            &mut rng
+        )
+        .is_empty());
     }
 }

@@ -48,7 +48,9 @@ where
     let mut remaining: HashMap<Resource, f64> = HashMap::new();
     for d in demands {
         for &r in &d.resources {
-            remaining.entry(r).or_insert_with(|| capacity_of(r).max(0.0));
+            remaining
+                .entry(r)
+                .or_insert_with(|| capacity_of(r).max(0.0));
         }
     }
 
@@ -197,7 +199,12 @@ mod tests {
 
     #[test]
     fn equal_flows_split_evenly() {
-        let demands = vec![demand(0, vec![LINK]), demand(1, vec![LINK]), demand(2, vec![LINK]), demand(3, vec![LINK])];
+        let demands = vec![
+            demand(0, vec![LINK]),
+            demand(1, vec![LINK]),
+            demand(2, vec![LINK]),
+            demand(3, vec![LINK]),
+        ];
         let rates = max_min_fair_rates(&demands, |_| 100.0);
         for r in rates {
             assert!((r - 25.0).abs() < 1e-9);
@@ -291,7 +298,10 @@ mod tests {
             }
         }
         for (_, total) in usage {
-            assert!(total <= cap * (1.0 + 1e-9), "resource oversubscribed: {total} > {cap}");
+            assert!(
+                total <= cap * (1.0 + 1e-9),
+                "resource oversubscribed: {total} > {cap}"
+            );
         }
     }
 

@@ -262,7 +262,11 @@ impl Network {
         }
         for (r, used) in utilization.iter_mut() {
             let cap = self.topology.resource_capacity(*r);
-            *used = if cap > 0.0 { (*used / cap).clamp(0.0, 1.0) } else { 1.0 };
+            *used = if cap > 0.0 {
+                (*used / cap).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
         }
         self.utilization = utilization;
     }
@@ -479,7 +483,12 @@ mod tests {
     fn run_to_quiescence_finishes_everything() {
         let mut net = network();
         for i in 0..4 {
-            net.start_flow(NodeId(i % 4), NodeId((i + 2) % 4), 10_000_000.0, FlowKind::Shuffle);
+            net.start_flow(
+                NodeId(i % 4),
+                NodeId((i + 2) % 4),
+                10_000_000.0,
+                FlowKind::Shuffle,
+            );
         }
         let end = net.run_to_quiescence(SimDuration::from_secs(3600));
         assert_eq!(net.active_flow_count(), 0);

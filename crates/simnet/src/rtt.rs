@@ -113,7 +113,11 @@ mod tests {
         assert_ne!(a, c);
         // Bounded by the jitter fraction.
         let lo = base.mul_f64(1.0 - m.jitter_fraction - 1e-9);
-        let hi = base.mul_f64(1.0 + m.max_congestion_factor * (0.1 / 0.9) / m.queue_term_cap + m.jitter_fraction + 1e-9);
+        let hi = base.mul_f64(
+            1.0 + m.max_congestion_factor * (0.1 / 0.9) / m.queue_term_cap
+                + m.jitter_fraction
+                + 1e-9,
+        );
         assert!(a >= lo && a <= hi, "{a} not in [{lo}, {hi}]");
     }
 

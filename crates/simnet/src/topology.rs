@@ -230,7 +230,7 @@ impl TopologyBuilder {
             return Err(TopologyError::InvalidParameter("no nodes defined".into()));
         }
         for s in &self.sites {
-            if !(s.lan_capacity > 0.0) || !s.lan_capacity.is_finite() {
+            if !(s.lan_capacity.is_finite() && s.lan_capacity > 0.0) {
                 return Err(TopologyError::InvalidParameter(format!(
                     "site {} lan_capacity must be positive",
                     s.name
@@ -241,7 +241,7 @@ impl TopologyBuilder {
             if n.site.0 >= self.sites.len() {
                 return Err(TopologyError::UnknownSite(n.site));
             }
-            if !(n.egress_capacity > 0.0) || !(n.ingress_capacity > 0.0) {
+            if !(n.egress_capacity > 0.0 && n.ingress_capacity > 0.0) {
                 return Err(TopologyError::InvalidParameter(format!(
                     "node {} NIC capacities must be positive",
                     n.name
@@ -256,7 +256,7 @@ impl TopologyBuilder {
                     l.b
                 }));
             }
-            if !(l.capacity > 0.0) || !l.capacity.is_finite() {
+            if !(l.capacity.is_finite() && l.capacity > 0.0) {
                 return Err(TopologyError::InvalidParameter(format!(
                     "link {} capacity must be positive",
                     l.name
@@ -547,8 +547,14 @@ mod tests {
     #[test]
     fn base_rtt_is_twice_one_way() {
         let t = small_topology();
-        assert_eq!(t.base_rtt(NodeId(0), NodeId(3)), SimDuration::from_millis(60));
-        assert_eq!(t.base_rtt(NodeId(0), NodeId(1)), SimDuration::from_micros(400));
+        assert_eq!(
+            t.base_rtt(NodeId(0), NodeId(3)),
+            SimDuration::from_millis(60)
+        );
+        assert_eq!(
+            t.base_rtt(NodeId(0), NodeId(1)),
+            SimDuration::from_micros(400)
+        );
         assert!(t.base_rtt(NodeId(0), NodeId(0)) > SimDuration::ZERO);
     }
 
@@ -597,20 +603,38 @@ mod tests {
         assert!(matches!(b.build(), Err(TopologyError::InvalidParameter(_))));
 
         let empty = TopologyBuilder::new();
-        assert!(matches!(empty.build(), Err(TopologyError::InvalidParameter(_))));
+        assert!(matches!(
+            empty.build(),
+            Err(TopologyError::InvalidParameter(_))
+        ));
 
         let mut no_nodes = TopologyBuilder::new();
         no_nodes.add_site("a", SimDuration::from_micros(100), gbps(10.0));
-        assert!(matches!(no_nodes.build(), Err(TopologyError::InvalidParameter(_))));
+        assert!(matches!(
+            no_nodes.build(),
+            Err(TopologyError::InvalidParameter(_))
+        ));
     }
 
     #[test]
     fn resource_capacity_lookup() {
         let t = small_topology();
-        assert_eq!(t.resource_capacity(Resource::NodeEgress(NodeId(0))), gbps(1.0));
-        assert_eq!(t.resource_capacity(Resource::NodeIngress(NodeId(1))), gbps(1.0));
-        assert_eq!(t.resource_capacity(Resource::LinkDir(LinkId(0), true)), mbps(500.0));
-        assert_eq!(t.resource_capacity(Resource::SiteFabric(SiteId(0))), gbps(10.0));
+        assert_eq!(
+            t.resource_capacity(Resource::NodeEgress(NodeId(0))),
+            gbps(1.0)
+        );
+        assert_eq!(
+            t.resource_capacity(Resource::NodeIngress(NodeId(1))),
+            gbps(1.0)
+        );
+        assert_eq!(
+            t.resource_capacity(Resource::LinkDir(LinkId(0), true)),
+            mbps(500.0)
+        );
+        assert_eq!(
+            t.resource_capacity(Resource::SiteFabric(SiteId(0))),
+            gbps(10.0)
+        );
     }
 
     #[test]

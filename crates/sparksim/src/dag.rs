@@ -117,7 +117,10 @@ impl JobDag {
             }
             for &p in &stage.parents {
                 if p >= i {
-                    return Err(DagError::InvalidParent { stage: i, parent: p });
+                    return Err(DagError::InvalidParent {
+                        stage: i,
+                        parent: p,
+                    });
                 }
             }
         }
@@ -197,7 +200,10 @@ mod tests {
         d.stages[0].parents = vec![1];
         assert_eq!(
             d.validate(),
-            Err(DagError::InvalidParent { stage: 0, parent: 1 })
+            Err(DagError::InvalidParent {
+                stage: 0,
+                parent: 1
+            })
         );
         let mut d2 = dag();
         d2.stages[1].parents = vec![1];
@@ -231,6 +237,13 @@ mod tests {
         assert!(text.contains("4 tasks"));
         assert!(format!("{}", DagError::Empty).contains("no stages"));
         assert!(format!("{}", DagError::NoTasks(3)).contains("stage 3"));
-        assert!(format!("{}", DagError::InvalidParent { stage: 2, parent: 5 }).contains("parent 5"));
+        assert!(format!(
+            "{}",
+            DagError::InvalidParent {
+                stage: 2,
+                parent: 5
+            }
+        )
+        .contains("parent 5"));
     }
 }

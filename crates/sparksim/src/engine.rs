@@ -133,7 +133,11 @@ impl JobRunResult {
 
 /// Advance the network to `target` while letting the contention driver keep
 /// injecting background transfers.
-fn advance_with_contention(network: &mut Network, contention: &mut dyn ContentionDriver, target: SimTime) {
+fn advance_with_contention(
+    network: &mut Network,
+    contention: &mut dyn ContentionDriver,
+    target: SimTime,
+) {
     loop {
         let now = network.now();
         if now >= target {
@@ -165,12 +169,9 @@ fn wait_for_flows(
     deadline: SimTime,
 ) -> SimTime {
     loop {
-        let all_done = flows.iter().all(|id| {
-            network
-                .flow(*id)
-                .map(|f| !f.is_active())
-                .unwrap_or(true)
-        });
+        let all_done = flows
+            .iter()
+            .all(|id| network.flow(*id).map(|f| !f.is_active()).unwrap_or(true));
         if all_done {
             return network.now();
         }
@@ -255,13 +256,18 @@ pub fn execute_job(
     let cores_per_executor =
         (request.executor_cores as f64 * config.usable_core_fraction).max(0.25);
     let total_cores = cores_per_executor * n_exec as f64;
-    let memory_per_slot = request.executor_memory_bytes as f64 / request.executor_cores.max(1) as f64;
+    let memory_per_slot =
+        request.executor_memory_bytes as f64 / request.executor_cores.max(1) as f64;
 
     // --- Startup: container launch + executor registration round trips. ---
     let rtt = mean_driver_rtt(network, placement.driver_node, &executors);
     let startup_seconds = dag.startup_seconds
         + config.startup_rtts_per_executor * rtt * n_exec as f64
-        + 0.2 * slowdown(node_cpu_load(placement.driver_node), config.contention_alpha);
+        + 0.2
+            * slowdown(
+                node_cpu_load(placement.driver_node),
+                config.contention_alpha,
+            );
     advance_with_contention(
         network,
         contention,
@@ -289,7 +295,11 @@ pub fn execute_job(
         if spilled {
             spill_count += 1;
         }
-        let spill_factor = if spilled { 1.0 + config.spill_penalty } else { 1.0 };
+        let spill_factor = if spilled {
+            1.0 + config.spill_penalty
+        } else {
+            1.0
+        };
 
         // --- Shuffle read: all-to-all between executor nodes. ---
         let t_shuffle_start = network.now();
@@ -331,7 +341,8 @@ pub fn execute_job(
                 (1.0 - straggler_share) / (n_exec as f64 - 1.0).max(1.0)
             };
             let work = total_work * share;
-            let time = work / cores_per_executor * slowdown(node_cpu_load(node), config.contention_alpha);
+            let time =
+                work / cores_per_executor * slowdown(node_cpu_load(node), config.contention_alpha);
             compute_seconds = compute_seconds.max(time);
         }
         let t_compute_start = network.now();
@@ -373,7 +384,10 @@ pub fn execute_job(
 
     // --- Driver-side aggregation. ---
     let driver_compute_seconds = dag.driver_cpu_seconds
-        * slowdown(node_cpu_load(placement.driver_node), config.contention_alpha);
+        * slowdown(
+            node_cpu_load(placement.driver_node),
+            config.contention_alpha,
+        );
     advance_with_contention(
         network,
         contention,
@@ -425,7 +439,10 @@ mod tests {
     ) -> JobRunResult {
         let request = WorkloadRequest::new(kind, records).with_executors(executors.len() as u32);
         let dag = request.build_dag();
-        let placement = Placement::new(NodeId(driver), executors.iter().map(|&i| NodeId(i)).collect());
+        let placement = Placement::new(
+            NodeId(driver),
+            executors.iter().map(|&i| NodeId(i)).collect(),
+        );
         execute_job(
             &dag,
             &request,
@@ -441,10 +458,21 @@ mod tests {
     #[test]
     fn job_completes_with_positive_duration_and_stage_breakdown() {
         let mut net = network();
-        let result = run(WorkloadKind::Sort, 200_000, 0, &[1, 3], &mut net, |_| 0.2, SimTime::ZERO);
+        let result = run(
+            WorkloadKind::Sort,
+            200_000,
+            0,
+            &[1, 3],
+            &mut net,
+            |_| 0.2,
+            SimTime::ZERO,
+        );
         assert!(result.completion_seconds() > 0.0);
         assert_eq!(result.stages.len(), 2);
-        assert!(result.stages[1].shuffle_seconds > 0.0, "sort reduce must shuffle");
+        assert!(
+            result.stages[1].shuffle_seconds > 0.0,
+            "sort reduce must shuffle"
+        );
         assert!(result.stages.iter().all(|s| s.compute_seconds > 0.0));
         assert!(result.shuffle_bytes > 0.0);
         assert!(result.startup_seconds > 0.0);
@@ -461,16 +489,40 @@ mod tests {
     #[test]
     fn bigger_inputs_take_longer() {
         let mut net1 = network();
-        let small = run(WorkloadKind::Sort, 100_000, 0, &[1, 3], &mut net1, |_| 0.2, SimTime::ZERO);
+        let small = run(
+            WorkloadKind::Sort,
+            100_000,
+            0,
+            &[1, 3],
+            &mut net1,
+            |_| 0.2,
+            SimTime::ZERO,
+        );
         let mut net2 = network();
-        let large = run(WorkloadKind::Sort, 1_000_000, 0, &[1, 3], &mut net2, |_| 0.2, SimTime::ZERO);
+        let large = run(
+            WorkloadKind::Sort,
+            1_000_000,
+            0,
+            &[1, 3],
+            &mut net2,
+            |_| 0.2,
+            SimTime::ZERO,
+        );
         assert!(large.completion_seconds() > small.completion_seconds());
     }
 
     #[test]
     fn cpu_contention_on_executor_nodes_slows_the_job() {
         let mut quiet_net = network();
-        let quiet = run(WorkloadKind::Sort, 500_000, 0, &[1, 3], &mut quiet_net, |_| 0.1, SimTime::ZERO);
+        let quiet = run(
+            WorkloadKind::Sort,
+            500_000,
+            0,
+            &[1, 3],
+            &mut quiet_net,
+            |_| 0.1,
+            SimTime::ZERO,
+        );
         let mut busy_net = network();
         let busy = run(
             WorkloadKind::Sort,
@@ -493,13 +545,29 @@ mod tests {
         for _ in 0..4 {
             contended.start_flow(NodeId(1), NodeId(3), 1e12, FlowKind::Background);
         }
-        let slow = run(WorkloadKind::Join, 800_000, 3, &[1, 2], &mut contended, |_| 0.2, SimTime::ZERO);
+        let slow = run(
+            WorkloadKind::Join,
+            800_000,
+            3,
+            &[1, 2],
+            &mut contended,
+            |_| 0.2,
+            SimTime::ZERO,
+        );
 
         let mut quiet = network();
         for _ in 0..4 {
             quiet.start_flow(NodeId(1), NodeId(3), 1e12, FlowKind::Background);
         }
-        let fast = run(WorkloadKind::Join, 800_000, 2, &[1, 2], &mut quiet, |_| 0.2, SimTime::ZERO);
+        let fast = run(
+            WorkloadKind::Join,
+            800_000,
+            2,
+            &[1, 2],
+            &mut quiet,
+            |_| 0.2,
+            SimTime::ZERO,
+        );
         assert!(
             slow.completion_seconds() > fast.completion_seconds(),
             "driver behind congested WAN ({}) should be slower than local driver ({})",
@@ -550,7 +618,15 @@ mod tests {
     #[test]
     fn more_executors_speed_up_cpu_bound_work() {
         let mut net1 = network();
-        let two = run(WorkloadKind::WordCount, 2_000_000, 0, &[1, 2], &mut net1, |_| 0.2, SimTime::ZERO);
+        let two = run(
+            WorkloadKind::WordCount,
+            2_000_000,
+            0,
+            &[1, 2],
+            &mut net1,
+            |_| 0.2,
+            SimTime::ZERO,
+        );
         let mut net2 = network();
         let four = run(
             WorkloadKind::WordCount,
@@ -568,7 +644,15 @@ mod tests {
     fn starts_later_when_submitted_later() {
         let mut net = network();
         let start = SimTime::from_secs(100);
-        let result = run(WorkloadKind::GroupBy, 100_000, 0, &[1, 3], &mut net, |_| 0.1, start);
+        let result = run(
+            WorkloadKind::GroupBy,
+            100_000,
+            0,
+            &[1, 3],
+            &mut net,
+            |_| 0.1,
+            start,
+        );
         assert!(result.finished_at > start);
         assert_eq!(result.finished_at - start, result.completion);
     }
@@ -591,7 +675,10 @@ mod tests {
             &ExecutionConfig::default(),
         );
         assert!(result.completion_seconds() > 0.0);
-        assert_eq!(result.result_collection_seconds, 0.0, "driver-local results are free");
+        assert_eq!(
+            result.result_collection_seconds, 0.0,
+            "driver-local results are free"
+        );
         // Placement with no executors falls back to the driver node.
         let empty_placement = Placement::new(NodeId(1), vec![]);
         let mut net2 = network();
@@ -633,14 +720,26 @@ mod tests {
 
         let mut quiet_net = network();
         let quiet = execute_job(
-            &dag, &request, &placement, &mut quiet_net, &|_| 0.1, &mut NoContention,
-            SimTime::ZERO, &ExecutionConfig::default(),
+            &dag,
+            &request,
+            &placement,
+            &mut quiet_net,
+            &|_| 0.1,
+            &mut NoContention,
+            SimTime::ZERO,
+            &ExecutionConfig::default(),
         );
         let mut busy_net = network();
         let mut driver = OneShot { injected: false };
         let busy = execute_job(
-            &dag, &request, &placement, &mut busy_net, &|_| 0.1, &mut driver,
-            SimTime::ZERO, &ExecutionConfig::default(),
+            &dag,
+            &request,
+            &placement,
+            &mut busy_net,
+            &|_| 0.1,
+            &mut driver,
+            SimTime::ZERO,
+            &ExecutionConfig::default(),
         );
         assert!(driver.injected, "driver must have been polled past t=1s");
         assert!(
@@ -662,8 +761,14 @@ mod tests {
             ..Default::default()
         };
         let result = execute_job(
-            &dag, &request, &placement, &mut net, &|_| 0.1, &mut NoContention,
-            SimTime::ZERO, &config,
+            &dag,
+            &request,
+            &placement,
+            &mut net,
+            &|_| 0.1,
+            &mut NoContention,
+            SimTime::ZERO,
+            &config,
         );
         assert!(result.completion_seconds() <= 10.5);
     }
@@ -678,9 +783,25 @@ mod tests {
     #[test]
     fn deterministic_given_same_inputs() {
         let mut net1 = network();
-        let a = run(WorkloadKind::PageRank, 300_000, 2, &[1, 4], &mut net1, |_| 0.3, SimTime::ZERO);
+        let a = run(
+            WorkloadKind::PageRank,
+            300_000,
+            2,
+            &[1, 4],
+            &mut net1,
+            |_| 0.3,
+            SimTime::ZERO,
+        );
         let mut net2 = network();
-        let b = run(WorkloadKind::PageRank, 300_000, 2, &[1, 4], &mut net2, |_| 0.3, SimTime::ZERO);
+        let b = run(
+            WorkloadKind::PageRank,
+            300_000,
+            2,
+            &[1, 4],
+            &mut net2,
+            |_| 0.3,
+            SimTime::ZERO,
+        );
         assert_eq!(a, b);
     }
 }

@@ -60,7 +60,10 @@ mod tests {
     fn accessors() {
         let p = Placement::new(NodeId(2), vec![NodeId(0), NodeId(1), NodeId(0), NodeId(3)]);
         assert_eq!(p.executor_count(), 4);
-        assert_eq!(p.distinct_executor_nodes(), vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(
+            p.distinct_executor_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
         assert_eq!(p.executors_on(NodeId(0)), 2);
         assert_eq!(p.executors_on(NodeId(5)), 0);
         assert!(!p.driver_colocated_with_executor());

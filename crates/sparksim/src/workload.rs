@@ -38,8 +38,11 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// The three workloads evaluated in the paper.
-    pub const PAPER_SET: [WorkloadKind; 3] =
-        [WorkloadKind::Sort, WorkloadKind::PageRank, WorkloadKind::Join];
+    pub const PAPER_SET: [WorkloadKind; 3] = [
+        WorkloadKind::Sort,
+        WorkloadKind::PageRank,
+        WorkloadKind::Join,
+    ];
 
     /// All supported workloads.
     pub const ALL: [WorkloadKind; 5] = [
@@ -235,7 +238,11 @@ impl WorkloadRequest {
                     name: "sort-map".into(),
                     parents: vec![],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(input_bytes, partitions, profile.cpu_intensity * 0.6),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes,
+                        partitions,
+                        profile.cpu_intensity * 0.6,
+                    ),
                     shuffle_read_bytes: 0.0,
                     shuffle_write_bytes: input_bytes * profile.network_intensity,
                     memory_per_task_bytes: mem_per_task(input_bytes, partitions),
@@ -247,7 +254,11 @@ impl WorkloadRequest {
                     name: "sort-reduce".into(),
                     parents: vec![0],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(input_bytes, partitions, profile.cpu_intensity),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes,
+                        partitions,
+                        profile.cpu_intensity,
+                    ),
                     shuffle_read_bytes: input_bytes * profile.network_intensity,
                     shuffle_write_bytes: 0.0,
                     memory_per_task_bytes: mem_per_task(input_bytes, partitions),
@@ -261,7 +272,11 @@ impl WorkloadRequest {
                     name: "pagerank-load".into(),
                     parents: vec![],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(input_bytes, partitions, profile.cpu_intensity * 0.5),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes,
+                        partitions,
+                        profile.cpu_intensity * 0.5,
+                    ),
                     shuffle_read_bytes: 0.0,
                     shuffle_write_bytes: input_bytes * 0.5,
                     memory_per_task_bytes: mem_per_task(input_bytes, partitions),
@@ -269,7 +284,8 @@ impl WorkloadRequest {
                 });
                 // Iterations: each exchanges rank contributions (a fraction of
                 // the edge data) and updates ranks.
-                let per_iter_bytes = input_bytes * profile.network_intensity / profile.iterations as f64 * 1.6;
+                let per_iter_bytes =
+                    input_bytes * profile.network_intensity / profile.iterations as f64 * 1.6;
                 for iter in 0..profile.iterations {
                     let id = stages.len();
                     stages.push(StageSpec {
@@ -283,7 +299,11 @@ impl WorkloadRequest {
                             profile.cpu_intensity / profile.iterations as f64 * 1.5,
                         ),
                         shuffle_read_bytes: per_iter_bytes,
-                        shuffle_write_bytes: if iter + 1 == profile.iterations { 0.0 } else { per_iter_bytes },
+                        shuffle_write_bytes: if iter + 1 == profile.iterations {
+                            0.0
+                        } else {
+                            per_iter_bytes
+                        },
                         memory_per_task_bytes: mem_per_task(input_bytes, partitions),
                         skew: profile.skew,
                     });
@@ -298,7 +318,11 @@ impl WorkloadRequest {
                     name: "join-scan-left".into(),
                     parents: vec![],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(left_bytes, partitions, profile.cpu_intensity * 0.5),
+                    cpu_seconds_per_task: cpu_per_task(
+                        left_bytes,
+                        partitions,
+                        profile.cpu_intensity * 0.5,
+                    ),
                     shuffle_read_bytes: 0.0,
                     shuffle_write_bytes: left_bytes * profile.network_intensity,
                     memory_per_task_bytes: mem_per_task(left_bytes, partitions),
@@ -309,7 +333,11 @@ impl WorkloadRequest {
                     name: "join-scan-right".into(),
                     parents: vec![],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(right_bytes, partitions, profile.cpu_intensity * 0.5),
+                    cpu_seconds_per_task: cpu_per_task(
+                        right_bytes,
+                        partitions,
+                        profile.cpu_intensity * 0.5,
+                    ),
                     shuffle_read_bytes: 0.0,
                     shuffle_write_bytes: right_bytes * profile.network_intensity,
                     memory_per_task_bytes: mem_per_task(right_bytes, partitions),
@@ -321,7 +349,11 @@ impl WorkloadRequest {
                     name: "join-probe".into(),
                     parents: vec![0, 1],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(input_bytes, partitions, profile.cpu_intensity),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes,
+                        partitions,
+                        profile.cpu_intensity,
+                    ),
                     shuffle_read_bytes: (left_bytes + right_bytes) * profile.network_intensity,
                     shuffle_write_bytes: 0.0,
                     memory_per_task_bytes: mem_per_task(input_bytes, partitions) * 1.5,
@@ -334,7 +366,11 @@ impl WorkloadRequest {
                     name: "groupby-map".into(),
                     parents: vec![],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(input_bytes, partitions, profile.cpu_intensity * 0.7),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes,
+                        partitions,
+                        profile.cpu_intensity * 0.7,
+                    ),
                     shuffle_read_bytes: 0.0,
                     shuffle_write_bytes: input_bytes * profile.network_intensity,
                     memory_per_task_bytes: mem_per_task(input_bytes, partitions),
@@ -345,7 +381,11 @@ impl WorkloadRequest {
                     name: "groupby-reduce".into(),
                     parents: vec![0],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(input_bytes * 0.5, partitions, profile.cpu_intensity),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes * 0.5,
+                        partitions,
+                        profile.cpu_intensity,
+                    ),
                     shuffle_read_bytes: input_bytes * profile.network_intensity,
                     shuffle_write_bytes: 0.0,
                     memory_per_task_bytes: mem_per_task(input_bytes * 0.5, partitions),
@@ -358,7 +398,11 @@ impl WorkloadRequest {
                     name: "wordcount-map".into(),
                     parents: vec![],
                     tasks: partitions,
-                    cpu_seconds_per_task: cpu_per_task(input_bytes, partitions, profile.cpu_intensity),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes,
+                        partitions,
+                        profile.cpu_intensity,
+                    ),
                     shuffle_read_bytes: 0.0,
                     shuffle_write_bytes: input_bytes * profile.network_intensity,
                     memory_per_task_bytes: mem_per_task(input_bytes * 0.3, partitions),
@@ -368,8 +412,12 @@ impl WorkloadRequest {
                     id: 1,
                     name: "wordcount-reduce".into(),
                     parents: vec![0],
-                    tasks: partitions.min(4).max(1),
-                    cpu_seconds_per_task: cpu_per_task(input_bytes * 0.1, partitions.min(4).max(1), profile.cpu_intensity),
+                    tasks: partitions.clamp(1, 4),
+                    cpu_seconds_per_task: cpu_per_task(
+                        input_bytes * 0.1,
+                        partitions.clamp(1, 4),
+                        profile.cpu_intensity,
+                    ),
                     shuffle_read_bytes: input_bytes * profile.network_intensity,
                     shuffle_write_bytes: 0.0,
                     memory_per_task_bytes: 32e6,
@@ -413,8 +461,14 @@ mod tests {
             let parsed: WorkloadKind = kind.as_str().parse().unwrap();
             assert_eq!(parsed, kind);
         }
-        assert_eq!("PageRank".parse::<WorkloadKind>().unwrap(), WorkloadKind::PageRank);
-        assert_eq!("group-by".parse::<WorkloadKind>().unwrap(), WorkloadKind::GroupBy);
+        assert_eq!(
+            "PageRank".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::PageRank
+        );
+        assert_eq!(
+            "group-by".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::GroupBy
+        );
         assert!("tensor".parse::<WorkloadKind>().is_err());
         assert_eq!(format!("{}", WorkloadKind::Join), "join");
     }
@@ -455,7 +509,10 @@ mod tests {
         assert_eq!(req.shuffle_partitions, 16);
         assert_eq!(req.input_bytes(), 10_000_000.0);
         // Zero values clamp to 1.
-        let clamped = WorkloadRequest::new(WorkloadKind::Sort, 10).with_executors(0).with_executor_cores(0).with_shuffle_partitions(0);
+        let clamped = WorkloadRequest::new(WorkloadKind::Sort, 10)
+            .with_executors(0)
+            .with_executor_cores(0)
+            .with_shuffle_partitions(0);
         assert_eq!(clamped.executor_count, 1);
         assert_eq!(clamped.executor_cores, 1);
         assert_eq!(clamped.shuffle_partitions, 1);
@@ -479,7 +536,10 @@ mod tests {
         let req = WorkloadRequest::new(WorkloadKind::Sort, 1_000_000); // 100 MB
         let dag = req.build_dag();
         let shuffle = dag.total_shuffle_bytes();
-        assert!(shuffle >= 0.9 * req.input_bytes(), "sort must shuffle ~all input, got {shuffle}");
+        assert!(
+            shuffle >= 0.9 * req.input_bytes(),
+            "sort must shuffle ~all input, got {shuffle}"
+        );
         assert_eq!(dag.stage_count(), 2);
     }
 

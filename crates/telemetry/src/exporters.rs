@@ -143,17 +143,26 @@ mod tests {
     #[test]
     fn tx_counters_grow_after_traffic() {
         let (cluster, mut network) = setup();
-        let _: FlowId = network.start_flow(NodeId(0), NodeId(2), 10_000_000.0, simnet::flow::FlowKind::Background);
+        let _: FlowId = network.start_flow(
+            NodeId(0),
+            NodeId(2),
+            10_000_000.0,
+            simnet::flow::FlowKind::Background,
+        );
         network.advance_to(SimTime::from_secs(5));
         let samples = node_exporter_samples(&cluster, &network, SimTime::from_secs(5));
         let tx_node1 = samples
             .iter()
-            .find(|s| s.key.name == METRIC_NODE_TX_BYTES && s.key.label("instance") == Some("node-1"))
+            .find(|s| {
+                s.key.name == METRIC_NODE_TX_BYTES && s.key.label("instance") == Some("node-1")
+            })
             .unwrap();
         assert!(tx_node1.value > 0.0);
         let rx_node3 = samples
             .iter()
-            .find(|s| s.key.name == METRIC_NODE_RX_BYTES && s.key.label("instance") == Some("node-3"))
+            .find(|s| {
+                s.key.name == METRIC_NODE_RX_BYTES && s.key.label("instance") == Some("node-3")
+            })
             .unwrap();
         assert!((rx_node3.value - tx_node1.value).abs() < 1.0);
     }
@@ -166,12 +175,16 @@ mod tests {
         // Inter-site pairs see the WAN RTT (~66 ms), intra-site pairs are sub-millisecond.
         let inter = samples
             .iter()
-            .find(|s| s.key.label("source") == Some("node-1") && s.key.label("target") == Some("node-3"))
+            .find(|s| {
+                s.key.label("source") == Some("node-1") && s.key.label("target") == Some("node-3")
+            })
             .unwrap();
         assert!(inter.value > 0.05, "inter-site RTT {}", inter.value);
         let intra = samples
             .iter()
-            .find(|s| s.key.label("source") == Some("node-1") && s.key.label("target") == Some("node-2"))
+            .find(|s| {
+                s.key.label("source") == Some("node-1") && s.key.label("target") == Some("node-2")
+            })
             .unwrap();
         assert!(intra.value < 0.005, "intra-site RTT {}", intra.value);
         // No self-pings.

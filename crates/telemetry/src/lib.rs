@@ -32,7 +32,7 @@ pub mod store;
 pub use exporters::{node_exporter_samples, ping_mesh_samples};
 pub use metrics::{Labels, MetricKind, Sample, SeriesKey};
 pub use scrape::{ScrapeConfig, ScrapeManager};
-pub use snapshot::{ClusterSnapshot, NodeTelemetry, RttMesh};
+pub use snapshot::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry, RttMesh};
 pub use store::TimeSeriesStore;
 
 /// Metric name for the 1-minute load average (node exporter).

@@ -106,8 +106,14 @@ mod tests {
 
     #[test]
     fn series_key_equality_ignores_insertion_order() {
-        let a = SeriesKey::new("ping_rtt_seconds", &[("source", "node-1"), ("target", "node-2")]);
-        let b = SeriesKey::new("ping_rtt_seconds", &[("target", "node-2"), ("source", "node-1")]);
+        let a = SeriesKey::new(
+            "ping_rtt_seconds",
+            &[("source", "node-1"), ("target", "node-2")],
+        );
+        let b = SeriesKey::new(
+            "ping_rtt_seconds",
+            &[("target", "node-2"), ("source", "node-1")],
+        );
         assert_eq!(a, b);
         assert_eq!(a.label("source"), Some("node-1"));
         assert_eq!(a.label("missing"), None);

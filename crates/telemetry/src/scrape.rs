@@ -88,7 +88,12 @@ impl ScrapeManager {
 
     /// Scrape only if the configured interval has elapsed since the last one.
     /// Returns `true` when a scrape happened.
-    pub fn scrape_if_due(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) -> bool {
+    pub fn scrape_if_due(
+        &mut self,
+        cluster: &ClusterState,
+        network: &Network,
+        now: SimTime,
+    ) -> bool {
         if now >= self.next_scrape_due() {
             self.scrape(cluster, network, now);
             true
@@ -114,8 +119,18 @@ mod tests {
         b.connect_sites(s0, s1, SimDuration::from_millis(10), mbps(500.0));
         let network = Network::new(b.build().unwrap());
         let mut cluster = ClusterState::new();
-        cluster.add_node(Node::new("node-1", NodeId(0), Resources::from_cores_and_gib(6, 8), "UCSD"));
-        cluster.add_node(Node::new("node-2", NodeId(1), Resources::from_cores_and_gib(6, 8), "FIU"));
+        cluster.add_node(Node::new(
+            "node-1",
+            NodeId(0),
+            Resources::from_cores_and_gib(6, 8),
+            "UCSD",
+        ));
+        cluster.add_node(Node::new(
+            "node-2",
+            NodeId(1),
+            Resources::from_cores_and_gib(6, 8),
+            "FIU",
+        ));
         (cluster, network)
     }
 
@@ -129,11 +144,15 @@ mod tests {
         // 2 nodes x 4 node metrics + 2 ping pairs = 10 series.
         assert_eq!(mgr.store().series_count(), 10);
         assert_eq!(
-            mgr.store().instant_by_name(METRIC_NODE_LOAD1, SimTime::from_secs(20)).len(),
+            mgr.store()
+                .instant_by_name(METRIC_NODE_LOAD1, SimTime::from_secs(20))
+                .len(),
             2
         );
         assert_eq!(
-            mgr.store().instant_by_name(METRIC_PING_RTT, SimTime::from_secs(20)).len(),
+            mgr.store()
+                .instant_by_name(METRIC_PING_RTT, SimTime::from_secs(20))
+                .len(),
             2
         );
     }

@@ -82,7 +82,11 @@ impl ClusterSnapshot {
             }
         }
 
-        ClusterSnapshot { time: at, nodes, rtt }
+        ClusterSnapshot {
+            time: at,
+            nodes,
+            rtt,
+        }
     }
 
     /// Telemetry for one node.
@@ -97,7 +101,9 @@ impl ClusterSnapshot {
 
     /// RTT from `source` to `target` in seconds, if probed.
     pub fn rtt_between(&self, source: &str, target: &str) -> Option<f64> {
-        self.rtt.get(&(source.to_string(), target.to_string())).copied()
+        self.rtt
+            .get(&(source.to_string(), target.to_string()))
+            .copied()
     }
 
     /// All RTTs observed *from* `source` to its peers.
@@ -127,6 +133,78 @@ impl ClusterSnapshot {
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
+
+    /// Resolve this name-keyed snapshot against a cluster's node intern table
+    /// into a dense, [`cluster::NodeId`]-indexed view.
+    ///
+    /// This is the scheduler's burst-time amortization point: per-node
+    /// telemetry lookups become array indexing and the RTT mesh is scanned
+    /// exactly once (instead of once per candidate per decision) to
+    /// precompute the Table-1 RTT statistics for every node.
+    pub fn index_for(&self, cluster: &cluster::ClusterState) -> IndexedTelemetry {
+        let n = cluster.node_count();
+        let nodes: Vec<Option<NodeTelemetry>> = cluster
+            .nodes()
+            .iter()
+            .map(|node| self.nodes.get(&node.name).copied())
+            .collect();
+
+        let mut stats: Vec<simcore::OnlineStats> = vec![simcore::OnlineStats::new(); n];
+        for ((source, _target), &rtt) in &self.rtt {
+            if let Some(id) = cluster.node_id(source) {
+                stats[id.index()].push(rtt);
+            }
+        }
+        let rtt_stats = stats
+            .into_iter()
+            .map(|s| {
+                if s.count() == 0 {
+                    (0.0, 0.0, 0.0)
+                } else {
+                    (s.mean(), s.max(), s.std_dev())
+                }
+            })
+            .collect();
+
+        IndexedTelemetry { nodes, rtt_stats }
+    }
+}
+
+/// A dense, [`cluster::NodeId`]-indexed resolution of a [`ClusterSnapshot`]
+/// against one cluster's node table. Built once per scheduling burst by
+/// [`ClusterSnapshot::index_for`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IndexedTelemetry {
+    /// Host telemetry per node id; `None` when the node was not scraped.
+    nodes: Vec<Option<NodeTelemetry>>,
+    /// Precomputed (mean, max, std-dev) RTT-from-node statistics per node id.
+    rtt_stats: Vec<(f64, f64, f64)>,
+}
+
+impl IndexedTelemetry {
+    /// Telemetry for a node, `None` when the node was absent from the scrape.
+    pub fn node(&self, id: cluster::NodeId) -> Option<&NodeTelemetry> {
+        self.nodes.get(id.index()).and_then(|t| t.as_ref())
+    }
+
+    /// The Table-1 RTT statistics (mean, max, std-dev) from a node to its
+    /// peers; all zeros when the node has no probes.
+    pub fn rtt_stats(&self, id: cluster::NodeId) -> (f64, f64, f64) {
+        self.rtt_stats
+            .get(id.index())
+            .copied()
+            .unwrap_or((0.0, 0.0, 0.0))
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -139,20 +217,32 @@ mod tests {
         let t0 = SimTime::from_secs(0);
         let t1 = SimTime::from_secs(30);
         for node in ["node-1", "node-2"] {
-            store.append(Sample::gauge(SeriesKey::per_node(METRIC_NODE_LOAD1, node), 1.5, t1));
+            store.append(Sample::gauge(
+                SeriesKey::per_node(METRIC_NODE_LOAD1, node),
+                1.5,
+                t1,
+            ));
             store.append(Sample::gauge(
                 SeriesKey::per_node(METRIC_NODE_MEM_AVAILABLE, node),
                 6e9,
                 t1,
             ));
             // 2 MB/s tx, 1 MB/s rx over 30 s.
-            store.append(Sample::counter(SeriesKey::per_node(METRIC_NODE_TX_BYTES, node), 0.0, t0));
+            store.append(Sample::counter(
+                SeriesKey::per_node(METRIC_NODE_TX_BYTES, node),
+                0.0,
+                t0,
+            ));
             store.append(Sample::counter(
                 SeriesKey::per_node(METRIC_NODE_TX_BYTES, node),
                 60e6,
                 t1,
             ));
-            store.append(Sample::counter(SeriesKey::per_node(METRIC_NODE_RX_BYTES, node), 0.0, t0));
+            store.append(Sample::counter(
+                SeriesKey::per_node(METRIC_NODE_RX_BYTES, node),
+                0.0,
+                t0,
+            ));
             store.append(Sample::counter(
                 SeriesKey::per_node(METRIC_NODE_RX_BYTES, node),
                 30e6,
@@ -160,12 +250,18 @@ mod tests {
             ));
         }
         store.append(Sample::gauge(
-            SeriesKey::new(METRIC_PING_RTT, &[("source", "node-1"), ("target", "node-2")]),
+            SeriesKey::new(
+                METRIC_PING_RTT,
+                &[("source", "node-1"), ("target", "node-2")],
+            ),
             0.066,
             t1,
         ));
         store.append(Sample::gauge(
-            SeriesKey::new(METRIC_PING_RTT, &[("source", "node-2"), ("target", "node-1")]),
+            SeriesKey::new(
+                METRIC_PING_RTT,
+                &[("source", "node-2"), ("target", "node-1")],
+            ),
             0.067,
             t1,
         ));
@@ -175,7 +271,8 @@ mod tests {
     #[test]
     fn snapshot_assembles_all_signals() {
         let store = build_store();
-        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
         assert!(!snap.is_empty());
         assert_eq!(snap.node_names(), vec!["node-1", "node-2"]);
         let n1 = snap.node("node-1").unwrap();
@@ -203,7 +300,8 @@ mod tests {
             1000.0,
             SimTime::from_secs(10),
         ));
-        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(12), SimDuration::from_secs(30));
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(12), SimDuration::from_secs(30));
         let n = snap.node("node-1").unwrap();
         assert_eq!(n.tx_rate, 0.0);
         assert_eq!(n.rx_rate, 0.0);
@@ -214,11 +312,15 @@ mod tests {
     fn rtt_stats_match_table1_semantics() {
         let mut store = build_store();
         store.append(Sample::gauge(
-            SeriesKey::new(METRIC_PING_RTT, &[("source", "node-1"), ("target", "node-3")]),
+            SeriesKey::new(
+                METRIC_PING_RTT,
+                &[("source", "node-1"), ("target", "node-3")],
+            ),
             0.010,
             SimTime::from_secs(30),
         ));
-        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
         let rtts = snap.rtts_from("node-1");
         assert_eq!(rtts.len(), 2);
         let (mean, max, std) = snap.rtt_stats_from("node-1");
@@ -229,9 +331,45 @@ mod tests {
     }
 
     #[test]
+    fn indexed_view_matches_name_keyed_lookups() {
+        use cluster::{Node, Resources};
+
+        let store = build_store();
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        let mut c = cluster::ClusterState::new();
+        // node-3 exists in the cluster but was never scraped.
+        for (i, name) in ["node-1", "node-2", "node-3"].iter().enumerate() {
+            c.add_node(Node::new(
+                *name,
+                simnet::NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                "SITE",
+            ));
+        }
+        let indexed = snap.index_for(&c);
+        assert_eq!(indexed.len(), 3);
+        assert!(!indexed.is_empty());
+        for name in ["node-1", "node-2"] {
+            let id = c.node_id(name).unwrap();
+            assert_eq!(indexed.node(id), snap.node(name));
+            let (mean, max, std) = indexed.rtt_stats(id);
+            let (m2, x2, s2) = snap.rtt_stats_from(name);
+            assert_eq!((mean, max, std), (m2, x2, s2));
+        }
+        let unscraped = c.node_id("node-3").unwrap();
+        assert_eq!(indexed.node(unscraped), None);
+        assert_eq!(indexed.rtt_stats(unscraped), (0.0, 0.0, 0.0));
+        // Out-of-table ids degrade gracefully.
+        assert_eq!(indexed.node(cluster::NodeId(99)), None);
+        assert_eq!(indexed.rtt_stats(cluster::NodeId(99)), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
     fn empty_store_yields_empty_snapshot() {
         let store = TimeSeriesStore::new();
-        let snap = ClusterSnapshot::from_store(&store, SimTime::from_secs(1), SimDuration::from_secs(30));
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(1), SimDuration::from_secs(30));
         assert!(snap.is_empty());
         assert!(snap.node_names().is_empty());
         assert!(snap.rtts_from("node-1").is_empty());

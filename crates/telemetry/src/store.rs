@@ -37,10 +37,13 @@ impl TimeSeriesStore {
     /// Append one sample. Out-of-order samples (older than the series tail)
     /// are dropped, mirroring Prometheus behaviour.
     pub fn append(&mut self, sample: Sample) {
-        let series = self.series.entry(sample.key.clone()).or_insert_with(|| Series {
-            kind: sample.kind,
-            points: Vec::new(),
-        });
+        let series = self
+            .series
+            .entry(sample.key.clone())
+            .or_insert_with(|| Series {
+                kind: sample.kind,
+                points: Vec::new(),
+            });
         if let Some(&(last_t, _)) = series.points.last() {
             if sample.timestamp < last_t {
                 return;
@@ -48,7 +51,10 @@ impl TimeSeriesStore {
         }
         series.points.push((sample.timestamp, sample.value));
         if let Some(retention) = self.retention {
-            let cutoff_nanos = sample.timestamp.as_nanos().saturating_sub(retention.as_nanos());
+            let cutoff_nanos = sample
+                .timestamp
+                .as_nanos()
+                .saturating_sub(retention.as_nanos());
             let cutoff = SimTime::from_nanos(cutoff_nanos);
             let keep_from = series.points.partition_point(|&(t, _)| t < cutoff);
             if keep_from > 0 {
@@ -174,7 +180,10 @@ mod tests {
         assert_eq!(store.series_count(), 1);
         assert_eq!(store.point_count(), 2);
         // Unknown series.
-        assert_eq!(store.instant(&key("nope", "node-1"), SimTime::from_secs(30)), None);
+        assert_eq!(
+            store.instant(&key("nope", "node-1"), SimTime::from_secs(30)),
+            None
+        );
     }
 
     #[test]
@@ -195,13 +204,19 @@ mod tests {
         let mut store = TimeSeriesStore::new();
         let k = key("node_load1", "node-2");
         for i in 0..10u64 {
-            store.append(Sample::gauge(k.clone(), i as f64, SimTime::from_secs(i * 10)));
+            store.append(Sample::gauge(
+                k.clone(),
+                i as f64,
+                SimTime::from_secs(i * 10),
+            ));
         }
         let pts = store.range(&k, SimTime::from_secs(25), SimTime::from_secs(55));
         assert_eq!(pts.len(), 3); // t = 30, 40, 50
         assert_eq!(pts[0].1, 3.0);
         assert_eq!(pts[2].1, 5.0);
-        assert!(store.range(&key("x", "y"), SimTime::ZERO, SimTime::MAX).is_empty());
+        assert!(store
+            .range(&key("x", "y"), SimTime::ZERO, SimTime::MAX)
+            .is_empty());
     }
 
     #[test]
@@ -210,19 +225,29 @@ mod tests {
         let k = key("node_network_transmit_bytes_total", "node-1");
         // 1000 bytes/sec for 60 seconds, scraped every 15 s.
         for i in 0..=4u64 {
-            store.append(Sample::counter(k.clone(), (i * 15_000) as f64, SimTime::from_secs(i * 15)));
+            store.append(Sample::counter(
+                k.clone(),
+                (i * 15_000) as f64,
+                SimTime::from_secs(i * 15),
+            ));
         }
         let rate = store
             .rate(&k, SimTime::from_secs(60), SimDuration::from_secs(30))
             .unwrap();
         assert!((rate - 1000.0).abs() < 1e-9);
         // Window too small for two samples.
-        assert_eq!(store.rate(&k, SimTime::from_secs(60), SimDuration::from_secs(10)), None);
+        assert_eq!(
+            store.rate(&k, SimTime::from_secs(60), SimDuration::from_secs(10)),
+            None
+        );
         // Gauges have no rate.
         let g = key("node_load1", "node-1");
         store.append(Sample::gauge(g.clone(), 1.0, SimTime::from_secs(0)));
         store.append(Sample::gauge(g.clone(), 2.0, SimTime::from_secs(30)));
-        assert_eq!(store.rate(&g, SimTime::from_secs(60), SimDuration::from_secs(60)), None);
+        assert_eq!(
+            store.rate(&g, SimTime::from_secs(60), SimDuration::from_secs(60)),
+            None
+        );
     }
 
     #[test]
@@ -231,7 +256,9 @@ mod tests {
         let k = key("ctr", "node-1");
         store.append(Sample::counter(k.clone(), 1000.0, SimTime::from_secs(0)));
         store.append(Sample::counter(k.clone(), 10.0, SimTime::from_secs(10)));
-        let r = store.rate(&k, SimTime::from_secs(10), SimDuration::from_secs(20)).unwrap();
+        let r = store
+            .rate(&k, SimTime::from_secs(10), SimDuration::from_secs(20))
+            .unwrap();
         assert_eq!(r, 0.0);
     }
 
@@ -240,7 +267,11 @@ mod tests {
         let mut store = TimeSeriesStore::with_retention(SimDuration::from_secs(30));
         let k = key("node_load1", "node-1");
         for i in 0..10u64 {
-            store.append(Sample::gauge(k.clone(), i as f64, SimTime::from_secs(i * 10)));
+            store.append(Sample::gauge(
+                k.clone(),
+                i as f64,
+                SimTime::from_secs(i * 10),
+            ));
         }
         // Last timestamp is 90 s; retention 30 s keeps points at >= 60 s.
         assert_eq!(store.point_count(), 4);
@@ -252,9 +283,17 @@ mod tests {
     fn instant_by_name_collects_all_nodes() {
         let mut store = TimeSeriesStore::new();
         for node in ["node-1", "node-2", "node-3"] {
-            store.append(Sample::gauge(key("node_load1", node), 1.0, SimTime::from_secs(10)));
+            store.append(Sample::gauge(
+                key("node_load1", node),
+                1.0,
+                SimTime::from_secs(10),
+            ));
         }
-        store.append(Sample::gauge(key("other_metric", "node-1"), 5.0, SimTime::from_secs(10)));
+        store.append(Sample::gauge(
+            key("other_metric", "node-1"),
+            5.0,
+            SimTime::from_secs(10),
+        ));
         let got = store.instant_by_name("node_load1", SimTime::from_secs(20));
         assert_eq!(got.len(), 3);
         assert!(got.iter().all(|(k, v)| k.name == "node_load1" && *v == 1.0));
@@ -267,9 +306,14 @@ mod tests {
         for (t, v) in [(10u64, 1.0), (20, 2.0), (30, 3.0), (40, 4.0)] {
             store.append(Sample::gauge(k.clone(), v, SimTime::from_secs(t)));
         }
-        let avg = store.avg_over(&k, SimTime::from_secs(40), SimDuration::from_secs(20)).unwrap();
+        let avg = store
+            .avg_over(&k, SimTime::from_secs(40), SimDuration::from_secs(20))
+            .unwrap();
         assert!((avg - 3.0).abs() < 1e-9); // points at 20, 30, 40
-        assert_eq!(store.avg_over(&k, SimTime::from_secs(5), SimDuration::from_secs(2)), None);
+        assert_eq!(
+            store.avg_over(&k, SimTime::from_secs(5), SimDuration::from_secs(2)),
+            None
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cargo run --release --example compare_schedulers [configs_per_workload] [repeats]
 //! ```
 
+use netsched::core::context::SchedulingContext;
 use netsched::core::predictor::CompletionTimePredictor;
 use netsched::core::schedulers::{
     JobScheduler, KubeDefaultScheduler, LeastLoadedScheduler, LowestRttScheduler, RandomScheduler,
@@ -19,8 +20,14 @@ use netsched::mlcore::{ModelConfig, ModelKind, TrainedModel};
 use netsched::simcore::rng::Rng;
 
 fn main() {
-    let per_workload: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
-    let repeats: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let per_workload: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let repeats: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     let config = ExperimentConfig::quick(per_workload, repeats, 2025);
     println!(
         "generating {} scenarios ({} samples) ...",
@@ -37,7 +44,12 @@ fn main() {
     let mut rng = Rng::seed_from_u64(17);
     let (train_idx, test_idx) = dataset.split_scenarios(0.25, &mut rng);
     let train = dataset.logger_for(&train_idx).to_dataset();
-    let rf = TrainedModel::train(ModelKind::RandomForest, &ModelConfig::default(), &train, &mut rng);
+    let rf = TrainedModel::train(
+        ModelKind::RandomForest,
+        &ModelConfig::default(),
+        &train,
+        &mut rng,
+    );
     let predictor = CompletionTimePredictor::new(dataset.schema.clone(), rf);
     let cluster = FabricTestbed::paper().cluster;
 
@@ -57,12 +69,17 @@ fn main() {
         let mut top2 = 0usize;
         for &idx in &test_idx {
             let scenario = &dataset.scenarios[idx];
-            let ranking = policy.select(&scenario.request(), &scenario.snapshot, &cluster);
+            let mut ctx = SchedulingContext::new(&scenario.snapshot, &cluster);
+            let ranking = policy.select(&scenario.request(), &mut ctx);
             let fastest = scenario.fastest_node();
-            if ranking.best().map(|r| r.node.as_str()) == Some(fastest) {
+            if ranking.best_name(&cluster) == Some(fastest) {
                 top1 += 1;
             }
-            if ranking.top_k(2).iter().any(|n| *n == fastest) {
+            if ranking
+                .top_k(2)
+                .iter()
+                .any(|&id| cluster.node_name(id) == fastest)
+            {
                 top2 += 1;
             }
         }

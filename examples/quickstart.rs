@@ -44,11 +44,19 @@ fn main() {
     //    show the manifest the Job Builder would hand to Kubernetes.
     let request = JobRequest::named("sort-quickstart", WorkloadKind::Sort, 250_000, 2);
     let built = JobBuilder.build(&request, Some("node-2"));
-    println!("\ngenerated SparkApplication manifest:\n{}", built.manifest_yaml);
+    println!(
+        "\ngenerated SparkApplication manifest:\n{}",
+        built.manifest_yaml
+    );
 
     // 5. Execute it and report the completion breakdown.
-    let outcome = world.run_job(&request, "node-2").expect("placement is feasible");
-    println!("driver ran on {}, executors on {:?}", outcome.driver_node, outcome.executor_nodes);
+    let outcome = world
+        .run_job(&request, "node-2")
+        .expect("placement is feasible");
+    println!(
+        "driver ran on {}, executors on {:?}",
+        outcome.driver_node, outcome.executor_nodes
+    );
     println!(
         "job completed in {:.2}s (startup {:.2}s, shuffle {:.1} MB, {} spilled stages)",
         outcome.result.completion_seconds(),

@@ -30,12 +30,21 @@ fn main() {
 
     // --- Raw time-series queries, Prometheus-style. ---
     let store = world.metrics.store();
-    println!("stored series: {}, points: {}", store.series_count(), store.point_count());
+    println!(
+        "stored series: {}, points: {}",
+        store.series_count(),
+        store.point_count()
+    );
     let now = world.now();
     for node in world.cluster.node_names() {
         let tx_key = SeriesKey::per_node(METRIC_NODE_TX_BYTES, &node);
-        let rate = store.rate(&tx_key, now, SimDuration::from_secs(30)).unwrap_or(0.0);
-        println!("  rate({METRIC_NODE_TX_BYTES}{{instance=\"{node}\"}}[30s]) = {:.2} MB/s", rate / 1e6);
+        let rate = store
+            .rate(&tx_key, now, SimDuration::from_secs(30))
+            .unwrap_or(0.0);
+        println!(
+            "  rate({METRIC_NODE_TX_BYTES}{{instance=\"{node}\"}}[30s]) = {:.2} MB/s",
+            rate / 1e6
+        );
     }
     let rtt_series = store.instant_by_name(METRIC_PING_RTT, now);
     println!("ping mesh series at t={now}: {} pairs", rtt_series.len());
@@ -44,7 +53,11 @@ fn main() {
     let snapshot = world.snapshot();
     let schema = FeatureSchema::standard();
     let request = JobRequest::named("join-tour", WorkloadKind::Join, 250_000, 2);
-    println!("\nfeature vectors for {} ({} features):", request.name, schema.len());
+    println!(
+        "\nfeature vectors for {} ({} features):",
+        request.name,
+        schema.len()
+    );
     for node in world.cluster.node_names() {
         let features = schema.construct(&snapshot, &node, &request);
         let cpu = features[schema.index_of("cpu_load").unwrap()];

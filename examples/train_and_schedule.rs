@@ -12,6 +12,7 @@
 //! cargo run --release --example train_and_schedule
 //! ```
 
+use netsched::core::context::SchedulingContext;
 use netsched::core::predictor::CompletionTimePredictor;
 use netsched::core::request::JobRequest;
 use netsched::core::schedulers::{JobScheduler, KubeDefaultScheduler, SupervisedScheduler};
@@ -34,7 +35,11 @@ fn main() {
     let (train_idx, test_idx) = dataset.split_scenarios(0.25, &mut rng);
     let train = dataset.logger_for(&train_idx).to_dataset();
     let test = dataset.logger_for(&test_idx).to_dataset();
-    println!("training rows: {}, held-out rows: {}", train.len(), test.len());
+    println!(
+        "training rows: {}, held-out rows: {}",
+        train.len(),
+        test.len()
+    );
 
     // --- 2. Train and compare the three model families. ---
     let model_config = ModelConfig::default();
@@ -46,7 +51,11 @@ fn main() {
             "  {kind:<18} held-out MAE {:6.2}s  RMSE {:6.2}s  R² {:5.3}",
             metrics.mae, metrics.rmse, metrics.r2
         );
-        if best.as_ref().map(|(_, _, r2)| metrics.r2 > *r2).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(_, _, r2)| metrics.r2 > *r2)
+            .unwrap_or(true)
+        {
             best = Some((kind, model, metrics.r2));
         }
     }
@@ -63,18 +72,24 @@ fn main() {
     let request = JobRequest::named("sort-new", WorkloadKind::Sort, 500_000, 3);
     let cluster = FabricTestbed::paper().cluster;
 
-    let supervised_ranking = supervised.select(&request, &scenario.snapshot, &cluster);
-    let default_ranking = kube_default.select(&request, &scenario.snapshot, &cluster);
+    // One context serves the whole burst of decisions against this snapshot.
+    let mut ctx = SchedulingContext::new(&scenario.snapshot, &cluster);
+    let supervised_ranking = supervised.select(&request, &mut ctx);
+    let default_ranking = kube_default.select(&request, &mut ctx);
 
     println!("\nscheduling a new job ({}):", request.name);
     println!("  supervised ({}) ranking:", supervised.name());
     for ranked in &supervised_ranking.ranked {
-        println!("    {:<8} predicted {:.1}s", ranked.node, ranked.predicted_seconds);
+        println!(
+            "    {:<8} predicted {:.1}s",
+            cluster.node_name(ranked.node),
+            ranked.predicted_seconds
+        );
     }
     println!(
         "  supervised choice: {}   | default scheduler choice: {}",
-        supervised_ranking.best().map(|r| r.node.as_str()).unwrap_or("-"),
-        default_ranking.best().map(|r| r.node.as_str()).unwrap_or("-"),
+        supervised_ranking.best_name(&cluster).unwrap_or("-"),
+        default_ranking.best_name(&cluster).unwrap_or("-"),
     );
     println!(
         "  (actually fastest node in this scenario for its own job was {})",

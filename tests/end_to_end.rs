@@ -122,10 +122,16 @@ fn scheduler_service_full_loop_learns_and_places() {
     let decision = service.schedule(&request, &world.metrics, &world.cluster, world.now());
     assert!(decision.used_model);
     assert_eq!(decision.ranking.len(), 6);
-    let target = decision.job.target_node.clone().expect("model picked a node");
+    let target = decision
+        .job
+        .target_node
+        .clone()
+        .expect("model picked a node");
     assert!(decision.job.manifest_yaml.contains(&format!("- {target}")));
     // The pinned manifest is accepted by the world and the job completes.
-    let outcome = world.run_job(&request, &target).expect("placement is feasible");
+    let outcome = world
+        .run_job(&request, &target)
+        .expect("placement is feasible");
     assert!(outcome.result.completion_seconds() > 0.0);
 }
 

@@ -5,6 +5,7 @@
 //! invariants of the decision module, schema/feature alignment and monotone
 //! behaviour of the execution model.
 
+use netsched::cluster::NodeId as ClusterNodeId;
 use netsched::core::decision::DecisionModule;
 use netsched::core::features::FeatureSchema;
 use netsched::core::request::JobRequest;
@@ -57,7 +58,7 @@ proptest! {
         let mut last_tx = 0.0;
         let mut now = SimTime::ZERO;
         for step in steps {
-            now = now + SimDuration::from_secs(step);
+            now += SimDuration::from_secs(step);
             net.advance_to(now);
             let tx: f64 = (0..6).map(|i| net.counters(NodeId(i)).tx_bytes).sum();
             prop_assert!(tx + 1e-9 >= last_tx);
@@ -70,14 +71,13 @@ proptest! {
     /// non-decreasing predictions, regardless of the prediction values.
     #[test]
     fn ranking_is_a_sorted_permutation(predictions in prop::collection::vec(0.0f64..10_000.0, 1..12)) {
-        let candidates: Vec<String> = (0..predictions.len()).map(|i| format!("node-{i}")).collect();
+        let candidates: Vec<ClusterNodeId> =
+            (0..predictions.len()).map(ClusterNodeId::from_index).collect();
         let ranking = DecisionModule.rank(&candidates, &predictions);
         prop_assert_eq!(ranking.len(), candidates.len());
-        let mut returned: Vec<&str> = ranking.ranked.iter().map(|r| r.node.as_str()).collect();
+        let mut returned: Vec<ClusterNodeId> = ranking.ranked.iter().map(|r| r.node).collect();
         returned.sort_unstable();
-        let mut expected: Vec<&str> = candidates.iter().map(String::as_str).collect();
-        expected.sort_unstable();
-        prop_assert_eq!(returned, expected);
+        prop_assert_eq!(returned, candidates.clone());
         for pair in ranking.ranked.windows(2) {
             prop_assert!(pair[0].predicted_seconds <= pair[1].predicted_seconds);
         }

@@ -1,0 +1,161 @@
+//! Scheduler parity, determinism and batch-equivalence guards.
+//!
+//! These tests pin the contracts the hot-path refactor relies on:
+//!
+//! * every policy ranks over the *identical* feasible candidate set (the
+//!   default scheduler's filter), so Table-4-style comparisons are
+//!   apples-to-apples;
+//! * a fixed seed yields byte-identical rankings across two independent
+//!   runs (determinism guard — serialized and compared as bytes);
+//! * `select_batch` over N requests equals N sequential `select` calls for
+//!   every policy.
+
+use netsched::cluster::{ClusterState, NodeId};
+use netsched::core::context::SchedulingContext;
+use netsched::core::features::FeatureSchema;
+use netsched::core::predictor::CompletionTimePredictor;
+use netsched::core::request::JobRequest;
+use netsched::core::schedulers::{
+    feasible_candidates, JobScheduler, KubeDefaultScheduler, LeastLoadedScheduler,
+    LowestRttScheduler, RandomScheduler, SupervisedScheduler,
+};
+use netsched::core::NodeRanking;
+use netsched::experiments::{FabricTestbed, SimWorld};
+use netsched::mlcore::{Dataset, ModelConfig, ModelKind, TrainedModel};
+use netsched::simcore::rng::Rng;
+use netsched::simcore::SimDuration;
+use netsched::simnet::BackgroundLoadConfig;
+use netsched::sparksim::WorkloadKind;
+use netsched::telemetry::ClusterSnapshot;
+
+/// A contended world frozen after warm-up: telemetry differs across nodes.
+fn frozen_world() -> (ClusterState, ClusterSnapshot) {
+    let mut world = SimWorld::new(FabricTestbed::paper(), 20250727);
+    world.place_background_load(2, &BackgroundLoadConfig::default());
+    world.advance_by(SimDuration::from_secs(12));
+    let snapshot = world.snapshot();
+    (world.cluster, snapshot)
+}
+
+/// A small predictor trained on synthetic load-sensitive data.
+fn predictor(snapshot: &ClusterSnapshot) -> CompletionTimePredictor {
+    let schema = FeatureSchema::standard();
+    let mut data = Dataset::new(schema.names().to_vec());
+    let mut rng = Rng::seed_from_u64(9);
+    let job = JobRequest::named("train", WorkloadKind::Sort, 100_000, 2);
+    for (i, name) in snapshot.node_names().iter().enumerate() {
+        for rep in 0..8 {
+            let features = schema.construct(snapshot, name, &job);
+            let load = snapshot.node(name).map(|t| t.cpu_load).unwrap_or(0.0);
+            data.push(features, 20.0 + 5.0 * load + (i + rep) as f64 * 0.1)
+                .unwrap();
+        }
+    }
+    let model = TrainedModel::train(ModelKind::Linear, &ModelConfig::default(), &data, &mut rng);
+    CompletionTimePredictor::new(schema, model)
+}
+
+/// Fresh instances of all five policies, seeded identically.
+fn policies(snapshot: &ClusterSnapshot, seed: u64) -> Vec<Box<dyn JobScheduler>> {
+    vec![
+        Box::new(SupervisedScheduler::new(predictor(snapshot))),
+        Box::new(KubeDefaultScheduler::new(seed)),
+        Box::new(RandomScheduler::new(seed)),
+        Box::new(LeastLoadedScheduler),
+        Box::new(LowestRttScheduler),
+    ]
+}
+
+fn requests(n: usize) -> Vec<JobRequest> {
+    (0..n)
+        .map(|i| {
+            JobRequest::named(
+                format!("job-{i}"),
+                WorkloadKind::PAPER_SET[i % 3],
+                80_000 + i as u64 * 15_000,
+                2,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn all_policies_rank_over_the_identical_feasible_set() {
+    let (cluster, snapshot) = frozen_world();
+    let request = requests(1).remove(0);
+
+    // The shared candidate contract, by name and by id.
+    let expected_names = feasible_candidates(&request, &cluster);
+    assert_eq!(expected_names.len(), 6, "paper testbed: all six nodes fit");
+    let mut ctx = SchedulingContext::new(&snapshot, &cluster);
+    let expected_ids: Vec<NodeId> = ctx.feasible_candidates(&request).to_vec();
+    let expected_set: std::collections::BTreeSet<NodeId> = expected_ids.iter().copied().collect();
+    assert_eq!(
+        expected_names,
+        expected_ids
+            .iter()
+            .map(|&id| cluster.node_name(id).to_string())
+            .collect::<Vec<_>>()
+    );
+
+    for mut policy in policies(&snapshot, 77) {
+        let ranking = policy.select(&request, &mut ctx);
+        let ranked_set: std::collections::BTreeSet<NodeId> =
+            ranking.ranked.iter().map(|r| r.node).collect();
+        assert_eq!(
+            ranked_set,
+            expected_set,
+            "{} must rank exactly the feasible candidates",
+            policy.name()
+        );
+        assert_eq!(ranking.len(), expected_ids.len(), "{}", policy.name());
+    }
+}
+
+#[test]
+fn fixed_seed_yields_byte_identical_rankings_across_runs() {
+    let (cluster, snapshot) = frozen_world();
+    let batch = requests(6);
+
+    let run = || -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let mut ctx = SchedulingContext::new(&snapshot, &cluster);
+        for mut policy in policies(&snapshot, 4242) {
+            for request in &batch {
+                let ranking = policy.select(request, &mut ctx);
+                bytes.extend_from_slice(
+                    serde_json::to_string(&ranking)
+                        .expect("ranking serializes")
+                        .as_bytes(),
+                );
+            }
+        }
+        bytes
+    };
+
+    assert_eq!(run(), run(), "same seeds, same inputs, same bytes");
+}
+
+#[test]
+fn select_batch_equals_sequential_selects_for_all_five_policies() {
+    let (cluster, snapshot) = frozen_world();
+    let batch = requests(5);
+
+    let mut batch_policies = policies(&snapshot, 31);
+    let mut seq_policies = policies(&snapshot, 31);
+    for (batch_policy, seq_policy) in batch_policies.iter_mut().zip(seq_policies.iter_mut()) {
+        let mut ctx_batch = SchedulingContext::new(&snapshot, &cluster);
+        let mut ctx_seq = SchedulingContext::new(&snapshot, &cluster);
+        let batched = batch_policy.select_batch(&batch, &mut ctx_batch);
+        let sequential: Vec<NodeRanking> = batch
+            .iter()
+            .map(|request| seq_policy.select(request, &mut ctx_seq))
+            .collect();
+        assert_eq!(
+            batched,
+            sequential,
+            "{}: batch must equal sequential",
+            batch_policy.name()
+        );
+    }
+}

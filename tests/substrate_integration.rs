@@ -39,13 +39,22 @@ fn background_contention_is_visible_through_the_whole_telemetry_path() {
     }
     // 2. The download target receives traffic: rx counters and the snapshot's
     //    rx rate agree that traffic exists.
-    let rx_series = world.metrics.store().instant_by_name(METRIC_NODE_RX_BYTES, world.now());
+    let rx_series = world
+        .metrics
+        .store()
+        .instant_by_name(METRIC_NODE_RX_BYTES, world.now());
     assert_eq!(rx_series.len(), 6);
     let total_rx: f64 = rx_series.iter().map(|(_, v)| *v).sum();
-    assert!(total_rx > 50_000_000.0, "background downloads moved data: {total_rx}");
+    assert!(
+        total_rx > 50_000_000.0,
+        "background downloads moved data: {total_rx}"
+    );
     assert!(snapshot.nodes.values().any(|t| t.rx_rate > 1e5));
     // 3. The ping mesh is fully populated (6 x 5 ordered pairs).
-    let pings = world.metrics.store().instant_by_name(METRIC_PING_RTT, world.now());
+    let pings = world
+        .metrics
+        .store()
+        .instant_by_name(METRIC_PING_RTT, world.now());
     assert_eq!(pings.len(), 30);
 }
 
@@ -132,7 +141,11 @@ fn workload_families_have_distinct_runtime_signatures() {
         world.advance_by(SimDuration::from_secs(5));
         let request = JobRequest::named(format!("{kind}-sig"), kind, 400_000, 2);
         let outcome = world.run_job(&request, "node-2").unwrap();
-        completions.push((kind, outcome.result.completion_seconds(), outcome.result.shuffle_bytes));
+        completions.push((
+            kind,
+            outcome.result.completion_seconds(),
+            outcome.result.shuffle_bytes,
+        ));
     }
     // All distinct (no two workloads collapse onto the same number).
     for i in 0..completions.len() {
@@ -147,9 +160,8 @@ fn workload_families_have_distinct_runtime_signatures() {
     }
     // Sort (full-input shuffle) and PageRank (iterative exchange) both move
     // more data over the network than Join, matching the Table 2 story.
-    let shuffle_of = |kind: WorkloadKind| {
-        completions.iter().find(|(k, _, _)| *k == kind).unwrap().2
-    };
+    let shuffle_of =
+        |kind: WorkloadKind| completions.iter().find(|(k, _, _)| *k == kind).unwrap().2;
     assert!(shuffle_of(WorkloadKind::Sort) > shuffle_of(WorkloadKind::Join));
     assert!(shuffle_of(WorkloadKind::PageRank) > shuffle_of(WorkloadKind::Join));
 }

@@ -1,0 +1,181 @@
+//! A minimal stand-in for `criterion`, offline. It keeps the criterion
+//! calling convention (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`) and measures wall-clock
+//! time per iteration with warmup + multiple sampling rounds, printing
+//! `name: median ns/iter (min .. max)` to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Number of timed sampling rounds per benchmark.
+    pub sample_count: usize,
+    /// Target wall-clock time per sampling round.
+    pub round_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 10,
+            round_target: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark, rendered as `name/param`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Create an id from a parameter value only.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, storing per-iteration durations over several rounds.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warmup + calibration: how many iterations fit in the round target?
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+        let iters_per_round = if first.is_zero() {
+            1000
+        } else {
+            (self.criterion.round_target.as_secs_f64() / first.as_secs_f64()).clamp(1.0, 100_000.0)
+                as usize
+        };
+        for _ in 0..self.criterion.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_round {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.results_ns
+                .push(elapsed.as_nanos() as f64 / iters_per_round as f64);
+        }
+    }
+}
+
+fn report(name: &str, mut results_ns: Vec<f64>) {
+    if results_ns.is_empty() {
+        println!("{name}: no measurements");
+        return;
+    }
+    results_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = results_ns[results_ns.len() / 2];
+    let min = results_ns[0];
+    let max = results_ns[results_ns.len() - 1];
+    println!("{name}: {median:.0} ns/iter (min {min:.0} .. max {max:.0})");
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            criterion: self,
+            results_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, bencher.results_ns);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce/raise the number of sampling rounds (accepted for criterion
+    /// compatibility; clamped to at least 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = n.clamp(2, 100);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            criterion: self.criterion,
+            results_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, bencher.results_ns);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op; kept for criterion compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
