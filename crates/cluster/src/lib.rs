@@ -49,3 +49,8 @@ pub use pod::{Pod, PodId, PodPhase, PodSpec};
 pub use resources::Resources;
 pub use scheduler::{DefaultScheduler, FilterResult, ScheduleOutcome, Scheduler, ScoredNode};
 pub use state::{ClusterError, ClusterEvent, ClusterState, NodeId};
+
+/// Alias for [`state::NodeId`] that cannot be confused with `simnet::NodeId`
+/// when both id spaces are in scope downstream (the simnet crate exports the
+/// matching `SimNodeId` alias).
+pub use state::NodeId as ClusterNodeId;

@@ -25,6 +25,12 @@ pub struct JobConfig {
     pub executor_memory_bytes: u64,
     /// Shuffle partition count.
     pub shuffle_partitions: u32,
+    /// Arrival time of this job relative to the experiment epoch, seconds.
+    /// The batch workflow advances each scenario's world by this much extra
+    /// before snapshotting, so jobs from a bursty mix observe the contention
+    /// process at their actual arrival phase (the paper's fixed matrix
+    /// submits everything at the epoch: 0.0).
+    pub arrival_offset_seconds: f64,
 }
 
 impl JobConfig {
@@ -77,6 +83,7 @@ pub fn job_matrix() -> Vec<JobConfig> {
                         executor_count,
                         executor_memory_bytes,
                         shuffle_partitions: 4 * executor_count,
+                        arrival_offset_seconds: 0.0,
                     });
                     id += 1;
                 }

@@ -1,4 +1,4 @@
-//! Table 4: Top-1 / Top-2 node-selection accuracy.
+//! Table 4: Top-1 / Top-2 node-selection accuracy (plus per-cell speedups).
 //!
 //! For every held-out scenario, each scheduling method ranks the candidate
 //! nodes. The method scores a Top-1 hit when its first choice is the node that
@@ -15,8 +15,13 @@
 //! The reproduction is judged on the *shape*: every supervised model beats the
 //! default scheduler by a wide margin, tree ensembles beat linear regression,
 //! and Top-2 dominates Top-1.
+//!
+//! [`evaluate_cell`] additionally reports each method's **completion-time
+//! speedup over the Kubernetes default**: for every held-out scenario it looks
+//! up the measured completion time of the node each method would have picked
+//! and divides the default's pick by the method's pick. The scenario-matrix
+//! sweep runs this whole pipeline once per cell.
 
-use crate::fabric::FabricTestbed;
 use crate::workflow::{ExperimentDataset, ScenarioRecord};
 use mlcore::metrics::top_k_contains_best;
 use mlcore::{evaluate_on, ModelConfig, ModelKind, RegressionMetrics, TrainedModel};
@@ -25,6 +30,9 @@ use netsched_core::predictor::CompletionTimePredictor;
 use netsched_core::schedulers::{JobScheduler, KubeDefaultScheduler, SupervisedScheduler};
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
+
+/// The baseline method's display name (the paper's Table 4 first row).
+pub const KUBE_DEFAULT_METHOD: &str = "Kubernetes Default";
 
 /// Accuracy of one scheduling method.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +44,21 @@ pub struct SchedulerAccuracy {
     /// Fraction where the fastest node was within the first two choices.
     pub top2: f64,
     /// Number of evaluated scenarios.
+    pub evaluated: usize,
+}
+
+/// Completion-time speedup of one method over the Kubernetes default: for
+/// every held-out scenario, the default's picked-node completion time divided
+/// by this method's picked-node completion time (> 1 means faster jobs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodSpeedup {
+    /// Method name.
+    pub method: String,
+    /// Geometric mean of the per-scenario speedups.
+    pub geomean_speedup: f64,
+    /// Arithmetic mean of the per-scenario speedups.
+    pub mean_speedup: f64,
+    /// Number of scenarios the speedup was measured on.
     pub evaluated: usize,
 }
 
@@ -82,16 +105,29 @@ impl Table4Report {
     }
 }
 
-/// Count Top-1/Top-2 hits of a ranking-producing closure over scenarios.
-fn accuracy_over<F>(name: &str, scenarios: &[&ScenarioRecord], mut rank: F) -> SchedulerAccuracy
-where
-    F: FnMut(&ScenarioRecord) -> Vec<String>,
-{
+/// One cell's worth of evaluation: the Table 4 accuracy report plus each
+/// method's completion-time speedup over the default scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellEvaluation {
+    /// Top-1/Top-2 accuracy and model fits.
+    pub table4: Table4Report,
+    /// Per-method speedup over the Kubernetes default.
+    pub speedups: Vec<MethodSpeedup>,
+}
+
+/// One method's node rankings over the held-out scenarios (first = predicted
+/// fastest), aligned with the test-scenario list.
+struct MethodRankings {
+    method: String,
+    rankings: Vec<Vec<String>>,
+}
+
+/// Count Top-1/Top-2 hits of precomputed rankings over scenarios.
+fn accuracy_from(method: &MethodRankings, scenarios: &[&ScenarioRecord]) -> SchedulerAccuracy {
     let mut top1 = 0usize;
     let mut top2 = 0usize;
     let mut evaluated = 0usize;
-    for scenario in scenarios {
-        let ranking = rank(scenario);
+    for (scenario, ranking) in scenarios.iter().zip(&method.rankings) {
         if ranking.is_empty() || scenario.outcomes.is_empty() {
             continue;
         }
@@ -106,52 +142,106 @@ where
     }
     let denom = evaluated.max(1) as f64;
     SchedulerAccuracy {
-        method: name.to_string(),
+        method: method.method.clone(),
         top1: top1 as f64 / denom,
         top2: top2 as f64 / denom,
         evaluated,
     }
 }
 
-/// Evaluate the default scheduler and the three supervised models on a
-/// dataset, holding out `test_fraction` of the scenarios.
-pub fn evaluate_table4(
+/// Measured completion time of the node a ranking would pick for `scenario`.
+fn picked_completion(scenario: &ScenarioRecord, ranking: &[String]) -> Option<f64> {
+    let choice = ranking.first()?;
+    scenario
+        .outcomes
+        .iter()
+        .find(|o| &o.node == choice)
+        .map(|o| o.completion_seconds)
+}
+
+/// Per-method speedup over the default scheduler's picks.
+fn speedups_from(methods: &[MethodRankings], scenarios: &[&ScenarioRecord]) -> Vec<MethodSpeedup> {
+    let default = methods
+        .iter()
+        .find(|m| m.method == KUBE_DEFAULT_METHOD)
+        .expect("the default scheduler is always evaluated");
+    methods
+        .iter()
+        .map(|method| {
+            let mut log_sum = 0.0;
+            let mut sum = 0.0;
+            let mut evaluated = 0usize;
+            for (i, scenario) in scenarios.iter().enumerate() {
+                let (Some(t_default), Some(t_method)) = (
+                    picked_completion(scenario, &default.rankings[i]),
+                    picked_completion(scenario, &method.rankings[i]),
+                ) else {
+                    continue;
+                };
+                if t_default <= 0.0 || t_method <= 0.0 {
+                    continue;
+                }
+                let speedup = t_default / t_method;
+                log_sum += speedup.ln();
+                sum += speedup;
+                evaluated += 1;
+            }
+            let denom = evaluated.max(1) as f64;
+            MethodSpeedup {
+                method: method.method.clone(),
+                geomean_speedup: if evaluated == 0 {
+                    1.0
+                } else {
+                    (log_sum / denom).exp()
+                },
+                mean_speedup: if evaluated == 0 { 1.0 } else { sum / denom },
+                evaluated,
+            }
+        })
+        .collect()
+}
+
+/// Run the full per-cell evaluation pipeline: split scenarios, train the
+/// three supervised models, rank every held-out scenario with every method,
+/// and score Top-1/Top-2 accuracy plus speedup over the default scheduler.
+pub fn evaluate_cell(
     dataset: &ExperimentDataset,
     test_fraction: f64,
     model_config: &ModelConfig,
     seed: u64,
-) -> Table4Report {
+) -> CellEvaluation {
     let mut rng = Rng::seed_from_u64(seed);
     let (train_idx, test_idx) = dataset.split_scenarios(test_fraction, &mut rng);
-    let train_logger = dataset.logger_for(&train_idx);
-    let train_data = train_logger.to_dataset();
-    let test_logger = dataset.logger_for(&test_idx);
-    let test_data = test_logger.to_dataset();
+    let train_data = dataset.logger_for(&train_idx).to_dataset();
+    let test_data = dataset.logger_for(&test_idx).to_dataset();
     let test_scenarios: Vec<&ScenarioRecord> =
         test_idx.iter().map(|&i| &dataset.scenarios[i]).collect();
 
-    // An empty cluster (no jobs bound) for the default-scheduler baseline —
-    // exactly what kube-scheduler sees at decision time in the paper's runs.
-    let baseline_cluster = FabricTestbed::paper().cluster;
+    // An empty cluster (no jobs bound) over the dataset's own substrate for
+    // the default-scheduler baseline — exactly what kube-scheduler sees at
+    // decision time in the paper's runs.
+    let baseline_cluster = dataset.testbed.build().cluster;
 
-    let mut rows = Vec::with_capacity(4);
+    let mut methods: Vec<MethodRankings> = Vec::with_capacity(4);
     let mut model_fits = Vec::with_capacity(3);
 
     // --- Kubernetes default scheduler baseline. ---
     let mut kube = KubeDefaultScheduler::new(seed ^ 0xAB);
-    rows.push(accuracy_over(
-        "Kubernetes Default",
-        &test_scenarios,
-        |scenario| {
-            let mut ctx = SchedulingContext::new(&scenario.snapshot, &baseline_cluster);
-            let ranking = kube.select(&scenario.request(), &mut ctx);
-            ranking
-                .names(&baseline_cluster)
-                .into_iter()
-                .map(str::to_string)
-                .collect()
-        },
-    ));
+    methods.push(MethodRankings {
+        method: KUBE_DEFAULT_METHOD.to_string(),
+        rankings: test_scenarios
+            .iter()
+            .map(|scenario| {
+                let mut ctx = SchedulingContext::new(&scenario.snapshot, &baseline_cluster);
+                let ranking = kube.select(&scenario.request(), &mut ctx);
+                ranking
+                    .names(&baseline_cluster)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect()
+            })
+            .collect(),
+    });
 
     // --- Supervised models. ---
     for kind in ModelKind::ALL {
@@ -164,43 +254,66 @@ pub fn evaluate_table4(
         model_fits.push(ModelFit { kind, metrics: fit });
         let predictor = CompletionTimePredictor::new(dataset.schema.clone(), model);
         let scheduler = SupervisedScheduler::new(predictor);
-        rows.push(accuracy_over(
-            kind.display_name(),
-            &test_scenarios,
-            |scenario| {
-                // Rank over the scenario's own candidate set (the nodes that
-                // actually ran the job) using its snapshot.
-                let candidates = scenario.candidate_nodes();
-                let predictions = scheduler.predictor().predict_all(
-                    &scenario.snapshot,
-                    &candidates,
-                    &scenario.request(),
-                );
-                let mut ids: Vec<cluster::NodeId> = Vec::with_capacity(candidates.len());
-                let mut aligned: Vec<f64> = Vec::with_capacity(candidates.len());
-                for (name, &p) in candidates.iter().zip(&predictions) {
-                    if let Some(id) = baseline_cluster.node_id(name) {
-                        ids.push(id);
-                        aligned.push(p);
+        methods.push(MethodRankings {
+            method: kind.display_name().to_string(),
+            rankings: test_scenarios
+                .iter()
+                .map(|scenario| {
+                    // Rank over the scenario's own candidate set (the nodes
+                    // that actually ran the job) using its snapshot.
+                    let candidates = scenario.candidate_nodes();
+                    let predictions = scheduler.predictor().predict_all(
+                        &scenario.snapshot,
+                        &candidates,
+                        &scenario.request(),
+                    );
+                    let mut ids: Vec<cluster::ClusterNodeId> = Vec::with_capacity(candidates.len());
+                    let mut aligned: Vec<f64> = Vec::with_capacity(candidates.len());
+                    for (name, &p) in candidates.iter().zip(&predictions) {
+                        if let Some(id) = baseline_cluster.node_id(name) {
+                            ids.push(id);
+                            aligned.push(p);
+                        }
                     }
-                }
-                let ranking = netsched_core::decision::DecisionModule.rank(&ids, &aligned);
-                ranking
-                    .names(&baseline_cluster)
-                    .into_iter()
-                    .map(str::to_string)
-                    .collect()
-            },
-        ));
+                    let ranking = netsched_core::decision::DecisionModule.rank(&ids, &aligned);
+                    ranking
+                        .names(&baseline_cluster)
+                        .into_iter()
+                        .map(str::to_string)
+                        .collect()
+                })
+                .collect(),
+        });
     }
 
-    Table4Report {
-        rows,
-        model_fits,
-        train_scenarios: train_idx.len(),
-        test_scenarios: test_idx.len(),
-        train_samples: train_data.len(),
+    let rows = methods
+        .iter()
+        .map(|m| accuracy_from(m, &test_scenarios))
+        .collect();
+    let speedups = speedups_from(&methods, &test_scenarios);
+
+    CellEvaluation {
+        table4: Table4Report {
+            rows,
+            model_fits,
+            train_scenarios: train_idx.len(),
+            test_scenarios: test_idx.len(),
+            train_samples: train_data.len(),
+        },
+        speedups,
     }
+}
+
+/// Evaluate the default scheduler and the three supervised models on a
+/// dataset, holding out `test_fraction` of the scenarios (the Table 4 view of
+/// [`evaluate_cell`]).
+pub fn evaluate_table4(
+    dataset: &ExperimentDataset,
+    test_fraction: f64,
+    model_config: &ModelConfig,
+    seed: u64,
+) -> Table4Report {
+    evaluate_cell(dataset, test_fraction, model_config, seed).table4
 }
 
 /// Convenience: per-scenario predicted-vs-actual top-k hit for an arbitrary
@@ -260,13 +373,13 @@ mod tests {
             assert_eq!(row.evaluated, report.test_scenarios);
         }
         // The default scheduler is blind to telemetry: near-uniform accuracy.
-        let default = report.row("Kubernetes Default").unwrap();
+        let default = report.row(KUBE_DEFAULT_METHOD).unwrap();
         assert!(default.top1 < 0.5, "default top1 {}", default.top1);
         // The best supervised model beats the default scheduler on Top-1.
         let best_supervised = report
             .rows
             .iter()
-            .filter(|r| r.method != "Kubernetes Default")
+            .filter(|r| r.method != KUBE_DEFAULT_METHOD)
             .map(|r| r.top1)
             .fold(0.0, f64::max);
         assert!(
@@ -279,6 +392,39 @@ mod tests {
         for row in &report.rows {
             assert!(md.contains(&row.method));
         }
+    }
+
+    #[test]
+    fn cell_evaluation_reports_speedups_over_default() {
+        let data = dataset();
+        let evaluation = evaluate_cell(&data, 0.3, &fast_model_config(), 5);
+        assert_eq!(evaluation.speedups.len(), 4);
+        let default = evaluation
+            .speedups
+            .iter()
+            .find(|s| s.method == KUBE_DEFAULT_METHOD)
+            .unwrap();
+        // The default's speedup over itself is identically 1.
+        assert!((default.geomean_speedup - 1.0).abs() < 1e-12);
+        assert!((default.mean_speedup - 1.0).abs() < 1e-12);
+        assert_eq!(default.evaluated, evaluation.table4.test_scenarios);
+        for speedup in &evaluation.speedups {
+            assert!(speedup.geomean_speedup > 0.0);
+            assert!(speedup.mean_speedup > 0.0);
+            assert_eq!(speedup.evaluated, evaluation.table4.test_scenarios);
+        }
+        // The best supervised model's picks are at least as fast as the
+        // default's on geometric mean.
+        let best = evaluation
+            .speedups
+            .iter()
+            .filter(|s| s.method != KUBE_DEFAULT_METHOD)
+            .map(|s| s.geomean_speedup)
+            .fold(0.0, f64::max);
+        assert!(best >= 1.0, "best supervised speedup {best}");
+        // And the accuracy side of the same evaluation matches evaluate_table4.
+        let table4 = evaluate_table4(&data, 0.3, &fast_model_config(), 5);
+        assert_eq!(table4, evaluation.table4);
     }
 
     #[test]

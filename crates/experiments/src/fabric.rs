@@ -11,16 +11,17 @@
 //! that the 10 MB background downloads and shuffle traffic actually contend,
 //! which is the effect the scheduler must learn. See DESIGN.md.
 
-use cluster::{ClusterState, Node, Resources};
+use crate::world::Testbed;
+use cluster::ClusterState;
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
-use simnet::{gbps, mbps, Network, NodeId, Topology, TopologyBuilder};
+use simnet::{gbps, mbps, Network, SimNodeId, Topology, TopologyBuilder};
 
 /// Site names in the order used throughout the experiments.
 pub const SITE_NAMES: [&str; 3] = ["UCSD", "FIU", "SRI"];
 
 /// Parameters of the reproduced testbed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FabricConfig {
     /// Nodes per site (paper: 2).
     pub nodes_per_site: usize,
@@ -81,34 +82,15 @@ impl FabricTestbed {
     /// Build the testbed from a configuration.
     pub fn build(config: FabricConfig) -> Self {
         let topology = Self::build_topology(&config);
-        let network = Network::new(topology);
-        let mut cluster = ClusterState::new();
-        for node in network.topology().nodes() {
-            let site = network.topology().site(node.site).name.clone();
-            cluster.add_node(
-                Node::new(
-                    node.name.clone(),
-                    node.id,
-                    Resources::from_cores_and_gib(
-                        config.cores_per_node,
-                        config.memory_gib_per_node,
-                    ),
-                    site,
-                )
-                // Give each host a distinct idle footprint (daemons, page
-                // cache) so no two nodes are byte-for-byte identical even when
-                // unloaded — real hosts never are, and the telemetry-blind
-                // baseline should not be able to exploit accidental symmetry.
-                .with_base_load(
-                    0.08 + 0.05 * node.id.0 as f64,
-                    (400.0 + 80.0 * node.id.0 as f64) * 1024.0 * 1024.0,
-                ),
-            );
-        }
+        let testbed = Testbed::assemble(
+            Network::new(topology),
+            config.cores_per_node,
+            config.memory_gib_per_node,
+        );
         FabricTestbed {
             config,
-            network,
-            cluster,
+            network: testbed.network,
+            cluster: testbed.cluster,
         }
     }
 
@@ -167,7 +149,7 @@ impl FabricTestbed {
     }
 
     /// The network-substrate id for a node name.
-    pub fn net_id(&self, name: &str) -> Option<NodeId> {
+    pub fn net_id(&self, name: &str) -> Option<SimNodeId> {
         self.cluster.node(name).map(|n| n.net_id)
     }
 

@@ -15,7 +15,13 @@
 //!   repeat it snapshots telemetry, runs the job once per candidate driver
 //!   node under identical conditions, and logs the 3600-sample dataset.
 //! * [`evaluation`] — Table 4: Top-1 / Top-2 node-selection accuracy of the
-//!   Kubernetes default scheduler and the three supervised models.
+//!   Kubernetes default scheduler and the three supervised models, plus
+//!   per-cell completion-time speedups over the default.
+//! * [`scenarios`] — the scenario matrix: declarative testbeds
+//!   ([`scenarios::TestbedSpec`]; the FABRIC slice is one named spec, the
+//!   `simnet` topology generators supply the rest) × workload mixes ×
+//!   background-load levels × seeds, swept in parallel with one
+//!   machine-readable JSON report (`results/scenario_sweep.json`).
 //! * [`figures`] — Figures 2 and 3 (per-node latency and transmit bandwidth
 //!   across five Sort runs) and the Figure 4 RTT matrix.
 //! * [`tables`] — Tables 1, 2 and 3 (feature schema, workload
@@ -33,12 +39,19 @@ pub mod evaluation;
 pub mod fabric;
 pub mod figures;
 pub mod report;
+pub mod scenarios;
 pub mod tables;
 pub mod workflow;
 pub mod world;
 
 pub use config::{job_matrix, JobConfig};
-pub use evaluation::{evaluate_table4, SchedulerAccuracy, Table4Report};
+pub use evaluation::{
+    evaluate_cell, evaluate_table4, CellEvaluation, MethodSpeedup, SchedulerAccuracy, Table4Report,
+};
 pub use fabric::{FabricConfig, FabricTestbed};
+pub use scenarios::{
+    run_sweep, CellReport, LoadLevel, ScenarioMatrix, ScenarioSpec, SweepOptions, SweepReport,
+    TestbedSpec,
+};
 pub use workflow::{ExperimentConfig, ExperimentDataset, ScenarioRecord, Workflow};
-pub use world::SimWorld;
+pub use world::{SimWorld, Testbed};

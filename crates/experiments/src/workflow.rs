@@ -16,7 +16,7 @@
 //! truth is the actually fastest node.
 
 use crate::config::{job_matrix, JobConfig};
-use crate::fabric::{FabricConfig, FabricTestbed};
+use crate::scenarios::TestbedSpec;
 use crate::world::SimWorld;
 use netsched_core::features::FeatureSchema;
 use netsched_core::logger::ExecutionLogger;
@@ -97,6 +97,9 @@ pub struct ExperimentDataset {
     pub scenarios: Vec<ScenarioRecord>,
     /// Feature schema used for model training/evaluation.
     pub schema: FeatureSchema,
+    /// The substrate every scenario ran on (used to rebuild the candidate
+    /// cluster at evaluation time).
+    pub testbed: TestbedSpec,
 }
 
 impl ExperimentDataset {
@@ -167,8 +170,9 @@ pub struct ExperimentConfig {
     pub background: BackgroundLoadConfig,
     /// Warm-up range before the snapshot, seconds.
     pub warmup_seconds: (f64, f64),
-    /// Testbed parameters.
-    pub fabric: FabricConfig,
+    /// The substrate to run on (the FABRIC slice by default; any generated
+    /// scenario substrate otherwise).
+    pub testbed: TestbedSpec,
     /// Feature schema for downstream training.
     pub schema: FeatureSchema,
     /// Worker threads for scenario-level parallelism.
@@ -184,7 +188,7 @@ impl Default for ExperimentConfig {
             background_pods: (1, 3),
             background: BackgroundLoadConfig::default(),
             warmup_seconds: (8.0, 20.0),
-            fabric: FabricConfig::default(),
+            testbed: TestbedSpec::fabric(),
             schema: FeatureSchema::standard(),
             workers: simcore::parallel::default_workers(),
         }
@@ -246,6 +250,7 @@ impl Workflow {
         ExperimentDataset {
             scenarios,
             schema: self.config.schema.clone(),
+            testbed: self.config.testbed.clone(),
         }
     }
 
@@ -263,10 +268,7 @@ impl Workflow {
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(scenario_id as u64);
-        let mut world = SimWorld::new(
-            FabricTestbed::build(self.config.fabric.clone()),
-            scenario_seed,
-        );
+        let mut world = SimWorld::new(self.config.testbed.build(), scenario_seed);
 
         // Background contention: a random number of pods on random nodes.
         let (lo, hi) = self.config.background_pods;
@@ -279,12 +281,18 @@ impl Workflow {
             world.place_background_load(pods, &self.config.background);
         }
 
-        // Warm-up so telemetry (rates, RTT inflation) reflects the contention.
+        // Warm-up so telemetry (rates, RTT inflation) reflects the contention,
+        // then advance to the job's arrival phase: a job from a bursty mix
+        // observes the contention process at its actual arrival offset (early
+        // burst members see barely-settled telemetry, later bursts a steady
+        // state), which is what makes the bursty axis of the scenario matrix
+        // measure something arrival-related.
         let (w_lo, w_hi) = self.config.warmup_seconds;
         let warmup = world
             .rng_mut()
             .uniform(w_lo.min(w_hi), w_hi.max(w_lo + 1e-9));
-        world.advance_by(SimDuration::from_secs_f64(warmup.max(1.0)));
+        let arrival = config.arrival_offset_seconds.max(0.0);
+        world.advance_by(SimDuration::from_secs_f64(warmup.max(1.0) + arrival));
 
         let background_hosts = world.background_hosts();
         let request = config.to_request();
@@ -408,6 +416,7 @@ mod tests {
         let dataset = ExperimentDataset {
             scenarios: vec![],
             schema: FeatureSchema::standard(),
+            testbed: TestbedSpec::fabric(),
         };
         let restored = ExperimentDataset::from_json(&dataset.to_json()).unwrap();
         assert_eq!(restored.scenario_count(), 0);

@@ -10,17 +10,66 @@
 
 use crate::fabric::FabricTestbed;
 use cluster::scheduler::Scheduler as _;
-use cluster::{ClusterState, DefaultScheduler, PodId};
+use cluster::{ClusterState, DefaultScheduler, Node, PodId, Resources};
 use netsched_core::fetcher::TelemetryFetcher;
 use netsched_core::request::JobRequest;
 use simcore::rng::Rng;
 use simcore::{SimDuration, SimTime};
 use simnet::{
-    place_random_background_load, BackgroundLoadConfig, BackgroundLoadGenerator, Network, NodeId,
+    place_random_background_load, BackgroundLoadConfig, BackgroundLoadGenerator, Network, SimNodeId,
 };
 use sparksim::engine::{execute_job, ContentionDriver, ExecutionConfig};
 use sparksim::{JobRunResult, Placement};
 use telemetry::{ClusterSnapshot, ScrapeConfig, ScrapeManager};
+
+/// A built substrate: the flow-level network plus the mini-Kubernetes view of
+/// its nodes. This is what [`SimWorld`] runs on; the FABRIC slice
+/// ([`FabricTestbed`]) is one way to produce it, the scenario-matrix
+/// generators (`crate::scenarios::TestbedSpec`) are another.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The flow-level network.
+    pub network: Network,
+    /// The mini-Kubernetes cluster aligned with the network's nodes.
+    pub cluster: ClusterState,
+}
+
+impl Testbed {
+    /// Assemble a cluster over every node of `network`'s topology: uniform
+    /// allocatable resources, the node's site as its zone label, and a
+    /// distinct idle footprint per host (daemons, page cache) so no two nodes
+    /// are byte-for-byte identical even when unloaded — real hosts never are,
+    /// and the telemetry-blind baseline should not be able to exploit
+    /// accidental symmetry.
+    pub fn assemble(network: Network, cores_per_node: u64, memory_gib_per_node: u64) -> Self {
+        let mut cluster = ClusterState::new();
+        for node in network.topology().nodes() {
+            let site = network.topology().site(node.site).name.clone();
+            cluster.add_node(
+                Node::new(
+                    node.name.clone(),
+                    node.id,
+                    Resources::from_cores_and_gib(cores_per_node, memory_gib_per_node),
+                    site,
+                )
+                .with_base_load(
+                    0.08 + 0.05 * node.id.0 as f64,
+                    (400.0 + 80.0 * node.id.0 as f64) * 1024.0 * 1024.0,
+                ),
+            );
+        }
+        Testbed { network, cluster }
+    }
+}
+
+impl From<FabricTestbed> for Testbed {
+    fn from(testbed: FabricTestbed) -> Self {
+        Testbed {
+            network: testbed.network,
+            cluster: testbed.cluster,
+        }
+    }
+}
 
 /// Background-load pods plus their per-pod transfer state. Implements
 /// [`ContentionDriver`] so the curl-loop keeps issuing 10 MB downloads while a
@@ -144,8 +193,10 @@ pub struct SimWorld {
 }
 
 impl SimWorld {
-    /// Create a world from a testbed and a master seed.
-    pub fn new(testbed: FabricTestbed, seed: u64) -> Self {
+    /// Create a world from any testbed (the FABRIC slice or a generated
+    /// scenario substrate) and a master seed.
+    pub fn new(testbed: impl Into<Testbed>, seed: u64) -> Self {
+        let testbed = testbed.into();
         let mut rng = Rng::seed_from_u64(seed);
         let background_rng = rng.split();
         // The executor scheduler keeps a seed of its own, *independent of the
@@ -238,7 +289,7 @@ impl SimWorld {
     /// contention process). Replaces any previous placement.
     pub fn place_background_load(&mut self, count: usize, config: &BackgroundLoadConfig) {
         self.clear_background_load();
-        let node_ids: Vec<NodeId> = self.cluster.nodes().iter().map(|n| n.net_id).collect();
+        let node_ids: Vec<SimNodeId> = self.cluster.nodes().iter().map(|n| n.net_id).collect();
         let generators =
             place_random_background_load(&node_ids, &node_ids, count, config, &mut self.rng);
         for generator in &generators {
@@ -343,7 +394,7 @@ impl SimWorld {
             .node(driver_node)
             .expect("bound driver node exists")
             .net_id;
-        let executor_nets: Vec<NodeId> = executor_pods
+        let executor_nets: Vec<SimNodeId> = executor_pods
             .iter()
             .map(|(_, name)| self.cluster.node(name).expect("bound executor node").net_id)
             .collect();
@@ -355,7 +406,7 @@ impl SimWorld {
             &request.workload,
             &placement,
             &mut self.network,
-            &|node: NodeId| loads[node.0],
+            &|node: SimNodeId| loads[node.0],
             &mut self.background,
             self.now,
             &self.exec_config,
@@ -424,7 +475,9 @@ mod tests {
         assert_eq!(loaded.iter().filter(|&&l| l > 0.0).count(), 2);
         w.advance_by(SimDuration::from_secs(20));
         // The downloads moved bytes somewhere.
-        let total_rx: f64 = (0..6).map(|i| w.network.counters(NodeId(i)).rx_bytes).sum();
+        let total_rx: f64 = (0..6)
+            .map(|i| w.network.counters(SimNodeId(i)).rx_bytes)
+            .sum();
         assert!(total_rx > 10_000_000.0, "rx {total_rx}");
         // Snapshot reflects nonzero rates for at least one node.
         let snap = w.snapshot();
@@ -509,9 +562,13 @@ mod tests {
         let mut w = world(7);
         w.place_background_load(3, &BackgroundLoadConfig::default());
         w.advance_by(SimDuration::from_secs(5));
-        let before: f64 = (0..6).map(|i| w.network.counters(NodeId(i)).rx_bytes).sum();
+        let before: f64 = (0..6)
+            .map(|i| w.network.counters(SimNodeId(i)).rx_bytes)
+            .sum();
         let outcome = w.run_job(&request(300_000), "node-4").unwrap();
-        let after: f64 = (0..6).map(|i| w.network.counters(NodeId(i)).rx_bytes).sum();
+        let after: f64 = (0..6)
+            .map(|i| w.network.counters(SimNodeId(i)).rx_bytes)
+            .sum();
         // Background downloads plus shuffle moved far more than the shuffle alone.
         assert!(after - before > outcome.result.shuffle_bytes);
     }

@@ -18,7 +18,7 @@ use simcore::rng::Rng;
 use simcore::SimDuration;
 
 /// Configuration of one background-load pod.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackgroundLoadConfig {
     /// Bytes fetched per download (paper: 10 MB).
     pub transfer_bytes: f64,

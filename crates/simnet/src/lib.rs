@@ -33,6 +33,7 @@
 pub mod background;
 pub mod fairness;
 pub mod flow;
+pub mod generators;
 pub mod network;
 pub mod rtt;
 pub mod topology;
@@ -41,9 +42,15 @@ pub use background::{
     place_random_background_load, BackgroundLoadConfig, BackgroundLoadGenerator, BackgroundTransfer,
 };
 pub use flow::{Flow, FlowId, FlowState};
+pub use generators::{FatTreeLiteSpec, LeafSpineSpec, StarLanSpec, TopologySpec, WanMeshSpec};
 pub use network::{InterfaceCounters, Network, NodeRates};
 pub use rtt::RttModel;
 pub use topology::{LinkId, NetNode, NodeId, Site, SiteId, Topology, TopologyBuilder};
+
+/// Alias for [`topology::NodeId`] that cannot be confused with
+/// `cluster::NodeId` when both id spaces are in scope downstream (the cluster
+/// crate exports the matching `ClusterNodeId` alias).
+pub use topology::NodeId as SimNodeId;
 
 /// Convert megabits per second to bytes per second.
 pub fn mbps(v: f64) -> f64 {

@@ -149,6 +149,24 @@ impl JobDag {
             .map(|s| s.memory_per_task_bytes)
             .fold(0.0, f64::max)
     }
+
+    /// Byte-conservation invariant: no stage reads more shuffle data than its
+    /// parents collectively wrote (a stage may read *less* — combiners and
+    /// iterative exchanges legitimately drop bytes — but never more).
+    pub fn shuffle_reads_covered(&self) -> bool {
+        self.stages.iter().all(|stage| {
+            if stage.parents.is_empty() {
+                return stage.shuffle_read_bytes == 0.0;
+            }
+            let written: f64 = stage
+                .parents
+                .iter()
+                .filter_map(|&p| self.stages.get(p))
+                .map(|p| p.shuffle_write_bytes)
+                .sum();
+            stage.shuffle_read_bytes <= written * (1.0 + 1e-9)
+        })
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //!   stage DAG with CPU work, shuffle volumes, memory footprints and skew.
 //! * [`dag`] — the stage DAG representation ([`dag::JobDag`], [`dag::StageSpec`])
 //!   with validation and aggregate statistics.
+//! * [`mix`] — workload-mix generators (shuffle-heavy, input-fetch-heavy,
+//!   mixed DAG sizes, bursty arrivals) for the scenario-matrix sweep.
 //! * [`placement`] — where the driver and each executor run.
 //! * [`engine`] — the execution engine: walks the DAG stage by stage, runs
 //!   compute on the executors (slowed by host CPU contention), moves shuffle
@@ -33,10 +35,12 @@
 
 pub mod dag;
 pub mod engine;
+pub mod mix;
 pub mod placement;
 pub mod workload;
 
 pub use dag::{JobDag, StageSpec};
 pub use engine::{ContentionDriver, ExecutionConfig, JobRunResult, NoContention, StageResult};
+pub use mix::{GeneratedJob, MixKind, WorkloadMixSpec};
 pub use placement::Placement;
 pub use workload::{WorkloadKind, WorkloadProfile, WorkloadRequest};

@@ -58,6 +58,17 @@ pub use simnet;
 pub use sparksim;
 pub use telemetry;
 
+/// Distinct alias for the *cluster* node-id space (`cluster::NodeId`).
+///
+/// The workspace has two node-id spaces: the orchestration layer's interned
+/// `cluster::NodeId` and the network substrate's `simnet::NodeId`. Both crates
+/// export the same short name, which historically forced downstream code into
+/// fully-qualified paths; import these aliases instead.
+pub use cluster::NodeId as ClusterNodeId;
+
+/// Distinct alias for the *network-substrate* node-id space (`simnet::NodeId`).
+pub use simnet::NodeId as SimNodeId;
+
 /// The paper's core contribution (`netsched-core`): the supervised,
 /// network-aware scheduler and its components.
 pub use netsched_core as core;

@@ -5,15 +5,15 @@
 //! invariants of the decision module, schema/feature alignment and monotone
 //! behaviour of the execution model.
 
-use netsched::cluster::NodeId as ClusterNodeId;
 use netsched::core::decision::DecisionModule;
 use netsched::core::features::FeatureSchema;
 use netsched::core::request::JobRequest;
 use netsched::experiments::{FabricTestbed, SimWorld};
 use netsched::simcore::{SimDuration, SimTime};
 use netsched::simnet::flow::FlowKind;
-use netsched::simnet::{Network, NodeId};
+use netsched::simnet::Network;
 use netsched::sparksim::WorkloadKind;
+use netsched::{ClusterNodeId, SimNodeId};
 use proptest::prelude::*;
 
 fn paper_network() -> Network {
@@ -34,14 +34,14 @@ proptest! {
         let mut net = paper_network();
         let mut expected_total = 0.0;
         for &(src, dst, bytes) in &flows {
-            net.start_flow(NodeId(src), NodeId(dst), bytes, FlowKind::Shuffle);
+            net.start_flow(SimNodeId(src), SimNodeId(dst), bytes, FlowKind::Shuffle);
             if src != dst {
                 expected_total += bytes;
             }
         }
         net.run_to_quiescence(SimDuration::from_secs(horizon_secs * 10));
-        let total_tx: f64 = (0..6).map(|i| net.counters(NodeId(i)).tx_bytes).sum();
-        let total_rx: f64 = (0..6).map(|i| net.counters(NodeId(i)).rx_bytes).sum();
+        let total_tx: f64 = (0..6).map(|i| net.counters(SimNodeId(i)).tx_bytes).sum();
+        let total_rx: f64 = (0..6).map(|i| net.counters(SimNodeId(i)).rx_bytes).sum();
         prop_assert!((total_tx - expected_total).abs() < 1.0, "tx {total_tx} vs expected {expected_total}");
         prop_assert!((total_rx - expected_total).abs() < 1.0, "rx {total_rx} vs expected {expected_total}");
         prop_assert_eq!(net.active_flow_count(), 0);
@@ -53,14 +53,14 @@ proptest! {
         steps in prop::collection::vec(1u64..30, 1..10),
     ) {
         let mut net = paper_network();
-        net.start_flow(NodeId(0), NodeId(2), 1e9, FlowKind::Background);
-        net.start_flow(NodeId(3), NodeId(1), 5e8, FlowKind::Background);
+        net.start_flow(SimNodeId(0), SimNodeId(2), 1e9, FlowKind::Background);
+        net.start_flow(SimNodeId(3), SimNodeId(1), 5e8, FlowKind::Background);
         let mut last_tx = 0.0;
         let mut now = SimTime::ZERO;
         for step in steps {
             now += SimDuration::from_secs(step);
             net.advance_to(now);
-            let tx: f64 = (0..6).map(|i| net.counters(NodeId(i)).tx_bytes).sum();
+            let tx: f64 = (0..6).map(|i| net.counters(SimNodeId(i)).tx_bytes).sum();
             prop_assert!(tx + 1e-9 >= last_tx);
             prop_assert_eq!(net.now(), now);
             last_tx = tx;
