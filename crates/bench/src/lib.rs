@@ -83,8 +83,8 @@ pub fn synthetic_logger(n: usize, seed: u64) -> ExecutionLogger {
     let mut rng = Rng::seed_from_u64(seed);
     for i in 0..n {
         let mut snapshot = ClusterSnapshot::default();
-        snapshot.nodes.insert(
-            "node-1".into(),
+        snapshot.insert_node(
+            "node-1",
             telemetry::NodeTelemetry {
                 cpu_load: rng.uniform(0.0, 6.0),
                 memory_available_bytes: rng.uniform(1e9, 8e9),
@@ -92,9 +92,7 @@ pub fn synthetic_logger(n: usize, seed: u64) -> ExecutionLogger {
                 rx_rate: rng.uniform(0.0, 1e7),
             },
         );
-        snapshot
-            .rtt
-            .insert(("node-1".into(), "node-2".into()), rng.uniform(0.001, 0.08));
+        snapshot.insert_rtt("node-1", "node-2", rng.uniform(0.001, 0.08));
         let kind = WorkloadKind::PAPER_SET[i % 3];
         let request =
             JobRequest::named(format!("syn-{i}"), kind, 50_000 + rng.gen_range(500_000), 2);

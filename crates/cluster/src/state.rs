@@ -180,6 +180,19 @@ impl ClusterState {
         self.nodes.iter().map(|n| n.name.clone()).collect()
     }
 
+    /// True when `names` is exactly this cluster's node-name table in
+    /// registration ([`NodeId`]) order — the alignment check shared by
+    /// id-indexed views built against the table (telemetry snapshots,
+    /// exporter layouts).
+    pub fn names_match(&self, names: &[String]) -> bool {
+        self.nodes.len() == names.len()
+            && self
+                .nodes
+                .iter()
+                .zip(names)
+                .all(|(node, name)| node.name == *name)
+    }
+
     /// Create a pod in the `Pending` phase and return its id.
     pub fn create_pod(&mut self, spec: PodSpec, now: SimTime) -> PodId {
         let id = PodId(self.next_pod_id);

@@ -150,14 +150,11 @@ mod tests {
     }
 
     fn snapshot(n: usize) -> ClusterSnapshot {
-        let mut snap = ClusterSnapshot {
-            time: SimTime::from_secs(10),
-            ..Default::default()
-        };
+        let mut snap = ClusterSnapshot::at(SimTime::from_secs(10));
         for i in 0..n {
             let name = format!("node-{}", i + 1);
-            snap.nodes.insert(
-                name.clone(),
+            snap.insert_node(
+                &name,
                 NodeTelemetry {
                     cpu_load: i as f64,
                     memory_available_bytes: 6e9,
@@ -167,10 +164,7 @@ mod tests {
             );
             for j in 0..n {
                 if i != j {
-                    snap.rtt.insert(
-                        (name.clone(), format!("node-{}", j + 1)),
-                        0.01 * (i + 1) as f64,
-                    );
+                    snap.insert_rtt(&name, &format!("node-{}", j + 1), 0.01 * (i + 1) as f64);
                 }
             }
         }

@@ -215,12 +215,9 @@ mod tests {
     use telemetry::NodeTelemetry;
 
     fn snapshot() -> ClusterSnapshot {
-        let mut snap = ClusterSnapshot {
-            time: SimTime::from_secs(100),
-            ..Default::default()
-        };
-        snap.nodes.insert(
-            "node-1".into(),
+        let mut snap = ClusterSnapshot::at(SimTime::from_secs(100));
+        snap.insert_node(
+            "node-1",
             NodeTelemetry {
                 cpu_load: 2.5,
                 memory_available_bytes: 6e9,
@@ -228,8 +225,8 @@ mod tests {
                 rx_rate: 2e6,
             },
         );
-        snap.nodes.insert(
-            "node-2".into(),
+        snap.insert_node(
+            "node-2",
             NodeTelemetry {
                 cpu_load: 0.5,
                 memory_available_bytes: 7e9,
@@ -237,9 +234,9 @@ mod tests {
                 rx_rate: 0.0,
             },
         );
-        snap.rtt.insert(("node-1".into(), "node-2".into()), 0.010);
-        snap.rtt.insert(("node-1".into(), "node-3".into()), 0.070);
-        snap.rtt.insert(("node-2".into(), "node-1".into()), 0.011);
+        snap.insert_rtt("node-1", "node-2", 0.010);
+        snap.insert_rtt("node-1", "node-3", 0.070);
+        snap.insert_rtt("node-2", "node-1", 0.011);
         snap
     }
 

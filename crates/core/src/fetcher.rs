@@ -38,7 +38,23 @@ impl TelemetryFetcher {
 
     /// Fetch the most recent snapshot from the metrics server.
     pub fn fetch(&self, metrics_server: &ScrapeManager, now: SimTime) -> ClusterSnapshot {
-        self.fetch_from_store(metrics_server.store(), now)
+        let mut snapshot = ClusterSnapshot::default();
+        self.fetch_into(metrics_server, now, &mut snapshot);
+        snapshot
+    }
+
+    /// Fetch into an existing snapshot, reusing its node-table and mesh
+    /// storage — the hot path for services that fetch once per decision
+    /// burst. Queries run over the metrics server's interned series layout,
+    /// so per-fetch cost is independent of retained history and no `String`
+    /// is touched.
+    pub fn fetch_into(
+        &self,
+        metrics_server: &ScrapeManager,
+        now: SimTime,
+        snapshot: &mut ClusterSnapshot,
+    ) {
+        metrics_server.snapshot_into(now, self.rate_window, snapshot);
     }
 }
 

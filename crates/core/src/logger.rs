@@ -155,12 +155,9 @@ mod tests {
     use telemetry::NodeTelemetry;
 
     fn snapshot() -> ClusterSnapshot {
-        let mut snap = ClusterSnapshot {
-            time: SimTime::from_secs(42),
-            ..Default::default()
-        };
-        snap.nodes.insert(
-            "node-1".into(),
+        let mut snap = ClusterSnapshot::at(SimTime::from_secs(42));
+        snap.insert_node(
+            "node-1",
             NodeTelemetry {
                 cpu_load: 1.0,
                 memory_available_bytes: 5e9,
@@ -168,7 +165,7 @@ mod tests {
                 rx_rate: 2e5,
             },
         );
-        snap.rtt.insert(("node-1".into(), "node-2".into()), 0.02);
+        snap.insert_rtt("node-1", "node-2", 0.02);
         snap
     }
 

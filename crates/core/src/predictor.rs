@@ -89,13 +89,10 @@ mod tests {
     use telemetry::NodeTelemetry;
 
     fn snapshot_with(load1: f64, load2: f64) -> ClusterSnapshot {
-        let mut snap = ClusterSnapshot {
-            time: SimTime::from_secs(10),
-            ..Default::default()
-        };
+        let mut snap = ClusterSnapshot::at(SimTime::from_secs(10));
         for (name, load) in [("node-1", load1), ("node-2", load2)] {
-            snap.nodes.insert(
-                name.into(),
+            snap.insert_node(
+                name,
                 NodeTelemetry {
                     cpu_load: load,
                     memory_available_bytes: 6e9,
@@ -104,8 +101,8 @@ mod tests {
                 },
             );
         }
-        snap.rtt.insert(("node-1".into(), "node-2".into()), 0.01);
-        snap.rtt.insert(("node-2".into(), "node-1".into()), 0.01);
+        snap.insert_rtt("node-1", "node-2", 0.01);
+        snap.insert_rtt("node-2", "node-1", 0.01);
         snap
     }
 

@@ -276,15 +276,16 @@ mod tests {
         c
     }
 
-    fn snapshot(n: usize) -> ClusterSnapshot {
-        let mut snap = ClusterSnapshot {
-            time: SimTime::from_secs(10),
-            ..Default::default()
-        };
+    /// Build a snapshot over nodes 1..=n, skipping any node in `skip`.
+    fn snapshot_without(n: usize, skip: &[usize]) -> ClusterSnapshot {
+        let mut snap = ClusterSnapshot::at(SimTime::from_secs(10));
         for i in 0..n {
+            if skip.contains(&i) {
+                continue;
+            }
             let name = format!("node-{}", i + 1);
-            snap.nodes.insert(
-                name.clone(),
+            snap.insert_node(
+                &name,
                 NodeTelemetry {
                     cpu_load: i as f64,
                     memory_available_bytes: 6e9,
@@ -293,15 +294,16 @@ mod tests {
                 },
             );
             for j in 0..n {
-                if i != j {
-                    snap.rtt.insert(
-                        (name.clone(), format!("node-{}", j + 1)),
-                        0.01 * (i + 1) as f64,
-                    );
+                if i != j && !skip.contains(&j) {
+                    snap.insert_rtt(&name, &format!("node-{}", j + 1), 0.01 * (i + 1) as f64);
                 }
             }
         }
         snap
+    }
+
+    fn snapshot(n: usize) -> ClusterSnapshot {
+        snapshot_without(n, &[])
     }
 
     fn request() -> JobRequest {
@@ -316,7 +318,7 @@ mod tests {
         let job = request();
         for load in 0..30 {
             let mut snap = snapshot(1);
-            snap.nodes.get_mut("node-1").unwrap().cpu_load = load as f64 / 5.0;
+            snap.node_mut("node-1").unwrap().cpu_load = load as f64 / 5.0;
             let features = schema.construct(&snap, "node-1", &job);
             data.push(features, 10.0 + 4.0 * load as f64 / 5.0).unwrap();
         }
@@ -441,9 +443,8 @@ mod tests {
     #[test]
     fn heuristics_push_unknown_nodes_last() {
         let c = cluster(3);
-        let mut snap = snapshot(3);
-        snap.nodes.remove("node-1");
-        snap.rtt.retain(|(s, _), _| s != "node-1");
+        // node-1 was never scraped or probed.
+        let snap = snapshot_without(3, &[0]);
         let mut ctx = SchedulingContext::new(&snap, &c);
         let mut least_loaded = LeastLoadedScheduler;
         let r = least_loaded.select(&request(), &mut ctx);

@@ -74,6 +74,11 @@ pub struct SchedulerService {
     pipeline: TrainingPipeline,
     scheduler: Option<SupervisedScheduler>,
     fallback_rng: Rng,
+    /// Reusable snapshot buffer: each fetch overwrites it in place instead of
+    /// rebuilding the node table and RTT mesh. Decisions share it via `Arc`;
+    /// when a caller still holds a previous decision's snapshot the next
+    /// fetch transparently copies on write.
+    snapshot_scratch: Arc<ClusterSnapshot>,
 }
 
 impl SchedulerService {
@@ -88,6 +93,7 @@ impl SchedulerService {
             scheduler: None,
             config,
             fallback_rng: Rng::seed_from_u64(seed),
+            snapshot_scratch: Arc::new(ClusterSnapshot::default()),
         }
     }
 
@@ -137,7 +143,7 @@ impl SchedulerService {
         cluster: &ClusterState,
         now: SimTime,
     ) -> SchedulingDecision {
-        let snapshot = Arc::new(self.fetcher.fetch(metrics_server, now));
+        let snapshot = self.fetch_shared(metrics_server, now);
         let mut ctx = SchedulingContext::new(&snapshot, cluster);
         let (ranking, used_model) = self.decide(request, &mut ctx);
         drop(ctx);
@@ -160,7 +166,7 @@ impl SchedulerService {
         cluster: &ClusterState,
         now: SimTime,
     ) -> Vec<SchedulingDecision> {
-        let snapshot = Arc::new(self.fetcher.fetch(metrics_server, now));
+        let snapshot = self.fetch_shared(metrics_server, now);
         let mut ctx = SchedulingContext::new(&snapshot, cluster);
         requests
             .iter()
@@ -175,6 +181,26 @@ impl SchedulerService {
                 }
             })
             .collect()
+    }
+
+    /// Fetch the current telemetry snapshot into the service's reusable
+    /// scratch buffer and hand out a shared reference. The buffer is
+    /// overwritten in place (no node-table or mesh reallocation) unless a
+    /// caller still holds a previous decision's snapshot, in which case the
+    /// scratch is replaced with a fresh buffer (cheaper than cloning the old
+    /// contents only to overwrite them).
+    fn fetch_shared(
+        &mut self,
+        metrics_server: &ScrapeManager,
+        now: SimTime,
+    ) -> Arc<ClusterSnapshot> {
+        let fetcher = self.fetcher;
+        if Arc::get_mut(&mut self.snapshot_scratch).is_none() {
+            self.snapshot_scratch = Arc::new(ClusterSnapshot::default());
+        }
+        let scratch = Arc::get_mut(&mut self.snapshot_scratch).expect("uniquely owned");
+        fetcher.fetch_into(metrics_server, now, scratch);
+        Arc::clone(&self.snapshot_scratch)
     }
 
     /// The core decision: supervised when a model is cached, random-feasible

@@ -117,12 +117,9 @@ mod tests {
         for i in 0..n {
             let load = rng.uniform(0.0, 5.0);
             let rtt = rng.uniform(0.001, 0.08);
-            let mut snap = ClusterSnapshot {
-                time: SimTime::from_secs(i as u64),
-                ..Default::default()
-            };
-            snap.nodes.insert(
-                "node-1".into(),
+            let mut snap = ClusterSnapshot::at(SimTime::from_secs(i as u64));
+            snap.insert_node(
+                "node-1",
                 NodeTelemetry {
                     cpu_load: load,
                     memory_available_bytes: rng.uniform(2e9, 7e9),
@@ -130,7 +127,7 @@ mod tests {
                     rx_rate: rng.uniform(0.0, 5e6),
                 },
             );
-            snap.rtt.insert(("node-1".into(), "node-2".into()), rtt);
+            snap.insert_rtt("node-1", "node-2", rtt);
             let kind = *rng.choose(&WorkloadKind::PAPER_SET).unwrap();
             let records = 50_000 + rng.gen_range(200_000);
             let request = JobRequest::named(format!("job-{i}"), kind, records, 2);

@@ -481,7 +481,7 @@ mod tests {
         assert!(total_rx > 10_000_000.0, "rx {total_rx}");
         // Snapshot reflects nonzero rates for at least one node.
         let snap = w.snapshot();
-        assert!(snap.nodes.values().any(|t| t.rx_rate > 0.0));
+        assert!(snap.iter_nodes().any(|(_, t)| t.rx_rate > 0.0));
         w.clear_background_load();
         assert!(!w.has_background_load());
         assert!(w

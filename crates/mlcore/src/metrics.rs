@@ -87,19 +87,24 @@ pub fn ascending_rank(values: &[f64]) -> Vec<usize> {
     idx
 }
 
-/// Top-k hit: is the index of the minimum of `actual` among the k smallest
-/// entries of `predicted`? This is the paper's Top-1/Top-2 accuracy primitive
-/// (does the scheduler's choice set contain the actually fastest node).
+/// Top-k hit: do the k smallest entries of `predicted` include an index whose
+/// `actual` value attains the minimum? This is the paper's Top-1/Top-2
+/// accuracy primitive (does the scheduler's choice set contain an actually
+/// fastest node).
+///
+/// Ties in `actual` all count as "best": when two nodes are actually equally
+/// fastest, a scheduler that picks either one is scored as a hit, rather
+/// than only the one that happens to appear first.
 pub fn top_k_contains_best(predicted: &[f64], actual: &[f64], k: usize) -> bool {
     assert_eq!(predicted.len(), actual.len());
     if predicted.is_empty() || k == 0 {
         return false;
     }
-    let best_actual = ascending_rank(actual)[0];
+    let best_actual = actual.iter().copied().fold(f64::INFINITY, f64::min);
     ascending_rank(predicted)
         .into_iter()
         .take(k)
-        .any(|i| i == best_actual)
+        .any(|i| actual[i] == best_actual)
 }
 
 #[cfg(test)]
@@ -175,5 +180,27 @@ mod tests {
         assert!(!top_k_contains_best(&[], &[], 1));
         // Perfect prediction always hits at k=1.
         assert!(top_k_contains_best(&actual, &actual, 1));
+    }
+
+    #[test]
+    fn top_k_counts_any_tied_best_as_a_hit() {
+        // Indices 0 and 2 tie for actually-fastest. A prediction that puts
+        // index 2 first must score a Top-1 hit even though index 0 is the
+        // first index attaining the minimum.
+        let actual = [5.0, 9.0, 5.0, 7.0];
+        let predicted = [3.0, 2.0, 1.0, 4.0];
+        assert!(top_k_contains_best(&predicted, &actual, 1));
+        // Picking the other tied node first hits too.
+        let predicted_other = [1.0, 2.0, 3.0, 4.0];
+        assert!(top_k_contains_best(&predicted_other, &actual, 1));
+        // A prediction preferring a genuinely slower node still misses.
+        let predicted_miss = [3.0, 1.0, 4.0, 2.0];
+        assert!(!top_k_contains_best(&predicted_miss, &actual, 1));
+        // ...but k=2 reaches a tied-best node (ranks: idx 1 then idx 3; idx 3
+        // is not best; widen to k=3 which includes idx 0).
+        assert!(!top_k_contains_best(&predicted_miss, &actual, 2));
+        assert!(top_k_contains_best(&predicted_miss, &actual, 3));
+        // All-equal actuals: every pick is a hit.
+        assert!(top_k_contains_best(&[9.0, 1.0], &[4.0, 4.0], 1));
     }
 }

@@ -5,16 +5,26 @@
 //! * **Ping-mesh exporter** — a DaemonSet probing every other node and
 //!   exporting the observed RTT (the paper uses `ping_exporter`).
 //!
-//! Both are pure functions over the simulated cluster and network state, so
-//! they can be called from the scrape loop or directly from tests.
+//! Two forms are provided:
+//!
+//! * [`node_exporter_samples`] / [`ping_mesh_samples`] are pure functions
+//!   returning owned [`Sample`]s — the reference implementation, handy in
+//!   tests and one-off probes.
+//! * [`ExporterLayout`] is the interned fast path the scrape loop uses: it
+//!   interns every series key into the store **once** and caches the
+//!   [`SeriesId`]s, so each subsequent scrape appends raw values without
+//!   constructing a single `SeriesKey` or `String` — and the snapshot can be
+//!   assembled back out of the store through the same ids.
 
-use crate::metrics::{Sample, SeriesKey};
+use crate::metrics::{MetricKind, Sample, SeriesKey};
+use crate::snapshot::{ClusterSnapshot, NodeTelemetry};
+use crate::store::{SeriesId, TimeSeriesStore};
 use crate::{
     METRIC_NODE_LOAD1, METRIC_NODE_MEM_AVAILABLE, METRIC_NODE_RX_BYTES, METRIC_NODE_TX_BYTES,
     METRIC_PING_RTT,
 };
 use cluster::ClusterState;
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 use simnet::Network;
 
 /// Collect node-exporter samples for every node in the cluster.
@@ -87,6 +97,167 @@ fn pair_seed(a: u64, b: u64, now: SimTime) -> u64 {
     let mut h = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     h ^= now.as_nanos().wrapping_mul(0x1656_67B1_9E37_79F9);
     h
+}
+
+/// The interned exporter set for one cluster: every series the node and
+/// ping-mesh exporters emit, pre-interned into a store.
+///
+/// Built once (and rebuilt only if the cluster's node table changes); after
+/// that, scraping ([`ExporterLayout::scrape_into`]) and snapshot assembly
+/// ([`ExporterLayout::snapshot_into`]) are pure id-indexed work: no
+/// `SeriesKey` construction, no label lookups, no `String` round-trips.
+#[derive(Debug, Clone)]
+pub struct ExporterLayout {
+    /// Node names in cluster [`cluster::NodeId`] order.
+    node_names: Vec<String>,
+    /// Network interface of each node, aligned with `node_names`.
+    net_ids: Vec<simnet::NodeId>,
+    /// `node_load1` series per node.
+    load1: Vec<SeriesId>,
+    /// `node_memory_MemAvailable_bytes` series per node.
+    mem: Vec<SeriesId>,
+    /// `node_network_transmit_bytes_total` series per node.
+    tx: Vec<SeriesId>,
+    /// `node_network_receive_bytes_total` series per node.
+    rx: Vec<SeriesId>,
+    /// `(source index, target index, series)` per ordered ping pair.
+    pings: Vec<(u32, u32, SeriesId)>,
+}
+
+impl ExporterLayout {
+    /// Intern every exporter series for `cluster` into `store` and capture
+    /// the resulting ids. Intern order matches the legacy sample order (per
+    /// node: load, memory, tx, rx; then the ordered ping pairs) so the
+    /// store's per-name buckets stay in cluster order.
+    pub fn build(cluster: &ClusterState, store: &mut TimeSeriesStore) -> Self {
+        let nodes = cluster.nodes();
+        let mut layout = ExporterLayout {
+            node_names: Vec::with_capacity(nodes.len()),
+            net_ids: Vec::with_capacity(nodes.len()),
+            load1: Vec::with_capacity(nodes.len()),
+            mem: Vec::with_capacity(nodes.len()),
+            tx: Vec::with_capacity(nodes.len()),
+            rx: Vec::with_capacity(nodes.len()),
+            pings: Vec::with_capacity(nodes.len() * nodes.len().saturating_sub(1)),
+        };
+        for node in nodes {
+            let instance = node.name.as_str();
+            layout.node_names.push(node.name.clone());
+            layout.net_ids.push(node.net_id);
+            layout.load1.push(store.intern(
+                &SeriesKey::per_node(METRIC_NODE_LOAD1, instance),
+                MetricKind::Gauge,
+            ));
+            layout.mem.push(store.intern(
+                &SeriesKey::per_node(METRIC_NODE_MEM_AVAILABLE, instance),
+                MetricKind::Gauge,
+            ));
+            layout.tx.push(store.intern(
+                &SeriesKey::per_node(METRIC_NODE_TX_BYTES, instance),
+                MetricKind::Counter,
+            ));
+            layout.rx.push(store.intern(
+                &SeriesKey::per_node(METRIC_NODE_RX_BYTES, instance),
+                MetricKind::Counter,
+            ));
+        }
+        for (a, node_a) in nodes.iter().enumerate() {
+            for (b, node_b) in nodes.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let id = store.intern(
+                    &SeriesKey::new(
+                        METRIC_PING_RTT,
+                        &[
+                            ("source", node_a.name.as_str()),
+                            ("target", node_b.name.as_str()),
+                        ],
+                    ),
+                    MetricKind::Gauge,
+                );
+                layout.pings.push((a as u32, b as u32, id));
+            }
+        }
+        layout
+    }
+
+    /// True when this layout still describes `cluster`'s node table — same
+    /// names in the same order *and* the same network interfaces (a rebuilt
+    /// cluster can keep node names while permuting `net_id`s; reusing the
+    /// cached ids would then scrape the wrong interface's counters).
+    pub fn matches(&self, cluster: &ClusterState) -> bool {
+        cluster.names_match(&self.node_names)
+            && cluster
+                .nodes()
+                .iter()
+                .zip(&self.net_ids)
+                .all(|(node, &net_id)| node.net_id == net_id)
+    }
+
+    /// Node names in cluster id order.
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Scrape all exporters at `now`, appending through pre-interned ids.
+    /// Emits exactly the samples [`node_exporter_samples`] and
+    /// [`ping_mesh_samples`] would, without building any of them.
+    pub fn scrape_into(
+        &self,
+        cluster: &ClusterState,
+        network: &Network,
+        now: SimTime,
+        store: &mut TimeSeriesStore,
+    ) {
+        for (i, node) in cluster.nodes().iter().enumerate() {
+            let counters = network.counters(self.net_ids[i]);
+            store.append_value(self.load1[i], node.cpu_load(), now);
+            store.append_value(self.mem[i], node.memory_available(), now);
+            store.append_value(self.tx[i], counters.tx_bytes, now);
+            store.append_value(self.rx[i], counters.rx_bytes, now);
+        }
+        for &(a, b, id) in &self.pings {
+            let (src, dst) = (self.net_ids[a as usize], self.net_ids[b as usize]);
+            let seed = pair_seed(src.0 as u64, dst.0 as u64, now);
+            let rtt = network.current_rtt(src, dst, seed);
+            store.append_value(id, rtt.as_secs_f64(), now);
+        }
+    }
+
+    /// Assemble the scheduler-facing snapshot at `at` straight through the
+    /// interned ids, reusing `snap`'s storage. Produces exactly what
+    /// [`ClusterSnapshot::from_store`] would, minus every name lookup.
+    pub fn snapshot_into(
+        &self,
+        store: &TimeSeriesStore,
+        at: SimTime,
+        rate_window: SimDuration,
+        snap: &mut ClusterSnapshot,
+    ) {
+        snap.reset_for(at, &self.node_names);
+        for i in 0..self.node_names.len() {
+            let load = store.instant_id(self.load1[i], at);
+            let mem = store.instant_id(self.mem[i], at);
+            if load.is_none() && mem.is_none() {
+                continue;
+            }
+            snap.set_node_by_id(
+                cluster::NodeId(i as u32),
+                NodeTelemetry {
+                    cpu_load: load.unwrap_or(0.0),
+                    memory_available_bytes: mem.unwrap_or(0.0),
+                    tx_rate: store.rate_id(self.tx[i], at, rate_window).unwrap_or(0.0),
+                    rx_rate: store.rate_id(self.rx[i], at, rate_window).unwrap_or(0.0),
+                },
+            );
+        }
+        for &(a, b, id) in &self.pings {
+            if let Some(rtt) = store.instant_id(id, at) {
+                snap.insert_rtt_by_id(cluster::NodeId(a), cluster::NodeId(b), rtt);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +373,64 @@ mod tests {
         let c = ping_mesh_samples(&cluster, &network, SimTime::from_secs(8));
         // Jitter varies with the scrape time (values differ even if close).
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interned_scrape_matches_sample_building_path() {
+        let (cluster, network) = setup();
+        let times = [SimTime::from_secs(1), SimTime::from_secs(6)];
+
+        // Reference path: build owned samples and append them.
+        let mut reference = TimeSeriesStore::new();
+        for &t in &times {
+            reference.append_all(node_exporter_samples(&cluster, &network, t));
+            reference.append_all(ping_mesh_samples(&cluster, &network, t));
+        }
+
+        // Interned path: intern once, then append raw values.
+        let mut interned = TimeSeriesStore::new();
+        let layout = ExporterLayout::build(&cluster, &mut interned);
+        assert!(layout.matches(&cluster));
+        assert_eq!(layout.node_names(), &cluster.node_names()[..]);
+        for &t in &times {
+            layout.scrape_into(&cluster, &network, t, &mut interned);
+        }
+
+        assert_eq!(reference.series_count(), interned.series_count());
+        assert_eq!(reference.point_count(), interned.point_count());
+        for key in reference.keys() {
+            let at = SimTime::from_secs(10);
+            assert_eq!(
+                reference.instant(key, at),
+                interned.instant(key, at),
+                "{key}"
+            );
+        }
+
+        // And the id-indexed snapshot equals the generic store assembly.
+        let at = SimTime::from_secs(8);
+        let window = SimDuration::from_secs(30);
+        let generic = ClusterSnapshot::from_store(&interned, at, window);
+        let mut fast = ClusterSnapshot::default();
+        layout.snapshot_into(&interned, at, window, &mut fast);
+        assert_eq!(fast, generic);
+        // Scratch reuse converges to the same value.
+        layout.snapshot_into(&interned, at, window, &mut fast);
+        assert_eq!(fast, generic);
+    }
+
+    #[test]
+    fn layout_detects_cluster_changes() {
+        let (cluster, _network) = setup();
+        let mut store = TimeSeriesStore::new();
+        let layout = ExporterLayout::build(&cluster, &mut store);
+        let mut grown = cluster.clone();
+        grown.add_node(Node::new(
+            "node-4",
+            NodeId(3),
+            Resources::from_cores_and_gib(6, 8),
+            "FIU",
+        ));
+        assert!(!layout.matches(&grown));
     }
 }

@@ -7,17 +7,20 @@
 //!
 //! * [`metrics`] — metric samples: a name, a sorted label set, a value and a
 //!   timestamp, plus the counter/gauge distinction.
-//! * [`store`] — an append-only time-series store with instant queries,
-//!   range queries, `rate()` over counters and retention-based pruning.
+//! * [`store`] — an append-only time-series store with interned
+//!   [`store::SeriesId`]s, instant queries, windowed (allocation-free) range
+//!   queries, `rate()` over counters and retention-based pruning.
 //! * [`exporters`] — the two exporters the paper deploys: a node exporter
 //!   (CPU load average, available memory, cumulative tx/rx bytes) and a
 //!   full-mesh ping exporter (pairwise RTT), both reading the simulated
-//!   cluster and network state.
-//! * [`scrape`] — the scrape manager: drives all exporters on a fixed
+//!   cluster and network state; [`exporters::ExporterLayout`] is the
+//!   pre-interned fast path the scrape loop uses.
+//! * [`scrape`] — the scrape manager: drives all exporters on a grid-aligned
 //!   interval and appends into the store, exactly like a Prometheus server's
 //!   scrape loop.
 //! * [`snapshot`] — the query surface the scheduler consumes: a
-//!   [`snapshot::ClusterSnapshot`] with per-node CPU/memory/tx/rx and the RTT
+//!   [`snapshot::ClusterSnapshot`] with per-node CPU/memory/tx/rx (densely
+//!   indexed by `cluster::NodeId`) and the `(NodeId, NodeId)`-keyed RTT
 //!   mesh, assembled from the store at decision time.
 
 #![forbid(unsafe_code)]
@@ -29,11 +32,11 @@ pub mod scrape;
 pub mod snapshot;
 pub mod store;
 
-pub use exporters::{node_exporter_samples, ping_mesh_samples};
+pub use exporters::{node_exporter_samples, ping_mesh_samples, ExporterLayout};
 pub use metrics::{Labels, MetricKind, Sample, SeriesKey};
 pub use scrape::{ScrapeConfig, ScrapeManager};
 pub use snapshot::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry, RttMesh};
-pub use store::TimeSeriesStore;
+pub use store::{SeriesId, TimeSeriesStore};
 
 /// Metric name for the 1-minute load average (node exporter).
 pub const METRIC_NODE_LOAD1: &str = "node_load1";

@@ -1,6 +1,19 @@
 //! The scrape manager: the Prometheus server's scrape loop.
+//!
+//! The manager owns the store and an [`ExporterLayout`] — every exporter
+//! series pre-interned to a [`crate::SeriesId`] — so steady-state scrapes
+//! append raw values with zero key construction, and snapshot assembly
+//! ([`ScrapeManager::snapshot_into`]) runs entirely over interned ids.
+//!
+//! **Cadence.** Periodic scrapes ([`ScrapeManager::scrape_if_due`]) fire on a
+//! fixed schedule grid: a tick that arrives late still scrapes immediately,
+//! but the *next* due time advances from the grid (`last_due + interval`),
+//! not from the actual scrape time — one delayed caller can no longer
+//! permanently phase-shift the cadence. An explicit [`ScrapeManager::scrape`]
+//! is an operator action and re-anchors the grid at its own timestamp.
 
-use crate::exporters::{node_exporter_samples, ping_mesh_samples};
+use crate::exporters::{node_exporter_samples, ping_mesh_samples, ExporterLayout};
+use crate::snapshot::ClusterSnapshot;
 use crate::store::TimeSeriesStore;
 use cluster::ClusterState;
 use serde::{Deserialize, Serialize};
@@ -34,7 +47,11 @@ impl Default for ScrapeConfig {
 pub struct ScrapeManager {
     config: ScrapeConfig,
     store: TimeSeriesStore,
-    last_scrape: Option<SimTime>,
+    /// Interned exporter series; rebuilt only when the cluster's node table
+    /// changes.
+    layout: Option<ExporterLayout>,
+    /// When the next periodic scrape is due (`None` = never scraped).
+    next_due: Option<SimTime>,
     scrape_count: u64,
 }
 
@@ -48,7 +65,8 @@ impl ScrapeManager {
         ScrapeManager {
             config,
             store,
-            last_scrape: None,
+            layout: None,
+            next_due: None,
             scrape_count: 0,
         }
     }
@@ -63,12 +81,14 @@ impl ScrapeManager {
         &self.store
     }
 
+    /// The interned exporter layout, once the first scrape has built it.
+    pub fn layout(&self) -> Option<&ExporterLayout> {
+        self.layout.as_ref()
+    }
+
     /// When the next scrape is due (immediately if never scraped).
     pub fn next_scrape_due(&self) -> SimTime {
-        match self.last_scrape {
-            None => SimTime::ZERO,
-            Some(t) => t + self.config.interval,
-        }
+        self.next_due.unwrap_or(SimTime::ZERO)
     }
 
     /// Number of scrapes performed.
@@ -76,30 +96,82 @@ impl ScrapeManager {
         self.scrape_count
     }
 
-    /// Perform one scrape of all exporters at time `now`.
-    pub fn scrape(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) {
-        self.store
-            .append_all(node_exporter_samples(cluster, network, now));
-        self.store
-            .append_all(ping_mesh_samples(cluster, network, now));
-        self.last_scrape = Some(now);
+    /// Run the exporters through the interned layout (building or rebuilding
+    /// it if the cluster changed) and append into the store.
+    fn scrape_inner(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) {
+        let rebuild = match &self.layout {
+            Some(layout) => !layout.matches(cluster),
+            None => true,
+        };
+        if rebuild {
+            self.layout = Some(ExporterLayout::build(cluster, &mut self.store));
+        }
+        self.layout
+            .as_ref()
+            .expect("layout built above")
+            .scrape_into(cluster, network, now, &mut self.store);
         self.scrape_count += 1;
     }
 
-    /// Scrape only if the configured interval has elapsed since the last one.
-    /// Returns `true` when a scrape happened.
+    /// Perform one explicit scrape of all exporters at time `now`,
+    /// re-anchoring the periodic schedule grid at `now`.
+    pub fn scrape(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) {
+        self.scrape_inner(cluster, network, now);
+        self.next_due = Some(now + self.config.interval);
+    }
+
+    /// Scrape only if the next grid-aligned due time has been reached.
+    /// Returns `true` when a scrape happened. The next due time advances on
+    /// the schedule grid (`due + k·interval`), so a delayed tick does not
+    /// drift the due times of subsequent scrapes.
     pub fn scrape_if_due(
         &mut self,
         cluster: &ClusterState,
         network: &Network,
         now: SimTime,
     ) -> bool {
-        if now >= self.next_scrape_due() {
-            self.scrape(cluster, network, now);
-            true
-        } else {
-            false
+        let due = self.next_scrape_due();
+        if now < due {
+            return false;
         }
+        self.scrape_inner(cluster, network, now);
+        if self.config.interval.is_zero() {
+            self.next_due = Some(now);
+        } else {
+            // Advance along the grid to the first point past `now`, skipping
+            // missed ticks in O(1).
+            let interval = self.config.interval.as_nanos();
+            let gap = now.as_nanos().saturating_sub(due.as_nanos());
+            let steps = gap / interval + 1;
+            self.next_due = Some(SimTime::from_nanos(
+                due.as_nanos()
+                    .saturating_add(steps.saturating_mul(interval)),
+            ));
+        }
+        true
+    }
+
+    /// Assemble the scheduler-facing snapshot at `at` into `snap`, reusing
+    /// its storage. Uses the interned layout when available (the hot path —
+    /// no name resolution, cost independent of retained history), falling
+    /// back to the generic store walk before the first scrape.
+    pub fn snapshot_into(&self, at: SimTime, rate_window: SimDuration, snap: &mut ClusterSnapshot) {
+        match &self.layout {
+            Some(layout) => layout.snapshot_into(&self.store, at, rate_window, snap),
+            None => snap.assemble_from_store(&self.store, at, rate_window),
+        }
+    }
+
+    /// Reference scrape path used by tests: append exporter-built samples
+    /// without the interned layout (produces identical store contents).
+    #[doc(hidden)]
+    pub fn scrape_via_samples(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) {
+        self.store
+            .append_all(node_exporter_samples(cluster, network, now));
+        self.store
+            .append_all(ping_mesh_samples(cluster, network, now));
+        self.scrape_count += 1;
+        self.next_due = Some(now + self.config.interval);
     }
 }
 
@@ -139,8 +211,10 @@ mod tests {
         let (cluster, network) = setup();
         let mut mgr = ScrapeManager::new(ScrapeConfig::default());
         assert_eq!(mgr.scrape_count(), 0);
+        assert!(mgr.layout().is_none());
         mgr.scrape(&cluster, &network, SimTime::from_secs(10));
         assert_eq!(mgr.scrape_count(), 1);
+        assert!(mgr.layout().is_some());
         // 2 nodes x 4 node metrics + 2 ping pairs = 10 series.
         assert_eq!(mgr.store().series_count(), 10);
         assert_eq!(
@@ -173,6 +247,41 @@ mod tests {
     }
 
     #[test]
+    fn delayed_tick_does_not_drift_the_grid() {
+        let (cluster, network) = setup();
+        let mut mgr = ScrapeManager::new(ScrapeConfig {
+            interval: SimDuration::from_secs(15),
+            ..Default::default()
+        });
+        assert!(mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(0)));
+        // The t=15 tick arrives 3 s late: it scrapes, but the next due time
+        // stays on the grid (30 s), not 18 + 15.
+        assert!(mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(18)));
+        assert_eq!(mgr.next_scrape_due(), SimTime::from_secs(30));
+        assert!(!mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(29)));
+        assert!(mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(30)));
+        assert_eq!(mgr.next_scrape_due(), SimTime::from_secs(45));
+        // A very late tick skips the missed grid points entirely (no burst of
+        // catch-up scrapes) and lands on the next future grid point.
+        assert!(mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(100)));
+        assert_eq!(mgr.next_scrape_due(), SimTime::from_secs(105));
+        assert_eq!(mgr.scrape_count(), 4);
+    }
+
+    #[test]
+    fn explicit_scrape_reanchors_the_grid() {
+        let (cluster, network) = setup();
+        let mut mgr = ScrapeManager::new(ScrapeConfig {
+            interval: SimDuration::from_secs(15),
+            ..Default::default()
+        });
+        assert!(mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(0)));
+        // An operator-style scrape at t=7 restarts the cadence from there.
+        mgr.scrape(&cluster, &network, SimTime::from_secs(7));
+        assert_eq!(mgr.next_scrape_due(), SimTime::from_secs(22));
+    }
+
+    #[test]
     fn repeated_scrapes_accumulate_points() {
         let (cluster, network) = setup();
         let mut mgr = ScrapeManager::new(ScrapeConfig::default());
@@ -192,5 +301,48 @@ mod tests {
         });
         mgr.scrape(&cluster, &network, SimTime::from_secs(1));
         assert!(mgr.store().point_count() > 0);
+    }
+
+    #[test]
+    fn snapshot_into_matches_generic_assembly() {
+        let (cluster, network) = setup();
+        let mut mgr = ScrapeManager::new(ScrapeConfig::default());
+        // Before any scrape: the generic fallback yields an empty snapshot.
+        let mut snap = ClusterSnapshot::default();
+        mgr.snapshot_into(SimTime::from_secs(1), SimDuration::from_secs(30), &mut snap);
+        assert!(snap.is_empty());
+
+        for i in 0..8u64 {
+            mgr.scrape_if_due(&cluster, &network, SimTime::from_secs(i * 5));
+        }
+        let at = SimTime::from_secs(36);
+        let window = SimDuration::from_secs(30);
+        mgr.snapshot_into(at, window, &mut snap);
+        let generic = ClusterSnapshot::from_store(mgr.store(), at, window);
+        assert_eq!(snap, generic);
+        assert_eq!(snap.node_names(), vec!["node-1", "node-2"]);
+    }
+
+    #[test]
+    fn sample_building_reference_path_matches_interned_scrapes() {
+        let (cluster, network) = setup();
+        let mut interned = ScrapeManager::new(ScrapeConfig::default());
+        let mut reference = ScrapeManager::new(ScrapeConfig::default());
+        for i in 0..4u64 {
+            let t = SimTime::from_secs(i * 5);
+            interned.scrape(&cluster, &network, t);
+            reference.scrape_via_samples(&cluster, &network, t);
+        }
+        assert_eq!(interned.scrape_count(), reference.scrape_count());
+        assert_eq!(
+            interned.store().point_count(),
+            reference.store().point_count()
+        );
+        let at = SimTime::from_secs(20);
+        let w = SimDuration::from_secs(30);
+        assert_eq!(
+            ClusterSnapshot::from_store(interned.store(), at, w),
+            ClusterSnapshot::from_store(reference.store(), at, w)
+        );
     }
 }

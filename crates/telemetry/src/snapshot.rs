@@ -6,6 +6,14 @@
 //! and memory load."* [`ClusterSnapshot::from_store`] performs exactly that
 //! query against the [`TimeSeriesStore`], deriving tx/rx *rates* from the
 //! cumulative byte counters over the configured rate window.
+//!
+//! Snapshots are **id-indexed**: node telemetry lives in a dense table and the
+//! RTT mesh ([`RttMesh`]) is keyed by `(NodeId, NodeId)` pairs, mirroring the
+//! cluster's node interning. Names are resolved only at the edges (reports,
+//! figures, tests); the scrape→store→snapshot→features path never round-trips
+//! through `String`. A snapshot produced by the scrape manager's interned
+//! layout uses the cluster's own `NodeId` assignment; hand-built snapshots
+//! intern names in insertion order.
 
 use crate::metrics::SeriesKey;
 use crate::store::TimeSeriesStore;
@@ -13,9 +21,9 @@ use crate::{
     METRIC_NODE_LOAD1, METRIC_NODE_MEM_AVAILABLE, METRIC_NODE_RX_BYTES, METRIC_NODE_TX_BYTES,
     METRIC_PING_RTT,
 };
+use cluster::NodeId;
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Host-level telemetry for one node at snapshot time.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -30,129 +38,411 @@ pub struct NodeTelemetry {
     pub rx_rate: f64,
 }
 
-/// The pairwise RTT mesh in seconds, keyed by `(source, target)` node names.
-pub type RttMesh = BTreeMap<(String, String), f64>;
+/// The pairwise RTT mesh in seconds, keyed by `(source, target)` [`NodeId`]
+/// pairs: a dense matrix over the snapshot's node table, reusable across
+/// fetches without reallocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RttMesh {
+    /// Matrix dimension (number of interned nodes).
+    n: u32,
+    /// Row-major `n × n` values; `None` = pair not probed.
+    values: Vec<Option<f64>>,
+    /// Number of present entries.
+    count: u32,
+}
+
+impl RttMesh {
+    /// Grow the matrix to hold at least `n` nodes, preserving entries.
+    fn ensure_nodes(&mut self, n: usize) {
+        let old = self.n as usize;
+        if n <= old {
+            return;
+        }
+        if old == 0 {
+            // Fresh layout: reuse the existing buffer's capacity.
+            self.values.clear();
+            self.values.resize(n * n, None);
+        } else {
+            let mut values = vec![None; n * n];
+            for s in 0..old {
+                for t in 0..old {
+                    values[s * n + t] = self.values[s * old + t];
+                }
+            }
+            self.values = values;
+        }
+        self.n = n as u32;
+    }
+
+    /// Reset all entries to "not probed" without shrinking the matrix.
+    fn clear_values(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = None);
+        self.count = 0;
+    }
+
+    /// Empty the mesh (dimension back to zero) keeping the value buffer's
+    /// allocation for the next layout.
+    fn reset(&mut self) {
+        self.n = 0;
+        self.values.clear();
+        self.count = 0;
+    }
+
+    /// Record the RTT from `src` to `dst`, growing the matrix if needed.
+    pub fn set(&mut self, src: NodeId, dst: NodeId, rtt_seconds: f64) {
+        let need = src.index().max(dst.index()) + 1;
+        self.ensure_nodes(need);
+        let slot = &mut self.values[src.index() * self.n as usize + dst.index()];
+        if slot.is_none() {
+            self.count += 1;
+        }
+        *slot = Some(rtt_seconds);
+    }
+
+    /// The RTT from `src` to `dst`, if probed.
+    pub fn get(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        if src.index() >= self.n as usize || dst.index() >= self.n as usize {
+            return None;
+        }
+        self.values[src.index() * self.n as usize + dst.index()]
+    }
+
+    /// Number of probed pairs.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True when no pair has been probed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// All probed `(source, target, rtt)` entries, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        let n = self.n as usize;
+        self.values.iter().enumerate().filter_map(move |(i, v)| {
+            v.map(|rtt| (NodeId((i / n) as u32), NodeId((i % n) as u32), rtt))
+        })
+    }
+}
 
 /// A point-in-time view of the whole cluster, as the scheduler sees it.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Node telemetry is stored densely by [`NodeId`]; the snapshot owns a small
+/// name table so name-based accessors keep working at the edges. Build one
+/// with [`ClusterSnapshot::from_store`] (or the scrape manager's interned
+/// fast path) or assemble one by hand with [`ClusterSnapshot::insert_node`] /
+/// [`ClusterSnapshot::insert_rtt`].
+#[derive(Debug, Clone, Default)]
 pub struct ClusterSnapshot {
     /// Snapshot timestamp.
     pub time: SimTime,
-    /// Per-node host telemetry, keyed by node name.
-    pub nodes: BTreeMap<String, NodeTelemetry>,
-    /// Pairwise RTT measurements.
-    pub rtt: RttMesh,
+    /// Node name per id (insertion order).
+    names: Vec<String>,
+    /// Node ids sorted by name (name-resolution edge + deterministic
+    /// name-ordered iteration, matching the pre-interning `BTreeMap` order).
+    sorted: Vec<u32>,
+    /// Telemetry per node id; `None` = node known (e.g. probed by the ping
+    /// mesh) but not scraped.
+    nodes: Vec<Option<NodeTelemetry>>,
+    /// Pairwise RTT measurements keyed by `(source, target)` node ids.
+    rtt: RttMesh,
 }
 
 impl ClusterSnapshot {
+    /// An empty snapshot stamped with `time`.
+    pub fn at(time: SimTime) -> Self {
+        ClusterSnapshot {
+            time,
+            ..Self::default()
+        }
+    }
+
     /// Assemble a snapshot from the store at time `at`.
     ///
     /// `rate_window` controls the lookback used to turn tx/rx byte counters
     /// into rates; when fewer than two counter samples exist in the window
     /// the rate is reported as 0 (cold start).
     pub fn from_store(store: &TimeSeriesStore, at: SimTime, rate_window: SimDuration) -> Self {
-        let mut nodes: BTreeMap<String, NodeTelemetry> = BTreeMap::new();
+        let mut snap = ClusterSnapshot::default();
+        snap.assemble_from_store(store, at, rate_window);
+        snap
+    }
 
-        for (key, value) in store.instant_by_name(METRIC_NODE_LOAD1, at) {
-            if let Some(instance) = key.label("instance") {
-                nodes.entry(instance.to_string()).or_default().cpu_load = value;
+    /// Re-assemble this snapshot in place from the store — the generic,
+    /// name-resolving path; the scrape manager's interned layout path avoids
+    /// the label lookups and re-interning entirely. Vector and mesh buffer
+    /// capacity is reused; node names are re-interned.
+    pub fn assemble_from_store(
+        &mut self,
+        store: &TimeSeriesStore,
+        at: SimTime,
+        rate_window: SimDuration,
+    ) {
+        self.clear();
+        self.time = at;
+        for &id in store.ids_for_name(METRIC_NODE_LOAD1) {
+            if let Some(value) = store.instant_id(id, at) {
+                if let Some(instance) = store.key(id).label("instance") {
+                    let node = self.intern(instance);
+                    self.entry(node).cpu_load = value;
+                }
             }
         }
-        for (key, value) in store.instant_by_name(METRIC_NODE_MEM_AVAILABLE, at) {
-            if let Some(instance) = key.label("instance") {
-                nodes
-                    .entry(instance.to_string())
-                    .or_default()
-                    .memory_available_bytes = value;
+        for &id in store.ids_for_name(METRIC_NODE_MEM_AVAILABLE) {
+            if let Some(value) = store.instant_id(id, at) {
+                if let Some(instance) = store.key(id).label("instance") {
+                    let node = self.intern(instance);
+                    self.entry(node).memory_available_bytes = value;
+                }
             }
         }
-        let node_names: Vec<String> = nodes.keys().cloned().collect();
-        for name in &node_names {
-            let tx_key = SeriesKey::per_node(METRIC_NODE_TX_BYTES, name);
-            let rx_key = SeriesKey::per_node(METRIC_NODE_RX_BYTES, name);
-            let entry = nodes.get_mut(name).expect("inserted above");
-            entry.tx_rate = store.rate(&tx_key, at, rate_window).unwrap_or(0.0);
-            entry.rx_rate = store.rate(&rx_key, at, rate_window).unwrap_or(0.0);
-        }
-
-        let mut rtt: RttMesh = BTreeMap::new();
-        for (key, value) in store.instant_by_name(METRIC_PING_RTT, at) {
-            if let (Some(src), Some(dst)) = (key.label("source"), key.label("target")) {
-                rtt.insert((src.to_string(), dst.to_string()), value);
+        for idx in 0..self.names.len() {
+            if self.nodes[idx].is_none() {
+                continue;
             }
+            let tx_key = SeriesKey::per_node(METRIC_NODE_TX_BYTES, &self.names[idx]);
+            let rx_key = SeriesKey::per_node(METRIC_NODE_RX_BYTES, &self.names[idx]);
+            let tx = store.rate(&tx_key, at, rate_window).unwrap_or(0.0);
+            let rx = store.rate(&rx_key, at, rate_window).unwrap_or(0.0);
+            let entry = self.nodes[idx].as_mut().expect("checked above");
+            entry.tx_rate = tx;
+            entry.rx_rate = rx;
         }
-
-        ClusterSnapshot {
-            time: at,
-            nodes,
-            rtt,
+        for &id in store.ids_for_name(METRIC_PING_RTT) {
+            if let Some(value) = store.instant_id(id, at) {
+                let key = store.key(id);
+                if let (Some(src), Some(dst)) = (key.label("source"), key.label("target")) {
+                    let (src, dst) = (self.intern(src), self.intern(dst));
+                    self.rtt.set(src, dst, value);
+                }
+            }
         }
     }
 
-    /// Telemetry for one node.
+    /// Fully clear the snapshot (names, telemetry, mesh), keeping the
+    /// vectors' and mesh buffer's capacity (node-name `String`s are
+    /// re-allocated on the next intern; the id-aligned
+    /// [`ClusterSnapshot::reset_for`] path avoids even that).
+    pub fn clear(&mut self) {
+        self.time = SimTime::ZERO;
+        self.names.clear();
+        self.sorted.clear();
+        self.nodes.clear();
+        self.rtt.reset();
+    }
+
+    /// Reset the snapshot for a fresh fetch over a fixed node table: keeps
+    /// (or installs) the given names and clears all telemetry/mesh values
+    /// without reallocating. This is the scratch-reuse entry point of the
+    /// interned scrape path.
+    pub fn reset_for(&mut self, time: SimTime, names: &[String]) {
+        self.time = time;
+        if self.names != names {
+            self.clear();
+            self.time = time;
+            for name in names {
+                self.intern(name);
+            }
+        } else {
+            self.nodes.iter_mut().for_each(|n| *n = None);
+            self.rtt.clear_values();
+        }
+    }
+
+    /// Intern a node name, returning its snapshot-local id. The telemetry
+    /// entry starts absent (`None`).
+    fn intern(&mut self, name: &str) -> NodeId {
+        match self.lookup(name) {
+            Ok(pos) => NodeId(self.sorted[pos]),
+            Err(pos) => {
+                let id = self.names.len() as u32;
+                self.names.push(name.to_string());
+                self.nodes.push(None);
+                self.sorted.insert(pos, id);
+                NodeId(id)
+            }
+        }
+    }
+
+    /// Binary-search `sorted` for a name: `Ok(pos)` when present.
+    fn lookup(&self, name: &str) -> Result<usize, usize> {
+        self.sorted
+            .binary_search_by(|&id| self.names[id as usize].as_str().cmp(name))
+    }
+
+    /// Telemetry entry for a node, creating a zeroed one if absent.
+    fn entry(&mut self, id: NodeId) -> &mut NodeTelemetry {
+        self.nodes[id.index()].get_or_insert_with(NodeTelemetry::default)
+    }
+
+    /// Record (or overwrite) one node's telemetry, returning its id.
+    pub fn insert_node(&mut self, name: &str, telemetry: NodeTelemetry) -> NodeId {
+        let id = self.intern(name);
+        self.nodes[id.index()] = Some(telemetry);
+        id
+    }
+
+    /// Mutable telemetry of a node, if scraped.
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut NodeTelemetry> {
+        let id = self.node_id(name)?;
+        self.nodes[id.index()].as_mut()
+    }
+
+    /// Record an RTT probe between two nodes by name (interning both).
+    pub fn insert_rtt(&mut self, source: &str, target: &str, rtt_seconds: f64) {
+        let (src, dst) = (self.intern(source), self.intern(target));
+        self.rtt.set(src, dst, rtt_seconds);
+    }
+
+    /// Record an RTT probe between two already-interned node ids.
+    pub fn insert_rtt_by_id(&mut self, source: NodeId, target: NodeId, rtt_seconds: f64) {
+        self.rtt.set(source, target, rtt_seconds);
+    }
+
+    /// Record one node's telemetry by pre-interned id (the interned scrape
+    /// path; ids follow the order `reset_for` installed).
+    pub fn set_node_by_id(&mut self, id: NodeId, telemetry: NodeTelemetry) {
+        self.nodes[id.index()] = Some(telemetry);
+    }
+
+    /// Resolve a node name to its snapshot-local id.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.lookup(name).ok().map(|pos| NodeId(self.sorted[pos]))
+    }
+
+    /// The name of an interned node id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not interned by this snapshot.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Telemetry for one node, by name.
     pub fn node(&self, name: &str) -> Option<&NodeTelemetry> {
-        self.nodes.get(name)
+        let id = self.node_id(name)?;
+        self.nodes[id.index()].as_ref()
     }
 
-    /// Node names present in the snapshot.
+    /// Telemetry for one node, by snapshot-local id.
+    pub fn node_by_id(&self, id: NodeId) -> Option<&NodeTelemetry> {
+        self.nodes.get(id.index()).and_then(|t| t.as_ref())
+    }
+
+    /// Names of all scraped nodes, sorted.
     pub fn node_names(&self) -> Vec<String> {
-        self.nodes.keys().cloned().collect()
+        self.sorted
+            .iter()
+            .filter(|&&id| self.nodes[id as usize].is_some())
+            .map(|&id| self.names[id as usize].clone())
+            .collect()
+    }
+
+    /// All scraped nodes as `(name, telemetry)`, in name order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (&str, &NodeTelemetry)> {
+        self.sorted.iter().filter_map(move |&id| {
+            self.nodes[id as usize]
+                .as_ref()
+                .map(|t| (self.names[id as usize].as_str(), t))
+        })
+    }
+
+    /// The RTT mesh.
+    pub fn rtt(&self) -> &RttMesh {
+        &self.rtt
     }
 
     /// RTT from `source` to `target` in seconds, if probed.
     pub fn rtt_between(&self, source: &str, target: &str) -> Option<f64> {
-        self.rtt
-            .get(&(source.to_string(), target.to_string()))
-            .copied()
+        let src = self.node_id(source)?;
+        let dst = self.node_id(target)?;
+        self.rtt.get(src, dst)
     }
 
-    /// All RTTs observed *from* `source` to its peers.
+    /// All RTTs observed *from* `source` to its peers, in target-name order.
     pub fn rtts_from(&self, source: &str) -> Vec<f64> {
-        self.rtt
+        let Some(src) = self.node_id(source) else {
+            return Vec::new();
+        };
+        self.sorted
             .iter()
-            .filter(|((s, _), _)| s == source)
-            .map(|(_, &v)| v)
+            .filter_map(|&t| self.rtt.get(src, NodeId(t)))
             .collect()
     }
 
     /// Summary statistics (mean, max, std-dev) of the RTTs from `source` —
-    /// exactly the three RTT features in Table 1 of the paper.
+    /// exactly the three RTT features in Table 1 of the paper. Accumulation
+    /// runs in target-name order so results are bit-identical to the
+    /// name-keyed mesh this replaced.
     pub fn rtt_stats_from(&self, source: &str) -> (f64, f64, f64) {
-        let rtts = self.rtts_from(source);
-        if rtts.is_empty() {
+        let Some(src) = self.node_id(source) else {
             return (0.0, 0.0, 0.0);
-        }
+        };
         let mut stats = simcore::OnlineStats::new();
-        for r in &rtts {
-            stats.push(*r);
+        for &t in &self.sorted {
+            if let Some(rtt) = self.rtt.get(src, NodeId(t)) {
+                stats.push(rtt);
+            }
+        }
+        if stats.count() == 0 {
+            return (0.0, 0.0, 0.0);
         }
         (stats.mean(), stats.max(), stats.std_dev())
     }
 
-    /// True when the snapshot has no data at all.
+    /// True when the snapshot has no scraped node at all.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        !self.nodes.iter().any(Option::is_some)
     }
 
-    /// Resolve this name-keyed snapshot against a cluster's node intern table
-    /// into a dense, [`cluster::NodeId`]-indexed view.
+    /// True when the snapshot's node table is exactly `cluster`'s node table
+    /// in the same id order — the case for snapshots produced by the interned
+    /// scrape path, which lets [`ClusterSnapshot::index_for`] skip name
+    /// resolution entirely.
+    pub fn is_aligned_with(&self, cluster: &cluster::ClusterState) -> bool {
+        cluster.names_match(&self.names)
+    }
+
+    /// Resolve this snapshot against a cluster's node intern table into a
+    /// dense, [`NodeId`]-indexed view.
     ///
     /// This is the scheduler's burst-time amortization point: per-node
     /// telemetry lookups become array indexing and the RTT mesh is scanned
     /// exactly once (instead of once per candidate per decision) to
-    /// precompute the Table-1 RTT statistics for every node.
+    /// precompute the Table-1 RTT statistics for every node. When the
+    /// snapshot is id-aligned with the cluster (the interned scrape path)
+    /// no name is touched at all.
     pub fn index_for(&self, cluster: &cluster::ClusterState) -> IndexedTelemetry {
         let n = cluster.node_count();
-        let nodes: Vec<Option<NodeTelemetry>> = cluster
-            .nodes()
-            .iter()
-            .map(|node| self.nodes.get(&node.name).copied())
-            .collect();
+        let aligned = self.is_aligned_with(cluster);
+        let nodes: Vec<Option<NodeTelemetry>> = if aligned {
+            self.nodes.clone()
+        } else {
+            cluster
+                .nodes()
+                .iter()
+                .map(|node| self.node(&node.name).copied())
+                .collect()
+        };
 
         let mut stats: Vec<simcore::OnlineStats> = vec![simcore::OnlineStats::new(); n];
-        for ((source, _target), &rtt) in &self.rtt {
-            if let Some(id) = cluster.node_id(source) {
-                stats[id.index()].push(rtt);
+        for src_idx in 0..self.names.len() {
+            let cluster_idx = if aligned {
+                src_idx
+            } else {
+                match cluster.node_id(&self.names[src_idx]) {
+                    Some(id) => id.index(),
+                    None => continue,
+                }
+            };
+            let src = NodeId(src_idx as u32);
+            // Target-name order keeps the floating-point accumulation
+            // bit-identical to the name-keyed mesh this replaced.
+            for &t in &self.sorted {
+                if let Some(rtt) = self.rtt.get(src, NodeId(t)) {
+                    stats[cluster_idx].push(rtt);
+                }
             }
         }
         let rtt_stats = stats
@@ -170,8 +460,85 @@ impl ClusterSnapshot {
     }
 }
 
-/// A dense, [`cluster::NodeId`]-indexed resolution of a [`ClusterSnapshot`]
-/// against one cluster's node table. Built once per scheduling burst by
+/// Snapshots serialize in a canonical, name-resolved form — `time`, a
+/// `(name, telemetry)` list in id order and a `(source, target, rtt)` list —
+/// and deserialization rebuilds the intern tables from scratch, so archives
+/// can never smuggle in an inconsistent `sorted`/`names`/mesh layout (every
+/// internal invariant is re-established by construction) and the on-disk
+/// shape is independent of the in-memory one.
+impl Serialize for ClusterSnapshot {
+    fn serialize_value(&self) -> serde::Value {
+        let nodes: Vec<(String, Option<NodeTelemetry>)> = self
+            .names
+            .iter()
+            .cloned()
+            .zip(self.nodes.iter().copied())
+            .collect();
+        let rtt: Vec<(String, String, f64)> = self
+            .rtt
+            .iter()
+            .map(|(src, dst, value)| {
+                (
+                    self.names[src.index()].clone(),
+                    self.names[dst.index()].clone(),
+                    value,
+                )
+            })
+            .collect();
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("time".to_string()),
+                self.time.serialize_value(),
+            ),
+            (
+                serde::Value::Str("nodes".to_string()),
+                nodes.serialize_value(),
+            ),
+            (serde::Value::Str("rtt".to_string()), rtt.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for ClusterSnapshot {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for ClusterSnapshot"))?;
+        let time = SimTime::deserialize_value(serde::get_field(map, "time")?)?;
+        let nodes: Vec<(String, Option<NodeTelemetry>)> =
+            Deserialize::deserialize_value(serde::get_field(map, "nodes")?)?;
+        let rtt: Vec<(String, String, f64)> =
+            Deserialize::deserialize_value(serde::get_field(map, "rtt")?)?;
+        let mut snap = ClusterSnapshot::at(time);
+        for (name, telemetry) in nodes {
+            let id = snap.intern(&name);
+            snap.nodes[id.index()] = telemetry;
+        }
+        for (source, target, value) in rtt {
+            snap.insert_rtt(&source, &target, value);
+        }
+        Ok(snap)
+    }
+}
+
+/// Snapshots compare by *observable* telemetry — timestamp, scraped nodes
+/// (by name) and probed RTT pairs (by name) — not by internal id assignment,
+/// so a hand-built snapshot equals a scrape-produced one with the same
+/// contents regardless of intern order, and a node table that was registered
+/// but never scraped does not break equality.
+impl PartialEq for ClusterSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+            && self.iter_nodes().eq(other.iter_nodes())
+            && self.rtt.len() == other.rtt.len()
+            && self.rtt.iter().all(|(src, dst, rtt)| {
+                other.rtt_between(self.node_name(src), self.node_name(dst)) == Some(rtt)
+            })
+    }
+}
+
+/// A dense, [`NodeId`]-indexed resolution of a [`ClusterSnapshot`] against
+/// one cluster's node table. Built once per scheduling burst by
 /// [`ClusterSnapshot::index_for`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct IndexedTelemetry {
@@ -183,13 +550,13 @@ pub struct IndexedTelemetry {
 
 impl IndexedTelemetry {
     /// Telemetry for a node, `None` when the node was absent from the scrape.
-    pub fn node(&self, id: cluster::NodeId) -> Option<&NodeTelemetry> {
+    pub fn node(&self, id: NodeId) -> Option<&NodeTelemetry> {
         self.nodes.get(id.index()).and_then(|t| t.as_ref())
     }
 
     /// The Table-1 RTT statistics (mean, max, std-dev) from a node to its
     /// peers; all zeros when the node has no probes.
-    pub fn rtt_stats(&self, id: cluster::NodeId) -> (f64, f64, f64) {
+    pub fn rtt_stats(&self, id: NodeId) -> (f64, f64, f64) {
         self.rtt_stats
             .get(id.index())
             .copied()
@@ -284,6 +651,67 @@ mod tests {
         assert_eq!(snap.rtt_between("node-2", "node-1"), Some(0.067));
         assert_eq!(snap.rtt_between("node-1", "node-9"), None);
         assert!(snap.node("node-9").is_none());
+        assert_eq!(snap.rtt().len(), 2);
+        assert_eq!(snap.iter_nodes().count(), 2);
+    }
+
+    #[test]
+    fn id_accessors_mirror_name_accessors() {
+        let store = build_store();
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        let id1 = snap.node_id("node-1").unwrap();
+        let id2 = snap.node_id("node-2").unwrap();
+        assert_eq!(snap.node_name(id1), "node-1");
+        assert_eq!(snap.node_by_id(id1), snap.node("node-1"));
+        assert_eq!(snap.rtt().get(id1, id2), Some(0.066));
+        assert_eq!(snap.node_id("node-9"), None);
+        assert_eq!(snap.node_by_id(NodeId(99)), None);
+        let pairs: Vec<_> = snap.rtt().iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(id1, id2, 0.066)));
+    }
+
+    #[test]
+    fn reused_snapshot_equals_fresh_assembly() {
+        let store = build_store();
+        let at = SimTime::from_secs(35);
+        let w = SimDuration::from_secs(60);
+        let fresh = ClusterSnapshot::from_store(&store, at, w);
+        let mut reused = ClusterSnapshot::default();
+        for _ in 0..3 {
+            reused.assemble_from_store(&store, at, w);
+            assert_eq!(reused, fresh);
+        }
+        // reset_for keeps the node table and clears the values.
+        let names: Vec<String> = vec!["node-1".into(), "node-2".into()];
+        reused.reset_for(SimTime::from_secs(40), &names);
+        assert!(reused.is_empty());
+        assert_eq!(reused.node_id("node-2"), Some(NodeId(1)));
+        assert_eq!(reused.time, SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn hand_built_snapshots_intern_in_insertion_order() {
+        let mut snap = ClusterSnapshot::at(SimTime::from_secs(9));
+        let b = snap.insert_node("node-b", NodeTelemetry::default());
+        let a = snap.insert_node(
+            "node-a",
+            NodeTelemetry {
+                cpu_load: 2.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!((b, a), (NodeId(0), NodeId(1)));
+        // Name-sorted iteration regardless of insertion order.
+        assert_eq!(snap.node_names(), vec!["node-a", "node-b"]);
+        snap.insert_rtt("node-b", "node-a", 0.5);
+        snap.insert_rtt_by_id(a, b, 0.25);
+        assert_eq!(snap.rtt_between("node-b", "node-a"), Some(0.5));
+        assert_eq!(snap.rtt_between("node-a", "node-b"), Some(0.25));
+        snap.node_mut("node-a").unwrap().cpu_load = 3.0;
+        assert_eq!(snap.node("node-a").unwrap().cpu_load, 3.0);
+        assert!(snap.node_mut("node-z").is_none());
     }
 
     #[test]
@@ -328,6 +756,9 @@ mod tests {
         assert_eq!(max, 0.066);
         assert!(std > 0.0);
         assert_eq!(snap.rtt_stats_from("node-99"), (0.0, 0.0, 0.0));
+        // node-3 was probed but never scraped: known name, absent telemetry.
+        assert!(snap.node("node-3").is_none());
+        assert_eq!(snap.node_names(), vec!["node-1", "node-2"]);
     }
 
     #[test]
@@ -347,6 +778,7 @@ mod tests {
                 "SITE",
             ));
         }
+        assert!(!snap.is_aligned_with(&c));
         let indexed = snap.index_for(&c);
         assert_eq!(indexed.len(), 3);
         assert!(!indexed.is_empty());
@@ -366,6 +798,53 @@ mod tests {
     }
 
     #[test]
+    fn aligned_fast_path_matches_name_resolution() {
+        use cluster::{Node, Resources};
+
+        let store = build_store();
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        let mut c = cluster::ClusterState::new();
+        for (i, name) in ["node-1", "node-2"].iter().enumerate() {
+            c.add_node(Node::new(
+                *name,
+                simnet::NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                "SITE",
+            ));
+        }
+        assert!(snap.is_aligned_with(&c));
+        let indexed = snap.index_for(&c);
+        for name in ["node-1", "node-2"] {
+            let id = c.node_id(name).unwrap();
+            assert_eq!(indexed.node(id), snap.node(name));
+            assert_eq!(indexed.rtt_stats(id), snap.rtt_stats_from(name));
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip_preserves_contents_and_ids() {
+        let store = build_store();
+        let snap =
+            ClusterSnapshot::from_store(&store, SimTime::from_secs(35), SimDuration::from_secs(60));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ClusterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        // Id assignment survives the roundtrip (names serialize in id order,
+        // deserialization re-interns them in the same order).
+        assert_eq!(back.node_id("node-2"), snap.node_id("node-2"));
+        assert_eq!(back.rtt_between("node-1", "node-2"), Some(0.066));
+        // Malformed payloads are rejected rather than trusted.
+        assert!(serde_json::from_str::<ClusterSnapshot>("{\"time\":0}").is_err());
+        assert!(serde_json::from_str::<ClusterSnapshot>("[1,2]").is_err());
+        // Empty snapshots roundtrip too.
+        let empty = ClusterSnapshot::at(SimTime::from_secs(3));
+        let back: ClusterSnapshot =
+            serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
     fn empty_store_yields_empty_snapshot() {
         let store = TimeSeriesStore::new();
         let snap =
@@ -373,5 +852,6 @@ mod tests {
         assert!(snap.is_empty());
         assert!(snap.node_names().is_empty());
         assert!(snap.rtts_from("node-1").is_empty());
+        assert!(snap.rtt().is_empty());
     }
 }

@@ -1,21 +1,73 @@
 //! Append-only time-series storage with Prometheus-flavoured queries.
+//!
+//! The store is the metrics server's hot read path: every scheduling decision
+//! queries it, so its cost model matters. Two design points keep per-decision
+//! work independent of retained history:
+//!
+//! * **Interned series identity.** Every [`SeriesKey`] is interned once into a
+//!   small copyable [`SeriesId`] (its index in the store's key table). All
+//!   queries have an `*_id` fast path that skips the key comparison entirely,
+//!   and a per-metric-name index makes "all series of metric X"
+//!   ([`TimeSeriesStore::ids_for_name`]) a direct bucket lookup instead of a
+//!   full-keyspace scan.
+//! * **Windowed queries without intermediate allocation.** `range`, `rate`
+//!   and `avg_over` slice the time-ordered point vector with two
+//!   `partition_point` binary searches and operate on the borrowed window —
+//!   no `Vec` is built per query. [`TimeSeriesStore::range`] returns the
+//!   borrowed slice directly; [`TimeSeriesStore::range_vec`] is the owning
+//!   shim for serde-ish consumers that need a `Vec`.
 
 use crate::metrics::{MetricKind, Sample, SeriesKey};
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Interned series identity: a dense index into the store's key table.
+///
+/// `SeriesId`s are assigned in intern order and are stable for the lifetime
+/// of the store (series are never removed). They are deliberately tiny and
+/// `Copy` so exporters and snapshot assembly can address series without
+/// touching `String`s — the same pattern as `cluster::NodeId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeriesId(pub u32);
+
+impl SeriesId {
+    /// The id as a usize index into the store's series table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a table index.
+    pub fn from_index(index: usize) -> Self {
+        SeriesId(index as u32)
+    }
+}
+
+impl fmt::Display for SeriesId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s#{}", self.0)
+    }
+}
 
 /// One stored series: its kind and time-ordered points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Series {
     kind: MetricKind,
     points: Vec<(SimTime, f64)>,
 }
 
 /// The time-series database backing the metrics server.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeriesStore {
-    series: BTreeMap<SeriesKey, Series>,
+    /// Series key per [`SeriesId`] (intern order).
+    keys: Vec<SeriesKey>,
+    /// Series data per [`SeriesId`].
+    series: Vec<Series>,
+    /// Key → id intern index (sorted; drives [`TimeSeriesStore::keys`]).
+    key_index: BTreeMap<SeriesKey, u32>,
+    /// Metric name → ids of all series with that name, in intern order.
+    name_index: BTreeMap<String, Vec<SeriesId>>,
     retention: Option<SimDuration>,
 }
 
@@ -29,32 +81,79 @@ impl TimeSeriesStore {
     /// latest appended timestamp.
     pub fn with_retention(retention: SimDuration) -> Self {
         TimeSeriesStore {
-            series: BTreeMap::new(),
             retention: Some(retention),
+            ..Self::default()
         }
     }
 
-    /// Append one sample. Out-of-order samples (older than the series tail)
-    /// are dropped, mirroring Prometheus behaviour.
+    /// Intern a series key, returning its stable [`SeriesId`]. The kind is
+    /// fixed by the first intern; later interns of the same key return the
+    /// existing id unchanged.
+    pub fn intern(&mut self, key: &SeriesKey, kind: MetricKind) -> SeriesId {
+        if let Some(&id) = self.key_index.get(key) {
+            return SeriesId(id);
+        }
+        let id = SeriesId(self.keys.len() as u32);
+        self.key_index.insert(key.clone(), id.0);
+        self.name_index
+            .entry(key.name.clone())
+            .or_default()
+            .push(id);
+        self.keys.push(key.clone());
+        self.series.push(Series {
+            kind,
+            points: Vec::new(),
+        });
+        id
+    }
+
+    /// Resolve a key to its interned id, if the series exists.
+    pub fn series_id(&self, key: &SeriesKey) -> Option<SeriesId> {
+        self.key_index.get(key).copied().map(SeriesId)
+    }
+
+    /// The key of an interned series.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this store.
+    pub fn key(&self, id: SeriesId) -> &SeriesKey {
+        &self.keys[id.index()]
+    }
+
+    /// The kind of an interned series.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this store.
+    pub fn kind(&self, id: SeriesId) -> MetricKind {
+        self.series[id.index()].kind
+    }
+
+    /// Ids of every series with the given metric name, in intern order.
+    pub fn ids_for_name(&self, name: &str) -> &[SeriesId] {
+        self.name_index.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Append one sample, interning its key. Prefer
+    /// [`TimeSeriesStore::append_value`] with a pre-interned id on hot paths.
     pub fn append(&mut self, sample: Sample) {
-        let series = self
-            .series
-            .entry(sample.key.clone())
-            .or_insert_with(|| Series {
-                kind: sample.kind,
-                points: Vec::new(),
-            });
+        let id = self.intern(&sample.key, sample.kind);
+        self.append_value(id, sample.value, sample.timestamp);
+    }
+
+    /// Append a value to a pre-interned series. Out-of-order samples (older
+    /// than the series tail) and duplicate samples for the tail timestamp are
+    /// dropped, mirroring Prometheus's "out of order sample" / "duplicate
+    /// sample for timestamp" ingestion rules.
+    pub fn append_value(&mut self, id: SeriesId, value: f64, timestamp: SimTime) {
+        let series = &mut self.series[id.index()];
         if let Some(&(last_t, _)) = series.points.last() {
-            if sample.timestamp < last_t {
+            if timestamp <= last_t {
                 return;
             }
         }
-        series.points.push((sample.timestamp, sample.value));
+        series.points.push((timestamp, value));
         if let Some(retention) = self.retention {
-            let cutoff_nanos = sample
-                .timestamp
-                .as_nanos()
-                .saturating_sub(retention.as_nanos());
+            let cutoff_nanos = timestamp.as_nanos().saturating_sub(retention.as_nanos());
             let cutoff = SimTime::from_nanos(cutoff_nanos);
             let keep_from = series.points.partition_point(|&(t, _)| t < cutoff);
             if keep_from > 0 {
@@ -77,49 +176,91 @@ impl TimeSeriesStore {
 
     /// Total number of stored points across all series.
     pub fn point_count(&self) -> usize {
-        self.series.values().map(|s| s.points.len()).sum()
+        self.series.iter().map(|s| s.points.len()).sum()
     }
 
     /// Latest value of a series at or before `at`.
     pub fn instant(&self, key: &SeriesKey, at: SimTime) -> Option<f64> {
-        let series = self.series.get(key)?;
-        let idx = series.points.partition_point(|&(t, _)| t <= at);
-        if idx == 0 {
-            None
-        } else {
-            Some(series.points[idx - 1].1)
+        self.instant_id(self.series_id(key)?, at)
+    }
+
+    /// Latest value of a pre-interned series at or before `at`.
+    ///
+    /// The common per-decision query asks for the freshest sample (`at` at or
+    /// past the series tail) and is answered in O(1) from the tail; older
+    /// instants fall back to a binary search.
+    pub fn instant_id(&self, id: SeriesId, at: SimTime) -> Option<f64> {
+        let points = &self.series[id.index()].points;
+        match points.last() {
+            None => None,
+            Some(&(t, v)) if t <= at => Some(v),
+            _ => {
+                let idx = points.partition_point(|&(t, _)| t <= at);
+                if idx == 0 {
+                    None
+                } else {
+                    Some(points[idx - 1].1)
+                }
+            }
         }
     }
 
-    /// All points of a series with timestamps in `[from, to]`.
-    pub fn range(&self, key: &SeriesKey, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
-        let Some(series) = self.series.get(key) else {
-            return Vec::new();
+    /// All points of a series with timestamps in `[from, to]`, as a borrowed
+    /// slice of the series storage (no allocation).
+    pub fn range(&self, key: &SeriesKey, from: SimTime, to: SimTime) -> &[(SimTime, f64)] {
+        match self.series_id(key) {
+            Some(id) => self.range_id(id, from, to),
+            None => &[],
+        }
+    }
+
+    /// Borrowed window `[from, to]` of a pre-interned series.
+    ///
+    /// Decision-path windows (rate lookbacks) end at the series tail and span
+    /// a handful of points, so the bounds are found by a short backward walk
+    /// from the tail — O(window), cache-local, independent of how much
+    /// history retention keeps. Windows deeper in history fall back to
+    /// `partition_point` binary searches.
+    pub fn range_id(&self, id: SeriesId, from: SimTime, to: SimTime) -> &[(SimTime, f64)] {
+        let points = &self.series[id.index()].points;
+        let hi = match points.last() {
+            Some(&(t, _)) if t > to => points.partition_point(|&(t, _)| t <= to),
+            _ => points.len(),
         };
-        series
-            .points
-            .iter()
-            .copied()
-            .filter(|&(t, _)| t >= from && t <= to)
-            .collect()
+        let mut lo = hi;
+        let mut steps = 0usize;
+        while lo > 0 && points[lo - 1].0 >= from {
+            lo -= 1;
+            steps += 1;
+            if steps > 32 {
+                lo = points[..hi].partition_point(|&(t, _)| t < from);
+                break;
+            }
+        }
+        &points[lo..hi]
+    }
+
+    /// Owning variant of [`TimeSeriesStore::range`] for consumers that need a
+    /// `Vec` (serde payloads, archival exports). Hot paths use the borrowed
+    /// slice.
+    pub fn range_vec(&self, key: &SeriesKey, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
+        self.range(key, from, to).to_vec()
     }
 
     /// Prometheus-style `rate()`: the per-second increase of a counter over
     /// the window `[at - window, at]`. Returns `None` when fewer than two
     /// points fall in the window or the series is not a counter.
     pub fn rate(&self, key: &SeriesKey, at: SimTime, window: SimDuration) -> Option<f64> {
-        let series = self.series.get(key)?;
-        if series.kind != MetricKind::Counter {
+        self.rate_id(self.series_id(key)?, at, window)
+    }
+
+    /// `rate()` over a pre-interned counter series.
+    pub fn rate_id(&self, id: SeriesId, at: SimTime, window: SimDuration) -> Option<f64> {
+        if self.series[id.index()].kind != MetricKind::Counter {
             return None;
         }
         let from_nanos = at.as_nanos().saturating_sub(window.as_nanos());
-        let from = SimTime::from_nanos(from_nanos);
-        let pts: Vec<(SimTime, f64)> = series
-            .points
-            .iter()
-            .copied()
-            .filter(|&(t, _)| t >= from && t <= at)
-            .collect();
+        let pts = self.range_id(id, SimTime::from_nanos(from_nanos), at);
         if pts.len() < 2 {
             return None;
         }
@@ -134,19 +275,25 @@ impl TimeSeriesStore {
     }
 
     /// Latest gauge value per matching series: every series with the given
-    /// metric name, returned with its label set.
-    pub fn instant_by_name(&self, name: &str, at: SimTime) -> Vec<(SeriesKey, f64)> {
-        self.series
-            .keys()
-            .filter(|k| k.name == name)
-            .filter_map(|k| self.instant(k, at).map(|v| (k.clone(), v)))
+    /// metric name (resolved through the per-name bucket index, not a
+    /// full-keyspace scan), with its interned id. Resolve ids back to keys
+    /// with [`TimeSeriesStore::key`] at the edges.
+    pub fn instant_by_name(&self, name: &str, at: SimTime) -> Vec<(SeriesId, f64)> {
+        self.ids_for_name(name)
+            .iter()
+            .filter_map(|&id| self.instant_id(id, at).map(|v| (id, v)))
             .collect()
     }
 
     /// Average of a series over `[at - window, at]` (gauges).
     pub fn avg_over(&self, key: &SeriesKey, at: SimTime, window: SimDuration) -> Option<f64> {
+        self.avg_over_id(self.series_id(key)?, at, window)
+    }
+
+    /// Average over a pre-interned series.
+    pub fn avg_over_id(&self, id: SeriesId, at: SimTime, window: SimDuration) -> Option<f64> {
         let from_nanos = at.as_nanos().saturating_sub(window.as_nanos());
-        let pts = self.range(key, SimTime::from_nanos(from_nanos), at);
+        let pts = self.range_id(id, SimTime::from_nanos(from_nanos), at);
         if pts.is_empty() {
             return None;
         }
@@ -155,7 +302,60 @@ impl TimeSeriesStore {
 
     /// All series keys (sorted).
     pub fn keys(&self) -> impl Iterator<Item = &SeriesKey> {
-        self.series.keys()
+        self.key_index.keys()
+    }
+}
+
+/// One serialized series entry: key, kind and time-ordered points.
+type SeriesEntry = (SeriesKey, MetricKind, Vec<(SimTime, f64)>);
+
+/// The store serializes in a canonical form — retention plus a
+/// `(key, kind, points)` list in intern order — and deserialization rebuilds
+/// the intern tables (key table, key index, per-name buckets) and re-appends
+/// every point through the ingestion rules, so an archive can never smuggle
+/// in an inconsistent index layout: every internal invariant is
+/// re-established by construction.
+impl Serialize for TimeSeriesStore {
+    fn serialize_value(&self) -> serde::Value {
+        let series: Vec<SeriesEntry> = self
+            .keys
+            .iter()
+            .zip(&self.series)
+            .map(|(key, series)| (key.clone(), series.kind, series.points.clone()))
+            .collect();
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("retention".to_string()),
+                self.retention.serialize_value(),
+            ),
+            (
+                serde::Value::Str("series".to_string()),
+                series.serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for TimeSeriesStore {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for TimeSeriesStore"))?;
+        let retention: Option<SimDuration> =
+            Deserialize::deserialize_value(serde::get_field(map, "retention")?)?;
+        let series: Vec<SeriesEntry> =
+            Deserialize::deserialize_value(serde::get_field(map, "series")?)?;
+        let mut store = match retention {
+            Some(r) => TimeSeriesStore::with_retention(r),
+            None => TimeSeriesStore::new(),
+        };
+        for (key, kind, points) in series {
+            let id = store.intern(&key, kind);
+            for (t, value) in points {
+                store.append_value(id, value, t);
+            }
+        }
+        Ok(store)
     }
 }
 
@@ -187,16 +387,41 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_samples_are_dropped() {
+    fn interning_is_stable_and_resolvable() {
+        let mut store = TimeSeriesStore::new();
+        let a = store.intern(&key("m", "node-1"), MetricKind::Gauge);
+        let b = store.intern(&key("m", "node-2"), MetricKind::Gauge);
+        assert_ne!(a, b);
+        // Re-interning returns the same id and does not change the kind.
+        assert_eq!(store.intern(&key("m", "node-1"), MetricKind::Counter), a);
+        assert_eq!(store.kind(a), MetricKind::Gauge);
+        assert_eq!(store.series_id(&key("m", "node-1")), Some(a));
+        assert_eq!(store.series_id(&key("m", "node-9")), None);
+        assert_eq!(store.key(b), &key("m", "node-2"));
+        assert_eq!(store.ids_for_name("m"), &[a, b]);
+        assert!(store.ids_for_name("other").is_empty());
+        assert_eq!(SeriesId::from_index(7).index(), 7);
+        assert_eq!(format!("{}", SeriesId(4)), "s#4");
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_samples_are_dropped() {
         let mut store = TimeSeriesStore::new();
         let k = key("node_load1", "node-1");
         store.append(Sample::gauge(k.clone(), 1.0, SimTime::from_secs(10)));
         store.append(Sample::gauge(k.clone(), 2.0, SimTime::from_secs(5)));
         assert_eq!(store.point_count(), 1);
         assert_eq!(store.instant(&k, SimTime::from_secs(30)), Some(1.0));
-        // Equal timestamps are accepted (last write wins on query order).
+        // A duplicate sample for the tail timestamp is dropped (Prometheus's
+        // "duplicate sample for timestamp" rule): the first write wins and the
+        // instant is not double-counted by windowed aggregations.
         store.append(Sample::gauge(k.clone(), 3.0, SimTime::from_secs(10)));
-        assert_eq!(store.point_count(), 2);
+        assert_eq!(store.point_count(), 1);
+        assert_eq!(store.instant(&k, SimTime::from_secs(30)), Some(1.0));
+        assert_eq!(
+            store.avg_over(&k, SimTime::from_secs(10), SimDuration::from_secs(10)),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -217,6 +442,11 @@ mod tests {
         assert!(store
             .range(&key("x", "y"), SimTime::ZERO, SimTime::MAX)
             .is_empty());
+        // The owning shim returns the same window.
+        assert_eq!(
+            store.range_vec(&k, SimTime::from_secs(25), SimTime::from_secs(55)),
+            pts.to_vec()
+        );
     }
 
     #[test]
@@ -296,7 +526,11 @@ mod tests {
         ));
         let got = store.instant_by_name("node_load1", SimTime::from_secs(20));
         assert_eq!(got.len(), 3);
-        assert!(got.iter().all(|(k, v)| k.name == "node_load1" && *v == 1.0));
+        assert!(got
+            .iter()
+            .all(|&(id, v)| store.key(id).name == "node_load1" && v == 1.0));
+        // The per-name bucket and the instant query agree.
+        assert_eq!(store.ids_for_name("node_load1").len(), 3);
     }
 
     #[test]
@@ -323,5 +557,65 @@ mod tests {
         store.append(Sample::gauge(key("a_metric", "node-1"), 1.0, SimTime::ZERO));
         let names: Vec<&str> = store.keys().map(|k| k.name.as_str()).collect();
         assert_eq!(names, vec!["a_metric", "b_metric"]);
+    }
+
+    #[test]
+    fn json_roundtrip_rebuilds_intern_tables() {
+        let mut store = TimeSeriesStore::with_retention(SimDuration::from_secs(300));
+        for node in ["node-1", "node-2"] {
+            for i in 0..5u64 {
+                store.append(Sample::counter(
+                    key("ctr", node),
+                    (i * 100) as f64,
+                    SimTime::from_secs(i * 10),
+                ));
+                store.append(Sample::gauge(
+                    key("g", node),
+                    i as f64,
+                    SimTime::from_secs(i * 10),
+                ));
+            }
+        }
+        let json = serde_json::to_string(&store).unwrap();
+        let back: TimeSeriesStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series_count(), store.series_count());
+        assert_eq!(back.point_count(), store.point_count());
+        let k = key("ctr", "node-1");
+        let at = SimTime::from_secs(45);
+        assert_eq!(back.instant(&k, at), store.instant(&k, at));
+        assert_eq!(
+            back.rate(&k, at, SimDuration::from_secs(60)),
+            store.rate(&k, at, SimDuration::from_secs(60))
+        );
+        assert_eq!(back.kind(back.series_id(&k).unwrap()), MetricKind::Counter);
+        assert_eq!(back.ids_for_name("g").len(), 2);
+        // Malformed payloads are rejected rather than trusted.
+        assert!(serde_json::from_str::<TimeSeriesStore>("{\"retention\":null}").is_err());
+        assert!(serde_json::from_str::<TimeSeriesStore>("[]").is_err());
+    }
+
+    #[test]
+    fn id_queries_match_key_queries() {
+        let mut store = TimeSeriesStore::with_retention(SimDuration::from_secs(500));
+        let k = key("ctr", "node-1");
+        for i in 0..40u64 {
+            store.append(Sample::counter(
+                k.clone(),
+                (i * i) as f64,
+                SimTime::from_secs(i * 7),
+            ));
+        }
+        let id = store.series_id(&k).unwrap();
+        for t in [0u64, 35, 100, 273, 500] {
+            let at = SimTime::from_secs(t);
+            assert_eq!(store.instant(&k, at), store.instant_id(id, at));
+            let w = SimDuration::from_secs(60);
+            assert_eq!(store.rate(&k, at, w), store.rate_id(id, at, w));
+            assert_eq!(store.avg_over(&k, at, w), store.avg_over_id(id, at, w));
+            assert_eq!(
+                store.range(&k, SimTime::from_secs(t / 2), at),
+                store.range_id(id, SimTime::from_secs(t / 2), at)
+            );
+        }
     }
 }

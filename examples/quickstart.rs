@@ -27,7 +27,7 @@ fn main() {
     // 3. The telemetry snapshot the scheduler would fetch at decision time.
     let snapshot = world.snapshot();
     println!("\nper-node telemetry at t = {}:", snapshot.time);
-    for (node, telemetry) in &snapshot.nodes {
+    for (node, telemetry) in snapshot.iter_nodes() {
         let (rtt_mean, rtt_max, _) = snapshot.rtt_stats_from(node);
         println!(
             "  {node}: cpu_load={:.2}, mem_avail={:.1} GiB, tx={:.2} MB/s, rx={:.2} MB/s, rtt mean/max={:.1}/{:.1} ms",

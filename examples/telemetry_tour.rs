@@ -79,8 +79,11 @@ fn main() {
     );
     println!(
         "\nsnapshot at t=10s saw {} nodes with receive traffic; at t={} it is {}",
-        stale.nodes.values().filter(|t| t.rx_rate > 0.0).count(),
+        stale.iter_nodes().filter(|(_, t)| t.rx_rate > 0.0).count(),
         snapshot.time,
-        snapshot.nodes.values().filter(|t| t.rx_rate > 0.0).count()
+        snapshot
+            .iter_nodes()
+            .filter(|(_, t)| t.rx_rate > 0.0)
+            .count()
     );
 }

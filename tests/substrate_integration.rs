@@ -28,8 +28,8 @@ fn background_contention_is_visible_through_the_whole_telemetry_path() {
 
     // 1. The loaded host shows more CPU pressure than every other node.
     let host_load = snapshot.node(&host).unwrap().cpu_load;
-    for (name, telemetry) in &snapshot.nodes {
-        if name != &host {
+    for (name, telemetry) in snapshot.iter_nodes() {
+        if name != host {
             assert!(
                 host_load > telemetry.cpu_load,
                 "{host} ({host_load}) should be busier than {name} ({})",
@@ -49,7 +49,7 @@ fn background_contention_is_visible_through_the_whole_telemetry_path() {
         total_rx > 50_000_000.0,
         "background downloads moved data: {total_rx}"
     );
-    assert!(snapshot.nodes.values().any(|t| t.rx_rate > 1e5));
+    assert!(snapshot.iter_nodes().any(|(_, t)| t.rx_rate > 1e5));
     // 3. The ping mesh is fully populated (6 x 5 ordered pairs).
     let pings = world
         .metrics
