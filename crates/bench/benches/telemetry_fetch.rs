@@ -21,11 +21,11 @@
 //! `results/BENCH_telemetry.json`. Run `-- --smoke` for a 1-round smoke
 //! (used by CI to keep the bench from bitrotting; no JSON is written).
 
+use bench::measure;
 use netsched_core::request::JobRequest;
 use netsched_core::service::{SchedulerConfig, SchedulerService};
 use std::collections::BTreeMap;
 use std::hint::black_box;
-use std::time::{Duration, Instant};
 use telemetry::{
     ClusterSnapshot, MetricKind, NodeTelemetry, Sample, ScrapeConfig, ScrapeManager, SeriesKey,
     METRIC_NODE_LOAD1, METRIC_NODE_MEM_AVAILABLE, METRIC_NODE_RX_BYTES, METRIC_NODE_TX_BYTES,
@@ -138,35 +138,6 @@ mod naive {
     }
 }
 
-/// Criterion-style measurement (warmup + calibrated rounds, median ns/iter).
-fn measure<T>(name: &str, rounds: usize, mut f: impl FnMut() -> T) -> f64 {
-    let start = Instant::now();
-    black_box(f());
-    let first = start.elapsed();
-    let target = Duration::from_millis(50);
-    let iters = if first.is_zero() {
-        1000
-    } else {
-        (target.as_secs_f64() / first.as_secs_f64()).clamp(1.0, 100_000.0) as usize
-    };
-    let mut results: Vec<f64> = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(f());
-        }
-        results.push(start.elapsed().as_nanos() as f64 / iters as f64);
-    }
-    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = results[results.len() / 2];
-    println!(
-        "telemetry_fetch/{name}: {median:.0} ns/iter (min {:.0} .. max {:.0})",
-        results[0],
-        results[results.len() - 1]
-    );
-    median
-}
-
 /// A 1-hour (or shorter) scrape history over the paper's 6-node world, in
 /// both the interned store and the naive reference store.
 fn scrape_history(seconds: u64) -> (ScrapeManager, naive::NaiveStore, cluster::ClusterState) {
@@ -222,24 +193,24 @@ fn main() {
         mgr.store().point_count()
     );
 
-    let naive_ns = measure("naive_linear_1h", rounds, || {
+    let naive_ns = measure("telemetry_fetch/naive_linear_1h", rounds, || {
         let snap = naive_store.snapshot(at, window);
         black_box((snap.nodes.len(), snap.rtt.len()))
     });
 
-    let interned_ns = measure("interned_1h", rounds, || {
+    let interned_ns = measure("telemetry_fetch/interned_1h", rounds, || {
         let snap = fetcher.fetch(&mgr, at);
         black_box(snap.rtt().len())
     });
 
     let mut scratch = ClusterSnapshot::default();
-    let interned_into_ns = measure("interned_into_1h", rounds, || {
+    let interned_into_ns = measure("telemetry_fetch/interned_into_1h", rounds, || {
         fetcher.fetch_into(&mgr, at, &mut scratch);
         black_box(scratch.rtt().len())
     });
 
     let mut short_scratch = ClusterSnapshot::default();
-    let short_ns = measure("interned_into_10min", rounds, || {
+    let short_ns = measure("telemetry_fetch/interned_into_10min", rounds, || {
         fetcher.fetch_into(&short_mgr, short_at, &mut short_scratch);
         black_box(short_scratch.rtt().len())
     });
@@ -259,7 +230,7 @@ fn main() {
         netsched_core::predictor::CompletionTimePredictor::new(logger.schema().clone(), model);
     let mut service = SchedulerService::with_predictor(SchedulerConfig::default(), predictor, 7);
     let request = JobRequest::named("bench-sort", sparksim::WorkloadKind::Sort, 250_000, 2);
-    let decision_ns = measure("decision_e2e_1h", rounds, || {
+    let decision_ns = measure("telemetry_fetch/decision_e2e_1h", rounds, || {
         let decision = service.schedule(&request, &mgr, &cluster, at);
         black_box(decision.ranking.len())
     });

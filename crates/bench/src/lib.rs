@@ -20,6 +20,40 @@ use simcore::rng::Rng;
 use sparksim::WorkloadKind;
 use telemetry::ClusterSnapshot;
 
+/// Criterion-style measurement shared by the hand-rolled (`harness = false`)
+/// benches: one warmup call calibrates the per-round iteration count toward
+/// ~50 ms, then `rounds` timed rounds run and the median ns/iter is printed
+/// (`name: N ns/iter (min .. max)`) and returned.
+pub fn measure<T>(name: &str, rounds: usize, mut f: impl FnMut() -> T) -> f64 {
+    use std::time::{Duration, Instant};
+
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let first = start.elapsed();
+    let target = Duration::from_millis(50);
+    let iters = if first.is_zero() {
+        1000
+    } else {
+        (target.as_secs_f64() / first.as_secs_f64()).clamp(1.0, 100_000.0) as usize
+    };
+    let mut results: Vec<f64> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        results.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = results[results.len() / 2];
+    println!(
+        "{name}: {median:.0} ns/iter (min {:.0} .. max {:.0})",
+        results[0],
+        results[results.len() - 1]
+    );
+    median
+}
+
 /// A small but realistic dataset generated once per bench binary.
 pub fn bench_dataset(seed: u64) -> ExperimentDataset {
     Workflow::new(ExperimentConfig {

@@ -2,13 +2,15 @@
 //!
 //! *"This component queries the Prometheus metrics server at scheduling time
 //! to retrieve the most recent telemetry snapshot."* In this reproduction the
-//! metrics server is the `telemetry` crate's [`telemetry::ScrapeManager`]; the
-//! fetcher wraps its store with the scheduler-side query configuration (rate
-//! window, staleness tolerance).
+//! metrics server is any [`telemetry::SnapshotSource`] — the synchronous
+//! [`telemetry::ScrapeManager`], the sharded
+//! [`telemetry::ConcurrentScrapeManager`], or a [`telemetry::TelemetryReader`]
+//! handle observing a live concurrent ingest; the fetcher wraps it with the
+//! scheduler-side query configuration (rate window, staleness tolerance).
 
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
-use telemetry::{ClusterSnapshot, ScrapeManager, TimeSeriesStore};
+use telemetry::{ClusterSnapshot, SnapshotSource, TimeSeriesStore};
 
 /// Scheduler-side telemetry query configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -36,8 +38,14 @@ impl TelemetryFetcher {
         ClusterSnapshot::from_store(store, now, self.rate_window)
     }
 
-    /// Fetch the most recent snapshot from the metrics server.
-    pub fn fetch(&self, metrics_server: &ScrapeManager, now: SimTime) -> ClusterSnapshot {
+    /// Fetch the most recent snapshot from the metrics server (any
+    /// [`SnapshotSource`]: the synchronous scrape manager, the concurrent
+    /// one, or a reader handle over a live ingest).
+    pub fn fetch<S: SnapshotSource + ?Sized>(
+        &self,
+        metrics_server: &S,
+        now: SimTime,
+    ) -> ClusterSnapshot {
         let mut snapshot = ClusterSnapshot::default();
         self.fetch_into(metrics_server, now, &mut snapshot);
         snapshot
@@ -48,9 +56,9 @@ impl TelemetryFetcher {
     /// burst. Queries run over the metrics server's interned series layout,
     /// so per-fetch cost is independent of retained history and no `String`
     /// is touched.
-    pub fn fetch_into(
+    pub fn fetch_into<S: SnapshotSource + ?Sized>(
         &self,
-        metrics_server: &ScrapeManager,
+        metrics_server: &S,
         now: SimTime,
         snapshot: &mut ClusterSnapshot,
     ) {

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
 use simcore::{SimDuration, SimTime};
 use std::sync::Arc;
-use telemetry::{ClusterSnapshot, ScrapeManager};
+use telemetry::{ClusterSnapshot, SnapshotSource};
 
 /// Service configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -132,14 +132,17 @@ impl SchedulerService {
 
     /// Make a placement decision for `request` at time `now`.
     ///
-    /// Telemetry is fetched from `metrics_server`; feasibility comes from the
-    /// cluster state. Before a model is available the service falls back to a
-    /// uniformly random feasible node (matching how the paper bootstraps its
-    /// training data with varied `target_node` assignments).
-    pub fn schedule(
+    /// Telemetry is fetched from `metrics_server` — any
+    /// [`SnapshotSource`], including a [`telemetry::TelemetryReader`] over a
+    /// concurrent ingest running on another thread, so decision bursts can
+    /// overlap with scraping. Feasibility comes from the cluster state.
+    /// Before a model is available the service falls back to a uniformly
+    /// random feasible node (matching how the paper bootstraps its training
+    /// data with varied `target_node` assignments).
+    pub fn schedule<S: SnapshotSource + ?Sized>(
         &mut self,
         request: &JobRequest,
-        metrics_server: &ScrapeManager,
+        metrics_server: &S,
         cluster: &ClusterState,
         now: SimTime,
     ) -> SchedulingDecision {
@@ -159,10 +162,10 @@ impl SchedulerService {
     /// Make placement decisions for a whole burst of requests against one
     /// telemetry fetch and one [`SchedulingContext`], amortizing snapshot
     /// indexing and feasibility filtering across the burst.
-    pub fn schedule_batch(
+    pub fn schedule_batch<S: SnapshotSource + ?Sized>(
         &mut self,
         requests: &[JobRequest],
-        metrics_server: &ScrapeManager,
+        metrics_server: &S,
         cluster: &ClusterState,
         now: SimTime,
     ) -> Vec<SchedulingDecision> {
@@ -189,9 +192,9 @@ impl SchedulerService {
     /// caller still holds a previous decision's snapshot, in which case the
     /// scratch is replaced with a fresh buffer (cheaper than cloning the old
     /// contents only to overwrite them).
-    fn fetch_shared(
+    fn fetch_shared<S: SnapshotSource + ?Sized>(
         &mut self,
-        metrics_server: &ScrapeManager,
+        metrics_server: &S,
         now: SimTime,
     ) -> Arc<ClusterSnapshot> {
         let fetcher = self.fetcher;
@@ -267,7 +270,7 @@ mod tests {
     use simcore::SimDuration;
     use simnet::{gbps, mbps, Network, NodeId, TopologyBuilder};
     use sparksim::WorkloadKind;
-    use telemetry::ScrapeConfig;
+    use telemetry::{ScrapeConfig, ScrapeManager};
 
     fn test_world() -> (ClusterState, Network, ScrapeManager) {
         let mut b = TopologyBuilder::new();
@@ -399,6 +402,49 @@ mod tests {
             assert_eq!(batched.used_model, sequential.used_model);
             assert_eq!(batched.snapshot, sequential.snapshot);
         }
+    }
+
+    #[test]
+    fn decisions_overlap_with_concurrent_ingest() {
+        use telemetry::ConcurrentScrapeManager;
+
+        let (cluster, network, _) = test_world();
+        let mut manager = ConcurrentScrapeManager::new(ScrapeConfig::default());
+        manager.scrape(&cluster, &network, SimTime::from_secs(1));
+        let reader = manager.reader();
+
+        // Ingest a long scrape schedule on another thread while this thread
+        // keeps scheduling against the reader handle: every decision sees a
+        // consistent (whole-round) snapshot, never a torn one.
+        let times: Vec<SimTime> = (1..300u64).map(|i| SimTime::from_secs(1 + i * 5)).collect();
+        let mut service = SchedulerService::new(SchedulerConfig::default(), 7);
+        let decisions = std::thread::scope(|scope| {
+            let ingest = scope.spawn(|| {
+                manager.ingest(&cluster, &network, &times);
+                manager
+            });
+            let mut decisions = Vec::new();
+            for i in 0..50 {
+                decisions.push(service.schedule(
+                    &request(i),
+                    &reader,
+                    &cluster,
+                    SimTime::from_secs(2000),
+                ));
+            }
+            ingest.join().expect("ingest thread");
+            decisions
+        });
+        for decision in &decisions {
+            assert_eq!(decision.ranking.len(), 4);
+            assert!(!decision.snapshot.is_empty());
+            // Whole-round consistency: a scrape writes every node's load in
+            // one round, so a snapshot must never see only a subset.
+            assert_eq!(decision.snapshot.node_names().len(), 4);
+        }
+        // After the ingest completes the reader serves the final state.
+        let decision = service.schedule(&request(99), &reader, &cluster, SimTime::from_secs(2000));
+        assert_eq!(decision.snapshot.node_names().len(), 4);
     }
 
     #[test]

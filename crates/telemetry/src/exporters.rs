@@ -26,6 +26,11 @@ use crate::{
 use cluster::ClusterState;
 use simcore::{SimDuration, SimTime};
 use simnet::Network;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide generation source for [`ExporterLayout`] stamps. Starts at 1
+/// so 0 can mean "no layout" on the snapshot side.
+static LAYOUT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// Collect node-exporter samples for every node in the cluster.
 ///
@@ -93,7 +98,7 @@ pub fn ping_mesh_samples(cluster: &ClusterState, network: &Network, now: SimTime
 }
 
 /// Deterministic jitter seed for a (source, target, time) triple.
-fn pair_seed(a: u64, b: u64, now: SimTime) -> u64 {
+pub(crate) fn pair_seed(a: u64, b: u64, now: SimTime) -> u64 {
     let mut h = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     h ^= now.as_nanos().wrapping_mul(0x1656_67B1_9E37_79F9);
     h
@@ -106,32 +111,45 @@ fn pair_seed(a: u64, b: u64, now: SimTime) -> u64 {
 /// that, scraping ([`ExporterLayout::scrape_into`]) and snapshot assembly
 /// ([`ExporterLayout::snapshot_into`]) are pure id-indexed work: no
 /// `SeriesKey` construction, no label lookups, no `String` round-trips.
+///
+/// The layout is generic over the interned id type: the flat store's
+/// [`SeriesId`] by default, the sharded pipeline's
+/// [`crate::shards::ShardedSeriesId`] in `crate::ingest`. Every build stamps
+/// a process-unique **generation** so downstream consumers (snapshot scratch
+/// reuse) can detect "same layout as last time" with one integer compare
+/// instead of a name-table comparison.
 #[derive(Debug, Clone)]
-pub struct ExporterLayout {
+pub struct ExporterLayout<Id = SeriesId> {
+    /// Process-unique build stamp (never 0).
+    pub(crate) generation: u64,
     /// Node names in cluster [`cluster::NodeId`] order.
-    node_names: Vec<String>,
+    pub(crate) node_names: Vec<String>,
     /// Network interface of each node, aligned with `node_names`.
-    net_ids: Vec<simnet::NodeId>,
+    pub(crate) net_ids: Vec<simnet::NodeId>,
     /// `node_load1` series per node.
-    load1: Vec<SeriesId>,
+    pub(crate) load1: Vec<Id>,
     /// `node_memory_MemAvailable_bytes` series per node.
-    mem: Vec<SeriesId>,
+    pub(crate) mem: Vec<Id>,
     /// `node_network_transmit_bytes_total` series per node.
-    tx: Vec<SeriesId>,
+    pub(crate) tx: Vec<Id>,
     /// `node_network_receive_bytes_total` series per node.
-    rx: Vec<SeriesId>,
+    pub(crate) rx: Vec<Id>,
     /// `(source index, target index, series)` per ordered ping pair.
-    pings: Vec<(u32, u32, SeriesId)>,
+    pub(crate) pings: Vec<(u32, u32, Id)>,
 }
 
-impl ExporterLayout {
-    /// Intern every exporter series for `cluster` into `store` and capture
-    /// the resulting ids. Intern order matches the legacy sample order (per
-    /// node: load, memory, tx, rx; then the ordered ping pairs) so the
-    /// store's per-name buckets stay in cluster order.
-    pub fn build(cluster: &ClusterState, store: &mut TimeSeriesStore) -> Self {
+impl<Id: Copy> ExporterLayout<Id> {
+    /// Intern every exporter series for `cluster` through `intern` and
+    /// capture the resulting ids. Intern order matches the legacy sample
+    /// order (per node: load, memory, tx, rx; then the ordered ping pairs) so
+    /// the store's per-name buckets stay in cluster order.
+    pub fn build_with(
+        cluster: &ClusterState,
+        mut intern: impl FnMut(&SeriesKey, MetricKind) -> Id,
+    ) -> Self {
         let nodes = cluster.nodes();
         let mut layout = ExporterLayout {
+            generation: LAYOUT_GENERATION.fetch_add(1, Ordering::Relaxed),
             node_names: Vec::with_capacity(nodes.len()),
             net_ids: Vec::with_capacity(nodes.len()),
             load1: Vec::with_capacity(nodes.len()),
@@ -144,19 +162,19 @@ impl ExporterLayout {
             let instance = node.name.as_str();
             layout.node_names.push(node.name.clone());
             layout.net_ids.push(node.net_id);
-            layout.load1.push(store.intern(
+            layout.load1.push(intern(
                 &SeriesKey::per_node(METRIC_NODE_LOAD1, instance),
                 MetricKind::Gauge,
             ));
-            layout.mem.push(store.intern(
+            layout.mem.push(intern(
                 &SeriesKey::per_node(METRIC_NODE_MEM_AVAILABLE, instance),
                 MetricKind::Gauge,
             ));
-            layout.tx.push(store.intern(
+            layout.tx.push(intern(
                 &SeriesKey::per_node(METRIC_NODE_TX_BYTES, instance),
                 MetricKind::Counter,
             ));
-            layout.rx.push(store.intern(
+            layout.rx.push(intern(
                 &SeriesKey::per_node(METRIC_NODE_RX_BYTES, instance),
                 MetricKind::Counter,
             ));
@@ -166,7 +184,7 @@ impl ExporterLayout {
                 if a == b {
                     continue;
                 }
-                let id = store.intern(
+                let id = intern(
                     &SeriesKey::new(
                         METRIC_PING_RTT,
                         &[
@@ -200,6 +218,58 @@ impl ExporterLayout {
         &self.node_names
     }
 
+    /// This build's process-unique generation stamp (never 0). Two layouts
+    /// share a generation only when they are clones of the same build, so an
+    /// unchanged generation proves an unchanged node table.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Shared snapshot-assembly body, generic over the store accessors (the
+    /// same pattern [`ExporterLayout::build_with`] uses for interning): the
+    /// flat path reads one store, the sharded path reads per-shard guards.
+    /// Keeping the loop in one place keeps the two paths float-op-identical,
+    /// which the "concurrent snapshots are byte-identical to sequential"
+    /// guarantee depends on.
+    pub(crate) fn assemble_with(
+        &self,
+        at: SimTime,
+        snap: &mut ClusterSnapshot,
+        mut instant: impl FnMut(Id, SimTime) -> Option<f64>,
+        mut rate: impl FnMut(Id, SimTime) -> Option<f64>,
+    ) {
+        snap.reset_for_generation(at, self.generation, &self.node_names);
+        for i in 0..self.node_names.len() {
+            let load = instant(self.load1[i], at);
+            let mem = instant(self.mem[i], at);
+            if load.is_none() && mem.is_none() {
+                continue;
+            }
+            snap.set_node_by_id(
+                cluster::NodeId(i as u32),
+                NodeTelemetry {
+                    cpu_load: load.unwrap_or(0.0),
+                    memory_available_bytes: mem.unwrap_or(0.0),
+                    tx_rate: rate(self.tx[i], at).unwrap_or(0.0),
+                    rx_rate: rate(self.rx[i], at).unwrap_or(0.0),
+                },
+            );
+        }
+        for &(a, b, id) in &self.pings {
+            if let Some(rtt) = instant(id, at) {
+                snap.insert_rtt_by_id(cluster::NodeId(a), cluster::NodeId(b), rtt);
+            }
+        }
+    }
+}
+
+impl ExporterLayout {
+    /// Intern every exporter series for `cluster` into `store` and capture
+    /// the resulting ids (see [`ExporterLayout::build_with`]).
+    pub fn build(cluster: &ClusterState, store: &mut TimeSeriesStore) -> Self {
+        Self::build_with(cluster, |key, kind| store.intern(key, kind))
+    }
+
     /// Scrape all exporters at `now`, appending through pre-interned ids.
     /// Emits exactly the samples [`node_exporter_samples`] and
     /// [`ping_mesh_samples`] would, without building any of them.
@@ -227,7 +297,9 @@ impl ExporterLayout {
 
     /// Assemble the scheduler-facing snapshot at `at` straight through the
     /// interned ids, reusing `snap`'s storage. Produces exactly what
-    /// [`ClusterSnapshot::from_store`] would, minus every name lookup.
+    /// [`ClusterSnapshot::from_store`] would, minus every name lookup. A
+    /// scratch snapshot last reset by this same layout build skips the
+    /// name-table comparison entirely (generation fast path).
     pub fn snapshot_into(
         &self,
         store: &TimeSeriesStore,
@@ -235,28 +307,12 @@ impl ExporterLayout {
         rate_window: SimDuration,
         snap: &mut ClusterSnapshot,
     ) {
-        snap.reset_for(at, &self.node_names);
-        for i in 0..self.node_names.len() {
-            let load = store.instant_id(self.load1[i], at);
-            let mem = store.instant_id(self.mem[i], at);
-            if load.is_none() && mem.is_none() {
-                continue;
-            }
-            snap.set_node_by_id(
-                cluster::NodeId(i as u32),
-                NodeTelemetry {
-                    cpu_load: load.unwrap_or(0.0),
-                    memory_available_bytes: mem.unwrap_or(0.0),
-                    tx_rate: store.rate_id(self.tx[i], at, rate_window).unwrap_or(0.0),
-                    rx_rate: store.rate_id(self.rx[i], at, rate_window).unwrap_or(0.0),
-                },
-            );
-        }
-        for &(a, b, id) in &self.pings {
-            if let Some(rtt) = store.instant_id(id, at) {
-                snap.insert_rtt_by_id(cluster::NodeId(a), cluster::NodeId(b), rtt);
-            }
-        }
+        self.assemble_with(
+            at,
+            snap,
+            |id, at| store.instant_id(id, at),
+            |id, at| store.rate_id(id, at, rate_window),
+        );
     }
 }
 
@@ -417,6 +473,41 @@ mod tests {
         // Scratch reuse converges to the same value.
         layout.snapshot_into(&interned, at, window, &mut fast);
         assert_eq!(fast, generic);
+    }
+
+    #[test]
+    fn layout_generations_are_unique_and_gate_the_snapshot_fast_path() {
+        let (cluster, network) = setup();
+        let mut store = TimeSeriesStore::new();
+        let layout = ExporterLayout::build(&cluster, &mut store);
+        let rebuilt = ExporterLayout::build(&cluster, &mut store);
+        // Every build gets a fresh stamp, even over an identical cluster; a
+        // clone shares its origin's stamp (same ids, same table).
+        assert_ne!(layout.generation(), rebuilt.generation());
+        assert_ne!(layout.generation(), 0);
+        assert_eq!(layout.clone().generation(), layout.generation());
+
+        layout.scrape_into(&cluster, &network, SimTime::from_secs(5), &mut store);
+        let at = SimTime::from_secs(6);
+        let window = SimDuration::from_secs(30);
+        let mut snap = ClusterSnapshot::default();
+        layout.snapshot_into(&store, at, window, &mut snap);
+        let fresh = ClusterSnapshot::from_store(&store, at, window);
+        assert_eq!(snap, fresh);
+        // Generation fast path (same layout, reused scratch) converges.
+        layout.snapshot_into(&store, at, window, &mut snap);
+        assert_eq!(snap, fresh);
+
+        // A mutated layout (smaller cluster) forces the slow path: the
+        // scratch's node table must shrink to the new layout's names.
+        let mut small = ClusterState::new();
+        small.add_node(cluster.nodes()[0].clone());
+        let mut small_store = TimeSeriesStore::new();
+        let small_layout = ExporterLayout::build(&small, &mut small_store);
+        small_layout.scrape_into(&small, &network, SimTime::from_secs(5), &mut small_store);
+        small_layout.snapshot_into(&small_store, at, window, &mut snap);
+        assert_eq!(snap.node_names(), vec!["node-1"]);
+        assert!(snap.node("node-2").is_none());
     }
 
     #[test]

@@ -18,24 +18,35 @@
 //! * [`scrape`] — the scrape manager: drives all exporters on a grid-aligned
 //!   interval and appends into the store, exactly like a Prometheus server's
 //!   scrape loop.
+//! * [`shards`] — the store sharded by metric name: same semantics as the
+//!   flat store, per-shard appends and retention pruning.
+//! * [`ingest`] — the concurrent scrape pipeline over the shards:
+//!   evaluation workers and per-shard writer workers behind bounded queues,
+//!   with an epoch counter so readers ([`ingest::TelemetryReader`]) only
+//!   ever observe fully-committed scrape rounds.
 //! * [`snapshot`] — the query surface the scheduler consumes: a
 //!   [`snapshot::ClusterSnapshot`] with per-node CPU/memory/tx/rx (densely
 //!   indexed by `cluster::NodeId`) and the `(NodeId, NodeId)`-keyed RTT
-//!   mesh, assembled from the store at decision time.
+//!   mesh, assembled from the store at decision time via any
+//!   [`snapshot::SnapshotSource`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exporters;
+pub mod ingest;
 pub mod metrics;
 pub mod scrape;
+pub mod shards;
 pub mod snapshot;
 pub mod store;
 
 pub use exporters::{node_exporter_samples, ping_mesh_samples, ExporterLayout};
+pub use ingest::{ConcurrentScrapeManager, IngestConfig, TelemetryReader};
 pub use metrics::{Labels, MetricKind, Sample, SeriesKey};
 pub use scrape::{ScrapeConfig, ScrapeManager};
-pub use snapshot::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry, RttMesh};
+pub use shards::{ShardRouter, ShardedSeriesId, ShardedTimeSeriesStore};
+pub use snapshot::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry, RttMesh, SnapshotSource};
 pub use store::{SeriesId, TimeSeriesStore};
 
 /// Metric name for the 1-minute load average (node exporter).

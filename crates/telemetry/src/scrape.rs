@@ -13,7 +13,7 @@
 //! is an operator action and re-anchors the grid at its own timestamp.
 
 use crate::exporters::{node_exporter_samples, ping_mesh_samples, ExporterLayout};
-use crate::snapshot::ClusterSnapshot;
+use crate::snapshot::{ClusterSnapshot, SnapshotSource};
 use crate::store::TimeSeriesStore;
 use cluster::ClusterState;
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,50 @@ impl Default for ScrapeConfig {
     }
 }
 
+/// The grid-aligned scrape schedule shared by every scrape-manager flavour
+/// (the synchronous [`ScrapeManager`] and the sharded
+/// [`crate::ConcurrentScrapeManager`]): tracks when the next periodic scrape
+/// is due and advances along the grid without drifting on late ticks.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ScrapeCadence {
+    /// When the next periodic scrape is due (`None` = never scraped).
+    next_due: Option<SimTime>,
+}
+
+impl ScrapeCadence {
+    /// When the next scrape is due (immediately if never scraped).
+    pub(crate) fn next_due(&self) -> SimTime {
+        self.next_due.unwrap_or(SimTime::ZERO)
+    }
+
+    /// True when a periodic scrape is due at `now`.
+    pub(crate) fn is_due(&self, now: SimTime) -> bool {
+        now >= self.next_due()
+    }
+
+    /// Re-anchor the grid at `now` (an explicit operator scrape).
+    pub(crate) fn reanchor(&mut self, now: SimTime, interval: SimDuration) {
+        self.next_due = Some(now + interval);
+    }
+
+    /// Advance the due time along the schedule grid past `now`
+    /// (`due + k·interval`), skipping missed ticks in O(1), so a delayed tick
+    /// does not drift the due times of subsequent scrapes.
+    pub(crate) fn advance_on_grid(&mut self, now: SimTime, interval: SimDuration) {
+        if interval.is_zero() {
+            self.next_due = Some(now);
+            return;
+        }
+        let due = self.next_due();
+        let gap = now.as_nanos().saturating_sub(due.as_nanos());
+        let steps = gap / interval.as_nanos() + 1;
+        self.next_due = Some(SimTime::from_nanos(
+            due.as_nanos()
+                .saturating_add(steps.saturating_mul(interval.as_nanos())),
+        ));
+    }
+}
+
 /// Drives the exporters on a fixed interval and stores the samples.
 #[derive(Debug, Clone)]
 pub struct ScrapeManager {
@@ -50,8 +94,7 @@ pub struct ScrapeManager {
     /// Interned exporter series; rebuilt only when the cluster's node table
     /// changes.
     layout: Option<ExporterLayout>,
-    /// When the next periodic scrape is due (`None` = never scraped).
-    next_due: Option<SimTime>,
+    cadence: ScrapeCadence,
     scrape_count: u64,
 }
 
@@ -66,7 +109,7 @@ impl ScrapeManager {
             config,
             store,
             layout: None,
-            next_due: None,
+            cadence: ScrapeCadence::default(),
             scrape_count: 0,
         }
     }
@@ -88,7 +131,7 @@ impl ScrapeManager {
 
     /// When the next scrape is due (immediately if never scraped).
     pub fn next_scrape_due(&self) -> SimTime {
-        self.next_due.unwrap_or(SimTime::ZERO)
+        self.cadence.next_due()
     }
 
     /// Number of scrapes performed.
@@ -117,7 +160,7 @@ impl ScrapeManager {
     /// re-anchoring the periodic schedule grid at `now`.
     pub fn scrape(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) {
         self.scrape_inner(cluster, network, now);
-        self.next_due = Some(now + self.config.interval);
+        self.cadence.reanchor(now, self.config.interval);
     }
 
     /// Scrape only if the next grid-aligned due time has been reached.
@@ -130,24 +173,11 @@ impl ScrapeManager {
         network: &Network,
         now: SimTime,
     ) -> bool {
-        let due = self.next_scrape_due();
-        if now < due {
+        if !self.cadence.is_due(now) {
             return false;
         }
         self.scrape_inner(cluster, network, now);
-        if self.config.interval.is_zero() {
-            self.next_due = Some(now);
-        } else {
-            // Advance along the grid to the first point past `now`, skipping
-            // missed ticks in O(1).
-            let interval = self.config.interval.as_nanos();
-            let gap = now.as_nanos().saturating_sub(due.as_nanos());
-            let steps = gap / interval + 1;
-            self.next_due = Some(SimTime::from_nanos(
-                due.as_nanos()
-                    .saturating_add(steps.saturating_mul(interval)),
-            ));
-        }
+        self.cadence.advance_on_grid(now, self.config.interval);
         true
     }
 
@@ -171,7 +201,13 @@ impl ScrapeManager {
         self.store
             .append_all(ping_mesh_samples(cluster, network, now));
         self.scrape_count += 1;
-        self.next_due = Some(now + self.config.interval);
+        self.cadence.reanchor(now, self.config.interval);
+    }
+}
+
+impl SnapshotSource for ScrapeManager {
+    fn snapshot_into(&self, at: SimTime, rate_window: SimDuration, snap: &mut ClusterSnapshot) {
+        ScrapeManager::snapshot_into(self, at, rate_window, snap);
     }
 }
 

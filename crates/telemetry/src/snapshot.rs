@@ -147,6 +147,11 @@ pub struct ClusterSnapshot {
     nodes: Vec<Option<NodeTelemetry>>,
     /// Pairwise RTT measurements keyed by `(source, target)` node ids.
     rtt: RttMesh,
+    /// Generation of the [`crate::ExporterLayout`] that last installed this
+    /// snapshot's node table via [`ClusterSnapshot::reset_for_generation`]
+    /// (0 = none / table mutated since). Purely an internal fast-path stamp:
+    /// excluded from equality and serialization.
+    layout_generation: u64,
 }
 
 impl ClusterSnapshot {
@@ -230,6 +235,7 @@ impl ClusterSnapshot {
         self.sorted.clear();
         self.nodes.clear();
         self.rtt.reset();
+        self.layout_generation = 0;
     }
 
     /// Reset the snapshot for a fresh fetch over a fixed node table: keeps
@@ -237,6 +243,30 @@ impl ClusterSnapshot {
     /// without reallocating. This is the scratch-reuse entry point of the
     /// interned scrape path.
     pub fn reset_for(&mut self, time: SimTime, names: &[String]) {
+        self.layout_generation = 0;
+        self.reset_for_table(time, names);
+    }
+
+    /// [`ClusterSnapshot::reset_for`] with a layout-generation fast path:
+    /// when the snapshot was last reset by the same layout build (same
+    /// non-zero `generation`) the name-table comparison is skipped entirely —
+    /// one integer compare instead of O(nodes) string compares. Any mutation
+    /// of the node table (a different generation, [`ClusterSnapshot::clear`],
+    /// or interning a new name) invalidates the stamp, forcing the slow path.
+    pub fn reset_for_generation(&mut self, time: SimTime, generation: u64, names: &[String]) {
+        if generation != 0 && generation == self.layout_generation {
+            self.time = time;
+            self.nodes.iter_mut().for_each(|n| *n = None);
+            self.rtt.clear_values();
+            return;
+        }
+        self.reset_for_table(time, names);
+        self.layout_generation = generation;
+    }
+
+    /// Shared body of the reset entry points: keep the node table when it
+    /// already matches `names`, rebuild it otherwise, and clear all values.
+    fn reset_for_table(&mut self, time: SimTime, names: &[String]) {
         self.time = time;
         if self.names != names {
             self.clear();
@@ -251,7 +281,8 @@ impl ClusterSnapshot {
     }
 
     /// Intern a node name, returning its snapshot-local id. The telemetry
-    /// entry starts absent (`None`).
+    /// entry starts absent (`None`). Growing the table invalidates any
+    /// layout-generation stamp (the table no longer matches the layout).
     fn intern(&mut self, name: &str) -> NodeId {
         match self.lookup(name) {
             Ok(pos) => NodeId(self.sorted[pos]),
@@ -260,6 +291,7 @@ impl ClusterSnapshot {
                 self.names.push(name.to_string());
                 self.nodes.push(None);
                 self.sorted.insert(pos, id);
+                self.layout_generation = 0;
                 NodeId(id)
             }
         }
@@ -537,6 +569,26 @@ impl PartialEq for ClusterSnapshot {
     }
 }
 
+/// Anything the scheduler can fetch a telemetry snapshot from: the
+/// synchronous [`crate::ScrapeManager`], the sharded
+/// [`crate::ConcurrentScrapeManager`], or a [`crate::TelemetryReader`] handle
+/// observing a concurrent ingest from another thread. The telemetry fetcher
+/// and scheduler service are generic over this trait, so decision bursts can
+/// run against a live concurrent ingest without the core crate knowing which
+/// backend is wired in.
+pub trait SnapshotSource {
+    /// Assemble the snapshot at `at` into `snap`, reusing its storage.
+    fn snapshot_into(&self, at: SimTime, rate_window: SimDuration, snap: &mut ClusterSnapshot);
+
+    /// Owning convenience wrapper over
+    /// [`SnapshotSource::snapshot_into`].
+    fn snapshot(&self, at: SimTime, rate_window: SimDuration) -> ClusterSnapshot {
+        let mut snap = ClusterSnapshot::default();
+        self.snapshot_into(at, rate_window, &mut snap);
+        snap
+    }
+}
+
 /// A dense, [`NodeId`]-indexed resolution of a [`ClusterSnapshot`] against
 /// one cluster's node table. Built once per scheduling burst by
 /// [`ClusterSnapshot::index_for`].
@@ -712,6 +764,46 @@ mod tests {
         snap.node_mut("node-a").unwrap().cpu_load = 3.0;
         assert_eq!(snap.node("node-a").unwrap().cpu_load, 3.0);
         assert!(snap.node_mut("node-z").is_none());
+    }
+
+    #[test]
+    fn generation_stamp_skips_and_forces_the_name_table_path() {
+        let names_ab: Vec<String> = vec!["node-a".into(), "node-b".into()];
+        let names_ac: Vec<String> = vec!["node-a".into(), "node-c".into()];
+        let mut snap = ClusterSnapshot::default();
+
+        // First reset installs the table and stamps the generation.
+        snap.reset_for_generation(SimTime::from_secs(1), 7, &names_ab);
+        snap.set_node_by_id(
+            NodeId(0),
+            NodeTelemetry {
+                cpu_load: 1.0,
+                ..Default::default()
+            },
+        );
+        // Same generation: fast path keeps the table, clears the values.
+        snap.reset_for_generation(SimTime::from_secs(2), 7, &names_ab);
+        assert!(snap.is_empty());
+        assert_eq!(snap.node_id("node-b"), Some(NodeId(1)));
+        assert_eq!(snap.time, SimTime::from_secs(2));
+
+        // A mutated layout (different generation, different names) forces the
+        // slow path: the stale table must be replaced, not trusted.
+        snap.reset_for_generation(SimTime::from_secs(3), 9, &names_ac);
+        assert_eq!(snap.node_id("node-c"), Some(NodeId(1)));
+        assert_eq!(snap.node_id("node-b"), None);
+
+        // Hand-mutating the table (interning a new name) invalidates the
+        // stamp, so the next same-generation reset re-verifies the names.
+        snap.insert_node("node-z", NodeTelemetry::default());
+        snap.reset_for_generation(SimTime::from_secs(4), 9, &names_ac);
+        assert_eq!(snap.node_id("node-z"), None, "stale name must be dropped");
+        assert_eq!(snap.node_id("node-c"), Some(NodeId(1)));
+
+        // Generation 0 (no layout) always takes the slow path.
+        snap.reset_for_generation(SimTime::from_secs(5), 0, &names_ab);
+        snap.reset_for_generation(SimTime::from_secs(6), 0, &names_ac);
+        assert_eq!(snap.node_id("node-c"), Some(NodeId(1)));
     }
 
     #[test]

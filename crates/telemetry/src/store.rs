@@ -51,11 +51,46 @@ impl fmt::Display for SeriesId {
 }
 
 /// One stored series: its kind and time-ordered points.
+///
+/// Retention pruning is **amortized**: pruned points are first skipped via
+/// `start` (an O(log n) bound advance per append) and only physically
+/// drained once they exceed half the buffer — so steady-state appends never
+/// pay a per-point `memmove` of the whole retained window. Every read path
+/// goes through [`Series::live`], which hides pruned points, so the
+/// observable semantics are identical to eager pruning.
 #[derive(Debug, Clone)]
 struct Series {
     kind: MetricKind,
     points: Vec<(SimTime, f64)>,
+    /// Index of the first live (non-pruned) point in `points`.
+    start: usize,
 }
+
+impl Series {
+    /// The live (retention-respecting) points of this series.
+    fn live(&self) -> &[(SimTime, f64)] {
+        &self.points[self.start..]
+    }
+
+    /// Advance the live window past points older than `cutoff`, draining the
+    /// pruned prefix when it dominates the buffer. The scan is linear from
+    /// `start` — in steady state each append expires at most one point, so
+    /// this is O(1) amortized (every point is skipped exactly once).
+    fn prune(&mut self, cutoff: SimTime) {
+        while self.start < self.points.len() && self.points[self.start].0 < cutoff {
+            self.start += 1;
+        }
+        if self.start > PRUNE_DRAIN_THRESHOLD && self.start * 2 > self.points.len() {
+            self.points.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Pruned-prefix length beyond which (together with dominating half the
+/// buffer) the prefix is physically drained — bounding memory at ~2× the
+/// live window while keeping the per-append cost amortized O(1).
+const PRUNE_DRAIN_THRESHOLD: usize = 32;
 
 /// The time-series database backing the metrics server.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +104,11 @@ pub struct TimeSeriesStore {
     /// Metric name → ids of all series with that name, in intern order.
     name_index: BTreeMap<String, Vec<SeriesId>>,
     retention: Option<SimDuration>,
+    /// Newest timestamp ever accepted (or observed via
+    /// [`TimeSeriesStore::observe_time`]). The retention cutoff is derived
+    /// from this watermark, not from each incoming sample, so a late
+    /// out-of-order append can never move the cutoff backwards.
+    max_ts: SimTime,
 }
 
 impl TimeSeriesStore {
@@ -103,6 +143,7 @@ impl TimeSeriesStore {
         self.series.push(Series {
             kind,
             points: Vec::new(),
+            start: 0,
         });
         id
     }
@@ -144,22 +185,95 @@ impl TimeSeriesStore {
     /// than the series tail) and duplicate samples for the tail timestamp are
     /// dropped, mirroring Prometheus's "out of order sample" / "duplicate
     /// sample for timestamp" ingestion rules.
+    ///
+    /// The retention cutoff is **monotone**: it is derived from the newest
+    /// timestamp the store has ever seen (`max_ts - retention`), not from the
+    /// incoming sample's timestamp. A series that receives a late sample
+    /// (valid for *it*, but older than another series' tail) is therefore
+    /// pruned exactly as far as any earlier append already pruned, and a
+    /// late sample older than the retention window is itself discarded.
     pub fn append_value(&mut self, id: SeriesId, value: f64, timestamp: SimTime) {
-        let series = &mut self.series[id.index()];
-        if let Some(&(last_t, _)) = series.points.last() {
-            if timestamp <= last_t {
-                return;
+        if !self.push_point(id, value, timestamp) {
+            return;
+        }
+        if let Some(cutoff) = self.retention_cutoff() {
+            self.series[id.index()].prune(cutoff);
+        }
+    }
+
+    /// Append without pruning the series afterwards — the bulk-ingest path:
+    /// a writer applying a whole committed chunk appends every sample first
+    /// and prunes each shard once per chunk
+    /// ([`TimeSeriesStore::prune_all_to_watermark`]). Because the cutoff is
+    /// monotone in the watermark, pruning once against the final watermark
+    /// yields exactly the same live window as pruning after every append —
+    /// and nothing can observe the intermediate states, which only exist
+    /// inside an uncommitted chunk.
+    pub(crate) fn append_value_deferred_prune(&mut self, id: SeriesId, value: f64, ts: SimTime) {
+        self.push_point(id, value, ts);
+    }
+
+    /// Prune every series against the current watermark cutoff (the batch
+    /// companion of [`TimeSeriesStore::append_value_deferred_prune`]).
+    pub(crate) fn prune_all_to_watermark(&mut self) {
+        if let Some(cutoff) = self.retention_cutoff() {
+            for series in &mut self.series {
+                series.prune(cutoff);
             }
+        }
+    }
+
+    /// The current retention cutoff (`watermark - retention`), if retention
+    /// is configured.
+    fn retention_cutoff(&self) -> Option<SimTime> {
+        let retention = self.retention?;
+        Some(SimTime::from_nanos(
+            self.max_ts.as_nanos().saturating_sub(retention.as_nanos()),
+        ))
+    }
+
+    /// Shared ingestion body: apply the out-of-order/duplicate drop rules,
+    /// advance the watermark and push the point. Returns false when the
+    /// sample was dropped.
+    fn push_point(&mut self, id: SeriesId, value: f64, timestamp: SimTime) -> bool {
+        let series = &mut self.series[id.index()];
+        if series.start < series.points.len() {
+            // The live tail is always the physical tail (pruning only skips
+            // a prefix), so the ingestion-order check reads the last point.
+            let (last_t, _) = series.points[series.points.len() - 1];
+            if timestamp <= last_t {
+                return false;
+            }
+        } else if series.start > 0 {
+            // Every point was pruned: reset the buffer so the stale physical
+            // entries (which may be newer than this sample) cannot break the
+            // time ordering — eager pruning would have left an empty vector
+            // here, and empty series accept any timestamp.
+            series.points.clear();
+            series.start = 0;
+        }
+        if timestamp > self.max_ts {
+            self.max_ts = timestamp;
         }
         series.points.push((timestamp, value));
-        if let Some(retention) = self.retention {
-            let cutoff_nanos = timestamp.as_nanos().saturating_sub(retention.as_nanos());
-            let cutoff = SimTime::from_nanos(cutoff_nanos);
-            let keep_from = series.points.partition_point(|&(t, _)| t < cutoff);
-            if keep_from > 0 {
-                series.points.drain(..keep_from);
-            }
+        true
+    }
+
+    /// Advance the retention watermark without appending a sample.
+    ///
+    /// Sharded deployments call this so every shard prunes against the
+    /// *global* newest timestamp (a shard only ingesting slow-moving metrics
+    /// would otherwise retain more history than the flat store it replaces).
+    pub fn observe_time(&mut self, timestamp: SimTime) {
+        if timestamp > self.max_ts {
+            self.max_ts = timestamp;
         }
+    }
+
+    /// The newest timestamp ever accepted or observed (`SimTime::ZERO` for an
+    /// empty store): the watermark retention prunes against.
+    pub fn max_timestamp(&self) -> SimTime {
+        self.max_ts
     }
 
     /// Append many samples.
@@ -176,7 +290,7 @@ impl TimeSeriesStore {
 
     /// Total number of stored points across all series.
     pub fn point_count(&self) -> usize {
-        self.series.iter().map(|s| s.points.len()).sum()
+        self.series.iter().map(|s| s.live().len()).sum()
     }
 
     /// Latest value of a series at or before `at`.
@@ -190,7 +304,7 @@ impl TimeSeriesStore {
     /// past the series tail) and is answered in O(1) from the tail; older
     /// instants fall back to a binary search.
     pub fn instant_id(&self, id: SeriesId, at: SimTime) -> Option<f64> {
-        let points = &self.series[id.index()].points;
+        let points = self.series[id.index()].live();
         match points.last() {
             None => None,
             Some(&(t, v)) if t <= at => Some(v),
@@ -222,7 +336,7 @@ impl TimeSeriesStore {
     /// history retention keeps. Windows deeper in history fall back to
     /// `partition_point` binary searches.
     pub fn range_id(&self, id: SeriesId, from: SimTime, to: SimTime) -> &[(SimTime, f64)] {
-        let points = &self.series[id.index()].points;
+        let points = self.series[id.index()].live();
         let hi = match points.last() {
             Some(&(t, _)) if t > to => points.partition_point(|&(t, _)| t <= to),
             _ => points.len(),
@@ -309,24 +423,31 @@ impl TimeSeriesStore {
 /// One serialized series entry: key, kind and time-ordered points.
 type SeriesEntry = (SeriesKey, MetricKind, Vec<(SimTime, f64)>);
 
-/// The store serializes in a canonical form — retention plus a
+/// The store serializes in a canonical form — retention, the watermark and a
 /// `(key, kind, points)` list in intern order — and deserialization rebuilds
 /// the intern tables (key table, key index, per-name buckets) and re-appends
 /// every point through the ingestion rules, so an archive can never smuggle
 /// in an inconsistent index layout: every internal invariant is
-/// re-established by construction.
+/// re-established by construction. The watermark is carried explicitly
+/// because it can run ahead of every stored sample
+/// ([`TimeSeriesStore::observe_time`]) and the retention cutoff depends on
+/// it.
 impl Serialize for TimeSeriesStore {
     fn serialize_value(&self) -> serde::Value {
         let series: Vec<SeriesEntry> = self
             .keys
             .iter()
             .zip(&self.series)
-            .map(|(key, series)| (key.clone(), series.kind, series.points.clone()))
+            .map(|(key, series)| (key.clone(), series.kind, series.live().to_vec()))
             .collect();
         serde::Value::Map(vec![
             (
                 serde::Value::Str("retention".to_string()),
                 self.retention.serialize_value(),
+            ),
+            (
+                serde::Value::Str("watermark".to_string()),
+                self.max_ts.serialize_value(),
             ),
             (
                 serde::Value::Str("series".to_string()),
@@ -343,18 +464,33 @@ impl Deserialize for TimeSeriesStore {
             .ok_or_else(|| serde::Error::custom("expected map for TimeSeriesStore"))?;
         let retention: Option<SimDuration> =
             Deserialize::deserialize_value(serde::get_field(map, "retention")?)?;
+        let watermark = SimTime::deserialize_value(serde::get_field(map, "watermark")?)?;
         let series: Vec<SeriesEntry> =
             Deserialize::deserialize_value(serde::get_field(map, "series")?)?;
         let mut store = match retention {
             Some(r) => TimeSeriesStore::with_retention(r),
             None => TimeSeriesStore::new(),
         };
+        // Re-ingest in global timestamp order (stable across series), not
+        // series-by-series: the retention cutoff is monotone in the newest
+        // timestamp seen, so replaying one fully-caught-up series before an
+        // older one would prune the older series' entire history. Points of
+        // one series are already time-ordered, and a stable sort keeps them
+        // that way, so this replays the archive exactly as a live store
+        // ingesting samples in time order would have seen them.
+        let mut replay: Vec<(SimTime, SeriesId, f64)> = Vec::new();
         for (key, kind, points) in series {
             let id = store.intern(&key, kind);
-            for (t, value) in points {
-                store.append_value(id, value, t);
-            }
+            replay.extend(points.into_iter().map(|(t, value)| (t, id, value)));
         }
+        replay.sort_by_key(|&(t, _, _)| t);
+        for (t, id, value) in replay {
+            store.append_value(id, value, t);
+        }
+        // Restore a watermark that ran ahead of every stored sample (e.g. a
+        // sharded deployment observing the global newest timestamp); replayed
+        // samples already advanced it at least to their own maximum.
+        store.observe_time(watermark);
         Ok(store)
     }
 }
@@ -507,6 +643,81 @@ mod tests {
         assert_eq!(store.point_count(), 4);
         assert_eq!(store.instant(&k, SimTime::from_secs(55)), None);
         assert_eq!(store.instant(&k, SimTime::from_secs(95)), Some(9.0));
+    }
+
+    #[test]
+    fn retention_cutoff_is_monotone_across_series() {
+        let mut store = TimeSeriesStore::with_retention(SimDuration::from_secs(30));
+        let a = key("node_load1", "node-a");
+        let b = key("node_load1", "node-b");
+        store.append(Sample::gauge(b.clone(), 1.0, SimTime::from_secs(60)));
+        store.append(Sample::gauge(a.clone(), 1.0, SimTime::from_secs(100)));
+        assert_eq!(store.max_timestamp(), SimTime::from_secs(100));
+        // A late sample for series b (in order for *b*) must prune b against
+        // the watermark cutoff (100 - 30 = 70), not against its own stale
+        // timestamp: the t = 60 point falls out even though 60 >= 75 - 30.
+        store.append(Sample::gauge(b.clone(), 2.0, SimTime::from_secs(75)));
+        assert_eq!(store.instant(&b, SimTime::MAX), Some(2.0));
+        assert_eq!(store.range(&b, SimTime::ZERO, SimTime::MAX).len(), 1);
+        // A late sample older than the whole retention window is discarded
+        // outright rather than resurrecting already-pruned history.
+        let c = key("node_load1", "node-c");
+        store.append(Sample::gauge(c.clone(), 3.0, SimTime::from_secs(50)));
+        assert_eq!(store.instant(&c, SimTime::MAX), None);
+        assert!(store.range(&c, SimTime::ZERO, SimTime::MAX).is_empty());
+        // The watermark never regressed.
+        assert_eq!(store.max_timestamp(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn observe_time_advances_the_retention_watermark() {
+        let mut store = TimeSeriesStore::with_retention(SimDuration::from_secs(30));
+        let k = key("node_load1", "node-1");
+        let id = store.intern(&k, MetricKind::Gauge);
+        store.observe_time(SimTime::from_secs(100));
+        assert_eq!(store.max_timestamp(), SimTime::from_secs(100));
+        // Observing an older time never moves the watermark backwards.
+        store.observe_time(SimTime::from_secs(10));
+        assert_eq!(store.max_timestamp(), SimTime::from_secs(100));
+        // Appends against the observed watermark prune as if the newest
+        // sample lived in this store.
+        store.append_value(id, 1.0, SimTime::from_secs(50));
+        assert_eq!(store.instant(&k, SimTime::MAX), None);
+        store.append_value(id, 2.0, SimTime::from_secs(80));
+        assert_eq!(store.instant(&k, SimTime::MAX), Some(2.0));
+        // A watermark that runs ahead of every stored sample survives a
+        // serialization roundtrip (it cannot be rebuilt from the points).
+        let back: TimeSeriesStore =
+            serde_json::from_str(&serde_json::to_string(&store).unwrap()).unwrap();
+        assert_eq!(back.max_timestamp(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn roundtrip_replays_archive_in_timestamp_order() {
+        // Series a is fully caught up (t = 100); series b last saw t = 90.
+        // Serialization lists a before b; a timestamp-ordered replay must
+        // not let a's watermark wipe b's retained window.
+        let mut store = TimeSeriesStore::with_retention(SimDuration::from_secs(30));
+        let a = key("node_load1", "node-a");
+        let b = key("node_load1", "node-b");
+        for t in [40u64, 60, 80, 90] {
+            store.append(Sample::gauge(b.clone(), t as f64, SimTime::from_secs(t)));
+        }
+        for t in [50u64, 100] {
+            store.append(Sample::gauge(a.clone(), t as f64, SimTime::from_secs(t)));
+        }
+        let back: TimeSeriesStore =
+            serde_json::from_str(&serde_json::to_string(&store).unwrap()).unwrap();
+        assert_eq!(back.point_count(), store.point_count());
+        assert_eq!(
+            back.range(&b, SimTime::ZERO, SimTime::MAX),
+            store.range(&b, SimTime::ZERO, SimTime::MAX)
+        );
+        assert_eq!(
+            back.range(&a, SimTime::ZERO, SimTime::MAX),
+            store.range(&a, SimTime::ZERO, SimTime::MAX)
+        );
+        assert_eq!(back.max_timestamp(), store.max_timestamp());
     }
 
     #[test]

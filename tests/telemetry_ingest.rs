@@ -1,0 +1,170 @@
+//! Differential and stress tests for the sharded, concurrent telemetry
+//! ingest pipeline.
+//!
+//! * **Equivalence.** For a fixed scrape schedule, the concurrent pipeline
+//!   ([`ConcurrentScrapeManager::ingest`]: parallel exporter evaluation,
+//!   per-shard writer workers behind bounded queues, in-order epoch commits)
+//!   must produce **byte-identical snapshots** to the synchronous
+//!   [`ScrapeManager`] driving the same exporters round by round —
+//!   parallelism changes wall-clock, never results.
+//! * **Whole-round visibility.** Readers snapshotting *while* ingest runs on
+//!   another thread must only ever observe fully-committed scrape rounds:
+//!   every observed snapshot equals the state after some prefix of the
+//!   schedule, and successive observations advance monotonically.
+
+use netsched::cluster::{ClusterState, Node, Resources};
+use netsched::simcore::{SimDuration, SimTime};
+use netsched::simnet::{gbps, mbps, Network, TopologyBuilder};
+use netsched::telemetry::{
+    ClusterSnapshot, ConcurrentScrapeManager, IngestConfig, ScrapeConfig, ScrapeManager,
+    SnapshotSource,
+};
+use netsched::SimNodeId;
+
+/// A two-site world with `nodes` node exporters (plus the full ping mesh).
+fn setup(nodes: usize) -> (ClusterState, Network) {
+    let mut b = TopologyBuilder::new();
+    let s0 = b.add_site("A", SimDuration::from_micros(200), gbps(10.0));
+    let s1 = b.add_site("B", SimDuration::from_micros(200), gbps(10.0));
+    for i in 0..nodes {
+        b.add_node(
+            format!("node-{}", i + 1),
+            if i % 2 == 0 { s0 } else { s1 },
+            gbps(1.0),
+            gbps(1.0),
+        );
+    }
+    b.connect_sites(s0, s1, SimDuration::from_millis(10), mbps(500.0));
+    let network = Network::new(b.build().unwrap());
+    let mut cluster = ClusterState::new();
+    for i in 0..nodes {
+        cluster.add_node(Node::new(
+            format!("node-{}", i + 1),
+            SimNodeId(i),
+            Resources::from_cores_and_gib(6, 8),
+            if i % 2 == 0 { "A" } else { "B" },
+        ));
+    }
+    (cluster, network)
+}
+
+#[test]
+fn concurrent_ingest_is_byte_identical_to_sequential_scrapes() {
+    let (cluster, network) = setup(6);
+    let times: Vec<SimTime> = (0..120u64).map(|i| SimTime::from_secs(i * 5)).collect();
+    let config = ScrapeConfig {
+        interval: SimDuration::from_secs(5),
+        rate_window: SimDuration::from_secs(30),
+        retention: Some(SimDuration::from_secs(300)),
+    };
+
+    let mut sequential = ScrapeManager::new(config.clone());
+    for &t in &times {
+        sequential.scrape(&cluster, &network, t);
+    }
+
+    // Several ingest tunings, including degenerate ones, all converge to the
+    // same bytes: parallelism must never change results.
+    for ingest_config in [
+        IngestConfig::default(),
+        IngestConfig {
+            shard_count: 1,
+            eval_workers: 1,
+            writer_workers: 1,
+            queue_depth: 1,
+            chunk_rounds: 1,
+        },
+        IngestConfig {
+            shard_count: 5,
+            eval_workers: 6,
+            writer_workers: 3,
+            queue_depth: 2,
+            chunk_rounds: 3,
+        },
+    ] {
+        let mut concurrent = ConcurrentScrapeManager::with_ingest(config.clone(), ingest_config);
+        concurrent.ingest(&cluster, &network, &times);
+        assert_eq!(concurrent.scrape_count(), times.len() as u64);
+        assert_eq!(concurrent.point_count(), sequential.store().point_count());
+        assert_eq!(concurrent.series_count(), sequential.store().series_count());
+
+        let window = SimDuration::from_secs(30);
+        let mut sharded_snap = ClusterSnapshot::default();
+        let mut flat_snap = ClusterSnapshot::default();
+        // Fetch times probe fresh state, mid-history and pre-retention.
+        for &at_secs in &[595u64, 400, 123, 10, 0] {
+            let at = SimTime::from_secs(at_secs);
+            SnapshotSource::snapshot_into(&concurrent, at, window, &mut sharded_snap);
+            sequential.snapshot_into(at, window, &mut flat_snap);
+            let sharded_bytes = serde_json::to_string(&sharded_snap).unwrap();
+            let flat_bytes = serde_json::to_string(&flat_snap).unwrap();
+            assert_eq!(
+                sharded_bytes, flat_bytes,
+                "snapshot at t = {at_secs}s must be byte-identical ({ingest_config:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn readers_only_observe_whole_scrape_rounds_during_ingest() {
+    let (cluster, network) = setup(3);
+    let times: Vec<SimTime> = (0..80u64).map(|i| SimTime::from_secs(i * 5)).collect();
+    let at = *times.last().unwrap();
+    let window = SimDuration::from_secs(30);
+    let config = ScrapeConfig::default();
+
+    // Expected states: the pre-scrape empty snapshot, then the state after
+    // every prefix of committed rounds (computed sequentially up front).
+    let mut expected: Vec<ClusterSnapshot> = vec![ClusterSnapshot::at(at)];
+    let mut reference = ScrapeManager::new(config.clone());
+    for &t in &times {
+        reference.scrape(&cluster, &network, t);
+        let mut snap = ClusterSnapshot::default();
+        reference.snapshot_into(at, window, &mut snap);
+        expected.push(snap);
+    }
+
+    let mut manager = ConcurrentScrapeManager::with_ingest(
+        config,
+        IngestConfig {
+            shard_count: 4,
+            eval_workers: 3,
+            writer_workers: 2,
+            queue_depth: 2,
+            chunk_rounds: 1,
+        },
+    );
+    let reader = manager.reader();
+
+    let observed_indices = std::thread::scope(|scope| {
+        let ingest = scope.spawn(|| {
+            manager.ingest(&cluster, &network, &times);
+            manager
+        });
+        let mut scratch = ClusterSnapshot::default();
+        let mut observed = Vec::new();
+        loop {
+            let finished = ingest.is_finished();
+            reader.snapshot_into(at, window, &mut scratch);
+            let index = expected
+                .iter()
+                .position(|e| e == &scratch)
+                .unwrap_or_else(|| panic!("reader observed a torn (non-round) snapshot"));
+            observed.push(index);
+            if finished {
+                break;
+            }
+        }
+        ingest.join().expect("ingest thread");
+        observed
+    });
+
+    // Rounds commit in schedule order, so observations advance monotonically
+    // and the final observation is the fully-ingested state.
+    assert!(
+        observed_indices.windows(2).all(|w| w[0] <= w[1]),
+        "observed round indices must be monotone: {observed_indices:?}"
+    );
+    assert_eq!(*observed_indices.last().unwrap(), times.len());
+}
