@@ -7,11 +7,15 @@
 //!
 //! * `sequential_scrape_1h` — the synchronous [`ScrapeManager`], one round
 //!   at a time on the caller thread (the pre-sharding architecture).
-//! * `concurrent_ingest_1h` — [`ConcurrentScrapeManager::ingest`]: exporter
-//!   evaluation fanned across workers, per-shard writer workers behind
-//!   bounded queues, epoch-committed in schedule order. Store contents are
-//!   byte-identical to the sequential run (pinned by
-//!   `tests/telemetry_ingest.rs`); only wall-clock changes.
+//! * `concurrent_ingest_1h` — [`ConcurrentScrapeManager::ingest`] with the
+//!   default (adaptive) tuning: worlds below the per-round work threshold
+//!   route through the synchronous inline path, larger worlds through the
+//!   worker pipeline (exporter evaluation fanned across workers, per-shard
+//!   writer workers behind bounded queues, epoch-committed in schedule
+//!   order). Store contents are byte-identical to the sequential run (pinned
+//!   by `tests/telemetry_ingest.rs`); only wall-clock changes. The 8-node
+//!   world also runs with the pipeline *forced* (threshold 0) to record the
+//!   cross-thread overhead floor the adaptive fallback avoids.
 //! * `fetch_idle` / `fetch_during_ingest` — snapshot-fetch latency from a
 //!   [`TelemetryReader`] against an idle store, and while an ingest hammers
 //!   the shards from another thread (epoch retries + shard-lock contention
@@ -30,7 +34,8 @@ use cluster::{ClusterState, Node, Resources};
 use simcore::{SimDuration, SimTime};
 use simnet::{gbps, mbps, Network, NodeId, TopologyBuilder};
 use telemetry::{
-    ClusterSnapshot, ConcurrentScrapeManager, ScrapeConfig, ScrapeManager, SnapshotSource,
+    ClusterSnapshot, ConcurrentScrapeManager, IngestConfig, ScrapeConfig, ScrapeManager,
+    SnapshotSource,
 };
 
 /// A two-site world with `n` node exporters and the full ping mesh.
@@ -90,6 +95,12 @@ fn schedule(k: u64, rounds_per_hour: u64) -> Vec<SimTime> {
 /// between the two paths (pinned by `tests/telemetry_ingest.rs`). Returns
 /// `(sequential_ns, concurrent_ns)` per ingested hour.
 fn throughput_pair(n: usize, rounds: usize, schedule_rounds: u64) -> (f64, f64) {
+    let sequential_ns = sequential_throughput(n, rounds, schedule_rounds);
+    let concurrent_ns = concurrent_throughput(n, rounds, schedule_rounds, None);
+    (sequential_ns, concurrent_ns)
+}
+
+fn sequential_throughput(n: usize, rounds: usize, schedule_rounds: u64) -> f64 {
     let (cluster, network) = world(n);
     println!(
         "world: {} nodes, {} series per round, {} rounds per ingest",
@@ -99,7 +110,7 @@ fn throughput_pair(n: usize, rounds: usize, schedule_rounds: u64) -> (f64, f64) 
     );
     let mut seq_manager = ScrapeManager::new(scrape_config());
     let mut seq_hour = 0u64;
-    let sequential_ns = measure(
+    measure(
         &format!("ingest_throughput/sequential_scrape_1h_{n}n"),
         rounds,
         || {
@@ -109,20 +120,34 @@ fn throughput_pair(n: usize, rounds: usize, schedule_rounds: u64) -> (f64, f64) 
             seq_hour += 1;
             black_box(seq_manager.store().point_count())
         },
-    );
+    )
+}
 
-    let mut conc_manager = ConcurrentScrapeManager::new(scrape_config());
+/// Concurrent-manager throughput; `ingest` overrides the tuning (e.g. to
+/// force the pipeline below the adaptive threshold), `None` keeps the
+/// adaptive default.
+fn concurrent_throughput(
+    n: usize,
+    rounds: usize,
+    schedule_rounds: u64,
+    ingest: Option<IngestConfig>,
+) -> f64 {
+    let (cluster, network) = world(n);
+    let (label, config) = match ingest {
+        Some(config) => ("forced_pipeline", config),
+        None => ("concurrent_ingest", IngestConfig::default()),
+    };
+    let mut conc_manager = ConcurrentScrapeManager::with_ingest(scrape_config(), config);
     let mut conc_hour = 0u64;
-    let concurrent_ns = measure(
-        &format!("ingest_throughput/concurrent_ingest_1h_{n}n"),
+    measure(
+        &format!("ingest_throughput/{label}_1h_{n}n"),
         rounds,
         || {
             conc_manager.ingest(&cluster, &network, &schedule(conc_hour, schedule_rounds));
             conc_hour += 1;
             black_box(conc_manager.point_count())
         },
-    );
-    (sequential_ns, concurrent_ns)
+    )
 }
 
 fn main() {
@@ -135,6 +160,17 @@ fn main() {
     // floor) and a 64-node world (4 288 series per round) where the
     // pipeline's evaluation/append overlap pays off even on two cores.
     let (sequential_ns, concurrent_ns) = throughput_pair(8, rounds, schedule_rounds);
+    // The same small world with the pipeline forced on: the cross-thread
+    // overhead floor the adaptive fallback routes around.
+    let forced_8_ns = concurrent_throughput(
+        8,
+        rounds,
+        schedule_rounds,
+        Some(IngestConfig {
+            sync_work_threshold: 0,
+            ..IngestConfig::default()
+        }),
+    );
     let (sequential_64_ns, concurrent_64_ns) = throughput_pair(64, rounds, schedule_rounds);
 
     let (cluster, network) = world(8);
@@ -191,9 +227,14 @@ fn main() {
     );
 
     let speedup = sequential_ns / concurrent_ns.max(1.0);
+    let speedup_forced_8 = sequential_ns / forced_8_ns.max(1.0);
     let speedup_64 = sequential_64_ns / concurrent_64_ns.max(1.0);
     let contention_ratio = fetch_busy_ns / fetch_idle_ns.max(1.0);
-    println!("concurrent ingest speedup, 8-node world: {speedup:.2}x");
+    println!(
+        "concurrent ingest speedup, 8-node world: {speedup:.2}x adaptive \
+         (target ~1.0x: the fallback routes small worlds synchronously), \
+         {speedup_forced_8:.2}x with the pipeline forced"
+    );
     println!("concurrent ingest speedup, 64-node world: {speedup_64:.2}x (target: >= 2x on a multi-core runner)");
     println!(
         "fetch latency during ingest vs idle: {contention_ratio:.2}x (target: within 2x of idle \
@@ -208,7 +249,7 @@ fn main() {
 
     let cores = simcore::parallel::default_workers();
     let json = format!(
-        "{{\n  \"cores\": {cores},\n  \"sequential_scrape_1h_8n_ns\": {sequential_ns:.0},\n  \"concurrent_ingest_1h_8n_ns\": {concurrent_ns:.0},\n  \"ingest_speedup_8n\": {speedup:.2},\n  \"sequential_scrape_1h_64n_ns\": {sequential_64_ns:.0},\n  \"concurrent_ingest_1h_64n_ns\": {concurrent_64_ns:.0},\n  \"ingest_speedup_64n\": {speedup_64:.2},\n  \"fetch_idle_ns\": {fetch_idle_ns:.0},\n  \"fetch_during_ingest_ns\": {fetch_busy_ns:.0},\n  \"fetch_contention_ratio\": {contention_ratio:.3}\n}}\n"
+        "{{\n  \"cores\": {cores},\n  \"sequential_scrape_1h_8n_ns\": {sequential_ns:.0},\n  \"concurrent_ingest_1h_8n_ns\": {concurrent_ns:.0},\n  \"ingest_speedup_8n\": {speedup:.2},\n  \"forced_pipeline_1h_8n_ns\": {forced_8_ns:.0},\n  \"ingest_speedup_8n_forced_pipeline\": {speedup_forced_8:.2},\n  \"sequential_scrape_1h_64n_ns\": {sequential_64_ns:.0},\n  \"concurrent_ingest_1h_64n_ns\": {concurrent_64_ns:.0},\n  \"ingest_speedup_64n\": {speedup_64:.2},\n  \"fetch_idle_ns\": {fetch_idle_ns:.0},\n  \"fetch_during_ingest_ns\": {fetch_busy_ns:.0},\n  \"fetch_contention_ratio\": {contention_ratio:.3}\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

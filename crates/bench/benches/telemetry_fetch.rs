@@ -227,7 +227,8 @@ fn main() {
         &mut rng,
     );
     let predictor =
-        netsched_core::predictor::CompletionTimePredictor::new(logger.schema().clone(), model);
+        netsched_core::predictor::CompletionTimePredictor::new(logger.schema().clone(), model)
+            .expect("logger schema matches its own training data");
     let mut service = SchedulerService::with_predictor(SchedulerConfig::default(), predictor, 7);
     let request = JobRequest::named("bench-sort", sparksim::WorkloadKind::Sort, 250_000, 2);
     let decision_ns = measure("telemetry_fetch/decision_e2e_1h", rounds, || {

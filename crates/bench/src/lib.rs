@@ -78,6 +78,7 @@ pub fn bench_predictor(
     let mut rng = Rng::seed_from_u64(seed);
     let model = TrainedModel::train(kind, &bench_model_config(), &data, &mut rng);
     CompletionTimePredictor::new(dataset.schema.clone(), model)
+        .expect("bench dataset width matches its schema")
 }
 
 /// Model hyperparameters used across benches (kept modest so benches finish

@@ -18,10 +18,11 @@
 //! `select_batch`.
 
 use crate::decision::{DecisionModule, NodeRanking};
-use crate::features::FeatureVector;
+use crate::predictor::CompletionTimePredictor;
 use crate::request::JobRequest;
 use cluster::scheduler::FilterResult;
 use cluster::{ClusterState, DefaultScheduler, NodeId};
+use mlcore::FeatureMatrix;
 use telemetry::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry};
 
 /// Per-burst scheduling state: borrowed world view plus reusable scratch.
@@ -36,8 +37,9 @@ pub struct SchedulingContext<'a> {
     candidate_key: Option<(u64, u64)>,
     /// Scratch: one prediction per candidate.
     pub(crate) predictions: Vec<f64>,
-    /// Scratch: feature vector reused across candidates.
-    pub(crate) features: FeatureVector,
+    /// Scratch: the candidate × feature matrix one decision's batch
+    /// inference runs over (one contiguous buffer, reused across decisions).
+    pub(crate) features: FeatureMatrix,
 }
 
 impl<'a> SchedulingContext<'a> {
@@ -53,7 +55,7 @@ impl<'a> SchedulingContext<'a> {
             candidates: Vec::with_capacity(nodes),
             candidate_key: None,
             predictions: Vec::with_capacity(nodes),
-            features: FeatureVector::new(),
+            features: FeatureMatrix::new(0),
         }
     }
 
@@ -124,6 +126,30 @@ impl<'a> SchedulingContext<'a> {
             let value = score(self, id);
             self.predictions.push(value);
         }
+        DecisionModule.rank(&self.candidates, &self.predictions)
+    }
+
+    /// Rank the feasible candidates by supervised completion-time
+    /// predictions via **one batch inference call**: the candidate × feature
+    /// matrix is constructed row by row into the context's contiguous
+    /// scratch, then the whole batch streams through the model's flat-tree
+    /// kernels at once (trees-outer), instead of re-walking every tree per
+    /// candidate.
+    pub fn rank_feasible_batch(
+        &mut self,
+        request: &JobRequest,
+        predictor: &CompletionTimePredictor,
+    ) -> NodeRanking {
+        let count = self.feasible_candidates(request).len();
+        let schema = predictor.schema();
+        self.features.reset(schema.len());
+        for i in 0..count {
+            let id = self.candidates[i];
+            let node = self.telemetry.node(id).copied().unwrap_or_default();
+            let rtt_stats = self.telemetry.rtt_stats(id);
+            schema.construct_into_matrix(&mut self.features, &node, rtt_stats, request);
+        }
+        predictor.predict_batch_into(&self.features, &mut self.predictions);
         DecisionModule.rank(&self.candidates, &self.predictions)
     }
 }

@@ -18,6 +18,7 @@
 //! keeps working when re-loaded by a long-running scheduler.
 
 use crate::request::JobRequest;
+use mlcore::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 use sparksim::WorkloadKind;
 use telemetry::{ClusterSnapshot, NodeTelemetry};
@@ -133,6 +134,45 @@ impl FeatureSchema {
         out
     }
 
+    /// The value of one named feature from pre-resolved telemetry. Shared by
+    /// every construction variant so the vector and matrix paths produce the
+    /// same floats.
+    fn feature_value(
+        name: &str,
+        node: &NodeTelemetry,
+        rtt_stats: (f64, f64, f64),
+        job: &JobRequest,
+    ) -> f64 {
+        let (rtt_mean, rtt_max, rtt_std) = rtt_stats;
+        match name {
+            "rtt_mean_s" => rtt_mean,
+            "rtt_max_s" => rtt_max,
+            "rtt_std_s" => rtt_std,
+            "tx_rate_bps" => node.tx_rate,
+            "rx_rate_bps" => node.rx_rate,
+            "cpu_load" => node.cpu_load,
+            "memory_available_bytes" => node.memory_available_bytes,
+            "input_records" => job.workload.input_records as f64,
+            "executor_count" => job.workload.executor_count as f64,
+            "executor_cores" => job.workload.executor_cores as f64,
+            "executor_memory_gb" => {
+                job.workload.executor_memory_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+            }
+            "shuffle_partitions" => job.workload.shuffle_partitions as f64,
+            other => {
+                if let Some(app) = other.strip_prefix("app_") {
+                    if app == job.app_type() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
     /// Allocation-free feature construction from pre-resolved telemetry: the
     /// hot-path variant used by the scheduling context, which resolves
     /// per-node telemetry and RTT statistics once per burst. `out` is cleared
@@ -145,38 +185,50 @@ impl FeatureSchema {
         rtt_stats: (f64, f64, f64),
         job: &JobRequest,
     ) {
-        let (rtt_mean, rtt_max, rtt_std) = rtt_stats;
         out.clear();
         out.reserve(self.len());
-        for name in &self.names {
-            let value = match name.as_str() {
-                "rtt_mean_s" => rtt_mean,
-                "rtt_max_s" => rtt_max,
-                "rtt_std_s" => rtt_std,
-                "tx_rate_bps" => node.tx_rate,
-                "rx_rate_bps" => node.rx_rate,
-                "cpu_load" => node.cpu_load,
-                "memory_available_bytes" => node.memory_available_bytes,
-                "input_records" => job.workload.input_records as f64,
-                "executor_count" => job.workload.executor_count as f64,
-                "executor_cores" => job.workload.executor_cores as f64,
-                "executor_memory_gb" => {
-                    job.workload.executor_memory_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
-                }
-                "shuffle_partitions" => job.workload.shuffle_partitions as f64,
-                other => {
-                    if let Some(app) = other.strip_prefix("app_") {
-                        if app == job.app_type() {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    } else {
-                        0.0
-                    }
-                }
-            };
-            out.push(value);
+        out.extend(
+            self.names
+                .iter()
+                .map(|name| Self::feature_value(name, node, rtt_stats, job)),
+        );
+    }
+
+    /// Append one candidate's feature row to a contiguous [`FeatureMatrix`]
+    /// (the batch-inference input). The matrix stride must match the schema
+    /// width; rows are constructed in place, no temporary `Vec`.
+    pub fn construct_into_matrix(
+        &self,
+        matrix: &mut FeatureMatrix,
+        node: &NodeTelemetry,
+        rtt_stats: (f64, f64, f64),
+        job: &JobRequest,
+    ) {
+        assert_eq!(
+            matrix.n_features(),
+            self.len(),
+            "matrix stride must match the schema width"
+        );
+        let row = matrix.add_row();
+        for (slot, name) in row.iter_mut().zip(&self.names) {
+            *slot = Self::feature_value(name, node, rtt_stats, job);
+        }
+    }
+
+    /// Build the full candidate × feature matrix for one decision, in
+    /// candidate order. `matrix` is reset to this schema's stride and
+    /// refilled; reuse it across decisions to avoid allocation.
+    pub fn construct_batch_into(
+        &self,
+        matrix: &mut FeatureMatrix,
+        snapshot: &ClusterSnapshot,
+        candidates: &[String],
+        job: &JobRequest,
+    ) {
+        matrix.reset(self.len());
+        for candidate in candidates {
+            let node = snapshot.node(candidate).copied().unwrap_or_default();
+            self.construct_into_matrix(matrix, &node, snapshot.rtt_stats_from(candidate), job);
         }
     }
 
@@ -314,6 +366,32 @@ mod tests {
             schema.construct_into(&mut buffer, &telemetry, snap.rtt_stats_from(node), &job);
             assert_eq!(buffer, schema.construct(&snap, node, &job), "{node}");
         }
+    }
+
+    #[test]
+    fn matrix_construction_matches_vector_construction() {
+        let schema = FeatureSchema::standard();
+        let snap = snapshot();
+        let job = job();
+        let candidates = vec![
+            "node-2".to_string(),
+            "node-1".to_string(),
+            "node-99".to_string(),
+        ];
+        let mut matrix = FeatureMatrix::new(0);
+        schema.construct_batch_into(&mut matrix, &snap, &candidates, &job);
+        assert_eq!(matrix.n_rows(), 3);
+        assert_eq!(matrix.n_features(), schema.len());
+        for (i, candidate) in candidates.iter().enumerate() {
+            assert_eq!(
+                matrix.row(i),
+                schema.construct(&snap, candidate, &job),
+                "{candidate}"
+            );
+        }
+        // Refilling reuses the buffer and replaces the rows.
+        schema.construct_batch_into(&mut matrix, &snap, &candidates[..1], &job);
+        assert_eq!(matrix.n_rows(), 1);
     }
 
     #[test]

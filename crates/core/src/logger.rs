@@ -101,14 +101,16 @@ impl ExecutionLogger {
         self.records.push(record);
     }
 
-    /// Convert the log into a training dataset.
+    /// Convert the log into a training dataset: each record's feature slice
+    /// is appended straight into the dataset's contiguous matrix, with no
+    /// intermediate row-of-`Vec`s copy.
     pub fn to_dataset(&self) -> Dataset {
         let mut data = Dataset::new(self.schema.names().to_vec());
         for record in &self.records {
             // Records imported from archives could have a stale width; skip
             // anything that does not match the current schema.
             if record.features.len() == self.schema.len() {
-                data.push(record.features.clone(), record.completion_seconds)
+                data.push_row(&record.features, record.completion_seconds)
                     .expect("width checked above");
             }
         }

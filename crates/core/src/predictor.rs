@@ -2,13 +2,50 @@
 //!
 //! Wraps a trained `mlcore` model together with the feature schema it was
 //! trained on, so callers can go straight from (telemetry snapshot, candidate
-//! node, job request) to a predicted completion time in seconds.
+//! node, job request) to a predicted completion time in seconds. The
+//! constructor is the feature-width boundary: a schema whose column count
+//! does not match the model's fitted feature count is rejected loudly
+//! instead of silently predicting from zero-padded or truncated rows.
+//!
+//! Inference is batch-first: [`CompletionTimePredictor::predict_batch_into`]
+//! streams a whole candidate batch (one contiguous [`FeatureMatrix`]) through
+//! the model's flat-tree kernels in one call.
 
 use crate::features::{FeatureSchema, FeatureVector};
 use crate::request::JobRequest;
-use mlcore::{ModelKind, Regressor, TrainedModel};
+use mlcore::{FeatureMatrix, ModelKind, Regressor, TrainedModel};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use telemetry::ClusterSnapshot;
+
+/// Errors raised when assembling a predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictorError {
+    /// The schema's column count does not match the model's fitted width.
+    SchemaMismatch {
+        /// Number of columns in the feature schema.
+        schema_features: usize,
+        /// Number of features the model was fitted on.
+        model_features: usize,
+    },
+}
+
+impl fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorError::SchemaMismatch {
+                schema_features,
+                model_features,
+            } => write!(
+                f,
+                "feature schema has {schema_features} columns but the model was fitted on \
+                 {model_features} features"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictorError {}
 
 /// A trained model plus its feature schema.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -19,8 +56,22 @@ pub struct CompletionTimePredictor {
 
 impl CompletionTimePredictor {
     /// Wrap a trained model with the schema its training features used.
-    pub fn new(schema: FeatureSchema, model: TrainedModel) -> Self {
-        CompletionTimePredictor { schema, model }
+    ///
+    /// Fails when the schema width disagrees with the model's fitted feature
+    /// count — the boundary check that lets the prediction hot path index
+    /// rows directly instead of zero-padding malformed vectors. A model that
+    /// was never successfully fitted (it predicts a constant 0) has no fitted
+    /// width and pairs with any schema.
+    pub fn new(schema: FeatureSchema, model: TrainedModel) -> Result<Self, PredictorError> {
+        if let Some(model_features) = model.n_features() {
+            if model_features != schema.len() {
+                return Err(PredictorError::SchemaMismatch {
+                    schema_features: schema.len(),
+                    model_features,
+                });
+            }
+        }
+        Ok(CompletionTimePredictor { schema, model })
     }
 
     /// The feature schema.
@@ -55,17 +106,45 @@ impl CompletionTimePredictor {
         self.model.predict_row(features).max(0.0)
     }
 
-    /// Predict for every candidate node, in order.
+    /// Batch inference: predict one completion time per row of `features`
+    /// into a reused output buffer (cleared and refilled), clamped
+    /// non-negative. One call walks the whole candidate batch through the
+    /// model's flat trees-outer kernels.
+    pub fn predict_batch_into(&self, features: &FeatureMatrix, out: &mut Vec<f64>) {
+        self.model.predict_into(features, out);
+        for v in out.iter_mut() {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// Predict for every candidate node via one batch inference call,
+    /// constructing the candidate × feature matrix into `matrix` (reused
+    /// across decisions).
+    pub fn predict_batch(
+        &self,
+        snapshot: &ClusterSnapshot,
+        candidates: &[String],
+        job: &JobRequest,
+        matrix: &mut FeatureMatrix,
+        out: &mut Vec<f64>,
+    ) {
+        self.schema
+            .construct_batch_into(matrix, snapshot, candidates, job);
+        self.predict_batch_into(matrix, out);
+    }
+
+    /// Predict for every candidate node, in order (owning convenience over
+    /// [`CompletionTimePredictor::predict_batch`]).
     pub fn predict_all(
         &self,
         snapshot: &ClusterSnapshot,
         candidates: &[String],
         job: &JobRequest,
     ) -> Vec<f64> {
-        candidates
-            .iter()
-            .map(|node| self.predict(snapshot, node, job))
-            .collect()
+        let mut matrix = FeatureMatrix::new(self.schema.len());
+        let mut out = Vec::with_capacity(candidates.len());
+        self.predict_batch(snapshot, candidates, job, &mut matrix, &mut out);
+        out
     }
 
     /// Serialize (schema + model) to JSON for persistence.
@@ -74,14 +153,18 @@ impl CompletionTimePredictor {
     }
 
     /// Load a predictor previously saved with [`CompletionTimePredictor::to_json`].
+    /// The schema/model width check is re-applied, so a tampered archive
+    /// cannot smuggle in a mismatched pair.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        let raw: CompletionTimePredictor = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        Self::new(raw.schema, raw.model).map_err(|e| e.to_string())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::FeatureGroup;
     use mlcore::{Dataset, ModelConfig, RandomForestConfig};
     use simcore::rng::Rng;
     use simcore::SimTime;
@@ -129,7 +212,7 @@ mod tests {
             ..Default::default()
         };
         let model = TrainedModel::train(kind, &config, &data, &mut rng);
-        CompletionTimePredictor::new(schema, model)
+        CompletionTimePredictor::new(schema, model).expect("schema matches training data")
     }
 
     #[test]
@@ -148,12 +231,45 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_schema_is_rejected_at_construction() {
+        let predictor = trained_predictor(ModelKind::Linear);
+        let narrow = FeatureSchema::with_groups(&[FeatureGroup::Node]);
+        let err = CompletionTimePredictor::new(narrow.clone(), predictor.model().clone())
+            .expect_err("2-column schema cannot drive a 17-feature model");
+        assert_eq!(
+            err,
+            PredictorError::SchemaMismatch {
+                schema_features: narrow.len(),
+                model_features: FeatureSchema::standard().len(),
+            }
+        );
+        assert!(err.to_string().contains("fitted on"));
+        // A tampered archive fails the same check on load.
+        let mut sabotaged = CompletionTimePredictor {
+            schema: narrow,
+            model: predictor.model().clone(),
+        };
+        let json = sabotaged.to_json();
+        assert!(CompletionTimePredictor::from_json(&json).is_err());
+        // An unfitted model has no fitted width and pairs with any schema.
+        sabotaged.model = TrainedModel::train(
+            ModelKind::Linear,
+            &ModelConfig::default(),
+            &Dataset::new(vec!["x".into()]),
+            &mut Rng::seed_from_u64(1),
+        );
+        assert!(CompletionTimePredictor::new(sabotaged.schema, sabotaged.model).is_ok());
+    }
+
+    #[test]
     fn predictions_are_never_negative() {
         let predictor = trained_predictor(ModelKind::Linear);
         let job = JobRequest::named("sort", WorkloadKind::Sort, 1, 1);
         // An absurd snapshot far outside the training distribution.
         let snap = snapshot_with(-100.0, -100.0);
         assert!(predictor.predict(&snap, "node-1", &job) >= 0.0);
+        let batch = predictor.predict_all(&snap, &["node-1".into(), "node-2".into()], &job);
+        assert!(batch.iter().all(|&p| p >= 0.0));
     }
 
     #[test]
@@ -183,5 +299,25 @@ mod tests {
             predictor.predict_from_features(&features)
         );
         assert!(predictor.model().predict_row(&features).is_finite());
+    }
+
+    #[test]
+    fn batch_inference_is_bit_identical_to_per_candidate_predictions() {
+        for kind in ModelKind::ALL {
+            let predictor = trained_predictor(kind);
+            let job = JobRequest::named("sort", WorkloadKind::Sort, 100_000, 2);
+            let snap = snapshot_with(4.0, 0.5);
+            let candidates: Vec<String> = vec!["node-1".into(), "node-2".into(), "node-99".into()];
+            let mut matrix = FeatureMatrix::new(predictor.schema().len());
+            let mut batch = Vec::new();
+            predictor.predict_batch(&snap, &candidates, &job, &mut matrix, &mut batch);
+            assert_eq!(batch.len(), 3);
+            for (candidate, &b) in candidates.iter().zip(&batch) {
+                assert_eq!(b, predictor.predict(&snap, candidate, &job), "{candidate}");
+            }
+            // Empty candidate set produces an empty batch.
+            predictor.predict_batch(&snap, &[], &job, &mut matrix, &mut batch);
+            assert!(batch.is_empty());
+        }
     }
 }

@@ -92,15 +92,9 @@ impl JobScheduler for SupervisedScheduler {
     }
 
     fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking {
-        let predictor = &self.predictor;
-        ctx.rank_feasible(request, |ctx, id| {
-            let telemetry = ctx.telemetry().node(id).copied().unwrap_or_default();
-            let rtt_stats = ctx.telemetry().rtt_stats(id);
-            predictor
-                .schema()
-                .construct_into(&mut ctx.features, &telemetry, rtt_stats, request);
-            predictor.predict_from_features(&ctx.features)
-        })
+        // One batch inference call over the whole feasible candidate set,
+        // instead of one model walk per candidate.
+        ctx.rank_feasible_batch(request, &self.predictor)
     }
 }
 
@@ -324,7 +318,7 @@ mod tests {
         }
         let model =
             TrainedModel::train(ModelKind::Linear, &ModelConfig::default(), &data, &mut rng);
-        CompletionTimePredictor::new(schema, model)
+        CompletionTimePredictor::new(schema, model).expect("schema matches training data")
     }
 
     #[test]

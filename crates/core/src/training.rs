@@ -72,7 +72,10 @@ impl TrainingPipeline {
         };
         TrainingOutcome {
             kind,
-            predictor: CompletionTimePredictor::new(self.schema.clone(), model),
+            // The dataset is built from this pipeline's own schema, so the
+            // widths agree by construction.
+            predictor: CompletionTimePredictor::new(self.schema.clone(), model)
+                .expect("training dataset width matches the pipeline schema"),
             holdout_metrics,
             train_metrics,
             train_rows: train.len(),

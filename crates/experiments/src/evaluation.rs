@@ -27,7 +27,7 @@ use mlcore::metrics::top_k_contains_best;
 use mlcore::{evaluate_on, ModelConfig, ModelKind, RegressionMetrics, TrainedModel};
 use netsched_core::context::SchedulingContext;
 use netsched_core::predictor::CompletionTimePredictor;
-use netsched_core::schedulers::{JobScheduler, KubeDefaultScheduler, SupervisedScheduler};
+use netsched_core::schedulers::{JobScheduler, KubeDefaultScheduler};
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
 
@@ -260,6 +260,11 @@ pub fn evaluate_cell(
     });
 
     // --- Supervised models. ---
+    // Per-scenario inference runs through the batch path: one candidate ×
+    // feature matrix (reused across scenarios) and one model walk per
+    // decision instead of one per candidate.
+    let mut matrix = mlcore::FeatureMatrix::new(dataset.schema.len());
+    let mut predictions: Vec<f64> = Vec::new();
     for kind in ModelKind::ALL {
         let model = TrainedModel::train(kind, model_config, &train_data, &mut rng);
         let fit = if test_data.is_empty() {
@@ -268,8 +273,8 @@ pub fn evaluate_cell(
             evaluate_on(&model, &test_data)
         };
         model_fits.push(ModelFit { kind, metrics: fit });
-        let predictor = CompletionTimePredictor::new(dataset.schema.clone(), model);
-        let scheduler = SupervisedScheduler::new(predictor);
+        let predictor = CompletionTimePredictor::new(dataset.schema.clone(), model)
+            .expect("experiment datasets are built from their own schema");
         methods.push(MethodRankings {
             method: kind.display_name().to_string(),
             rankings: test_scenarios
@@ -278,10 +283,12 @@ pub fn evaluate_cell(
                     // Rank over the scenario's own candidate set (the nodes
                     // that actually ran the job) using its snapshot.
                     let candidates = scenario.candidate_nodes();
-                    let predictions = scheduler.predictor().predict_all(
+                    predictor.predict_batch(
                         &scenario.snapshot,
                         &candidates,
                         &scenario.request(),
+                        &mut matrix,
+                        &mut predictions,
                     );
                     let mut ids: Vec<cluster::ClusterNodeId> = Vec::with_capacity(candidates.len());
                     let mut aligned: Vec<f64> = Vec::with_capacity(candidates.len());

@@ -1,16 +1,186 @@
 //! Tabular dataset container, splitting and standardization.
+//!
+//! Feature rows live in a [`FeatureMatrix`]: one contiguous row-major
+//! `Vec<f64>` with a fixed stride, so training loops, batch inference and
+//! metric computation stream cache-line-sequential memory instead of chasing
+//! one heap allocation per row. Row views are borrowed slices; nothing on the
+//! prediction path clones a row.
 
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
 use std::fmt;
 
-/// A tabular regression dataset: named feature columns, one row per sample,
-/// one target per row.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+/// A dense row-major matrix of feature values: `n_rows × n_features` in one
+/// contiguous allocation. The row count is tracked explicitly so zero-width
+/// schemas (ablations that drop every feature group) still count rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureMatrix {
+    values: Vec<f64>,
+    n_features: usize,
+    n_rows: usize,
+}
+
+impl FeatureMatrix {
+    /// Create an empty matrix with the given stride (features per row).
+    pub fn new(n_features: usize) -> Self {
+        FeatureMatrix {
+            values: Vec::new(),
+            n_features,
+            n_rows: 0,
+        }
+    }
+
+    /// Create an empty matrix with capacity reserved for `rows` rows.
+    pub fn with_capacity(n_features: usize, rows: usize) -> Self {
+        FeatureMatrix {
+            values: Vec::with_capacity(n_features * rows),
+            n_features,
+            n_rows: 0,
+        }
+    }
+
+    /// Number of feature columns (the row stride).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Drop all rows, keeping the allocation and stride.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.n_rows = 0;
+    }
+
+    /// Drop all rows and switch to a new stride (scratch-buffer reuse across
+    /// schemas).
+    pub fn reset(&mut self, n_features: usize) {
+        self.values.clear();
+        self.n_features = n_features;
+        self.n_rows = 0;
+    }
+
+    /// Append one row (must match the stride).
+    ///
+    /// # Panics
+    /// Panics when `row.len() != n_features`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.n_features,
+            "row width must match the matrix stride"
+        );
+        self.values.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Append a zero-filled row and return a mutable view of it, so callers
+    /// can construct features in place without a temporary `Vec`.
+    pub fn add_row(&mut self) -> &mut [f64] {
+        let start = self.values.len();
+        self.values.resize(start + self.n_features, 0.0);
+        self.n_rows += 1;
+        &mut self.values[start..]
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_rows, "row {i} out of {} rows", self.n_rows);
+        let start = i * self.n_features;
+        &self.values[start..start + self.n_features]
+    }
+
+    /// Mutably borrow one row.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.n_rows, "row {i} out of {} rows", self.n_rows);
+        let start = i * self.n_features;
+        &mut self.values[start..start + self.n_features]
+    }
+
+    /// One cell.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.values[row * self.n_features + col]
+    }
+
+    /// Overwrite one cell.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.values[row * self.n_features + col] = value;
+    }
+
+    /// Iterate over the rows as borrowed slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        (0..self.n_rows).map(move |i| self.row(i))
+    }
+
+    /// The backing contiguous value buffer (row-major).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A tabular regression dataset: named feature columns, one contiguous
+/// row-major [`FeatureMatrix`] of samples, one target per row.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Dataset {
     feature_names: Vec<String>,
-    rows: Vec<Vec<f64>>,
+    x: FeatureMatrix,
     targets: Vec<f64>,
+}
+
+/// Datasets serialize in the canonical nested form (`feature_names`, a
+/// row-per-sample `rows` list, `targets`) — the on-disk shape is independent
+/// of the flat in-memory layout, and deserialization re-flattens through
+/// [`Dataset::push_row`] so the stride invariant is re-established by
+/// construction.
+impl Serialize for Dataset {
+    fn serialize_value(&self) -> serde::Value {
+        let rows: Vec<Vec<f64>> = self.x.rows().map(|r| r.to_vec()).collect();
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("feature_names".to_string()),
+                self.feature_names.serialize_value(),
+            ),
+            (
+                serde::Value::Str("rows".to_string()),
+                rows.serialize_value(),
+            ),
+            (
+                serde::Value::Str("targets".to_string()),
+                self.targets.serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Dataset"))?;
+        let feature_names: Vec<String> =
+            Deserialize::deserialize_value(serde::get_field(map, "feature_names")?)?;
+        let rows: Vec<Vec<f64>> = Deserialize::deserialize_value(serde::get_field(map, "rows")?)?;
+        let targets: Vec<f64> = Deserialize::deserialize_value(serde::get_field(map, "targets")?)?;
+        if rows.len() != targets.len() {
+            return Err(serde::Error::custom("rows and targets must align"));
+        }
+        let mut data = Dataset::new(feature_names);
+        for (row, &y) in rows.iter().zip(&targets) {
+            data.push_row(row, y)
+                .map_err(|e| serde::Error::custom(e.to_string()))?;
+        }
+        Ok(data)
+    }
 }
 
 /// Errors raised by dataset operations.
@@ -43,9 +213,10 @@ impl std::error::Error for DataError {}
 impl Dataset {
     /// Create an empty dataset with the given feature names.
     pub fn new(feature_names: Vec<String>) -> Self {
+        let x = FeatureMatrix::new(feature_names.len());
         Dataset {
             feature_names,
-            rows: Vec::new(),
+            x,
             targets: Vec::new(),
         }
     }
@@ -62,30 +233,35 @@ impl Dataset {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.x.n_rows()
     }
 
     /// True when there are no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.x.is_empty()
     }
 
-    /// Append a sample.
-    pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), DataError> {
+    /// Append a sample from a borrowed slice (no intermediate allocation).
+    pub fn push_row(&mut self, features: &[f64], target: f64) -> Result<(), DataError> {
         if features.len() != self.n_features() {
             return Err(DataError::DimensionMismatch {
                 expected: self.n_features(),
                 got: features.len(),
             });
         }
-        self.rows.push(features);
+        self.x.push_row(features);
         self.targets.push(target);
         Ok(())
     }
 
-    /// All rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// Append a sample (owned-`Vec` convenience over [`Dataset::push_row`]).
+    pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), DataError> {
+        self.push_row(&features, target)
+    }
+
+    /// The contiguous feature matrix.
+    pub fn matrix(&self) -> &FeatureMatrix {
+        &self.x
     }
 
     /// All targets.
@@ -95,7 +271,7 @@ impl Dataset {
 
     /// One row.
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.rows[i]
+        self.x.row(i)
     }
 
     /// One target.
@@ -110,11 +286,13 @@ impl Dataset {
 
     /// Build a new dataset containing only the given row indices.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let mut out = Dataset::new(self.feature_names.clone());
-        out.rows.reserve(indices.len());
-        out.targets.reserve(indices.len());
+        let mut out = Dataset {
+            feature_names: self.feature_names.clone(),
+            x: FeatureMatrix::with_capacity(self.n_features(), indices.len()),
+            targets: Vec::with_capacity(indices.len()),
+        };
         for &i in indices {
-            out.rows.push(self.rows[i].clone());
+            out.x.push_row(self.x.row(i));
             out.targets.push(self.targets[i]);
         }
         out
@@ -131,7 +309,7 @@ impl Dataset {
     pub fn feature_means(&self) -> Vec<f64> {
         let n = self.len().max(1) as f64;
         let mut means = vec![0.0; self.n_features()];
-        for row in &self.rows {
+        for row in self.x.rows() {
             for (m, &v) in means.iter_mut().zip(row) {
                 *m += v;
             }
@@ -212,7 +390,7 @@ impl Scaler {
         let n = data.len().max(1) as f64;
         let means = data.feature_means();
         let mut vars = vec![0.0; data.n_features()];
-        for row in data.rows() {
+        for row in data.matrix().rows() {
             for ((v, &x), &m) in vars.iter_mut().zip(row).zip(&means) {
                 let d = x - m;
                 *v += d * d;
@@ -246,11 +424,23 @@ impl Scaler {
         out
     }
 
+    /// Transform a whole matrix into a standardized copy.
+    pub fn transform_matrix(&self, x: &FeatureMatrix) -> FeatureMatrix {
+        let mut out = x.clone();
+        for i in 0..out.n_rows() {
+            self.transform_row(out.row_mut(i));
+        }
+        out
+    }
+
     /// Transform a whole dataset (features only; targets are untouched).
     pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
         let mut out = Dataset::new(data.feature_names().to_vec());
-        for (row, &y) in data.rows().iter().zip(data.targets()) {
-            out.push(self.transformed(row), y).expect("same width");
+        let mut scratch = vec![0.0; data.n_features()];
+        for (row, &y) in data.matrix().rows().zip(data.targets()) {
+            scratch.copy_from_slice(row);
+            self.transform_row(&mut scratch);
+            out.push_row(&scratch, y).expect("same width");
         }
         out
     }
@@ -290,6 +480,58 @@ mod tests {
         assert_eq!(d.feature_index("b"), Some(1));
         assert_eq!(d.feature_index("z"), None);
         assert_eq!(d.feature_names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn matrix_is_contiguous_row_major() {
+        let d = toy();
+        let x = d.matrix();
+        assert_eq!(x.n_rows(), 10);
+        assert_eq!(x.n_features(), 2);
+        assert_eq!(x.values().len(), 20);
+        assert_eq!(&x.values()[6..8], d.row(3));
+        assert_eq!(x.get(3, 1), 6.0);
+        assert_eq!(x.rows().len(), 10);
+        let collected: Vec<&[f64]> = x.rows().collect();
+        assert_eq!(collected[2], &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn matrix_add_row_constructs_in_place() {
+        let mut x = FeatureMatrix::with_capacity(3, 2);
+        assert!(x.is_empty());
+        let row = x.add_row();
+        assert_eq!(row, &[0.0, 0.0, 0.0]);
+        row[1] = 5.0;
+        assert_eq!(x.row(0), &[0.0, 5.0, 0.0]);
+        x.push_row(&[1.0, 2.0, 3.0]);
+        assert_eq!(x.n_rows(), 2);
+        x.row_mut(1)[0] = 9.0;
+        assert_eq!(x.get(1, 0), 9.0);
+        x.set(1, 0, 7.0);
+        assert_eq!(x.get(1, 0), 7.0);
+        x.clear();
+        assert_eq!(x.n_rows(), 0);
+        assert_eq!(x.n_features(), 3);
+        x.reset(1);
+        assert_eq!(x.n_features(), 1);
+    }
+
+    #[test]
+    fn zero_width_matrix_still_counts_rows() {
+        let mut x = FeatureMatrix::new(0);
+        x.push_row(&[]);
+        let _ = x.add_row();
+        assert_eq!(x.n_rows(), 2);
+        assert_eq!(x.row(1), &[] as &[f64]);
+        assert_eq!(x.rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn matrix_rejects_wrong_width_rows() {
+        let mut x = FeatureMatrix::new(2);
+        x.push_row(&[1.0]);
     }
 
     #[test]
@@ -334,8 +576,21 @@ mod tests {
         // Deterministic per seed.
         let mut rng2 = Rng::seed_from_u64(1);
         let (train2, test2) = d.train_test_split(0.3, &mut rng2);
-        assert_eq!(train.rows(), train2.rows());
+        assert_eq!(train.matrix(), train2.matrix());
         assert_eq!(test.targets(), test2.targets());
+    }
+
+    #[test]
+    fn dataset_serde_roundtrips_nested_rows() {
+        let d = toy();
+        let restored = Dataset::deserialize_value(&d.serialize_value()).unwrap();
+        assert_eq!(restored, d);
+        // The serialized form is the canonical nested one.
+        let v = d.serialize_value();
+        let map = v.as_map().unwrap();
+        let rows = serde::get_field(map, "rows").unwrap().as_seq().unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].as_seq().unwrap().len(), 2);
     }
 
     #[test]
@@ -385,13 +640,15 @@ mod tests {
         assert!(means.iter().all(|m| m.abs() < 1e-9));
         // Variance ~ 1 for each column.
         for col in 0..2 {
-            let var: f64 = scaled.rows().iter().map(|r| r[col] * r[col]).sum::<f64>() / 10.0;
+            let var: f64 = scaled.matrix().rows().map(|r| r[col] * r[col]).sum::<f64>() / 10.0;
             assert!((var - 1.0).abs() < 1e-9, "var {var}");
         }
         // Targets untouched.
         assert_eq!(scaled.targets(), d.targets());
         assert_eq!(scaler.means().len(), 2);
         assert_eq!(scaler.stds().len(), 2);
+        // The matrix-level transform agrees with the dataset-level one.
+        assert_eq!(&scaler.transform_matrix(d.matrix()), scaled.matrix());
     }
 
     #[test]

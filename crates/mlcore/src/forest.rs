@@ -5,8 +5,8 @@
 //! collection) so the fitted forest is identical regardless of the number of
 //! worker threads.
 
-use crate::data::Dataset;
-use crate::tree::{DecisionTree, DecisionTreeConfig};
+use crate::data::{Dataset, FeatureMatrix};
+use crate::tree::{DecisionTree, DecisionTreeConfig, FlatTree};
 use serde::{Deserialize, Serialize};
 use simcore::parallel::parallel_map;
 use simcore::rng::Rng;
@@ -83,6 +83,16 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Number of feature columns the forest was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The fitted trees (flat form each; used by differential tests).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
     /// Fit the forest. `rng` provides the master seed; each tree derives an
     /// independent stream keyed by its index so the result is reproducible
     /// and independent of the worker count.
@@ -118,7 +128,7 @@ impl RandomForest {
                 .map(|_| tree_rng.gen_range_usize(0, n))
                 .collect();
             let mut tree = DecisionTree::new(tree_config);
-            tree.fit_on_indices(data, &indices, &mut tree_rng);
+            tree.fit_on_matrix(data.matrix(), data.targets(), &indices, &mut tree_rng);
             tree
         });
         self.fitted = true;
@@ -132,9 +142,34 @@ impl RandomForest {
         self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
     }
 
+    /// Predict every row of a feature matrix into a reused output buffer.
+    ///
+    /// Batch accumulation with interleaved row walks: a decision-sized batch
+    /// (≤ [`FlatTree::BLOCK`] rows — the scheduler's candidate set) fetches
+    /// its row slices once and streams every tree through them, so the
+    /// ensemble's node arrays are read exactly once per decision with up to
+    /// a block's worth of dependent-load chains in flight; larger matrices
+    /// run trees-outer over interleaved blocks. Additions happen in the same
+    /// tree order as [`RandomForest::predict_row`], so results are
+    /// bit-identical.
+    pub fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(x.n_rows(), 0.0);
+        if self.trees.is_empty() {
+            return;
+        }
+        FlatTree::accumulate_ensemble(self.trees.iter().map(|t| (t.flat(), 1.0)), x, out);
+        let scale = self.trees.len() as f64;
+        for v in out.iter_mut() {
+            *v /= scale;
+        }
+    }
+
     /// Predict every row of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        data.rows().iter().map(|r| self.predict_row(r)).collect()
+        let mut out = Vec::new();
+        self.predict_into(data.matrix(), &mut out);
+        out
     }
 
     /// Mean impurity-based feature importance across trees (normalized).
@@ -230,9 +265,26 @@ mod tests {
         let mut parallel = RandomForest::new(small_config(16, 8));
         sequential.fit(&data, &mut rng_a);
         parallel.fit(&data, &mut rng_b);
-        let probe = &data.rows()[0];
+        let probe = data.row(0);
         assert_eq!(sequential.predict_row(probe), parallel.predict_row(probe));
         assert_eq!(sequential.predict(&data), parallel.predict(&data));
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_per_row() {
+        let data = friedman_like(250, 21);
+        let mut rng = Rng::seed_from_u64(22);
+        let mut forest = RandomForest::new(small_config(24, 4));
+        forest.fit(&data, &mut rng);
+        let mut batch = Vec::new();
+        forest.predict_into(data.matrix(), &mut batch);
+        assert_eq!(batch.len(), data.len());
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b, forest.predict_row(data.row(i)), "row {i}");
+        }
+        // Empty batch clears the output.
+        forest.predict_into(&crate::data::FeatureMatrix::new(5), &mut batch);
+        assert!(batch.is_empty());
     }
 
     #[test]
@@ -288,6 +340,6 @@ mod tests {
         forest.fit(&data, &mut rng);
         assert_eq!(forest.tree_count(), 5);
         // Still produces finite predictions.
-        assert!(forest.predict_row(&data.rows()[0]).is_finite());
+        assert!(forest.predict_row(data.row(0)).is_finite());
     }
 }

@@ -6,8 +6,8 @@
 //! validation fraction. With squared loss the negative gradient *is* the
 //! residual, so each boosting round fits a regression tree to the residuals.
 
-use crate::data::Dataset;
-use crate::tree::{DecisionTree, DecisionTreeConfig};
+use crate::data::{Dataset, FeatureMatrix};
+use crate::tree::{DecisionTree, DecisionTreeConfig, FlatTree};
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
 
@@ -52,6 +52,7 @@ pub struct GradientBoosting {
     config: GradientBoostingConfig,
     base_prediction: f64,
     trees: Vec<DecisionTree>,
+    n_features: usize,
     fitted: bool,
 }
 
@@ -68,6 +69,7 @@ impl GradientBoosting {
             config,
             base_prediction: 0.0,
             trees: Vec::new(),
+            n_features: 0,
             fitted: false,
         }
     }
@@ -82,9 +84,30 @@ impl GradientBoosting {
         self.trees.len()
     }
 
+    /// Number of feature columns the ensemble was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The fitted per-round trees (used by differential tests).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// The constant base prediction (training-target mean).
+    pub fn base_prediction(&self) -> f64 {
+        self.base_prediction
+    }
+
+    /// The shrinkage each tree's contribution is scaled by.
+    pub fn learning_rate(&self) -> f64 {
+        self.config.learning_rate
+    }
+
     /// Fit the ensemble.
     pub fn fit(&mut self, data: &Dataset, rng: &mut Rng) {
         self.trees.clear();
+        self.n_features = data.n_features();
         if data.is_empty() {
             self.base_prediction = 0.0;
             self.fitted = true;
@@ -112,30 +135,37 @@ impl GradientBoosting {
         let mut best_valid_rmse = f64::INFINITY;
         let mut rounds_since_improvement = 0usize;
 
-        // Residual dataset reused each round (structure only; targets replaced).
+        // Round-reused scratch: residual targets plus batch-prediction
+        // buffers. Each round refits the *same* contiguous feature matrix
+        // against fresh residuals — no per-round row-of-Vecs copy.
+        let mut residuals = vec![0.0; n];
+        let mut tree_predictions: Vec<f64> = Vec::with_capacity(n);
+        let mut valid_tree_predictions: Vec<f64> = Vec::new();
         for _ in 0..self.config.n_rounds.max(1) {
             // Residuals = negative gradient of squared loss.
-            let mut residual_data = Dataset::new(train.feature_names().to_vec());
-            for (i, row) in train.rows().iter().enumerate() {
-                residual_data
-                    .push(row.clone(), train.target(i) - predictions[i])
-                    .expect("same width");
+            for (residual, (&y, &p)) in residuals
+                .iter_mut()
+                .zip(train.targets().iter().zip(&predictions))
+            {
+                *residual = y - p;
             }
             // Row subsample without replacement.
             let sample_size = ((n as f64) * self.config.subsample.clamp(0.1, 1.0)).round() as usize;
             let sample: Vec<usize> = rng.sample_indices(n, sample_size.max(1));
 
             let mut tree = DecisionTree::new(self.config.tree);
-            tree.fit_on_indices(&residual_data, &sample, rng);
+            tree.fit_on_matrix(train.matrix(), &residuals, &sample, rng);
 
-            // Update running predictions.
+            // Update running predictions (batch walk, trees-outer).
             let lr = self.config.learning_rate;
-            for (i, row) in train.rows().iter().enumerate() {
-                predictions[i] += lr * tree.predict_row(row);
+            tree.predict_into(train.matrix(), &mut tree_predictions);
+            for (p, &t) in predictions.iter_mut().zip(&tree_predictions) {
+                *p += lr * t;
             }
             if let Some(valid) = &valid {
-                for (i, row) in valid.rows().iter().enumerate() {
-                    valid_predictions[i] += lr * tree.predict_row(row);
+                tree.predict_into(valid.matrix(), &mut valid_tree_predictions);
+                for (p, &t) in valid_predictions.iter_mut().zip(&valid_tree_predictions) {
+                    *p += lr * t;
                 }
             }
             self.trees.push(tree);
@@ -172,9 +202,30 @@ impl GradientBoosting {
         pred
     }
 
+    /// Predict every row of a feature matrix into a reused output buffer.
+    ///
+    /// Batch accumulation in the same round order as
+    /// [`GradientBoosting::predict_row`], so results are bit-identical:
+    /// decision-sized batches (≤ [`FlatTree::BLOCK`] rows) fetch their row
+    /// slices once and stream every round's tree through them with
+    /// interleaved walks; larger matrices run trees-outer over blocks.
+    pub fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(x.n_rows(), self.base_prediction);
+        FlatTree::accumulate_ensemble(
+            self.trees
+                .iter()
+                .map(|t| (t.flat(), self.config.learning_rate)),
+            x,
+            out,
+        );
+    }
+
     /// Predict every row of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        data.rows().iter().map(|r| self.predict_row(r)).collect()
+        let mut out = Vec::new();
+        self.predict_into(data.matrix(), &mut out);
+        out
     }
 
     /// Aggregate impurity-based feature importance across rounds (normalized).
@@ -289,6 +340,23 @@ mod tests {
         });
         model.fit(&data, &mut rng);
         assert_eq!(model.rounds_used(), 30);
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_per_row() {
+        let data = nonlinear(300, 15);
+        let mut rng = Rng::seed_from_u64(16);
+        let mut model = GradientBoosting::new(fast_config());
+        model.fit(&data, &mut rng);
+        let mut batch = Vec::new();
+        model.predict_into(data.matrix(), &mut batch);
+        assert_eq!(batch.len(), data.len());
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b, model.predict_row(data.row(i)), "row {i}");
+        }
+        // Empty batch clears the output.
+        model.predict_into(&FeatureMatrix::new(3), &mut batch);
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub fn permutation_importance<R: Regressor + ?Sized>(
     }
     let baseline = RegressionMetrics::compute(&model.predict(data), data.targets()).rmse;
     let repeats = repeats.max(1);
+    // One mutable copy of the feature matrix, reused across every
+    // (column, repeat): the permuted column is written in place, the batch
+    // prediction streams the contiguous rows, and the column is restored
+    // afterwards — no per-row clone anywhere.
+    let mut scratch = data.matrix().clone();
+    let mut predictions: Vec<f64> = Vec::with_capacity(data.len());
+    let mut permuted_values: Vec<f64> = Vec::with_capacity(data.len());
     let mut results: Vec<FeatureImportance> = data
         .feature_names()
         .iter()
@@ -44,20 +51,19 @@ pub fn permutation_importance<R: Regressor + ?Sized>(
             let mut total_increase = 0.0;
             for _ in 0..repeats {
                 // Permute the column.
-                let mut permuted_values: Vec<f64> = data.rows().iter().map(|r| r[col]).collect();
+                permuted_values.clear();
+                permuted_values.extend((0..data.len()).map(|r| data.matrix().get(r, col)));
                 rng.shuffle(&mut permuted_values);
-                let predictions: Vec<f64> = data
-                    .rows()
-                    .iter()
-                    .zip(&permuted_values)
-                    .map(|(row, &v)| {
-                        let mut r = row.clone();
-                        r[col] = v;
-                        model.predict_row(&r)
-                    })
-                    .collect();
+                for (r, &v) in permuted_values.iter().enumerate() {
+                    scratch.set(r, col, v);
+                }
+                model.predict_into(&scratch, &mut predictions);
                 let rmse = RegressionMetrics::compute(&predictions, data.targets()).rmse;
                 total_increase += (rmse - baseline).max(0.0);
+            }
+            // Restore the column before moving on.
+            for r in 0..data.len() {
+                scratch.set(r, col, data.matrix().get(r, col));
             }
             FeatureImportance {
                 feature: name.clone(),

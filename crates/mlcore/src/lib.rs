@@ -6,13 +6,15 @@
 //! (XGBoost)**. This crate implements all three (and the infrastructure
 //! around them) with no external ML dependency:
 //!
-//! * [`data`] — the [`data::Dataset`] container, train/test splitting,
-//!   k-fold indices and feature standardization.
+//! * [`data`] — the [`data::Dataset`] container over a contiguous row-major
+//!   [`data::FeatureMatrix`], train/test splitting, k-fold indices and
+//!   feature standardization.
 //! * [`metrics`] — MAE, RMSE, R², MAPE and ranking helpers.
 //! * [`linear`] — ordinary least squares / ridge regression solved by normal
 //!   equations with Gaussian elimination and optional standardization.
 //! * [`tree`] — CART regression trees (variance-reduction splits, depth and
-//!   leaf-size controls, optional per-split feature subsampling).
+//!   leaf-size controls, optional per-split feature subsampling), stored as
+//!   flat struct-of-arrays [`tree::FlatTree`]s with batch-prediction kernels.
 //! * [`forest`] — random forests: bootstrap aggregation of CART trees with
 //!   feature subsampling, trained in parallel with deterministic per-tree
 //!   seeds, plus impurity-based feature importance.
@@ -37,12 +39,12 @@ pub mod model;
 pub mod tree;
 pub mod validate;
 
-pub use data::{Dataset, Scaler, SplitIndices};
+pub use data::{Dataset, FeatureMatrix, Scaler, SplitIndices};
 pub use forest::{RandomForest, RandomForestConfig};
 pub use gbdt::{GradientBoosting, GradientBoostingConfig};
 pub use importance::permutation_importance;
 pub use linear::{LinearRegression, LinearRegressionConfig};
 pub use metrics::RegressionMetrics;
 pub use model::{ModelConfig, ModelKind, Regressor, TrainedModel};
-pub use tree::{DecisionTree, DecisionTreeConfig};
+pub use tree::{DecisionTree, DecisionTreeConfig, FlatTree, TreeNode};
 pub use validate::{cross_validate, evaluate_on, CrossValidationReport};

@@ -6,7 +6,7 @@
 //! well conditioned on telemetry columns with wildly different scales (bytes
 //! vs. load averages vs. seconds).
 
-use crate::data::{Dataset, Scaler};
+use crate::data::{Dataset, FeatureMatrix, Scaler};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -98,14 +98,11 @@ impl LinearRegression {
         if data.is_empty() {
             return Err(FitError::EmptyDataset);
         }
-        let (rows, scaler): (Vec<Vec<f64>>, Option<Scaler>) = if self.config.standardize {
+        let (x, scaler): (FeatureMatrix, Option<Scaler>) = if self.config.standardize {
             let scaler = Scaler::fit(data);
-            (
-                data.rows().iter().map(|r| scaler.transformed(r)).collect(),
-                Some(scaler),
-            )
+            (scaler.transform_matrix(data.matrix()), Some(scaler))
         } else {
-            (data.rows().to_vec(), None)
+            (data.matrix().clone(), None)
         };
         let y = data.targets();
         let p = data.n_features() + 1; // + intercept column
@@ -113,7 +110,7 @@ impl LinearRegression {
         // Build the normal equations A w = b with A = XᵀX + λI, b = Xᵀy.
         let mut a = vec![vec![0.0f64; p]; p];
         let mut b = vec![0.0f64; p];
-        for (row, &yi) in rows.iter().zip(y) {
+        for (row, &yi) in x.rows().zip(y) {
             // Augmented row: [1, x...]
             for i in 0..p {
                 let xi = if i == 0 { 1.0 } else { row[i - 1] };
@@ -126,7 +123,7 @@ impl LinearRegression {
         }
         // Ridge penalty on the non-intercept diagonal.
         for (i, row) in a.iter_mut().enumerate().skip(1) {
-            row[i] += self.config.l2.max(0.0) * rows.len() as f64;
+            row[i] += self.config.l2.max(0.0) * x.n_rows() as f64;
         }
 
         let solution = solve_linear_system(&mut a, &mut b).ok_or(FitError::SingularSystem)?;
@@ -137,19 +134,9 @@ impl LinearRegression {
         Ok(())
     }
 
-    /// Predict the target for one feature row.
-    pub fn predict_row(&self, row: &[f64]) -> f64 {
-        if !self.fitted {
-            return 0.0;
-        }
-        let transformed;
-        let row = match &self.scaler {
-            Some(s) => {
-                transformed = s.transformed(row);
-                transformed.as_slice()
-            }
-            None => row,
-        };
+    /// The affine prediction over an already-standardized row.
+    #[inline]
+    fn dot(&self, row: &[f64]) -> f64 {
         self.intercept
             + self
                 .weights
@@ -159,9 +146,45 @@ impl LinearRegression {
                 .sum::<f64>()
     }
 
+    /// Predict the target for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        match &self.scaler {
+            Some(s) => self.dot(&s.transformed(row)),
+            None => self.dot(row),
+        }
+    }
+
+    /// Predict every row of a feature matrix into a reused output buffer.
+    /// One standardization scratch row is reused across the whole batch, so
+    /// steady-state batches allocate nothing.
+    pub fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        if !self.fitted {
+            out.resize(x.n_rows(), 0.0);
+            return;
+        }
+        out.reserve(x.n_rows());
+        match &self.scaler {
+            Some(s) => {
+                let mut scratch = vec![0.0; x.n_features()];
+                for row in x.rows() {
+                    scratch.copy_from_slice(row);
+                    s.transform_row(&mut scratch);
+                    out.push(self.dot(&scratch));
+                }
+            }
+            None => out.extend(x.rows().map(|row| self.dot(row))),
+        }
+    }
+
     /// Predict the targets for every row of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        data.rows().iter().map(|r| self.predict_row(r)).collect()
+        let mut out = Vec::new();
+        self.predict_into(data.matrix(), &mut out);
+        out
     }
 }
 

@@ -6,7 +6,7 @@
 //! [`Regressor`] is the minimal object-safe interface the decision module
 //! needs: predict a completion time for one feature vector.
 
-use crate::data::Dataset;
+use crate::data::{Dataset, FeatureMatrix};
 use crate::forest::{RandomForest, RandomForestConfig};
 use crate::gbdt::{GradientBoosting, GradientBoostingConfig};
 use crate::linear::{LinearRegression, LinearRegressionConfig};
@@ -15,14 +15,27 @@ use simcore::rng::Rng;
 use std::fmt;
 use std::str::FromStr;
 
-/// A fitted regression model usable for prediction.
+/// A fitted regression model usable for prediction. Batch-first: the
+/// scheduler hands a whole candidate batch through
+/// [`Regressor::predict_into`] in one call; [`Regressor::predict_row`]
+/// remains for single-sample callers.
 pub trait Regressor {
     /// Predict the target for one feature row.
     fn predict_row(&self, row: &[f64]) -> f64;
 
+    /// Predict every row of a feature matrix into a reused output buffer
+    /// (cleared and refilled). The default walks rows one at a time; the
+    /// model families override it with their cache-friendly batch kernels.
+    fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(x.rows().map(|row| self.predict_row(row)));
+    }
+
     /// Predict the targets for every row of a dataset.
     fn predict(&self, data: &Dataset) -> Vec<f64> {
-        data.rows().iter().map(|r| self.predict_row(r)).collect()
+        let mut out = Vec::new();
+        self.predict_into(data.matrix(), &mut out);
+        out
     }
 
     /// Short human-readable name.
@@ -33,6 +46,9 @@ impl Regressor for LinearRegression {
     fn predict_row(&self, row: &[f64]) -> f64 {
         LinearRegression::predict_row(self, row)
     }
+    fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        LinearRegression::predict_into(self, x, out)
+    }
     fn name(&self) -> &'static str {
         "linear-regression"
     }
@@ -42,6 +58,9 @@ impl Regressor for RandomForest {
     fn predict_row(&self, row: &[f64]) -> f64 {
         RandomForest::predict_row(self, row)
     }
+    fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        RandomForest::predict_into(self, x, out)
+    }
     fn name(&self) -> &'static str {
         "random-forest"
     }
@@ -50,6 +69,9 @@ impl Regressor for RandomForest {
 impl Regressor for GradientBoosting {
     fn predict_row(&self, row: &[f64]) -> f64 {
         GradientBoosting::predict_row(self, row)
+    }
+    fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        GradientBoosting::predict_into(self, x, out)
     }
     fn name(&self) -> &'static str {
         "gradient-boosting"
@@ -166,6 +188,30 @@ impl TrainedModel {
         }
     }
 
+    /// Number of feature columns the model requires, or `None` when the
+    /// model was never (successfully) fitted. Boundary code uses this to
+    /// reject feature schemas whose width does not match the model. For the
+    /// ensembles this is the max over the member trees' own widths (each
+    /// validated against its splits on deserialize), so a tampered archive
+    /// cannot under-declare the ensemble width and panic the walk later.
+    pub fn n_features(&self) -> Option<usize> {
+        match self {
+            TrainedModel::Linear(m) => m.is_fitted().then(|| m.weights().len()),
+            TrainedModel::RandomForest(m) => m.is_fitted().then(|| {
+                m.trees()
+                    .iter()
+                    .map(|t| t.n_features())
+                    .fold(m.n_features(), usize::max)
+            }),
+            TrainedModel::GradientBoosting(m) => m.is_fitted().then(|| {
+                m.trees()
+                    .iter()
+                    .map(|t| t.n_features())
+                    .fold(m.n_features(), usize::max)
+            }),
+        }
+    }
+
     /// Serialize to a JSON string (for saving a trained scheduler model).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("model serialization cannot fail")
@@ -183,6 +229,14 @@ impl Regressor for TrainedModel {
             TrainedModel::Linear(m) => m.predict_row(row),
             TrainedModel::RandomForest(m) => m.predict_row(row),
             TrainedModel::GradientBoosting(m) => m.predict_row(row),
+        }
+    }
+
+    fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        match self {
+            TrainedModel::Linear(m) => m.predict_into(x, out),
+            TrainedModel::RandomForest(m) => m.predict_into(x, out),
+            TrainedModel::GradientBoosting(m) => m.predict_into(x, out),
         }
     }
 
@@ -285,12 +339,16 @@ mod tests {
             let json = model.to_json();
             let restored = TrainedModel::from_json(&json).unwrap();
             assert_eq!(restored.kind(), kind);
-            for row in data.rows().iter().take(20) {
+            assert_eq!(restored.n_features(), Some(2));
+            for i in 0..20 {
+                let row = data.row(i);
                 assert!(
                     (model.predict_row(row) - restored.predict_row(row)).abs() < 1e-12,
                     "{kind} roundtrip mismatch"
                 );
             }
+            // The re-flattened batch path agrees exactly with the original.
+            assert_eq!(restored.predict(&data), model.predict(&data));
         }
         assert!(TrainedModel::from_json("not json").is_err());
     }

@@ -1,12 +1,23 @@
-//! CART regression trees.
+//! CART regression trees over flat, struct-of-arrays storage.
 //!
 //! Splits minimize the weighted variance of the two children (equivalently,
 //! maximize variance reduction). Candidate thresholds are midpoints between
 //! consecutive distinct feature values of the sorted node samples. Trees
 //! support depth / leaf-size limits and per-split feature subsampling (used by
 //! the random forest).
+//!
+//! A fitted tree is stored as a [`FlatTree`]: index-parallel `feature` /
+//! `threshold` / child-index arrays with leaves encoded by the index tag of
+//! their child pair (a self-loop) instead of an enum discriminant.
+//! Prediction walks flat arrays with no pointer-chasing or per-node branch
+//! on a discriminant; the batch kernels ([`FlatTree::accumulate_block`] /
+//! [`FlatTree::accumulate_ensemble`]) run a branchless fixed-depth walk over
+//! interleaved row blocks so a whole candidate batch streams through each
+//! tree's nodes while they are hot in cache (the trees-outer loop the forest
+//! and GBDT use). Serialization keeps the canonical nested node form
+//! ([`TreeNode`], validated on load) and re-flattens on deserialize.
 
-use crate::data::Dataset;
+use crate::data::{Dataset, FeatureMatrix};
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
 
@@ -34,31 +45,469 @@ impl Default for DecisionTreeConfig {
     }
 }
 
-/// A tree node: either an internal split or a leaf prediction.
+/// The canonical nested node form trees serialize as (and the reference
+/// representation differential tests walk): either an internal split or a
+/// leaf prediction, children addressed by index into the node list.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub enum TreeNode {
+    /// A terminal prediction.
     Leaf {
+        /// Mean target of the samples that reached this leaf.
         prediction: f64,
+        /// Number of training samples that reached this leaf.
         samples: usize,
     },
+    /// An internal split on `feature <= threshold`.
     Split {
+        /// Feature column index.
         feature: usize,
+        /// Split threshold (midpoint between distinct values).
         threshold: f64,
+        /// Index of the `<=` child in the node list.
         left: usize,
+        /// Index of the `>` child in the node list.
         right: usize,
+        /// Number of training samples that reached this split.
         samples: usize,
     },
 }
 
+/// A fitted regression tree in struct-of-arrays form.
+///
+/// All nodes live in index-parallel arrays: node `i` tests
+/// `row[feature[i]] <= threshold[i]` and continues at `children[i][0]`
+/// (`<=`) or `children[i][1]` (`>`). Leaves are encoded by the index tag of
+/// their child pair — a node whose children point back to itself — instead
+/// of an enum discriminant, so the batch walk needs no per-step "is this a
+/// leaf?" branch: a cursor that reaches a leaf simply self-loops (the leaf
+/// carries `feature = 0`, `threshold = +∞`, so the comparison stays
+/// in-bounds and always picks the self edge) while the other rows of its
+/// block finish, and the walk runs a fixed `depth` passes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatTree {
+    /// Index of the root node.
+    root: u32,
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    /// Child index pair per node: `[<=, >]`; leaves self-loop.
+    children: Vec<[u32; 2]>,
+    /// Leaf prediction per node (0 for splits).
+    value: Vec<f64>,
+    /// Training samples that reached each node (canonical-form round-trip).
+    samples: Vec<u32>,
+    /// Leaf flag per node (drives the scalar walk and the canonical form).
+    leaf: Vec<bool>,
+    /// Maximum node depth: the pass count of the branchless batch walk.
+    depth: u32,
+}
+
+impl FlatTree {
+    /// Deepest tree the fixed-pass (branchless) batch walk handles; a
+    /// pathologically deeper chain falls back to the early-exit walk so the
+    /// pass count cannot degenerate to the sample count.
+    const MAX_FIXED_PASSES: u32 = 64;
+
+    /// True when the tree holds no nodes at all (never fitted).
+    pub fn is_empty(&self) -> bool {
+        self.feature.is_empty()
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf.iter().filter(|&&l| l).count()
+    }
+
+    /// Append a leaf (self-looping children), returning its index.
+    fn push_leaf(&mut self, prediction: f64, samples: usize) -> u32 {
+        let idx = self.feature.len() as u32;
+        self.feature.push(0);
+        self.threshold.push(f64::INFINITY);
+        self.children.push([idx, idx]);
+        self.value.push(prediction);
+        self.samples.push(samples as u32);
+        self.leaf.push(true);
+        idx
+    }
+
+    /// Reserve a split slot (feature/threshold/children patched later),
+    /// returning its index.
+    fn push_split_slot(&mut self, samples: usize) -> u32 {
+        let idx = self.feature.len() as u32;
+        self.feature.push(0);
+        self.threshold.push(0.0);
+        self.children.push([0, 0]);
+        self.value.push(0.0);
+        self.samples.push(samples as u32);
+        self.leaf.push(false);
+        idx
+    }
+
+    /// Recompute the cached max depth after the structure is in place
+    /// (iterative, so pathologically deep chains cannot overflow the stack).
+    fn finalize_depth(&mut self) {
+        if self.is_empty() {
+            self.depth = 0;
+            return;
+        }
+        let mut max = 0u32;
+        let mut stack: Vec<(u32, u32)> = vec![(self.root, 0)];
+        while let Some((cursor, depth)) = stack.pop() {
+            let i = cursor as usize;
+            if self.leaf[i] {
+                max = max.max(depth);
+                continue;
+            }
+            let [l, r] = self.children[i];
+            stack.push((l, depth + 1));
+            stack.push((r, depth + 1));
+        }
+        self.depth = max;
+    }
+
+    /// One walk step's child index: 0 for `value <= threshold`, 1 otherwise.
+    /// The negated `<=` (rather than `>`) is load-bearing: a NaN feature
+    /// value fails `<=` and must go right, exactly as the historical enum
+    /// walk's `if v <= t { left } else { right }` did.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline(always)]
+    fn step(&self, i: usize, row: &[f64]) -> u32 {
+        let dir = usize::from(!(row[self.feature[i] as usize] <= self.threshold[i]));
+        self.children[i][dir]
+    }
+
+    /// Predict the target for one full-width row.
+    ///
+    /// Rows must carry every feature the tree was trained on; a short row is
+    /// a malformed input and panics (index out of bounds) instead of silently
+    /// predicting from padded zeros.
+    #[inline]
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mut i = self.root as usize;
+        while !self.leaf[i] {
+            i = self.step(i, row) as usize;
+        }
+        self.value[i]
+    }
+
+    /// Rows walked simultaneously by the batch kernels. A scalar tree walk
+    /// is one serial dependent-load chain (every step waits on the previous
+    /// node fetch); interleaving a block of rows keeps that many independent
+    /// chains — and, for ensembles larger than cache, that many outstanding
+    /// memory requests — in flight at once.
+    pub const BLOCK: usize = 16;
+
+    /// Walk one block of up to [`Self::BLOCK`] rows through the tree,
+    /// accumulating `scale * prediction` into `out[k]` for row `rows[k]`.
+    /// The rows' walk cursors advance level-by-level in an interleaved loop,
+    /// so the per-row dependent-load chains overlap. Per-row results are
+    /// bit-identical to `out[k] += scale * self.predict_row(rows[k])`.
+    ///
+    /// Callers that predict a whole ensemble over one decision batch fetch
+    /// the row slices once and reuse them across every tree.
+    ///
+    /// # Panics
+    /// Panics when `rows.len() > BLOCK` or `out.len() != rows.len()`.
+    pub fn accumulate_block(&self, rows: &[&[f64]], scale: f64, out: &mut [f64]) {
+        assert!(rows.len() <= Self::BLOCK, "block larger than BLOCK");
+        assert_eq!(out.len(), rows.len(), "one accumulator slot per row");
+        if self.is_empty() {
+            return;
+        }
+        let len = rows.len();
+        let mut cursors = [self.root; Self::BLOCK];
+        if self.depth <= Self::MAX_FIXED_PASSES {
+            // Branchless fixed-pass walk: every pass advances every cursor
+            // (leaves self-loop), so the inner loop has no data-dependent
+            // branch at all — just interleaved loads and selects.
+            for _ in 0..self.depth {
+                for k in 0..len {
+                    cursors[k] = self.step(cursors[k] as usize, rows[k]);
+                }
+            }
+        } else {
+            // Pathologically deep chain: early-exit walk.
+            loop {
+                let mut pending = false;
+                for k in 0..len {
+                    let i = cursors[k] as usize;
+                    if !self.leaf[i] {
+                        cursors[k] = self.step(i, rows[k]);
+                        pending = true;
+                    }
+                }
+                if !pending {
+                    break;
+                }
+            }
+        }
+        for (slot, &c) in out.iter_mut().zip(&cursors) {
+            *slot += scale * self.value[c as usize];
+        }
+    }
+
+    /// Walk every row of `x` through the tree, accumulating `scale *
+    /// prediction` into `out` (one slot per row). This is the trees-outer
+    /// batch kernel for large matrices: the caller loops over trees, so each
+    /// tree's node arrays stay hot in cache while the whole matrix streams
+    /// through them, block by interleaved block. Per-row results are
+    /// bit-identical to `out[i] += scale * self.predict_row(x.row(i))`.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != x.n_rows()`.
+    pub fn accumulate_into(&self, x: &FeatureMatrix, scale: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), x.n_rows(), "one accumulator slot per row");
+        if self.is_empty() {
+            return;
+        }
+        let n = x.n_rows();
+        let empty: &[f64] = &[];
+        let mut rows: [&[f64]; Self::BLOCK] = [empty; Self::BLOCK];
+        let mut start = 0;
+        while start < n {
+            let len = Self::BLOCK.min(n - start);
+            for (k, slot) in rows.iter_mut().enumerate().take(len) {
+                *slot = x.row(start + k);
+            }
+            self.accumulate_block(&rows[..len], scale, &mut out[start..start + len]);
+            start += len;
+        }
+    }
+
+    /// Accumulate a whole ensemble of `(tree, scale)` pairs over `x` into
+    /// `out`, allocation-free. A decision-sized batch (≤ [`Self::BLOCK`]
+    /// rows — the scheduler's candidate set) fetches its row slices into a
+    /// stack array once and streams every tree through them; larger matrices
+    /// run trees-outer over interleaved blocks. Per-row results are
+    /// bit-identical to accumulating `scale * tree.predict_row(row)` in the
+    /// same tree order.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != x.n_rows()`.
+    pub fn accumulate_ensemble<'t>(
+        trees: impl Iterator<Item = (&'t FlatTree, f64)>,
+        x: &FeatureMatrix,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), x.n_rows(), "one accumulator slot per row");
+        let n = x.n_rows();
+        if n <= Self::BLOCK {
+            let empty: &[f64] = &[];
+            let mut rows: [&[f64]; Self::BLOCK] = [empty; Self::BLOCK];
+            for (k, slot) in rows.iter_mut().enumerate().take(n) {
+                *slot = x.row(k);
+            }
+            for (tree, scale) in trees {
+                tree.accumulate_block(&rows[..n], scale, out);
+            }
+        } else {
+            for (tree, scale) in trees {
+                tree.accumulate_into(x, scale, out);
+            }
+        }
+    }
+
+    /// Render the canonical nested node list (preorder: parent, left subtree,
+    /// right subtree — the order the recursive builder historically
+    /// produced). Iterative (explicit stacks), so an arbitrarily deep chain
+    /// serializes without recursing once per level.
+    pub fn to_nodes(&self) -> Vec<TreeNode> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        // Pass 1: subtree sizes, iterative post-order.
+        let n = self.node_count();
+        let mut size = vec![0usize; n];
+        let mut stack: Vec<(usize, bool)> = vec![(self.root as usize, false)];
+        while let Some((i, expanded)) = stack.pop() {
+            if self.leaf[i] {
+                size[i] = 1;
+                continue;
+            }
+            let [l, r] = self.children[i];
+            if expanded {
+                size[i] = 1 + size[l as usize] + size[r as usize];
+            } else {
+                stack.push((i, true));
+                stack.push((l as usize, false));
+                stack.push((r as usize, false));
+            }
+        }
+        // Pass 2: preorder emit; a split's left child is the next emitted
+        // node, its right child follows the whole left subtree.
+        let mut out = Vec::with_capacity(n);
+        let mut walk: Vec<usize> = vec![self.root as usize];
+        while let Some(i) = walk.pop() {
+            if self.leaf[i] {
+                out.push(TreeNode::Leaf {
+                    prediction: self.value[i],
+                    samples: self.samples[i] as usize,
+                });
+                continue;
+            }
+            let [l, r] = self.children[i];
+            let idx = out.len();
+            out.push(TreeNode::Split {
+                feature: self.feature[i] as usize,
+                threshold: self.threshold[i],
+                left: idx + 1,
+                right: idx + 1 + size[l as usize],
+                samples: self.samples[i] as usize,
+            });
+            walk.push(r as usize);
+            walk.push(l as usize);
+        }
+        out
+    }
+
+    /// Rebuild a flat tree from the canonical nested node list. Iterative
+    /// (explicit stack), so a hostile or pathologically deep archive returns
+    /// an error or a tree — never a stack overflow. Out-of-bounds child
+    /// indices and cycles are rejected.
+    pub fn from_nodes(nodes: &[TreeNode]) -> Result<FlatTree, String> {
+        let mut tree = FlatTree::default();
+        if nodes.is_empty() {
+            return Ok(tree);
+        }
+        let mut visited = vec![false; nodes.len()];
+        // (canonical index, link to patch: (parent slot, child position)).
+        let mut stack: Vec<(usize, Option<(u32, usize)>)> = vec![(0, None)];
+        while let Some((idx, link)) = stack.pop() {
+            let node = nodes
+                .get(idx)
+                .ok_or_else(|| format!("node index {idx} out of bounds"))?;
+            if std::mem::replace(&mut visited[idx], true) {
+                return Err(format!("node index {idx} visited twice (cycle)"));
+            }
+            let slot = match *node {
+                TreeNode::Leaf {
+                    prediction,
+                    samples,
+                } => tree.push_leaf(prediction, samples),
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    samples,
+                } => {
+                    let slot = tree.push_split_slot(samples);
+                    tree.feature[slot as usize] = feature as u32;
+                    tree.threshold[slot as usize] = threshold;
+                    // LIFO: push right first so the left subtree flattens
+                    // first — the builder's historical preorder.
+                    stack.push((right, Some((slot, 1))));
+                    stack.push((left, Some((slot, 0))));
+                    slot
+                }
+            };
+            match link {
+                None => tree.root = slot,
+                Some((parent, pos)) => tree.children[parent as usize][pos] = slot,
+            }
+        }
+        tree.finalize_depth();
+        Ok(tree)
+    }
+
+    /// The largest feature index any split tests, or `None` for a tree with
+    /// no splits. Deserialization checks this against the declared feature
+    /// count so a loaded archive cannot panic the prediction walk.
+    pub fn max_split_feature(&self) -> Option<u32> {
+        self.feature
+            .iter()
+            .zip(&self.leaf)
+            .filter(|&(_, &is_leaf)| !is_leaf)
+            .map(|(&f, _)| f)
+            .max()
+    }
+
+    /// Depth of the tree (0 for a single leaf or an empty tree).
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+}
+
 /// A fitted regression tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     config: DecisionTreeConfig,
-    nodes: Vec<Node>,
+    tree: FlatTree,
     n_features: usize,
     /// Sum of variance reduction attributed to each feature (impurity importance).
     feature_importance: Vec<f64>,
     fitted: bool,
+}
+
+/// Trees serialize in the canonical nested form (a [`TreeNode`] list) and
+/// re-flatten on deserialize, so the on-disk shape is independent of the flat
+/// in-memory layout and archives cannot smuggle in inconsistent parallel
+/// arrays.
+impl Serialize for DecisionTree {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("config".to_string()),
+                self.config.serialize_value(),
+            ),
+            (
+                serde::Value::Str("nodes".to_string()),
+                self.tree.to_nodes().serialize_value(),
+            ),
+            (
+                serde::Value::Str("n_features".to_string()),
+                self.n_features.serialize_value(),
+            ),
+            (
+                serde::Value::Str("feature_importance".to_string()),
+                self.feature_importance.serialize_value(),
+            ),
+            (
+                serde::Value::Str("fitted".to_string()),
+                self.fitted.serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for DecisionTree {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for DecisionTree"))?;
+        let config = DecisionTreeConfig::deserialize_value(serde::get_field(map, "config")?)?;
+        let nodes: Vec<TreeNode> = Deserialize::deserialize_value(serde::get_field(map, "nodes")?)?;
+        let tree = FlatTree::from_nodes(&nodes).map_err(serde::Error::custom)?;
+        let n_features: usize =
+            Deserialize::deserialize_value(serde::get_field(map, "n_features")?)?;
+        // The walk indexes rows by split feature directly (the zero-padding
+        // tolerance is gone), so an archive whose splits test columns beyond
+        // the declared width must be rejected here, not crash a decision.
+        if let Some(max_feature) = tree.max_split_feature() {
+            if max_feature as usize >= n_features {
+                return Err(serde::Error::custom(format!(
+                    "split feature index {max_feature} out of range for {n_features} features"
+                )));
+            }
+        }
+        Ok(DecisionTree {
+            config,
+            tree,
+            n_features,
+            feature_importance: Deserialize::deserialize_value(serde::get_field(
+                map,
+                "feature_importance",
+            )?)?,
+            fitted: Deserialize::deserialize_value(serde::get_field(map, "fitted")?)?,
+        })
+    }
 }
 
 impl Default for DecisionTree {
@@ -68,7 +517,7 @@ impl Default for DecisionTree {
 }
 
 struct BuildCtx<'a> {
-    rows: &'a [Vec<f64>],
+    x: &'a FeatureMatrix,
     targets: &'a [f64],
     config: DecisionTreeConfig,
 }
@@ -78,7 +527,7 @@ impl DecisionTree {
     pub fn new(config: DecisionTreeConfig) -> Self {
         DecisionTree {
             config,
-            nodes: Vec::new(),
+            tree: FlatTree::default(),
             n_features: 0,
             feature_importance: Vec::new(),
             fitted: false,
@@ -92,24 +541,28 @@ impl DecisionTree {
 
     /// Number of nodes in the fitted tree.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.tree.node_count()
     }
 
     /// Depth of the fitted tree (0 for a single leaf).
     pub fn depth(&self) -> usize {
-        fn depth_of(nodes: &[Node], idx: usize) -> usize {
-            match &nodes[idx] {
-                Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
-                }
-            }
-        }
-        if self.nodes.is_empty() {
-            0
-        } else {
-            depth_of(&self.nodes, 0)
-        }
+        self.tree.depth()
+    }
+
+    /// Number of feature columns the tree was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The flat struct-of-arrays representation.
+    pub fn flat(&self) -> &FlatTree {
+        &self.tree
+    }
+
+    /// The canonical nested node list (the serialized form, and the reference
+    /// representation for differential tests).
+    pub fn canonical_nodes(&self) -> Vec<TreeNode> {
+        self.tree.to_nodes()
     }
 
     /// Impurity-based feature importance (normalized to sum to 1 when any
@@ -125,40 +578,56 @@ impl DecisionTree {
     /// Fit on all rows of `data`.
     pub fn fit(&mut self, data: &Dataset, rng: &mut Rng) {
         let indices: Vec<usize> = (0..data.len()).collect();
-        self.fit_on_indices(data, &indices, rng);
+        self.fit_on_matrix(data.matrix(), data.targets(), &indices, rng);
     }
 
-    /// Fit on a subset of row indices (used by bootstrap aggregation).
+    /// Fit on a subset of row indices of a dataset (bootstrap aggregation).
     pub fn fit_on_indices(&mut self, data: &Dataset, indices: &[usize], rng: &mut Rng) {
-        self.n_features = data.n_features();
-        self.nodes.clear();
+        self.fit_on_matrix(data.matrix(), data.targets(), indices, rng);
+    }
+
+    /// Fit on a subset of row indices of a raw `(matrix, targets)` pair —
+    /// the allocation-free entry point boosting uses to refit residual
+    /// targets each round without rebuilding a feature container.
+    pub fn fit_on_matrix(
+        &mut self,
+        x: &FeatureMatrix,
+        targets: &[f64],
+        indices: &[usize],
+        rng: &mut Rng,
+    ) {
+        self.n_features = x.n_features();
+        self.tree = FlatTree::default();
         self.feature_importance = vec![0.0; self.n_features];
-        if indices.is_empty() || data.is_empty() {
-            self.nodes.push(Node::Leaf {
-                prediction: data.target_mean(),
-                samples: 0,
-            });
+        if indices.is_empty() || x.is_empty() {
+            let mean = if targets.is_empty() {
+                0.0
+            } else {
+                targets.iter().sum::<f64>() / targets.len() as f64
+            };
+            self.tree.root = self.tree.push_leaf(mean, 0);
             self.fitted = true;
             return;
         }
         let ctx = BuildCtx {
-            rows: data.rows(),
-            targets: data.targets(),
+            x,
+            targets,
             config: self.config,
         };
         let mut idx = indices.to_vec();
-        self.build_node(&ctx, &mut idx, 0, rng);
+        self.tree.root = self.build_node(&ctx, &mut idx, 0, rng);
+        self.tree.finalize_depth();
         self.fitted = true;
     }
 
-    /// Recursively build a node over `indices`, returning its index in `self.nodes`.
+    /// Recursively build a node over `indices`, returning its flat cursor.
     fn build_node(
         &mut self,
         ctx: &BuildCtx<'_>,
         indices: &mut [usize],
         depth: usize,
         rng: &mut Rng,
-    ) -> usize {
+    ) -> u32 {
         let n = indices.len();
         let (sum, sum_sq) = indices.iter().fold((0.0, 0.0), |(s, ss), &i| {
             let y = ctx.targets[i];
@@ -167,17 +636,8 @@ impl DecisionTree {
         let mean = sum / n as f64;
         let variance = (sum_sq / n as f64 - mean * mean).max(0.0);
 
-        let make_leaf = |nodes: &mut Vec<Node>| {
-            let idx = nodes.len();
-            nodes.push(Node::Leaf {
-                prediction: mean,
-                samples: n,
-            });
-            idx
-        };
-
         if depth >= ctx.config.max_depth || n < ctx.config.min_samples_split || variance < 1e-12 {
-            return make_leaf(&mut self.nodes);
+            return self.tree.push_leaf(mean, n);
         }
 
         // Candidate features for this split.
@@ -191,8 +651,9 @@ impl DecisionTree {
         for &feature in &feature_candidates {
             // Sort indices by this feature.
             indices.sort_by(|&a, &b| {
-                ctx.rows[a][feature]
-                    .partial_cmp(&ctx.rows[b][feature])
+                ctx.x
+                    .get(a, feature)
+                    .partial_cmp(&ctx.x.get(b, feature))
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             // Prefix sums for O(n) split scan.
@@ -204,8 +665,8 @@ impl DecisionTree {
                 left_sum += y;
                 left_sq += y * y;
                 // Only split between distinct feature values.
-                let prev = ctx.rows[indices[split_at - 1]][feature];
-                let next = ctx.rows[indices[split_at]][feature];
+                let prev = ctx.x.get(indices[split_at - 1], feature);
+                let next = ctx.x.get(indices[split_at], feature);
                 if next <= prev {
                     continue;
                 }
@@ -229,69 +690,57 @@ impl DecisionTree {
         }
 
         let Some((feature, threshold, reduction)) = best else {
-            return make_leaf(&mut self.nodes);
+            return self.tree.push_leaf(mean, n);
         };
         self.feature_importance[feature] += reduction;
 
         // Partition indices in place around the chosen split.
         indices.sort_by(|&a, &b| {
-            ctx.rows[a][feature]
-                .partial_cmp(&ctx.rows[b][feature])
+            ctx.x
+                .get(a, feature)
+                .partial_cmp(&ctx.x.get(b, feature))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let split_at = indices
             .iter()
-            .position(|&i| ctx.rows[i][feature] > threshold)
+            .position(|&i| ctx.x.get(i, feature) > threshold)
             .unwrap_or(indices.len());
-        // Reserve this node's slot before building children so the root ends
-        // up at index 0.
-        let node_idx = self.nodes.len();
-        self.nodes.push(Node::Leaf {
-            prediction: mean,
-            samples: n,
-        });
+        // Reserve this node's slot before building children so the canonical
+        // emit order (parent, left subtree, right subtree) is preserved.
+        let slot = self.tree.push_split_slot(n);
+        self.tree.feature[slot as usize] = feature as u32;
+        self.tree.threshold[slot as usize] = threshold;
         let (left_idx_slice, right_idx_slice) = indices.split_at_mut(split_at);
         let left = self.build_node(ctx, left_idx_slice, depth + 1, rng);
         let right = self.build_node(ctx, right_idx_slice, depth + 1, rng);
-        self.nodes[node_idx] = Node::Split {
-            feature,
-            threshold,
-            left,
-            right,
-            samples: n,
-        };
-        node_idx
+        self.tree.children[slot as usize] = [left, right];
+        slot
     }
 
-    /// Predict the target for one row.
+    /// Predict the target for one full-width row.
+    ///
+    /// # Panics
+    /// Panics when the row is shorter than the features the tree splits on —
+    /// malformed feature vectors fail loudly instead of predicting from
+    /// zero-padding.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        if self.nodes.is_empty() {
-            return 0.0;
-        }
-        let mut idx = 0;
-        loop {
-            match &self.nodes[idx] {
-                Node::Leaf { prediction, .. } => return *prediction,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                    ..
-                } => {
-                    idx = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
-                        *left
-                    } else {
-                        *right
-                    };
-                }
-            }
-        }
+        self.tree.predict_row(row)
+    }
+
+    /// Predict every row of a feature matrix into a reused output buffer
+    /// (cleared and refilled) via the interleaved batch kernel.
+    pub fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(x.n_rows(), 0.0);
+        // 0.0 + 1.0 · v == v exactly, so this matches a per-row fill.
+        self.tree.accumulate_into(x, 1.0, out);
     }
 
     /// Predict every row of a dataset.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        data.rows().iter().map(|r| self.predict_row(r)).collect()
+        let mut out = Vec::new();
+        self.predict_into(data.matrix(), &mut out);
+        out
     }
 }
 
@@ -393,6 +842,7 @@ mod tests {
         let mut tree = DecisionTree::default();
         tree.fit(&d, &mut rng);
         assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.flat().leaf_count(), 1);
         assert_eq!(tree.predict_row(&[100.0]), 5.0);
         assert_eq!(tree.depth(), 0);
     }
@@ -408,6 +858,7 @@ mod tests {
         // Unfitted tree also predicts 0.
         let unfitted = DecisionTree::default();
         assert_eq!(unfitted.predict_row(&[1.0]), 0.0);
+        assert!(unfitted.flat().is_empty());
     }
 
     #[test]
@@ -460,13 +911,150 @@ mod tests {
     }
 
     #[test]
-    fn predict_handles_short_rows_gracefully() {
+    fn predict_into_matches_predict_row_and_handles_empty_batches() {
+        let data = nonlinear_dataset(150, 15);
+        let mut rng = Rng::seed_from_u64(16);
+        let mut tree = DecisionTree::default();
+        tree.fit(&data, &mut rng);
+        let mut batch = Vec::new();
+        tree.predict_into(data.matrix(), &mut batch);
+        assert_eq!(batch.len(), data.len());
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b, tree.predict_row(data.row(i)), "row {i}");
+        }
+        // Empty batch: output is cleared to empty, nothing panics.
+        let empty = FeatureMatrix::new(2);
+        tree.predict_into(&empty, &mut batch);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn canonical_nodes_roundtrip_through_flat_form() {
+        let data = nonlinear_dataset(200, 17);
+        let mut rng = Rng::seed_from_u64(18);
+        let mut tree = DecisionTree::default();
+        tree.fit(&data, &mut rng);
+        let nodes = tree.canonical_nodes();
+        assert_eq!(nodes.len(), tree.node_count());
+        // Root first, and it references in-bounds children.
+        let rebuilt = FlatTree::from_nodes(&nodes).unwrap();
+        assert_eq!(&rebuilt, tree.flat());
+        // A corrupt node list (cycle) is rejected, not trusted.
+        let cycle = vec![TreeNode::Split {
+            feature: 0,
+            threshold: 1.0,
+            left: 0,
+            right: 0,
+            samples: 2,
+        }];
+        assert!(FlatTree::from_nodes(&cycle).is_err());
+        let oob = vec![TreeNode::Split {
+            feature: 0,
+            threshold: 1.0,
+            left: 1,
+            right: 7,
+            samples: 2,
+        }];
+        assert!(FlatTree::from_nodes(&oob).is_err());
+    }
+
+    #[test]
+    fn deserialization_rejects_out_of_range_split_features() {
+        let data = step_dataset();
+        let mut rng = Rng::seed_from_u64(20);
+        let mut tree = DecisionTree::default();
+        tree.fit(&data, &mut rng);
+        // Round-trips cleanly as serialized.
+        let value = tree.serialize_value();
+        assert_eq!(DecisionTree::deserialize_value(&value).unwrap(), tree);
+        // Tamper: a split testing column 7 of a 1-feature model must be
+        // rejected at load time, not panic the first prediction.
+        let bad_nodes = vec![
+            TreeNode::Split {
+                feature: 7,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+                samples: 2,
+            },
+            TreeNode::Leaf {
+                prediction: 1.0,
+                samples: 1,
+            },
+            TreeNode::Leaf {
+                prediction: 2.0,
+                samples: 1,
+            },
+        ];
+        let serde::Value::Map(mut entries) = value else {
+            panic!("trees serialize as maps");
+        };
+        for (key, field) in &mut entries {
+            if key.as_str() == Some("nodes") {
+                *field = bad_nodes.serialize_value();
+            }
+        }
+        let err = DecisionTree::deserialize_value(&serde::Value::Map(entries))
+            .expect_err("out-of-range split feature must not load");
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn deep_chain_archives_do_not_overflow_the_stack() {
+        // A 50 000-level left-leaning chain is flat JSON (indices, not
+        // nesting): (de)serialization and depth bookkeeping must all be
+        // iterative, and the batch walk must take the early-exit path
+        // rather than 50 000 fixed passes.
+        let depth = 50_000usize;
+        let mut nodes = Vec::with_capacity(2 * depth + 1);
+        for i in 0..depth {
+            nodes.push(TreeNode::Split {
+                feature: 0,
+                threshold: -((i as f64) + 1.0),
+                left: i + 1,
+                right: depth + 1 + i,
+                samples: depth - i,
+            });
+        }
+        // Chain end, then one right leaf per split.
+        nodes.push(TreeNode::Leaf {
+            prediction: -1.0,
+            samples: 1,
+        });
+        for i in 0..depth {
+            nodes.push(TreeNode::Leaf {
+                prediction: i as f64,
+                samples: 1,
+            });
+        }
+        let tree = FlatTree::from_nodes(&nodes).unwrap();
+        assert_eq!(tree.depth(), depth);
+        assert_eq!(tree.node_count(), nodes.len());
+        // 0.0 > every threshold: the walk exits right at the first split.
+        assert_eq!(tree.predict_row(&[0.0]), 0.0);
+        // -∞ is <= every threshold: the walk runs the whole chain.
+        assert_eq!(tree.predict_row(&[f64::NEG_INFINITY]), -1.0);
+        let mut probes = FeatureMatrix::new(1);
+        probes.push_row(&[0.0]);
+        probes.push_row(&[f64::NEG_INFINITY]);
+        let mut out = vec![0.0; 2];
+        tree.accumulate_block(&[probes.row(0), probes.row(1)], 1.0, &mut out);
+        assert_eq!(out, vec![0.0, -1.0]);
+        // Re-serialization of the deep tree is iterative too.
+        let reserialized = tree.to_nodes();
+        assert_eq!(reserialized.len(), nodes.len());
+        assert_eq!(&FlatTree::from_nodes(&reserialized).unwrap(), &tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn short_rows_fail_loudly() {
         let data = step_dataset();
         let mut rng = Rng::seed_from_u64(14);
         let mut tree = DecisionTree::default();
         tree.fit(&data, &mut rng);
-        // Missing feature values are treated as 0.0 (go left).
-        let pred = tree.predict_row(&[]);
-        assert_eq!(pred, 10.0);
+        // A row missing the split feature is malformed input: no silent
+        // zero-padding, the walk panics.
+        let _ = tree.predict_row(&[]);
     }
 }

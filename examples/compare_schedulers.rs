@@ -50,7 +50,8 @@ fn main() {
         &train,
         &mut rng,
     );
-    let predictor = CompletionTimePredictor::new(dataset.schema.clone(), rf);
+    let predictor = CompletionTimePredictor::new(dataset.schema.clone(), rf)
+        .expect("dataset schema matches its own training data");
     let cluster = FabricTestbed::paper().cluster;
 
     let mut policies: Vec<Box<dyn JobScheduler>> = vec![

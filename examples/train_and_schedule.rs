@@ -63,7 +63,8 @@ fn main() {
     println!("best model: {best_kind} (R² = {best_r2:.3})");
 
     // --- 3. Use the trained model for a new placement decision. ---
-    let predictor = CompletionTimePredictor::new(dataset.schema.clone(), best_model);
+    let predictor = CompletionTimePredictor::new(dataset.schema.clone(), best_model)
+        .expect("dataset schema matches its own training data");
     let mut supervised = SupervisedScheduler::new(predictor);
     let mut kube_default = KubeDefaultScheduler::new(3);
 

@@ -154,7 +154,8 @@ fn supervised_choice_is_never_worse_on_average_than_random_choice() {
         &mut rng,
     );
     let predictor =
-        netsched::core::predictor::CompletionTimePredictor::new(dataset.schema.clone(), model);
+        netsched::core::predictor::CompletionTimePredictor::new(dataset.schema.clone(), model)
+            .expect("dataset schema matches its own training data");
 
     let mut model_total = 0.0;
     let mut random_total = 0.0;

@@ -1,0 +1,279 @@
+//! Differential property tests for the flat, batch-first model layer.
+//!
+//! The model stack was rewritten around struct-of-arrays [`FlatTree`]s and
+//! batch inference (`predict_into` / trees-outer accumulation). These tests
+//! pin the rewrite against the canonical nested-node reference: an enum walk
+//! over [`TreeNode`]s — the representation trees serialize as — re-implemented
+//! the obvious way. For random fitted trees, forests and GBDTs (including
+//! degenerate stumps, single-leaf trees and empty batches) the flat scalar
+//! walk, the batch kernel and the reference must agree **exactly** (bit
+//! identity, not tolerance), and serde round-trips through the canonical form
+//! must re-flatten to the same predictions.
+
+use netsched::mlcore::{
+    Dataset, DecisionTree, DecisionTreeConfig, FeatureMatrix, FlatTree, GradientBoosting,
+    GradientBoostingConfig, ModelConfig, ModelKind, RandomForest, RandomForestConfig, Regressor,
+    TrainedModel, TreeNode,
+};
+use netsched::simcore::rng::Rng;
+use proptest::prelude::*;
+
+/// The reference prediction: walk the canonical nested node list exactly the
+/// way the historical enum representation did.
+fn reference_walk(nodes: &[TreeNode], row: &[f64]) -> f64 {
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    let mut idx = 0usize;
+    loop {
+        match &nodes[idx] {
+            TreeNode::Leaf { prediction, .. } => return *prediction,
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                idx = if row[*feature] <= *threshold {
+                    *left
+                } else {
+                    *right
+                };
+            }
+        }
+    }
+}
+
+/// Reference forest prediction with the exact float-operation order of
+/// `RandomForest::predict_row`.
+fn reference_forest(forest: &RandomForest, row: &[f64]) -> f64 {
+    if forest.tree_count() == 0 {
+        return 0.0;
+    }
+    forest
+        .trees()
+        .iter()
+        .map(|t| reference_walk(&t.canonical_nodes(), row))
+        .sum::<f64>()
+        / forest.tree_count() as f64
+}
+
+/// Reference GBDT prediction with the exact float-operation order of
+/// `GradientBoosting::predict_row`.
+fn reference_gbdt(model: &GradientBoosting, row: &[f64]) -> f64 {
+    let mut pred = model.base_prediction();
+    for tree in model.trees() {
+        pred += model.learning_rate() * reference_walk(&tree.canonical_nodes(), row);
+    }
+    pred
+}
+
+/// Build a dataset from a flat value stream: `width` feature columns, the
+/// target derived from the same stream so it correlates with the features.
+fn dataset_from(values: &[f64], width: usize) -> Dataset {
+    let names = (0..width).map(|i| format!("f{i}")).collect();
+    let mut data = Dataset::new(names);
+    for chunk in values.chunks_exact(width + 1) {
+        data.push_row(&chunk[..width], chunk[width]).unwrap();
+    }
+    data
+}
+
+/// Probe rows: every training row plus a few out-of-distribution ones.
+fn probe_matrix(data: &Dataset) -> FeatureMatrix {
+    let width = data.n_features();
+    let mut probes = FeatureMatrix::new(width);
+    for i in 0..data.len() {
+        probes.push_row(data.row(i));
+    }
+    for v in [-1e9, 0.0, 0.5, 1e9] {
+        let row = probes.add_row();
+        row.fill(v);
+    }
+    probes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flat scalar walk, batch kernel and the canonical enum-walk reference
+    /// agree exactly for random fitted trees, including depth-0/1 stumps.
+    #[test]
+    fn flat_tree_matches_enum_walk_reference(
+        values in prop::collection::vec(0.0f64..100.0, 30..260),
+        width in 1usize..5,
+        max_depth in 0usize..9,
+        min_samples_leaf in 1usize..5,
+        subsample_features in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let data = dataset_from(&values, width);
+        let mut tree = DecisionTree::new(DecisionTreeConfig {
+            max_depth,
+            min_samples_split: 2,
+            min_samples_leaf,
+            max_features: if subsample_features == 1 { Some(1) } else { None },
+        });
+        let mut rng = Rng::seed_from_u64(seed);
+        tree.fit(&data, &mut rng);
+        prop_assert!(tree.depth() <= max_depth);
+
+        let nodes = tree.canonical_nodes();
+        prop_assert_eq!(nodes.len(), tree.node_count());
+        let probes = probe_matrix(&data);
+        let mut batch = Vec::new();
+        tree.predict_into(&probes, &mut batch);
+        prop_assert_eq!(batch.len(), probes.n_rows());
+        for (i, &batched) in batch.iter().enumerate() {
+            let row = probes.row(i);
+            let reference = reference_walk(&nodes, row);
+            prop_assert_eq!(tree.predict_row(row), reference);
+            prop_assert_eq!(batched, reference);
+        }
+
+        // The canonical form re-flattens to the identical flat tree, and an
+        // empty batch stays empty.
+        prop_assert_eq!(&FlatTree::from_nodes(&nodes).unwrap(), tree.flat());
+        tree.predict_into(&FeatureMatrix::new(width), &mut batch);
+        prop_assert!(batch.is_empty());
+    }
+
+    /// Forest and GBDT batch predictions equal their per-row paths and the
+    /// enum-walk reference exactly, for random ensembles.
+    #[test]
+    fn ensembles_match_enum_walk_reference(
+        values in prop::collection::vec(0.0f64..100.0, 60..240),
+        width in 1usize..4,
+        n_trees in 1usize..6,
+        n_rounds in 1usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let data = dataset_from(&values, width);
+        let probes = probe_matrix(&data);
+        let mut batch = Vec::new();
+
+        let mut forest = RandomForest::new(RandomForestConfig {
+            n_trees,
+            workers: 2,
+            tree: DecisionTreeConfig {
+                max_depth: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut rng = Rng::seed_from_u64(seed);
+        forest.fit(&data, &mut rng);
+        forest.predict_into(&probes, &mut batch);
+        for (i, &batched) in batch.iter().enumerate() {
+            let row = probes.row(i);
+            let reference = reference_forest(&forest, row);
+            prop_assert_eq!(forest.predict_row(row), reference);
+            prop_assert_eq!(batched, reference);
+        }
+
+        let mut gbdt = GradientBoosting::new(GradientBoostingConfig {
+            n_rounds,
+            validation_fraction: if seed % 2 == 0 { 0.0 } else { 0.2 },
+            ..Default::default()
+        });
+        gbdt.fit(&data, &mut rng);
+        gbdt.predict_into(&probes, &mut batch);
+        for (i, &batched) in batch.iter().enumerate() {
+            let row = probes.row(i);
+            let reference = reference_gbdt(&gbdt, row);
+            prop_assert_eq!(gbdt.predict_row(row), reference);
+            prop_assert_eq!(batched, reference);
+        }
+
+        // Empty batches stay empty for both ensembles.
+        forest.predict_into(&FeatureMatrix::new(width), &mut batch);
+        prop_assert!(batch.is_empty());
+        gbdt.predict_into(&FeatureMatrix::new(width), &mut batch);
+        prop_assert!(batch.is_empty());
+    }
+
+    /// Serde round-trips go through the canonical nested node form;
+    /// re-flattening must preserve every prediction exactly, per family.
+    #[test]
+    fn serde_roundtrip_reflattens_to_identical_predictions(
+        values in prop::collection::vec(0.0f64..100.0, 60..200),
+        width in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let data = dataset_from(&values, width);
+        let probes = probe_matrix(&data);
+        let config = ModelConfig {
+            forest: RandomForestConfig {
+                n_trees: 4,
+                workers: 2,
+                tree: DecisionTreeConfig { max_depth: 5, ..Default::default() },
+                ..Default::default()
+            },
+            gbdt: GradientBoostingConfig { n_rounds: 6, ..Default::default() },
+            ..Default::default()
+        };
+        let mut rng = Rng::seed_from_u64(seed);
+        for kind in ModelKind::ALL {
+            let model = TrainedModel::train(kind, &config, &data, &mut rng);
+            let restored = TrainedModel::from_json(&model.to_json()).unwrap();
+            prop_assert_eq!(restored.kind(), kind);
+            let mut original = Vec::new();
+            let mut reloaded = Vec::new();
+            model.predict_into(&probes, &mut original);
+            restored.predict_into(&probes, &mut reloaded);
+            prop_assert_eq!(&original, &reloaded);
+            for (i, &expected) in original.iter().enumerate() {
+                prop_assert_eq!(restored.predict_row(probes.row(i)), expected);
+            }
+        }
+    }
+}
+
+/// A degenerate stump (depth 0) is a single leaf: constant prediction, and
+/// the canonical form is one `Leaf` node.
+#[test]
+fn degenerate_stump_is_a_single_leaf() {
+    let mut data = Dataset::new(vec!["x".into()]);
+    for i in 0..10 {
+        data.push_row(&[i as f64], i as f64 * 2.0).unwrap();
+    }
+    let mut tree = DecisionTree::new(DecisionTreeConfig {
+        max_depth: 0,
+        ..Default::default()
+    });
+    let mut rng = Rng::seed_from_u64(3);
+    tree.fit(&data, &mut rng);
+    assert_eq!(tree.depth(), 0);
+    assert_eq!(tree.node_count(), 1);
+    let nodes = tree.canonical_nodes();
+    assert!(matches!(nodes[0], TreeNode::Leaf { .. }));
+    // Mean of 0,2,..,18 = 9.
+    assert_eq!(tree.predict_row(&[123.0]), 9.0);
+    let mut batch = Vec::new();
+    tree.predict_into(data.matrix(), &mut batch);
+    assert!(batch.iter().all(|&p| p == 9.0));
+}
+
+/// NaN feature values take the `>` branch in the flat walk — exactly what
+/// the historical enum walk's `<=` comparison did.
+#[test]
+fn nan_features_follow_the_enum_walk_direction() {
+    let mut data = Dataset::new(vec!["x".into()]);
+    for i in 0..10 {
+        let x = i as f64;
+        data.push_row(&[x], if x < 5.0 { 10.0 } else { 20.0 })
+            .unwrap();
+    }
+    let mut tree = DecisionTree::default();
+    let mut rng = Rng::seed_from_u64(1);
+    tree.fit(&data, &mut rng);
+    let nodes = tree.canonical_nodes();
+    let nan_row = [f64::NAN];
+    assert_eq!(tree.predict_row(&nan_row), reference_walk(&nodes, &nan_row));
+    let mut probes = FeatureMatrix::new(1);
+    probes.push_row(&nan_row);
+    let mut batch = Vec::new();
+    tree.predict_into(&probes, &mut batch);
+    assert_eq!(batch[0], reference_walk(&nodes, &nan_row));
+}

@@ -52,7 +52,7 @@ fn predictor(snapshot: &ClusterSnapshot) -> CompletionTimePredictor {
         }
     }
     let model = TrainedModel::train(ModelKind::Linear, &ModelConfig::default(), &data, &mut rng);
-    CompletionTimePredictor::new(schema, model)
+    CompletionTimePredictor::new(schema, model).expect("schema matches training data")
 }
 
 /// Fresh instances of all five policies, seeded identically.

@@ -73,6 +73,7 @@ fn concurrent_ingest_is_byte_identical_to_sequential_scrapes() {
             writer_workers: 1,
             queue_depth: 1,
             chunk_rounds: 1,
+            sync_work_threshold: 0,
         },
         IngestConfig {
             shard_count: 5,
@@ -80,6 +81,7 @@ fn concurrent_ingest_is_byte_identical_to_sequential_scrapes() {
             writer_workers: 3,
             queue_depth: 2,
             chunk_rounds: 3,
+            sync_work_threshold: 0,
         },
     ] {
         let mut concurrent = ConcurrentScrapeManager::with_ingest(config.clone(), ingest_config);
@@ -133,6 +135,7 @@ fn readers_only_observe_whole_scrape_rounds_during_ingest() {
             writer_workers: 2,
             queue_depth: 2,
             chunk_rounds: 1,
+            sync_work_threshold: 0,
         },
     );
     let reader = manager.reader();
