@@ -16,6 +16,10 @@
 //!   history; with windowed queries the cost is history-independent.
 //! * `decision_e2e_1h` — a full `SchedulerService::schedule` call (fetch +
 //!   features + predict + rank + manifest) against the 1-hour store.
+//! * `decision_e2e_published_1h` — the same decision against an
+//!   epoch-published handle (`telemetry::publish`): the fetch collapses to
+//!   one atomic freshness check reusing the held `Arc`, so this leg isolates
+//!   what snapshot assembly still costs on the decision path.
 //!
 //! Medians are printed criterion-style and written to
 //! `results/BENCH_telemetry.json`. Run `-- --smoke` for a 1-round smoke
@@ -180,7 +184,7 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (rounds, history_secs, short_secs) = if smoke { (1, 60, 30) } else { (10, 3600, 600) };
 
-    let (mgr, naive_store, cluster) = scrape_history(history_secs);
+    let (mut mgr, naive_store, cluster) = scrape_history(history_secs);
     let (short_mgr, _, _) = scrape_history(short_secs);
     let at = SimTime::from_secs(history_secs);
     let short_at = SimTime::from_secs(short_secs);
@@ -236,10 +240,25 @@ fn main() {
         black_box(decision.ranking.len())
     });
 
+    // Activate epoch publishing only now, so the store-backed leg above
+    // measured the assembly path: once a handle exists the service adopts
+    // the published epoch and the per-decision fetch is a freshness check.
+    let published = mgr.published_handle();
+    let decision_published_ns =
+        measure("telemetry_fetch/decision_e2e_published_1h", rounds, || {
+            let decision = service.schedule(&request, &published, &cluster, at);
+            black_box(decision.ranking.len())
+        });
+
     let speedup = naive_ns / interned_into_ns.max(1.0);
     let history_ratio = interned_into_ns / short_ns.max(1.0);
     println!("fetch speedup over naive linear path: {speedup:.1}x");
     println!("1h-history vs 10min-history fetch cost ratio: {history_ratio:.2}x (→ 1.0 = history-independent)");
+    println!(
+        "decision vs published-source decision: {:.2}x (the gap is the snapshot \
+         assembly a published epoch skips)",
+        decision_ns / decision_published_ns.max(1.0)
+    );
 
     if smoke {
         println!("smoke mode: skipping results/BENCH_telemetry.json");
@@ -247,7 +266,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"snapshot_fetch_naive_1h_ns\": {naive_ns:.0},\n  \"snapshot_fetch_interned_1h_ns\": {interned_ns:.0},\n  \"snapshot_fetch_interned_into_1h_ns\": {interned_into_ns:.0},\n  \"snapshot_fetch_interned_into_10min_ns\": {short_ns:.0},\n  \"decision_e2e_1h_ns\": {decision_ns:.0},\n  \"fetch_speedup_over_naive\": {speedup:.2},\n  \"history_1h_vs_10min_ratio\": {history_ratio:.3}\n}}\n"
+        "{{\n  \"snapshot_fetch_naive_1h_ns\": {naive_ns:.0},\n  \"snapshot_fetch_interned_1h_ns\": {interned_ns:.0},\n  \"snapshot_fetch_interned_into_1h_ns\": {interned_into_ns:.0},\n  \"snapshot_fetch_interned_into_10min_ns\": {short_ns:.0},\n  \"decision_e2e_1h_ns\": {decision_ns:.0},\n  \"decision_e2e_published_1h_ns\": {decision_published_ns:.0},\n  \"fetch_speedup_over_naive\": {speedup:.2},\n  \"history_1h_vs_10min_ratio\": {history_ratio:.3}\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

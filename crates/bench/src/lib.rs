@@ -20,11 +20,64 @@ use simcore::rng::Rng;
 use sparksim::WorkloadKind;
 use telemetry::ClusterSnapshot;
 
+/// Latency percentiles over a set of nanosecond samples: the tail-latency
+/// columns the load-harness benches report alongside throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median (nanoseconds).
+    pub p50: f64,
+    /// 95th percentile (nanoseconds).
+    pub p95: f64,
+    /// 99th percentile (nanoseconds).
+    pub p99: f64,
+    /// Fastest sample (nanoseconds).
+    pub min: f64,
+    /// Slowest sample (nanoseconds).
+    pub max: f64,
+    /// Number of samples summarized.
+    pub samples: usize,
+}
+
+impl LatencySummary {
+    /// Nearest-rank percentiles over `samples` (sorted in place).
+    ///
+    /// Panics on an empty slice — a harness that produced no samples is a
+    /// harness bug, not a zero-latency run.
+    pub fn from_samples(samples: &mut [f64]) -> LatencySummary {
+        assert!(!samples.is_empty(), "percentiles need at least one sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pick = |q: f64| {
+            let rank = (q / 100.0 * samples.len() as f64).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
+        };
+        LatencySummary {
+            p50: pick(50.0),
+            p95: pick(95.0),
+            p99: pick(99.0),
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            samples: samples.len(),
+        }
+    }
+
+    /// The summary as a JSON object fragment (`{"p50_ns": …, "p95_ns": …,
+    /// "p99_ns": …, "samples": …}`), for the bench result files.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"p50_ns\": {:.0}, \"p95_ns\": {:.0}, \"p99_ns\": {:.0}, \"samples\": {}}}",
+            self.p50, self.p95, self.p99, self.samples
+        )
+    }
+}
+
 /// Criterion-style measurement shared by the hand-rolled (`harness = false`)
 /// benches: one warmup call calibrates the per-round iteration count toward
-/// ~50 ms, then `rounds` timed rounds run and the median ns/iter is printed
-/// (`name: N ns/iter (min .. max)`) and returned.
-pub fn measure<T>(name: &str, rounds: usize, mut f: impl FnMut() -> T) -> f64 {
+/// ~50 ms, then `rounds` timed rounds run and the per-round ns/iter
+/// distribution is printed (`name: N ns/iter (p95 …, p99 …, min … .. max …)`)
+/// and returned as a [`LatencySummary`]. Note the percentiles are over
+/// per-round *means* — for true per-operation tails, collect raw samples and
+/// use [`LatencySummary::from_samples`] directly.
+pub fn measure_summary<T>(name: &str, rounds: usize, mut f: impl FnMut() -> T) -> LatencySummary {
     use std::time::{Duration, Instant};
 
     let start = Instant::now();
@@ -44,14 +97,18 @@ pub fn measure<T>(name: &str, rounds: usize, mut f: impl FnMut() -> T) -> f64 {
         }
         results.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = results[results.len() / 2];
+    let summary = LatencySummary::from_samples(&mut results);
     println!(
-        "{name}: {median:.0} ns/iter (min {:.0} .. max {:.0})",
-        results[0],
-        results[results.len() - 1]
+        "{name}: {:.0} ns/iter (p95 {:.0}, p99 {:.0}, min {:.0} .. max {:.0})",
+        summary.p50, summary.p95, summary.p99, summary.min, summary.max
     );
-    median
+    summary
+}
+
+/// [`measure_summary`] returning only the median ns/iter — the shape most
+/// benches key their speedup ratios off.
+pub fn measure<T>(name: &str, rounds: usize, f: impl FnMut() -> T) -> f64 {
+    measure_summary(name, rounds, f).p50
 }
 
 /// A small but realistic dataset generated once per bench binary.
@@ -140,4 +197,39 @@ pub fn synthetic_logger(n: usize, seed: u64) -> ExecutionLogger {
         logger.log_execution(&snapshot, &request, "node-1", duration.max(1.0));
     }
     logger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let summary = LatencySummary::from_samples(&mut samples);
+        assert_eq!(summary.p50, 50.0);
+        assert_eq!(summary.p95, 95.0);
+        assert_eq!(summary.p99, 99.0);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 100.0);
+        assert_eq!(summary.samples, 100);
+    }
+
+    #[test]
+    fn percentiles_of_one_sample_collapse_to_it() {
+        let mut samples = vec![42.0];
+        let summary = LatencySummary::from_samples(&mut samples);
+        assert_eq!(summary.p50, 42.0);
+        assert_eq!(summary.p99, 42.0);
+        assert_eq!(summary.samples, 1);
+    }
+
+    #[test]
+    fn summary_json_has_the_tail_columns() {
+        let mut samples = vec![3.0, 1.0, 2.0];
+        let json = LatencySummary::from_samples(&mut samples).to_json();
+        for key in ["p50_ns", "p95_ns", "p99_ns", "samples"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
 }

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
-use telemetry::{ClusterSnapshot, SnapshotSource, TimeSeriesStore};
+use telemetry::{ClusterSnapshot, PublishedEpoch, SnapshotSource, TimeSeriesStore};
 
 /// Scheduler-side telemetry query configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -63,6 +63,28 @@ impl TelemetryFetcher {
         snapshot: &mut ClusterSnapshot,
     ) {
         metrics_server.snapshot_into(now, self.rate_window, snapshot);
+    }
+
+    /// The metrics server's latest published epoch number, when it publishes
+    /// immutable epoch snapshots (`None` for store-backed sources or before
+    /// the first publish). One atomic load — the freshness stamp services use
+    /// to skip refetching between scrapes entirely.
+    pub fn published_epoch<S: SnapshotSource + ?Sized>(&self, metrics_server: &S) -> Option<u64> {
+        metrics_server.published_epoch()
+    }
+
+    /// Fetch the latest **epoch-published immutable snapshot**, when the
+    /// metrics server publishes them ([`telemetry::PublishedSnapshot`] or a
+    /// scrape manager with an active publisher): the returned `Arc` is shared,
+    /// not copied — an atomic load plus a reference-count bump, regardless of
+    /// cluster size, with no store locks touched. Falls back to `None` for
+    /// plain store-backed sources, where callers use
+    /// [`TelemetryFetcher::fetch_into`].
+    pub fn fetch_published<S: SnapshotSource + ?Sized>(
+        &self,
+        metrics_server: &S,
+    ) -> Option<PublishedEpoch> {
+        metrics_server.published()
     }
 }
 

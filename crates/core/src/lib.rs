@@ -28,6 +28,13 @@
 //! caches feasibility filtering and owns the scratch buffers, so ranking a
 //! job allocates nothing but its output and batches amortize all shared work
 //! ([`schedulers::JobScheduler::select_batch`]).
+//!
+//! Telemetry reaches decisions through the [`telemetry::SnapshotSource`]
+//! seam. Against an **epoch-publishing** source (`telemetry::publish`) the
+//! service adopts the published immutable `Arc` snapshot zero-copy and, while
+//! no new epoch lands, reuses the held one after a single atomic freshness
+//! check — so any number of service clones serve bursts concurrently with
+//! live ingest, without touching a store lock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -77,8 +77,16 @@ pub struct SchedulerService {
     /// Reusable snapshot buffer: each fetch overwrites it in place instead of
     /// rebuilding the node table and RTT mesh. Decisions share it via `Arc`;
     /// when a caller still holds a previous decision's snapshot the next
-    /// fetch transparently copies on write.
+    /// fetch transparently copies on write. Against an epoch-publishing
+    /// metrics server this *is* the published epoch's own `Arc` — adopted,
+    /// never copied.
     snapshot_scratch: Arc<ClusterSnapshot>,
+    /// Epoch of the published snapshot currently held in `snapshot_scratch`
+    /// (`None` when the last fetch went through a non-publishing source).
+    /// The freshness fast-path: when the metrics server has published
+    /// nothing new since the last burst, the fetch is skipped entirely and
+    /// the held `Arc` is reused — one atomic load per burst.
+    held_epoch: Option<u64>,
 }
 
 impl SchedulerService {
@@ -94,6 +102,7 @@ impl SchedulerService {
             config,
             fallback_rng: Rng::seed_from_u64(seed),
             snapshot_scratch: Arc::new(ClusterSnapshot::default()),
+            held_epoch: None,
         }
     }
 
@@ -135,7 +144,10 @@ impl SchedulerService {
     /// Telemetry is fetched from `metrics_server` — any
     /// [`SnapshotSource`], including a [`telemetry::TelemetryReader`] over a
     /// concurrent ingest running on another thread, so decision bursts can
-    /// overlap with scraping. Feasibility comes from the cluster state.
+    /// overlap with scraping. A [`telemetry::PublishedSnapshot`] handle is
+    /// the fastest source: the decision adopts the published epoch's
+    /// immutable snapshot without locks or copies, and an unchanged epoch
+    /// skips the fetch entirely. Feasibility comes from the cluster state.
     /// Before a model is available the service falls back to a uniformly
     /// random feasible node (matching how the paper bootstraps its training
     /// data with varied `target_node` assignments).
@@ -192,11 +204,30 @@ impl SchedulerService {
     /// caller still holds a previous decision's snapshot, in which case the
     /// scratch is replaced with a fresh buffer (cheaper than cloning the old
     /// contents only to overwrite them).
+    ///
+    /// Against an **epoch-publishing** metrics server (see
+    /// [`telemetry::publish`]) no assembly happens at all: the published
+    /// epoch's immutable `Arc` is adopted as-is (an atomic load plus a
+    /// refcount bump), and while no new epoch has been published since the
+    /// last burst even that is skipped — the held `Arc` is reused after a
+    /// single atomic freshness check. Published snapshots carry their own
+    /// scrape time, so `now` only stamps the non-published fallback.
     fn fetch_shared<S: SnapshotSource + ?Sized>(
         &mut self,
         metrics_server: &S,
         now: SimTime,
     ) -> Arc<ClusterSnapshot> {
+        if let Some(epoch) = self.fetcher.published_epoch(metrics_server) {
+            if self.held_epoch == Some(epoch) {
+                return Arc::clone(&self.snapshot_scratch);
+            }
+            if let Some(published) = self.fetcher.fetch_published(metrics_server) {
+                self.held_epoch = Some(published.epoch);
+                self.snapshot_scratch = published.snapshot;
+                return Arc::clone(&self.snapshot_scratch);
+            }
+        }
+        self.held_epoch = None;
         let fetcher = self.fetcher;
         if Arc::get_mut(&mut self.snapshot_scratch).is_none() {
             self.snapshot_scratch = Arc::new(ClusterSnapshot::default());
@@ -445,6 +476,65 @@ mod tests {
         // After the ingest completes the reader serves the final state.
         let decision = service.schedule(&request(99), &reader, &cluster, SimTime::from_secs(2000));
         assert_eq!(decision.snapshot.node_names().len(), 4);
+    }
+
+    #[test]
+    fn published_source_decisions_match_store_backed_decisions() {
+        let (cluster, network, mut scrape) = test_world();
+        let published = scrape.published_handle();
+        // A publisher-free manager over the same scrape history: the
+        // store-backed reference the published path must agree with.
+        let mut plain = ScrapeManager::new(ScrapeConfig::default());
+        plain.scrape(&cluster, &network, SimTime::from_secs(1));
+        // Same seed, same world: adopting the published epoch's snapshot must
+        // produce the exact decisions the store-backed fetch produces.
+        let mut via_published = SchedulerService::new(SchedulerConfig::default(), 7);
+        let mut via_store = SchedulerService::new(SchedulerConfig::default(), 7);
+        // The published snapshot carries its own scrape time (t = 1), so the
+        // store-backed reference fetches at that same instant.
+        let now = SimTime::from_secs(1);
+        for i in 0..4 {
+            let p = via_published.schedule(&request(i), &published, &cluster, now);
+            let s = via_store.schedule(&request(i), &plain, &cluster, now);
+            assert_eq!(p.ranking, s.ranking);
+            assert_eq!(p.job.target_node, s.job.target_node);
+            assert_eq!(*p.snapshot, *s.snapshot);
+        }
+        // A fresh scrape publishes a new epoch; decisions pick it up.
+        scrape.scrape(&cluster, &network, SimTime::from_secs(6));
+        let d = via_published.schedule(&request(9), &published, &cluster, now);
+        assert_eq!(d.snapshot.time, SimTime::from_secs(6));
+        // Epoch numbers surface through the fetcher seam too.
+        assert_eq!(via_published.fetcher.published_epoch(&published), Some(2));
+    }
+
+    #[test]
+    fn unchanged_epoch_reuses_the_held_snapshot_arc() {
+        let (cluster, network, mut scrape) = test_world();
+        let published = scrape.published_handle();
+        let mut service = SchedulerService::new(SchedulerConfig::default(), 7);
+        let now = SimTime::from_secs(2);
+
+        // No epoch published between bursts: the service must hand out the
+        // very same Arc without refetching (the freshness fast-path).
+        let first = service.schedule(&request(0), &published, &cluster, now);
+        let second = service.schedule(&request(1), &published, &cluster, now);
+        assert!(Arc::ptr_eq(&first.snapshot, &second.snapshot));
+
+        // A new epoch invalidates the held snapshot.
+        scrape.scrape(&cluster, &network, SimTime::from_secs(6));
+        let third = service.schedule(&request(2), &published, &cluster, now);
+        assert!(!Arc::ptr_eq(&second.snapshot, &third.snapshot));
+        assert_eq!(third.snapshot.time, SimTime::from_secs(6));
+
+        // Switching to a non-publishing source falls back to assembly (and
+        // resets the held epoch so the next published fetch re-adopts).
+        let mut plain = ScrapeManager::new(ScrapeConfig::default());
+        plain.scrape(&cluster, &network, SimTime::from_secs(1));
+        let fourth = service.schedule(&request(3), &plain, &cluster, now);
+        assert!(!fourth.snapshot.is_empty());
+        let fifth = service.schedule(&request(4), &published, &cluster, now);
+        assert_eq!(fifth.snapshot.time, SimTime::from_secs(6));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! (same cadence grid, flat store) for callers that don't need overlap.
 
 use crate::exporters::ExporterLayout;
+use crate::publish::{PublishedEpoch, PublishedSnapshot, SnapshotPublisher};
 use crate::scrape::{ScrapeCadence, ScrapeConfig};
 use crate::shards::{ShardRouter, ShardedSeriesId};
 use crate::snapshot::{ClusterSnapshot, SnapshotSource};
@@ -391,6 +392,14 @@ pub struct ConcurrentScrapeManager {
     writers: Option<WriterPool>,
     cadence: ScrapeCadence,
     scrape_count: u64,
+    /// Epoch publisher, activated lazily by
+    /// [`ConcurrentScrapeManager::published_handle`]: once a handle has been handed
+    /// out, every committed round (or pipelined chunk) also publishes an
+    /// immutable snapshot, so published readers never touch the shards.
+    publisher: Option<SnapshotPublisher>,
+    /// Timestamp of the last committed scrape round (publish-on-activation:
+    /// a handle requested after scrapes immediately observes current state).
+    last_scrape: Option<SimTime>,
 }
 
 impl Drop for ConcurrentScrapeManager {
@@ -426,6 +435,8 @@ impl ConcurrentScrapeManager {
             writers: None,
             cadence: ScrapeCadence::default(),
             scrape_count: 0,
+            publisher: None,
+            last_scrape: None,
         }
     }
 
@@ -472,6 +483,44 @@ impl ConcurrentScrapeManager {
     pub fn reader(&self) -> TelemetryReader {
         TelemetryReader {
             shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A cheap cloneable handle over **epoch-published immutable snapshots**
+    /// (see [`crate::publish`]): one consistent [`ClusterSnapshot`] per
+    /// committed round, resolved by readers with a single atomic load and an
+    /// `Arc` clone — no shard locks, no waiting out in-flight commits, so
+    /// fetch latency is flat under live ingest.
+    ///
+    /// Publishing activates on the first call (scrape managers without a
+    /// handle outstanding pay nothing); state committed before activation is
+    /// published immediately, so the handle never lags the store at the
+    /// moment it is taken. Snapshots are published at each committed round's
+    /// own scrape time with the configured rate window — byte-identical to
+    /// what [`SnapshotSource::snapshot_into`] would assemble at that time.
+    pub fn published_handle(&mut self) -> PublishedSnapshot {
+        if self.publisher.is_none() {
+            let mut publisher = SnapshotPublisher::new();
+            if let Some(at) = self.last_scrape {
+                let shared = &self.shared;
+                let rate_window = self.config.rate_window;
+                publisher.publish_with(|snap| shared.snapshot_into(at, rate_window, snap));
+            }
+            self.publisher = Some(publisher);
+        }
+        self.publisher.as_ref().expect("publisher active").handle()
+    }
+
+    /// Record a committed round at `at` and, when publishing is active,
+    /// materialize + publish the next epoch's snapshot (copy-on-write over
+    /// the previous epoch; in steady state only the values that scrape
+    /// changed are rewritten, via the layout-generation fast path).
+    fn publish_round(&mut self, at: SimTime) {
+        self.last_scrape = Some(at);
+        if let Some(publisher) = &mut self.publisher {
+            let shared = &self.shared;
+            let rate_window = self.config.rate_window;
+            publisher.publish_with(|snap| shared.snapshot_into(at, rate_window, snap));
         }
     }
 
@@ -522,6 +571,7 @@ impl ConcurrentScrapeManager {
         let mut batches = vec![Vec::new(); self.shared.router.shard_count()];
         evaluate_round_into(&layout, cluster, network, now, &mut batches);
         self.commit_inline(&mut batches);
+        self.publish_round(now);
         self.scrape_count += 1;
         self.cadence.reanchor(now, self.config.interval);
     }
@@ -541,6 +591,7 @@ impl ConcurrentScrapeManager {
         let mut batches = vec![Vec::new(); self.shared.router.shard_count()];
         evaluate_round_into(&layout, cluster, network, now, &mut batches);
         self.commit_inline(&mut batches);
+        self.publish_round(now);
         self.scrape_count += 1;
         self.cadence.advance_on_grid(now, self.config.interval);
         true
@@ -581,6 +632,7 @@ impl ConcurrentScrapeManager {
             for &t in times {
                 evaluate_round_into(&layout, cluster, network, t, &mut batches);
                 self.commit_inline(&mut batches);
+                self.publish_round(t);
             }
             self.scrape_count += times.len() as u64;
             self.cadence
@@ -603,6 +655,14 @@ impl ConcurrentScrapeManager {
         let queue_depth = self.ingest.queue_depth.max(1);
         let layout = &layout;
         let cursor = AtomicUsize::new(0);
+        // Publishing, when active, happens on the dispatcher thread between
+        // chunks — right after a chunk's acks are collected the epoch is even
+        // and the writers are idle, so assembly never contends with appends.
+        // A chunk boundary is a round boundary, so every published epoch is a
+        // whole committed prefix of the schedule.
+        let mut publisher = self.publisher.take();
+        let publish_shared = Arc::clone(&self.shared);
+        let rate_window = self.config.rate_window;
 
         // Exact per-shard series counts, so chunk batches are allocated at
         // final size instead of growing through reallocation.
@@ -683,14 +743,28 @@ impl ConcurrentScrapeManager {
                 for _ in 0..inflight {
                     pool.ack_rx.recv().expect("writer workers alive");
                 }
+                if next > 0 {
+                    if let Some(publisher) = publisher.as_mut() {
+                        let at = *chunks[next - 1].last().expect("chunks are non-empty");
+                        publisher.publish_with(|snap| {
+                            publish_shared.snapshot_into(at, rate_window, snap)
+                        });
+                    }
+                }
                 inflight = pool.dispatch(batches);
             }
             for _ in 0..inflight {
                 pool.ack_rx.recv().expect("writer workers alive");
             }
+            if let Some(publisher) = publisher.as_mut() {
+                let at = *times.last().expect("non-empty");
+                publisher.publish_with(|snap| publish_shared.snapshot_into(at, rate_window, snap));
+            }
         })
         .expect("ingest workers must not panic");
 
+        self.publisher = publisher;
+        self.last_scrape = Some(*times.last().expect("non-empty"));
         self.scrape_count += times.len() as u64;
         self.cadence
             .reanchor(*times.last().expect("non-empty"), self.config.interval);
@@ -700,6 +774,17 @@ impl ConcurrentScrapeManager {
 impl SnapshotSource for ConcurrentScrapeManager {
     fn snapshot_into(&self, at: SimTime, rate_window: SimDuration, snap: &mut ClusterSnapshot) {
         self.shared.snapshot_into(at, rate_window, snap);
+    }
+
+    fn published(&self) -> Option<PublishedEpoch> {
+        self.publisher.as_ref().and_then(SnapshotPublisher::latest)
+    }
+
+    fn published_epoch(&self) -> Option<u64> {
+        match self.publisher.as_ref().map_or(0, SnapshotPublisher::epoch) {
+            0 => None,
+            epoch => Some(epoch),
+        }
     }
 }
 

@@ -24,6 +24,11 @@
 //!   evaluation workers and per-shard writer workers behind bounded queues,
 //!   with an epoch counter so readers ([`ingest::TelemetryReader`]) only
 //!   ever observe fully-committed scrape rounds.
+//! * [`publish`] — epoch-published immutable snapshots: the scrape managers
+//!   materialize one copy-on-write [`snapshot::ClusterSnapshot`] per
+//!   committed round and publish it behind an atomic epoch counter, so any
+//!   number of [`publish::PublishedSnapshot`] readers fetch consistent
+//!   cluster state without touching the store or its locks.
 //! * [`snapshot`] — the query surface the scheduler consumes: a
 //!   [`snapshot::ClusterSnapshot`] with per-node CPU/memory/tx/rx (densely
 //!   indexed by `cluster::NodeId`) and the `(NodeId, NodeId)`-keyed RTT
@@ -36,6 +41,7 @@
 pub mod exporters;
 pub mod ingest;
 pub mod metrics;
+pub mod publish;
 pub mod scrape;
 pub mod shards;
 pub mod snapshot;
@@ -44,6 +50,7 @@ pub mod store;
 pub use exporters::{node_exporter_samples, ping_mesh_samples, ExporterLayout};
 pub use ingest::{ConcurrentScrapeManager, IngestConfig, TelemetryReader};
 pub use metrics::{Labels, MetricKind, Sample, SeriesKey};
+pub use publish::{PublishedEpoch, PublishedSnapshot, SnapshotPublisher};
 pub use scrape::{ScrapeConfig, ScrapeManager};
 pub use shards::{ShardRouter, ShardedSeriesId, ShardedTimeSeriesStore};
 pub use snapshot::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry, RttMesh, SnapshotSource};

@@ -13,6 +13,7 @@
 //! is an operator action and re-anchors the grid at its own timestamp.
 
 use crate::exporters::{node_exporter_samples, ping_mesh_samples, ExporterLayout};
+use crate::publish::{PublishedEpoch, PublishedSnapshot, SnapshotPublisher};
 use crate::snapshot::{ClusterSnapshot, SnapshotSource};
 use crate::store::TimeSeriesStore;
 use cluster::ClusterState;
@@ -96,6 +97,14 @@ pub struct ScrapeManager {
     layout: Option<ExporterLayout>,
     cadence: ScrapeCadence,
     scrape_count: u64,
+    /// Epoch publisher (see [`crate::publish`]), activated lazily by
+    /// [`ScrapeManager::published_handle`]: once active, every scrape also publishes
+    /// an immutable snapshot of the new state. Cloning the manager detaches
+    /// the clone's publisher (fresh epochs; the original's handles keep
+    /// observing only the original).
+    publisher: Option<SnapshotPublisher>,
+    /// Timestamp of the last scrape (publish-on-activation support).
+    last_scrape: Option<SimTime>,
 }
 
 impl ScrapeManager {
@@ -111,6 +120,45 @@ impl ScrapeManager {
             layout: None,
             cadence: ScrapeCadence::default(),
             scrape_count: 0,
+            publisher: None,
+            last_scrape: None,
+        }
+    }
+
+    /// A cheap cloneable handle over epoch-published immutable snapshots
+    /// (see [`crate::publish`]): one consistent snapshot per scrape,
+    /// resolved by readers with an atomic load plus an `Arc` clone — never
+    /// touching the store. Publishing activates on the first call; state
+    /// scraped before activation is published immediately.
+    pub fn published_handle(&mut self) -> PublishedSnapshot {
+        if self.publisher.is_none() {
+            let mut publisher = SnapshotPublisher::new();
+            if let Some(at) = self.last_scrape {
+                let store = &self.store;
+                let layout = self.layout.as_ref();
+                let rate_window = self.config.rate_window;
+                publisher.publish_with(|snap| match layout {
+                    Some(layout) => layout.snapshot_into(store, at, rate_window, snap),
+                    None => snap.assemble_from_store(store, at, rate_window),
+                });
+            }
+            self.publisher = Some(publisher);
+        }
+        self.publisher.as_ref().expect("publisher active").handle()
+    }
+
+    /// Record a scrape at `now` and, when publishing is active, publish the
+    /// next epoch's snapshot (copy-on-write over the previous epoch).
+    fn publish_round(&mut self, now: SimTime) {
+        self.last_scrape = Some(now);
+        if let Some(publisher) = &mut self.publisher {
+            let store = &self.store;
+            let layout = self.layout.as_ref();
+            let rate_window = self.config.rate_window;
+            publisher.publish_with(|snap| match layout {
+                Some(layout) => layout.snapshot_into(store, now, rate_window, snap),
+                None => snap.assemble_from_store(store, now, rate_window),
+            });
         }
     }
 
@@ -160,6 +208,7 @@ impl ScrapeManager {
     /// re-anchoring the periodic schedule grid at `now`.
     pub fn scrape(&mut self, cluster: &ClusterState, network: &Network, now: SimTime) {
         self.scrape_inner(cluster, network, now);
+        self.publish_round(now);
         self.cadence.reanchor(now, self.config.interval);
     }
 
@@ -177,6 +226,7 @@ impl ScrapeManager {
             return false;
         }
         self.scrape_inner(cluster, network, now);
+        self.publish_round(now);
         self.cadence.advance_on_grid(now, self.config.interval);
         true
     }
@@ -201,6 +251,7 @@ impl ScrapeManager {
         self.store
             .append_all(ping_mesh_samples(cluster, network, now));
         self.scrape_count += 1;
+        self.publish_round(now);
         self.cadence.reanchor(now, self.config.interval);
     }
 }
@@ -208,6 +259,17 @@ impl ScrapeManager {
 impl SnapshotSource for ScrapeManager {
     fn snapshot_into(&self, at: SimTime, rate_window: SimDuration, snap: &mut ClusterSnapshot) {
         ScrapeManager::snapshot_into(self, at, rate_window, snap);
+    }
+
+    fn published(&self) -> Option<PublishedEpoch> {
+        self.publisher.as_ref().and_then(SnapshotPublisher::latest)
+    }
+
+    fn published_epoch(&self) -> Option<u64> {
+        match self.publisher.as_ref().map_or(0, SnapshotPublisher::epoch) {
+            0 => None,
+            epoch => Some(epoch),
+        }
     }
 }
 

@@ -587,6 +587,22 @@ pub trait SnapshotSource {
         self.snapshot_into(at, rate_window, &mut snap);
         snap
     }
+
+    /// The latest epoch-published immutable snapshot, when this source is
+    /// backed by a [`crate::SnapshotPublisher`] (`None` for plain
+    /// store-backed sources, and before the first publish). Epoch-aware
+    /// readers share the returned `Arc` instead of copying, and use the
+    /// epoch number as a freshness stamp.
+    fn published(&self) -> Option<crate::publish::PublishedEpoch> {
+        None
+    }
+
+    /// The latest published epoch number alone (one atomic load — no `Arc`
+    /// traffic), for freshness checks. `None` when this source does not
+    /// publish epochs or nothing has been published yet.
+    fn published_epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A dense, [`NodeId`]-indexed resolution of a [`ClusterSnapshot`] against

@@ -23,7 +23,7 @@
 //! | [`simnet`] | `simnet` | sites/links/flows, max-min fair sharing, RTT model, background load |
 //! | [`cluster`] | `cluster` | pods, nodes, resources, the default kube-scheduler, manifests |
 //! | [`sparksim`] | `sparksim` | stage DAGs, Sort/PageRank/Join workloads, the execution engine |
-//! | [`telemetry`] | `telemetry` | metric store, node/ping-mesh exporters, scrape loop, snapshots |
+//! | [`telemetry`] | `telemetry` | metric store, node/ping-mesh exporters, scrape loop, epoch-published snapshots |
 //! | [`mlcore`] | `mlcore` | linear regression, CART, random forest, gradient boosting, metrics |
 //! | [`experiments`] | `experiments` | the FABRIC testbed, the 60-config workflow, every table/figure harness |
 //!

@@ -11,6 +11,10 @@
 //!   another thread must only ever observe fully-committed scrape rounds:
 //!   every observed snapshot equals the state after some prefix of the
 //!   schedule, and successive observations advance monotonically.
+//! * **Whole-epoch publishing.** [`PublishedSnapshot`] readers polling while
+//!   ingest runs must only ever observe whole committed epochs: per-handle
+//!   epoch numbers are monotone, and every published snapshot is
+//!   byte-identical to the sequential scraper's snapshot for the same round.
 
 use netsched::cluster::{ClusterState, Node, Resources};
 use netsched::simcore::{SimDuration, SimTime};
@@ -170,4 +174,106 @@ fn readers_only_observe_whole_scrape_rounds_during_ingest() {
         "observed round indices must be monotone: {observed_indices:?}"
     );
     assert_eq!(*observed_indices.last().unwrap(), times.len());
+}
+
+#[test]
+fn published_readers_only_observe_whole_committed_epochs() {
+    let (cluster, network) = setup(3);
+    let times: Vec<SimTime> = (0..80u64).map(|i| SimTime::from_secs(i * 5)).collect();
+    let config = ScrapeConfig::default();
+    let window = config.rate_window;
+
+    // Every epoch the pipeline publishes is the state after some committed
+    // prefix of rounds, snapshotted at that round's own timestamp. Compute
+    // the reference for each prefix with the sequential scraper: published
+    // epoch bytes must match exactly.
+    let mut expected: Vec<String> = Vec::with_capacity(times.len());
+    let mut reference = ScrapeManager::new(config.clone());
+    for (i, &t) in times.iter().enumerate() {
+        reference.scrape(&cluster, &network, t);
+        let mut snap = ClusterSnapshot::default();
+        reference.snapshot_into(times[i], window, &mut snap);
+        expected.push(serde_json::to_string(&snap).unwrap());
+    }
+
+    let mut manager = ConcurrentScrapeManager::with_ingest(
+        config,
+        IngestConfig {
+            shard_count: 4,
+            eval_workers: 3,
+            writer_workers: 2,
+            queue_depth: 2,
+            chunk_rounds: 1,
+            sync_work_threshold: 0,
+        },
+    );
+    // Taken before any scrape: nothing published yet, so early polls see
+    // `None` rather than a torn or empty epoch.
+    let published = manager.published_handle();
+    assert!(published.latest().is_none());
+
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let (cluster_ref, network_ref, times_ref, done_ref) = (&cluster, &network, &times, &done);
+    let final_epoch = std::thread::scope(|scope| {
+        let ingest = scope.spawn(move || {
+            manager.ingest(cluster_ref, network_ref, times_ref);
+            done_ref.store(true, std::sync::atomic::Ordering::Release);
+            manager
+        });
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let published = published.clone();
+                let times = &times;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let mut distinct = 0usize;
+                    loop {
+                        let finished = done_ref.load(std::sync::atomic::Ordering::Acquire);
+                        if let Some(observed) = published.latest() {
+                            assert!(
+                                observed.epoch >= last_epoch,
+                                "epochs seen by one handle must be monotone \
+                                 ({} after {last_epoch})",
+                                observed.epoch
+                            );
+                            if observed.epoch > last_epoch {
+                                last_epoch = observed.epoch;
+                                distinct += 1;
+                                let round = times
+                                    .iter()
+                                    .position(|&t| t == observed.snapshot.time)
+                                    .expect("published snapshot stamped with a round time");
+                                let bytes = serde_json::to_string(&*observed.snapshot).unwrap();
+                                assert_eq!(
+                                    bytes, expected[round],
+                                    "epoch {} (round {round}) must be byte-identical \
+                                     to the sequential snapshot of that round",
+                                    observed.epoch
+                                );
+                            }
+                        }
+                        if finished {
+                            break;
+                        }
+                    }
+                    assert!(distinct >= 1, "reader never observed a committed epoch");
+                    last_epoch
+                })
+            })
+            .collect();
+        let epochs: Vec<u64> = readers.into_iter().map(|r| r.join().unwrap()).collect();
+        ingest.join().expect("ingest thread");
+        epochs.into_iter().max().unwrap()
+    });
+
+    // The pipeline publishes the final round once the last chunk commits, so
+    // every reader converges on it; this handle observes it too.
+    let last = published.latest().expect("final epoch published");
+    assert!(last.epoch >= final_epoch);
+    assert_eq!(last.snapshot.time, SimTime::from_secs(79 * 5));
+    assert_eq!(
+        serde_json::to_string(&*last.snapshot).unwrap(),
+        *expected.last().unwrap()
+    );
 }
