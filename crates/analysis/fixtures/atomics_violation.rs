@@ -1,0 +1,29 @@
+//! Fixture: atomics-discipline violations.
+//! Expected findings (see tests/fixture_checks.rs):
+//!   line 13 — Ordering::Relaxed without justification
+//!   line 17 — Ordering::SeqCst without justification
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn justified(counter: &AtomicU64) {
+    // ordering: counter is a pure tally, no publication through it.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn unjustified_relaxed(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn unjustified_seqcst(counter: &AtomicU64) {
+    counter.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_are_exempt() {
+        let c = AtomicU64::new(0);
+        c.store(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: determinism violations in a pinned-artifact module.
+//! Expected findings: lines 3 (x2, the use), 6 (wall clock), 9 (x2), 10, 11.
+use std::collections::{HashMap, HashSet};
+
+pub fn timestamped() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn randomized(keys: &[String]) -> (HashMap<String, u32>, HashSet<String>) {
+    let mut map = HashMap::new();
+    let mut set = HashSet::new();
+    for (i, k) in keys.iter().enumerate() {
+        map.insert(k.clone(), i as u32);
+        set.insert(k.clone());
+    }
+    (map, set)
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`.
+//! Expected: one unsafe-forbid finding at line 1.
+
+pub fn harmless() -> u32 {
+    42
+}

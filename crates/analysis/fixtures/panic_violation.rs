@@ -1,0 +1,32 @@
+//! Fixture: panic-surface violations in library code.
+//! Expected findings: lines 4, 9, 14 — test module exempt.
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expects(x: Result<u32, String>) -> u32 {
+    // An invariant comment does not exempt panics; only lint.toml does.
+    x.expect("should not happen")
+}
+
+pub fn todos(flag: bool) {
+    if flag {
+        todo!("unfinished branch");
+    }
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("impossible");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a protocol file whose Acquire loads have no Release store.
+//! Expected: one atomics-discipline pairing finding (anchored at line 9).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct HalfProtocol(AtomicU64);
+
+impl HalfProtocol {
+    pub fn read(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,151 @@
+//! The analysis driver: walk the workspace, lex + scope + lint every Rust
+//! file, subtract the baseline, and report.
+
+use crate::config::Config;
+use crate::lexer;
+use crate::lints::{self, Finding};
+use crate::scope;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a full `check` run.
+pub struct Report {
+    /// Findings not suppressed by the baseline, sorted for stable output.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by baseline entries.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Load the baseline file: one line-agnostic finding key per line, `#`
+/// comments and blank lines ignored. A missing file is an empty baseline.
+pub fn load_baseline(path: &Path) -> Result<BTreeSet<String>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+        Err(e) => return Err(format!("cannot read baseline {}: {e}", path.display())),
+    };
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Run the analyzer over the workspace rooted at `root`.
+pub fn check(root: &Path, config: &Config, baseline: &BTreeSet<String>) -> Result<Report, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for include in &config.include {
+        // `.` scans the root itself without polluting relative paths.
+        let base = if include == "." {
+            root.to_path_buf()
+        } else {
+            root.join(include)
+        };
+        if !base.exists() {
+            return Err(format!(
+                "include path `{include}` does not exist under {}",
+                root.display()
+            ));
+        }
+        collect_rust_files(&base, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for file in &files {
+        let rel = relative_path(root, file);
+        if config.exclude.iter().any(|e| is_excluded(&rel, e)) {
+            continue;
+        }
+        let src =
+            fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let tokens = lexer::lex(&src);
+        let scopes = scope::analyze(&src, &tokens, scope::path_is_test(&rel));
+        let input = lints::FileInput {
+            path: &rel,
+            src: &src,
+            tokens: &tokens,
+            scopes: &scopes,
+            is_crate_root: is_crate_root(&rel),
+        };
+        lints::run_all(&input, config, &mut findings);
+        files_scanned += 1;
+    }
+
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in findings {
+        if baseline.contains(&finding.baseline_key()) {
+            suppressed += 1;
+        } else {
+            kept.push(finding);
+        }
+    }
+    kept.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.lint,
+            b.message.as_str(),
+        ))
+    });
+    Ok(Report {
+        findings: kept,
+        suppressed,
+        files_scanned,
+    })
+}
+
+/// A crate root is any `src/lib.rs` — of the workspace package or of a
+/// member crate. These must carry `#![forbid(unsafe_code)]`.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs" || rel.ends_with("/src/lib.rs")
+}
+
+fn is_excluded(rel: &str, exclude: &str) -> bool {
+    rel == exclude || rel.starts_with(&format!("{exclude}/"))
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    // Normalize to forward slashes so config patterns are portable.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn collect_rust_files(base: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if base.is_file() {
+        if base.extension().is_some_and(|e| e == "rs") {
+            out.push(base.to_path_buf());
+        }
+        return Ok(());
+    }
+    let entries = fs::read_dir(base).map_err(|e| format!("cannot list {}: {e}", base.display()))?;
+    let mut children: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", base.display()))?;
+        children.push(entry.path());
+    }
+    children.sort();
+    for child in children {
+        let name = child
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if child.is_dir() {
+            // `target/` build output is never source.
+            if name == "target" {
+                continue;
+            }
+            collect_rust_files(&child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}

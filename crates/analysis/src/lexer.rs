@@ -1,0 +1,587 @@
+//! A token-level Rust lexer.
+//!
+//! The analyzer deliberately works at the token level rather than parsing a
+//! full AST: every invariant it checks (banned identifiers, justification
+//! comments, attribute-delimited test regions) is visible in the token
+//! stream, and a hand-rolled lexer keeps the crate dependency-free in the
+//! offline build environment. The tricky parts of Rust's lexical grammar are
+//! handled faithfully — nested block comments, raw strings with arbitrary
+//! hash fences, byte/raw-byte literals, and the char-versus-lifetime
+//! ambiguity — because misclassifying any of these would silently corrupt
+//! every downstream lint.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// A character literal: `'x'`, `'\n'`, `'\u{41}'`.
+    Char,
+    /// A byte literal: `b'x'`.
+    Byte,
+    /// A normal string literal: `"..."`.
+    Str,
+    /// A raw string literal: `r"..."`, `r#"..."#`.
+    RawStr,
+    /// A byte string literal: `b"..."`, `br#"..."#`.
+    ByteStr,
+    /// A numeric literal (integer or float, with optional suffix).
+    Number,
+    /// A single punctuation character.
+    Punct,
+    /// A `//` comment (through end of line, newline excluded).
+    LineComment,
+    /// A `/* ... */` comment, possibly nested and multi-line.
+    BlockComment,
+    /// A `#!...` shebang line at the very start of the file.
+    Shebang,
+}
+
+/// One lexed token: a kind plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn rest(&self) -> &'s str {
+        &self.src[self.pos..]
+    }
+
+    /// Advance one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Lex `src` into a token stream. Whitespace is dropped; comments and a
+/// leading shebang are kept as tokens so lints can inspect justification
+/// comments and attribute positions.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+
+    // A `#!` at byte 0 is a shebang unless it begins an inner attribute
+    // (`#![...]`), which is the common case in crate roots.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        let start = cur.pos;
+        let line = cur.line;
+        while let Some(c) = cur.peek() {
+            if c == '\n' {
+                break;
+            }
+            cur.bump();
+        }
+        tokens.push(Token {
+            kind: TokenKind::Shebang,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                lex_block_comment(&mut cur);
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+            }
+            '\'' => {
+                let kind = lex_quote(&mut cur);
+                tokens.push(Token {
+                    kind,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+            }
+            '"' => {
+                lex_string(&mut cur);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let kind = lex_ident_or_prefixed_literal(&mut cur);
+                tokens.push(Token {
+                    kind,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+/// Consume a block comment with full nesting support (`/* /* */ */`).
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    // Consume the opening `/*`.
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.peek() {
+            Some('/') if cur.peek_at(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            Some('*') if cur.peek_at(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            Some(_) => {
+                cur.bump();
+            }
+            // Unterminated comment: stop at EOF rather than looping.
+            None => break,
+        }
+    }
+}
+
+/// Consume a `'`-introduced token and classify it as a char literal or a
+/// lifetime. The ambiguity: `'a'` is a char, `'a` (in `<'a>` or `'label:`)
+/// is a lifetime. An escape (`'\n'`) is always a char; otherwise we read the
+/// identifier after the quote and decide by whether a closing quote follows.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // the opening '
+    match cur.peek() {
+        Some('\\') => {
+            consume_escape(cur);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        // `'_` is a placeholder lifetime; handled above since `_` is an
+        // ident start. Any other char (`'('`, `'😀'`) is a char literal.
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Punct,
+    }
+}
+
+/// Consume the escape sequence after a `\` (the `\` itself included).
+fn consume_escape(cur: &mut Cursor<'_>) {
+    cur.bump(); // the backslash
+    match cur.bump() {
+        Some('u') if cur.peek() == Some('{') => {
+            while let Some(c) = cur.bump() {
+                if c == '}' {
+                    break;
+                }
+            }
+        }
+        Some('x') => {
+            cur.bump();
+            cur.bump();
+        }
+        _ => {}
+    }
+}
+
+/// Consume a normal (escapable, possibly multi-line) string body after the
+/// opening quote position.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // the opening "
+    while let Some(c) = cur.peek() {
+        match c {
+            '\\' => {
+                consume_escape(cur);
+            }
+            '"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Consume a raw string body: `#` fence of `hashes` hashes already counted,
+/// positioned at the opening `"`.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump(); // the opening "
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Consume an identifier, or one of the prefixed literal forms that start
+/// like one: `r"…"`, `r#"…"#`, `r#ident`, `b'…'`, `b"…"`, `br#"…"#`.
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor<'_>) -> TokenKind {
+    let rest = cur.rest();
+    if rest.starts_with("r\"") || rest.starts_with("r#") {
+        // Count hashes; a quote after them means raw string, an identifier
+        // char means raw identifier (`r#type`).
+        let hashes = rest[1..].bytes().take_while(|&b| b == b'#').count();
+        match rest[1 + hashes..].chars().next() {
+            Some('"') => {
+                cur.bump(); // r
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                lex_raw_string(cur, hashes);
+                return TokenKind::RawStr;
+            }
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                cur.bump(); // r
+                cur.bump(); // #
+                cur.eat_while(is_ident_continue);
+                return TokenKind::Ident;
+            }
+            _ => {}
+        }
+    }
+    if rest.starts_with("br\"") || rest.starts_with("br#") {
+        let hashes = rest[2..].bytes().take_while(|&b| b == b'#').count();
+        if rest[2 + hashes..].starts_with('"') {
+            cur.bump(); // b
+            cur.bump(); // r
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            lex_raw_string(cur, hashes);
+            return TokenKind::ByteStr;
+        }
+    }
+    if rest.starts_with("b\"") {
+        cur.bump(); // b
+        lex_string(cur);
+        return TokenKind::ByteStr;
+    }
+    if rest.starts_with("b'") {
+        cur.bump(); // b
+        cur.bump(); // '
+        if cur.peek() == Some('\\') {
+            consume_escape(cur);
+        } else {
+            cur.bump();
+        }
+        if cur.peek() == Some('\'') {
+            cur.bump();
+        }
+        return TokenKind::Byte;
+    }
+    cur.eat_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// Consume a numeric literal: integers (decimal/hex/octal/binary with `_`
+/// separators), floats with exponents, and type suffixes. A `.` is only part
+/// of the number when followed by a digit, so ranges (`0..10`) and method
+/// calls on literals (`1.max(2)`) lex correctly.
+fn lex_number(cur: &mut Cursor<'_>) {
+    let radix_prefixed = matches!(
+        cur.rest().get(..2),
+        Some("0x" | "0X" | "0o" | "0O" | "0b" | "0B")
+    );
+    if radix_prefixed {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_hexdigit() || c == '_');
+    } else {
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+        if matches!(cur.peek(), Some('e' | 'E'))
+            && (cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(cur.peek_at(1), Some('+' | '-'))
+                    && cur.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            cur.bump();
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (`u32`, `f64`) or the rest of a stray alphanumeric run.
+    cur.eat_while(is_ident_continue);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_and_text(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let src = "fn main() { x += 1; }";
+        let got = kinds_and_text(src);
+        use TokenKind::*;
+        assert_eq!(
+            got,
+            vec![
+                (Ident, "fn"),
+                (Ident, "main"),
+                (Punct, "("),
+                (Punct, ")"),
+                (Punct, "{"),
+                (Ident, "x"),
+                (Punct, "+"),
+                (Punct, "="),
+                (Number, "1"),
+                (Punct, ";"),
+                (Punct, "}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let lines: Vec<u32> = lex(src).into_iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let got = kinds_and_text(src);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].0, TokenKind::BlockComment);
+        assert_eq!(got[1].1, "/* outer /* inner */ still outer */");
+        assert_eq!(got[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn raw_string_with_fence_swallows_quotes_and_comment_openers() {
+        let src = r####"let s = r##"has "quote" and /* opener "## ; x"####;
+        let got = kinds_and_text(src);
+        assert_eq!(
+            got[3],
+            (
+                TokenKind::RawStr,
+                r###"r##"has "quote" and /* opener "##"###
+            )
+        );
+        assert_eq!(got[4], (TokenKind::Punct, ";"));
+        assert_eq!(got[5], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        let src =
+            "let c = 'a'; fn f<'a>(x: &'a str) -> &'static str { 'outer: loop { break 'outer; } }";
+        let got = kinds_and_text(src);
+        let chars: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|&(_, t)| t)
+            .collect();
+        let lifetimes: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(chars, vec!["'a'"]);
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static", "'outer", "'outer"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"'\n' '\'' '\u{41}' '\\'";
+        let got = kinds_and_text(src);
+        assert!(got.iter().all(|(k, _)| *k == TokenKind::Char), "{got:?}");
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = r##"b'x' b"bytes" br#"raw bytes"# x"##;
+        let got = kinds_and_text(src);
+        assert_eq!(got[0].0, TokenKind::Byte);
+        assert_eq!(got[1].0, TokenKind::ByteStr);
+        assert_eq!(got[2].0, TokenKind::ByteStr);
+        assert_eq!(got[3], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn shebang_versus_inner_attribute() {
+        let with_shebang = "#!/usr/bin/env rust\nfn main() {}";
+        let got = kinds_and_text(with_shebang);
+        assert_eq!(got[0], (TokenKind::Shebang, "#!/usr/bin/env rust"));
+        assert_eq!(got[1], (TokenKind::Ident, "fn"));
+
+        let with_attr = "#![forbid(unsafe_code)]";
+        let got = kinds_and_text(with_attr);
+        assert_eq!(got[0], (TokenKind::Punct, "#"));
+        assert_eq!(got[1], (TokenKind::Punct, "!"));
+        assert!(got
+            .iter()
+            .any(|&(k, t)| k == TokenKind::Ident && t == "unsafe_code"));
+    }
+
+    #[test]
+    fn numbers_ranges_and_method_calls() {
+        let src = "0..10 1.5e-3 0xFF_u32 1.max(2) 3f64";
+        let got = kinds_and_text(src);
+        use TokenKind::*;
+        assert_eq!(
+            got,
+            vec![
+                (Number, "0"),
+                (Punct, "."),
+                (Punct, "."),
+                (Number, "10"),
+                (Number, "1.5e-3"),
+                (Number, "0xFF_u32"),
+                (Number, "1"),
+                (Punct, "."),
+                (Ident, "max"),
+                (Punct, "("),
+                (Number, "2"),
+                (Punct, ")"),
+                (Number, "3f64"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let src = "let r#type = 1;";
+        let got = kinds_and_text(src);
+        assert_eq!(got[1], (TokenKind::Ident, "r#type"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let src = r#"let s = "with \" escaped quote"; x"#;
+        let got = kinds_and_text(src);
+        assert_eq!(got[3], (TokenKind::Str, r#""with \" escaped quote""#));
+        assert_eq!(got[5], (TokenKind::Ident, "x"));
+    }
+}

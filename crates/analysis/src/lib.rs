@@ -1,0 +1,28 @@
+//! Workspace invariant analyzer.
+//!
+//! A custom, dependency-free lint engine that machine-checks the invariants
+//! this workspace's performance and reproducibility story rests on:
+//!
+//! - **atomics-discipline** — every `Ordering::Relaxed`/`SeqCst` use carries
+//!   an `// ordering:` justification comment, and the telemetry handoff
+//!   protocol files pair Acquire loads with Release stores.
+//! - **hot-path-alloc** — the steady-state scheduling chain (the functions
+//!   named in `lint.toml`'s hot-path manifest) contains no allocating tokens.
+//!   Its dynamic counterpart is `tests/hot_path_alloc.rs`, which proves the
+//!   same property at runtime with a counting global allocator.
+//! - **panic-surface** — `.unwrap()`/`.expect()`/`panic!`/`todo!` are banned
+//!   in non-test library code unless allowlisted per-site with a reason.
+//! - **determinism** — modules feeding pinned fixed-seed artifacts must not
+//!   read wall clocks or use hash-randomized containers.
+//! - **unsafe-forbid** — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! Run it with `cargo run -p analysis --release -- check`. Diagnostics are
+//! `file:line: [lint-name] message`; the exit code is nonzero when any
+//! finding survives the checked-in baseline (which ships empty).
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod scope;

@@ -1,0 +1,570 @@
+//! The invariant lints.
+//!
+//! Every lint runs over the same inputs — the token stream, its scope facts,
+//! and the config — and appends [`Finding`]s. Test code (by attribute,
+//! module, or directory) is exempt everywhere: the invariants protect the
+//! shipped library surface, not the harnesses that validate it.
+
+use crate::config::{AllowEntry, Config};
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Scopes;
+use std::collections::BTreeSet;
+
+pub const ATOMICS: &str = "atomics-discipline";
+pub const HOT_PATH: &str = "hot-path-alloc";
+pub const PANIC: &str = "panic-surface";
+pub const DETERMINISM: &str = "determinism";
+pub const UNSAFE_FORBID: &str = "unsafe-forbid";
+
+/// One diagnostic, rendered as `file:line: [lint] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    /// The line-agnostic identity used for baseline suppression, so a
+    /// baselined finding does not resurface every time the file shifts.
+    pub fn baseline_key(&self) -> String {
+        format!("{}: [{}] {}", self.file, self.lint, self.message)
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Everything the lints know about one file.
+pub struct FileInput<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    pub src: &'a str,
+    pub tokens: &'a [Token],
+    pub scopes: &'a Scopes,
+    /// Is this file a crate root (`src/lib.rs`) that must carry
+    /// `#![forbid(unsafe_code)]`?
+    pub is_crate_root: bool,
+}
+
+/// Comment-derived line facts for justification lookups.
+struct CommentLines {
+    /// Every line covered by any comment.
+    commented: BTreeSet<u32>,
+    /// Lines covered by a comment containing the `ordering:` marker.
+    ordering_marker: BTreeSet<u32>,
+}
+
+impl CommentLines {
+    fn build(src: &str, tokens: &[Token]) -> CommentLines {
+        let mut commented = BTreeSet::new();
+        let mut ordering_marker = BTreeSet::new();
+        for t in tokens {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let text = t.text(src);
+            let end_line = t.line + text.matches('\n').count() as u32;
+            let has_marker = text.contains("ordering:");
+            for line in t.line..=end_line {
+                commented.insert(line);
+                if has_marker {
+                    ordering_marker.insert(line);
+                }
+            }
+        }
+        CommentLines {
+            commented,
+            ordering_marker,
+        }
+    }
+
+    /// Is an atomic use at `line` justified? Accepts a marker comment on the
+    /// same line or anywhere in the contiguous comment block directly above.
+    fn justified(&self, line: u32) -> bool {
+        if self.ordering_marker.contains(&line) {
+            return true;
+        }
+        let mut k = line.saturating_sub(1);
+        while k > 0 && self.commented.contains(&k) {
+            if self.ordering_marker.contains(&k) {
+                return true;
+            }
+            k -= 1;
+        }
+        false
+    }
+}
+
+/// A hot-path manifest entry: a fn name, optionally scoped to one file via
+/// `path::fn_name` (the path part matched as a suffix). Scoping matters when
+/// several impls share a method name and only some are on the hot path.
+struct HotPathEntry<'c> {
+    file: Option<&'c str>,
+    function: &'c str,
+}
+
+impl<'c> HotPathEntry<'c> {
+    fn parse(raw: &'c str) -> HotPathEntry<'c> {
+        match raw.rsplit_once("::") {
+            Some((file, function)) => HotPathEntry {
+                file: Some(file),
+                function,
+            },
+            None => HotPathEntry {
+                file: None,
+                function: raw,
+            },
+        }
+    }
+
+    fn matches(&self, path: &str, fn_name: &str) -> bool {
+        self.function == fn_name && self.file.is_none_or(|f| path_matches(path, f))
+    }
+}
+
+/// Does `path` match the config path `pattern` (exact or suffix)?
+fn path_matches(path: &str, pattern: &str) -> bool {
+    path == pattern || path.ends_with(&format!("/{pattern}")) || path.ends_with(pattern)
+}
+
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix || path.starts_with(&format!("{prefix}/")) || {
+        // A file prefix (e.g. `crates/core/src/serde_impls.rs`) matches
+        // exactly that file.
+        prefix.ends_with(".rs") && path == prefix
+    }
+}
+
+fn allowed(allow: &[AllowEntry], path: &str, token: &str) -> bool {
+    allow
+        .iter()
+        .any(|e| e.token == token && path_matches(path, &e.file))
+}
+
+/// Run every lint over one file.
+pub fn run_all(input: &FileInput<'_>, config: &Config, findings: &mut Vec<Finding>) {
+    // Indices of code tokens (comments and shebang dropped), so adjacency
+    // checks (`.` before a method name, `!` after a macro name) see through
+    // interleaved comments.
+    let code: Vec<usize> = input
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::LineComment | TokenKind::BlockComment | TokenKind::Shebang
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let comments = CommentLines::build(input.src, input.tokens);
+    let hot_entries: Vec<HotPathEntry<'_>> = config
+        .hot_path_functions
+        .iter()
+        .map(|raw| HotPathEntry::parse(raw))
+        .collect();
+    let is_protocol_file = config
+        .protocol_files
+        .iter()
+        .any(|f| path_matches(input.path, f));
+    let determinism_scoped = config
+        .determinism_modules
+        .iter()
+        .any(|m| path_has_prefix(input.path, m));
+    let panic_skipped = config
+        .panic_skip
+        .iter()
+        .any(|m| path_has_prefix(input.path, m));
+
+    let text_at = |c: usize| input.tokens[code[c]].text(input.src);
+    let kind_at = |c: usize| input.tokens[code[c]].kind;
+    let punct_eq = |c: usize, p: &str| kind_at(c) == TokenKind::Punct && text_at(c) == p;
+    let ident_eq = |c: usize, name: &str| kind_at(c) == TokenKind::Ident && text_at(c) == name;
+    let push = |findings: &mut Vec<Finding>, line: u32, lint: &'static str, message: String| {
+        findings.push(Finding {
+            file: input.path.to_string(),
+            line,
+            lint,
+            message,
+        });
+    };
+
+    // Protocol pairing state for the atomics lint.
+    let mut first_acquire: Option<u32> = None;
+    let mut first_release: Option<u32> = None;
+    let mut has_acquire = false;
+    let mut has_release = false;
+
+    for c in 0..code.len() {
+        let idx = code[c];
+        let tok = &input.tokens[idx];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let in_test = input.scopes.in_test[idx];
+        let text = tok.text(input.src);
+
+        // --- atomics-discipline -------------------------------------------
+        if matches!(
+            text,
+            "Relaxed" | "SeqCst" | "Acquire" | "Release" | "AcqRel"
+        ) && c >= 3
+            && punct_eq(c - 1, ":")
+            && punct_eq(c - 2, ":")
+            && ident_eq(c - 3, "Ordering")
+            && !in_test
+        {
+            match text {
+                "Relaxed" | "SeqCst" if !comments.justified(tok.line) => {
+                    push(
+                        findings,
+                        tok.line,
+                        ATOMICS,
+                        format!(
+                            "`Ordering::{text}` requires a same-line or preceding \
+                             `// ordering:` justification comment"
+                        ),
+                    );
+                }
+                "Acquire" => {
+                    has_acquire = true;
+                    first_acquire.get_or_insert(tok.line);
+                }
+                "Release" => {
+                    has_release = true;
+                    first_release.get_or_insert(tok.line);
+                }
+                "AcqRel" => {
+                    has_acquire = true;
+                    has_release = true;
+                }
+                _ => {}
+            }
+        }
+
+        // --- hot-path-alloc -----------------------------------------------
+        if !in_test {
+            if let Some(fn_name) = input.scopes.fn_name(idx) {
+                if hot_entries.iter().any(|e| e.matches(input.path, fn_name)) {
+                    let next_is_bang = c + 1 < code.len() && punct_eq(c + 1, "!");
+                    let prev_is_dot = c > 0 && punct_eq(c - 1, ".");
+                    let next_is_path_new = c + 3 < code.len()
+                        && punct_eq(c + 1, ":")
+                        && punct_eq(c + 2, ":")
+                        && ident_eq(c + 3, "new");
+                    let banned = match text {
+                        "vec" | "format" if next_is_bang => Some(format!("`{text}!`")),
+                        "to_string" | "to_owned" | "collect" if prev_is_dot => {
+                            Some(format!("`.{text}()`"))
+                        }
+                        "Vec" | "Box" if next_is_path_new => Some(format!("`{text}::new`")),
+                        _ => None,
+                    };
+                    if let Some(what) = banned {
+                        push(
+                            findings,
+                            tok.line,
+                            HOT_PATH,
+                            format!("allocating token {what} in hot-path fn `{fn_name}`"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- panic-surface ------------------------------------------------
+        if !in_test && !panic_skipped {
+            let next_is_bang = c + 1 < code.len() && punct_eq(c + 1, "!");
+            let prev_is_dot = c > 0 && punct_eq(c - 1, ".");
+            let hit = match text {
+                "unwrap" | "expect" if prev_is_dot => true,
+                "panic" | "todo" | "unimplemented" if next_is_bang => true,
+                _ => false,
+            };
+            if hit && !allowed(&config.panic_allow, input.path, text) {
+                let what = if prev_is_dot {
+                    format!("`.{text}()`")
+                } else {
+                    format!("`{text}!`")
+                };
+                push(
+                    findings,
+                    tok.line,
+                    PANIC,
+                    format!(
+                        "{what} on the non-test library panic surface \
+                         (return an error, or allowlist in lint.toml with a reason)"
+                    ),
+                );
+            }
+        }
+
+        // --- determinism --------------------------------------------------
+        if determinism_scoped && !in_test {
+            let next_is_now = c + 3 < code.len()
+                && punct_eq(c + 1, ":")
+                && punct_eq(c + 2, ":")
+                && ident_eq(c + 3, "now");
+            let hit = match text {
+                "SystemTime" | "Instant" if next_is_now => {
+                    Some(format!("`{text}::now` reads the wall clock"))
+                }
+                "HashMap" | "HashSet" => {
+                    Some(format!("`{text}` has nondeterministic iteration order"))
+                }
+                _ => None,
+            };
+            if let Some(why) = hit {
+                if !allowed(&config.determinism_allow, input.path, text) {
+                    push(
+                        findings,
+                        tok.line,
+                        DETERMINISM,
+                        format!(
+                            "{why}; this module feeds pinned fixed-seed artifacts \
+                             (use BTreeMap/BTreeSet or sim time, or allowlist with a reason)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // File-level atomics pairing for protocol files: an Acquire load without
+    // any Release(-or-AcqRel) store in the same file (or vice versa) means
+    // the handoff protocol is incomplete on one side.
+    if is_protocol_file {
+        if has_acquire && !has_release {
+            push(
+                findings,
+                first_acquire.unwrap_or(1),
+                ATOMICS,
+                "protocol file performs Acquire loads but no Release (or AcqRel) store \
+                 — the publication side of the handoff is missing"
+                    .to_string(),
+            );
+        }
+        if has_release && !has_acquire {
+            push(
+                findings,
+                first_release.unwrap_or(1),
+                ATOMICS,
+                "protocol file performs Release stores but no Acquire (or AcqRel) load \
+                 — the consumption side of the handoff is missing"
+                    .to_string(),
+            );
+        }
+    }
+
+    // --- unsafe-forbid ----------------------------------------------------
+    if input.is_crate_root && !has_forbid_unsafe(input.src, input.tokens, &code) {
+        push(
+            findings,
+            1,
+            UNSAFE_FORBID,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}
+
+/// Does the token stream contain an inner `#![forbid(..., unsafe_code, ...)]`
+/// attribute?
+fn has_forbid_unsafe(src: &str, tokens: &[Token], code: &[usize]) -> bool {
+    for c in 0..code.len() {
+        let at = |k: usize| &tokens[code[k]];
+        if !(at(c).kind == TokenKind::Punct && at(c).text(src) == "#") {
+            continue;
+        }
+        if c + 2 >= code.len()
+            || !(at(c + 1).kind == TokenKind::Punct && at(c + 1).text(src) == "!")
+            || !(at(c + 2).kind == TokenKind::Punct && at(c + 2).text(src) == "[")
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut saw_forbid = false;
+        let mut saw_unsafe_code = false;
+        for k in (c + 2)..code.len() {
+            let t = at(k);
+            match (t.kind, t.text(src)) {
+                (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokenKind::Ident, "forbid") => saw_forbid = true,
+                (TokenKind::Ident, "unsafe_code") => saw_unsafe_code = true,
+                _ => {}
+            }
+        }
+        if saw_forbid && saw_unsafe_code {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope;
+
+    fn run(path: &str, src: &str, config: &Config) -> Vec<Finding> {
+        let tokens = lex(src);
+        let scopes = scope::analyze(src, &tokens, scope::path_is_test(path));
+        let input = FileInput {
+            path,
+            src,
+            tokens: &tokens,
+            scopes: &scopes,
+            is_crate_root: path.ends_with("src/lib.rs"),
+        };
+        let mut findings = Vec::new();
+        run_all(&input, config, &mut findings);
+        findings
+    }
+
+    fn config() -> Config {
+        Config {
+            include: vec!["crates".into()],
+            hot_path_functions: vec![
+                "schedule_batch_into".into(),
+                "a/special.rs::snapshot_into".into(),
+            ],
+            determinism_modules: vec!["crates/experiments/src".into()],
+            protocol_files: vec!["crates/telemetry/src/publish.rs".into()],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn relaxed_without_justification_fires() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let findings = run("crates/x/src/lib.rs", src, &config());
+        assert!(findings.iter().any(|f| f.lint == ATOMICS));
+    }
+
+    #[test]
+    fn justified_relaxed_is_clean() {
+        let src = "fn f(c: &AtomicU64) {\n    // ordering: counter only\n    c.fetch_add(1, Ordering::Relaxed);\n}";
+        let findings = run("crates/x/src/lib.rs", src, &config());
+        assert!(!findings.iter().any(|f| f.lint == ATOMICS), "{findings:?}");
+    }
+
+    #[test]
+    fn cmp_ordering_variants_do_not_fire() {
+        let src = "fn f() -> std::cmp::Ordering { std::cmp::Ordering::Equal }";
+        let findings = run("crates/x/src/lib.rs", src, &config());
+        assert!(!findings.iter().any(|f| f.lint == ATOMICS));
+    }
+
+    #[test]
+    fn protocol_pairing_detects_missing_release() {
+        let src = "fn f(e: &AtomicU64) -> u64 { e.load(Ordering::Acquire) }";
+        let findings = run("crates/telemetry/src/publish.rs", src, &config());
+        assert!(findings
+            .iter()
+            .any(|f| f.lint == ATOMICS && f.message.contains("Release")));
+    }
+
+    #[test]
+    fn hot_path_bans_allocating_tokens_by_fn_name() {
+        let src = r#"
+fn schedule_batch_into(n: usize) {
+    let v = vec![0; n];
+    let s = format!("x{n}");
+    let t = s.to_string();
+    let o = s.to_owned();
+    let c: Vec<u32> = (0..n as u32).collect();
+    let b = Box::new(n);
+    let w = Vec::new();
+}
+fn cold_path() {
+    let v = vec![0; 3]; // fine here
+}
+"#;
+        let findings = run("crates/core/src/service.rs", src, &config());
+        let hot: Vec<&Finding> = findings.iter().filter(|f| f.lint == HOT_PATH).collect();
+        assert_eq!(hot.len(), 7, "{hot:?}");
+        assert!(hot
+            .iter()
+            .all(|f| f.message.contains("schedule_batch_into")));
+    }
+
+    #[test]
+    fn file_scoped_hot_path_entry() {
+        let src = "fn snapshot_into() { let v = Vec::new(); }";
+        let scoped = run("crates/t/a/special.rs", src, &config());
+        assert!(scoped.iter().any(|f| f.lint == HOT_PATH));
+        let elsewhere = run("crates/t/src/other.rs", src, &config());
+        assert!(!elsewhere.iter().any(|f| f.lint == HOT_PATH));
+    }
+
+    #[test]
+    fn panic_surface_bans_and_allowlists() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let findings = run("crates/x/src/lib.rs", src, &config());
+        assert!(findings.iter().any(|f| f.lint == PANIC));
+
+        let mut allowing = config();
+        allowing.panic_allow.push(AllowEntry {
+            file: "crates/x/src/lib.rs".into(),
+            token: "unwrap".into(),
+            reason: "test allow".into(),
+        });
+        let findings = run("crates/x/src/lib.rs", src, &allowing);
+        assert!(!findings.iter().any(|f| f.lint == PANIC));
+    }
+
+    #[test]
+    fn panic_surface_skips_test_code() {
+        let src = "#[cfg(test)] mod tests { fn h() { None::<u32>.unwrap(); panic!(\"x\"); } }";
+        let findings = run("crates/x/src/lib.rs", src, &config());
+        assert!(!findings.iter().any(|f| f.lint == PANIC));
+        let in_tests_dir = run(
+            "tests/integration.rs",
+            "fn f() { None::<u32>.unwrap(); }",
+            &config(),
+        );
+        assert!(!in_tests_dir.iter().any(|f| f.lint == PANIC));
+    }
+
+    #[test]
+    fn determinism_scoped_to_modules() {
+        let src =
+            "fn f() { let t = Instant::now(); let m: HashMap<u32, u32> = HashMap::default(); }";
+        let scoped = run("crates/experiments/src/lib.rs", src, &config());
+        assert!(scoped
+            .iter()
+            .any(|f| f.lint == DETERMINISM && f.message.contains("Instant")));
+        assert!(scoped
+            .iter()
+            .any(|f| f.lint == DETERMINISM && f.message.contains("HashMap")));
+        let unscoped = run("crates/core/src/lib.rs", src, &config());
+        assert!(!unscoped.iter().any(|f| f.lint == DETERMINISM));
+    }
+
+    #[test]
+    fn unsafe_forbid_on_crate_roots_only() {
+        let missing = run("crates/x/src/lib.rs", "pub fn f() {}", &config());
+        assert!(missing.iter().any(|f| f.lint == UNSAFE_FORBID));
+        let present = run(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+            &config(),
+        );
+        assert!(!present.iter().any(|f| f.lint == UNSAFE_FORBID));
+        let non_root = run("crates/x/src/util.rs", "pub fn f() {}", &config());
+        assert!(!non_root.iter().any(|f| f.lint == UNSAFE_FORBID));
+    }
+}

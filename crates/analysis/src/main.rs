@@ -1,0 +1,104 @@
+//! CLI for the workspace invariant analyzer.
+//!
+//! Usage: `cargo run -p analysis --release -- check [--root DIR]
+//! [--config FILE] [--baseline FILE]`
+#![forbid(unsafe_code)]
+
+use analysis::{config::Config, engine};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: analysis check [--root DIR] [--config FILE] [--baseline FILE]\n\
+         \n\
+         Lints the workspace for atomics discipline, hot-path allocations,\n\
+         panic surface, determinism, and #![forbid(unsafe_code)] coverage.\n\
+         Exits 0 when clean, 1 on findings, 2 on usage/config errors."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = None;
+    let mut config_path = None;
+    let mut baseline_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--root" => root = it.next().cloned(),
+            "--config" => config_path = it.next().cloned(),
+            "--baseline" => baseline_path = it.next().cloned(),
+            _ => return usage(),
+        }
+    }
+    if command != Some("check") {
+        return usage();
+    }
+
+    // Default to the workspace root: the analyzer lives at
+    // <workspace>/crates/analysis, so walk two levels up from the manifest.
+    let root = PathBuf::from(root.unwrap_or_else(|| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|m| format!("{m}/../.."))
+            .unwrap_or_else(|_| ".".to_string())
+    }));
+    let config_file = config_path
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let baseline_file = baseline_path
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("lint.baseline"));
+
+    let config_text = match std::fs::read_to_string(&config_file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("analysis: cannot read {}: {e}", config_file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match engine::load_baseline(&baseline_file) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match engine::check(&root, &config, &baseline) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{}", finding.render());
+            }
+            if report.findings.is_empty() {
+                println!(
+                    "analysis: clean — {} files scanned, {} baseline-suppressed",
+                    report.files_scanned, report.suppressed
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "analysis: {} finding(s) across {} files scanned ({} baseline-suppressed)",
+                    report.findings.len(),
+                    report.files_scanned,
+                    report.suppressed
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("analysis: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

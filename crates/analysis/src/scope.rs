@@ -1,0 +1,308 @@
+//! Scope tracking over the token stream.
+//!
+//! Lints need two pieces of context the lexer alone cannot give them: the
+//! name of the enclosing `fn` item (for the hot-path manifest) and whether a
+//! token sits in test code (`#[test]` functions, `#[cfg(test)]` modules and
+//! impls, or files under `tests/` / `benches/` / `examples/`). This module
+//! computes both in a single pass by tracking brace frames and pending
+//! item attributes — no AST required.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-token scope facts, parallel to the token stream.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    /// For each token: index into `fn_names` of the innermost enclosing fn.
+    pub enclosing_fn: Vec<Option<u32>>,
+    /// For each token: whether it sits inside test-only code.
+    pub in_test: Vec<bool>,
+    /// Names of every fn item seen, in source order.
+    pub fn_names: Vec<String>,
+}
+
+impl Scopes {
+    /// The enclosing fn name for token `i`, if any.
+    pub fn fn_name(&self, i: usize) -> Option<&str> {
+        self.enclosing_fn[i].map(|idx| self.fn_names[idx as usize].as_str())
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Frame {
+    fn_idx: Option<u32>,
+    test: bool,
+}
+
+/// True when the relative path denotes code that is test-only by location.
+pub fn path_is_test(relative_path: &str) -> bool {
+    relative_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Compute scopes for a lexed file. `file_is_test` marks the whole file as
+/// test code (see [`path_is_test`]).
+pub fn analyze(src: &str, tokens: &[Token], file_is_test: bool) -> Scopes {
+    let mut scopes = Scopes {
+        enclosing_fn: Vec::with_capacity(tokens.len()),
+        in_test: Vec::with_capacity(tokens.len()),
+        fn_names: Vec::new(),
+    };
+    let base = Frame {
+        fn_idx: None,
+        test: file_is_test,
+    };
+    let mut stack: Vec<Frame> = Vec::new();
+
+    // Attribute state: `pending_test` is set by a `#[...]` group mentioning
+    // `test`; it attaches to the brace frame of the next item keyword.
+    let mut pending_test = false;
+    let mut pending_applies = false;
+
+    // Fn-header state: set at `fn name`, consumed by the body `{` (or
+    // cancelled by `;` for trait method declarations). `sig_depth` tracks
+    // parens/brackets so braces inside the signature's const expressions
+    // don't open the body early.
+    let mut pending_fn: Option<u32> = None;
+    let mut sig_depth = 0i32;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let top = *stack.last().unwrap_or(&base);
+        let tok = &tokens[i];
+        // Record scope facts for this token before mutating state, so the
+        // opening brace / item keyword itself reports its outer scope.
+        scopes.enclosing_fn.push(top.fn_idx);
+        scopes.in_test.push(top.test);
+
+        match tok.kind {
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::Shebang => {}
+            TokenKind::Punct => match tok.text(src) {
+                "#" => {
+                    // An attribute group: `#[...]` (outer) or `#![...]`
+                    // (inner). Scan to the matching `]` first, then record
+                    // scope facts for the consumed range, noting whether the
+                    // group mentions `test` (and is not a `not(test)` guard).
+                    let mut j = i + 1;
+                    let inner = tokens
+                        .get(j)
+                        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == "!");
+                    if inner {
+                        j += 1;
+                    }
+                    if tokens
+                        .get(j)
+                        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == "[")
+                    {
+                        let mut depth = 0i32;
+                        let mut saw_test = false;
+                        let mut saw_not = false;
+                        let mut end = tokens.len() - 1;
+                        let mut k = j;
+                        while k < tokens.len() {
+                            match (tokens[k].kind, tokens[k].text(src)) {
+                                (TokenKind::Punct, "[") => depth += 1,
+                                (TokenKind::Punct, "]") => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        end = k;
+                                        break;
+                                    }
+                                }
+                                (TokenKind::Ident, "test") => saw_test = true,
+                                (TokenKind::Ident, "not") => saw_not = true,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        // Attribute tokens share the outer scope facts.
+                        for _ in (i + 1)..=end {
+                            scopes.enclosing_fn.push(top.fn_idx);
+                            scopes.in_test.push(top.test);
+                        }
+                        if !inner && saw_test && !saw_not {
+                            pending_test = true;
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                "(" | "[" if pending_fn.is_some() => sig_depth += 1,
+                ")" | "]" if pending_fn.is_some() => sig_depth -= 1,
+                ";" if sig_depth == 0 => {
+                    // Trait method declaration or attributed non-brace
+                    // item: drop pending header/attr state.
+                    pending_fn = None;
+                    pending_test = false;
+                    pending_applies = false;
+                }
+                "{" => {
+                    let frame = if let Some(fn_idx) = pending_fn.take() {
+                        Frame {
+                            fn_idx: Some(fn_idx),
+                            test: top.test || pending_test,
+                        }
+                    } else if pending_applies {
+                        Frame {
+                            fn_idx: top.fn_idx,
+                            test: top.test || pending_test,
+                        }
+                    } else {
+                        Frame {
+                            fn_idx: top.fn_idx,
+                            test: top.test,
+                        }
+                    };
+                    if pending_fn.is_none() {
+                        pending_test = false;
+                        pending_applies = false;
+                        sig_depth = 0;
+                    }
+                    stack.push(frame);
+                }
+                "}" => {
+                    stack.pop();
+                }
+                _ => {}
+            },
+            TokenKind::Ident => match tok.text(src) {
+                // An item keyword makes any pending `#[...test...]` apply to
+                // the next opened brace (fn bodies, `mod`/`impl` blocks).
+                // Only an item header: `fn` followed by a name. A bare
+                // `fn(` is a function-pointer type.
+                "fn" if tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Ident) =>
+                {
+                    let name = tokens[i + 1].text(src);
+                    scopes.fn_names.push(name.to_string());
+                    pending_fn = Some((scopes.fn_names.len() - 1) as u32);
+                    sig_depth = 0;
+                }
+                "mod" | "impl" | "trait" | "struct" | "enum" | "union" => {
+                    pending_applies = true;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    debug_assert_eq!(scopes.enclosing_fn.len(), tokens.len());
+    scopes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes_for(src: &str) -> (Vec<crate::lexer::Token>, Scopes) {
+        let tokens = lex(src);
+        let scopes = analyze(src, &tokens, false);
+        (tokens, scopes)
+    }
+
+    fn fact_at(
+        src: &str,
+        tokens: &[crate::lexer::Token],
+        scopes: &Scopes,
+        needle: &str,
+    ) -> (Option<String>, bool) {
+        let idx = tokens
+            .iter()
+            .position(|t| t.text(src) == needle)
+            .unwrap_or_else(|| panic!("token {needle:?} not found"));
+        (scopes.fn_name(idx).map(str::to_string), scopes.in_test[idx])
+    }
+
+    #[test]
+    fn enclosing_fn_names_nest() {
+        let src = "fn outer() { let a = 1; fn inner() { let b = 2; } let c = 3; }";
+        let (tokens, scopes) = scopes_for(src);
+        assert_eq!(
+            fact_at(src, &tokens, &scopes, "a").0.as_deref(),
+            Some("outer")
+        );
+        assert_eq!(
+            fact_at(src, &tokens, &scopes, "b").0.as_deref(),
+            Some("inner")
+        );
+        assert_eq!(
+            fact_at(src, &tokens, &scopes, "c").0.as_deref(),
+            Some("outer")
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_marks_contents() {
+        let src = "fn lib_code() { x; } #[cfg(test)] mod tests { fn helper() { y; } }";
+        let (tokens, scopes) = scopes_for(src);
+        assert_eq!(
+            fact_at(src, &tokens, &scopes, "x"),
+            (Some("lib_code".into()), false)
+        );
+        assert_eq!(
+            fact_at(src, &tokens, &scopes, "y"),
+            (Some("helper".into()), true)
+        );
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test] fn checks() { a; } fn library() { b; }";
+        let (tokens, scopes) = scopes_for(src);
+        assert!(fact_at(src, &tokens, &scopes, "a").1);
+        assert!(!fact_at(src, &tokens, &scopes, "b").1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))] fn real() { a; }";
+        let (tokens, scopes) = scopes_for(src);
+        assert!(!fact_at(src, &tokens, &scopes, "a").1);
+    }
+
+    #[test]
+    fn trait_method_declaration_does_not_leak() {
+        let src = "trait T { fn declared(&self); } fn after() { a; }";
+        let (tokens, scopes) = scopes_for(src);
+        assert_eq!(
+            fact_at(src, &tokens, &scopes, "a").0.as_deref(),
+            Some("after")
+        );
+    }
+
+    #[test]
+    fn closures_stay_in_enclosing_fn() {
+        let src = "fn hot() { let f = |x| { x + 1 }; }";
+        let (tokens, scopes) = scopes_for(src);
+        assert_eq!(
+            fact_at(src, &tokens, &scopes, "1").0.as_deref(),
+            Some("hot")
+        );
+    }
+
+    #[test]
+    fn cfg_test_impl_block() {
+        let src = "#[cfg(test)] impl Thing { fn only_for_tests() { a; } }";
+        let (tokens, scopes) = scopes_for(src);
+        assert!(fact_at(src, &tokens, &scopes, "a").1);
+    }
+
+    #[test]
+    fn file_level_test_flag() {
+        let src = "fn anything() { a; }";
+        let tokens = lex(src);
+        let scopes = analyze(src, &tokens, true);
+        let idx = tokens.iter().position(|t| t.text(src) == "a").unwrap();
+        assert!(scopes.in_test[idx]);
+    }
+
+    #[test]
+    fn path_classification() {
+        assert!(path_is_test("tests/hot_path_alloc.rs"));
+        assert!(path_is_test("crates/bench/benches/service_throughput.rs"));
+        assert!(!path_is_test("crates/core/src/service.rs"));
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end self-tests: run the full engine (walk → lex → scope → lint →
+//! baseline) over the checked-in violation fixtures and assert that every
+//! lint fires exactly where the fixtures say it should — and nowhere else.
+//!
+//! The fixtures live under `crates/analysis/fixtures/`, which the workspace
+//! `lint.toml` excludes, so the real `check` run stays clean while these
+//! tests exercise the same code path `cargo run -p analysis -- check` uses.
+
+use analysis::config::Config;
+use analysis::engine;
+use analysis::lints::{ATOMICS, DETERMINISM, HOT_PATH, PANIC, UNSAFE_FORBID};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// A config that treats the fixtures directory as the whole workspace.
+fn fixture_config() -> Config {
+    Config::parse(
+        r#"
+[paths]
+include = ["."]
+
+[atomics]
+protocol_files = ["protocol_pairing.rs"]
+
+[hot_path]
+functions = ["schedule_batch_into"]
+
+[determinism]
+modules = ["determinism_violation.rs"]
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+fn run_fixture_check() -> Vec<(String, u32, &'static str)> {
+    let report = engine::check(&fixtures_root(), &fixture_config(), &BTreeSet::new())
+        .expect("fixture scan succeeds");
+    report
+        .findings
+        .into_iter()
+        .map(|f| (f.file, f.line, f.lint))
+        .collect()
+}
+
+fn of_lint<'r>(results: &'r [(String, u32, &'static str)], lint: &str) -> Vec<(&'r str, u32)> {
+    results
+        .iter()
+        .filter(|(_, _, l)| *l == lint)
+        .map(|(f, line, _)| (f.as_str(), *line))
+        .collect()
+}
+
+#[test]
+fn every_lint_fires_on_its_fixture_at_the_documented_lines() {
+    let results = run_fixture_check();
+
+    assert_eq!(
+        of_lint(&results, ATOMICS),
+        vec![
+            ("atomics_violation.rs", 13),
+            ("atomics_violation.rs", 17),
+            ("protocol_pairing.rs", 9),
+        ]
+    );
+    assert_eq!(
+        of_lint(&results, HOT_PATH),
+        vec![
+            ("hot_path_violation.rs", 6),
+            ("hot_path_violation.rs", 7),
+            ("hot_path_violation.rs", 8),
+            ("hot_path_violation.rs", 9),
+            ("hot_path_violation.rs", 10),
+            ("hot_path_violation.rs", 11),
+        ]
+    );
+    assert_eq!(
+        of_lint(&results, PANIC),
+        vec![
+            ("panic_violation.rs", 4),
+            ("panic_violation.rs", 9),
+            ("panic_violation.rs", 14),
+        ]
+    );
+    assert_eq!(
+        of_lint(&results, DETERMINISM),
+        vec![
+            ("determinism_violation.rs", 3),
+            ("determinism_violation.rs", 3),
+            ("determinism_violation.rs", 6),
+            ("determinism_violation.rs", 9),
+            ("determinism_violation.rs", 9),
+            ("determinism_violation.rs", 10),
+            ("determinism_violation.rs", 11),
+        ]
+    );
+    assert_eq!(
+        of_lint(&results, UNSAFE_FORBID),
+        vec![("missing_forbid/src/lib.rs", 1)]
+    );
+}
+
+#[test]
+fn baseline_suppresses_by_line_agnostic_key() {
+    let config = fixture_config();
+    let full =
+        engine::check(&fixtures_root(), &config, &BTreeSet::new()).expect("fixture scan succeeds");
+    assert!(!full.findings.is_empty());
+
+    // Baseline every finding by its key: the re-run must be clean and count
+    // every suppression.
+    let baseline: BTreeSet<String> = full.findings.iter().map(|f| f.baseline_key()).collect();
+    let suppressed =
+        engine::check(&fixtures_root(), &config, &baseline).expect("fixture scan succeeds");
+    assert_eq!(suppressed.findings.len(), 0, "{:?}", suppressed.findings);
+    assert_eq!(suppressed.suppressed, full.findings.len());
+}
+
+#[test]
+fn workspace_check_is_clean_with_empty_baseline() {
+    // The real workspace gate: lint.toml + empty baseline over the actual
+    // tree must produce zero findings. This is the same invariant CI
+    // enforces via `cargo run -p analysis -- check`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config_text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let config = Config::parse(&config_text).expect("lint.toml parses");
+    let baseline = engine::load_baseline(&root.join("lint.baseline")).expect("baseline loads");
+    assert!(
+        baseline.is_empty(),
+        "the checked-in baseline must stay empty"
+    );
+    let report = engine::check(&root, &config, &baseline).expect("workspace scan succeeds");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 80,
+        "scanned {} files",
+        report.files_scanned
+    );
+}

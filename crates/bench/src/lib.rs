@@ -45,7 +45,7 @@ impl LatencySummary {
     /// harness bug, not a zero-latency run.
     pub fn from_samples(samples: &mut [f64]) -> LatencySummary {
         assert!(!samples.is_empty(), "percentiles need at least one sample");
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         let pick = |q: f64| {
             let rank = (q / 100.0 * samples.len() as f64).ceil() as usize;
             samples[rank.clamp(1, samples.len()) - 1]

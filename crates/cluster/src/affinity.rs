@@ -12,9 +12,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Operator of a node selector requirement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NodeSelectorOp {
     /// The label value must be one of the listed values.
+    #[default]
     In,
     /// The label value must not be any of the listed values.
     NotIn,
@@ -24,8 +25,9 @@ pub enum NodeSelectorOp {
     DoesNotExist,
 }
 
-/// A single `key <op> values` requirement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A single `key <op> values` requirement. The default is an empty
+/// `"" In []` requirement, useful as a reusable slot to reshape in place.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeSelectorRequirement {
     /// Label key.
     pub key: String,
@@ -117,6 +119,32 @@ impl NodeAffinity {
             required_terms: vec![NodeSelectorTerm::hostname(hostname)],
             preferred_terms: Vec::new(),
         }
+    }
+
+    /// In-place equivalent of [`NodeAffinity::require_hostname`]: reshape
+    /// this affinity into the single required-hostname form, reusing the
+    /// term, requirement and value allocations already held. Steady-state
+    /// rebuilds of a pinned pod spec touch no heap.
+    pub fn set_required_hostname(&mut self, hostname: &str) {
+        self.preferred_terms.clear();
+        self.required_terms
+            .resize_with(1, NodeSelectorTerm::default);
+        let term = &mut self.required_terms[0];
+        term.requirements
+            .resize_with(1, NodeSelectorRequirement::default);
+        let req = &mut term.requirements[0];
+        req.op = NodeSelectorOp::In;
+        req.key.clear();
+        req.key.push_str("kubernetes.io/hostname");
+        req.values.resize_with(1, String::new);
+        req.values[0].clear();
+        req.values[0].push_str(hostname);
+    }
+
+    /// Drop every constraint in place, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.required_terms.clear();
+        self.preferred_terms.clear();
     }
 
     /// True when the node's labels satisfy the *required* part.

@@ -11,6 +11,13 @@ use crate::resources::Resources;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::fmt;
+use std::fmt::Write as _;
+
+/// Overwrite a string slot in place, keeping its allocation.
+fn set_str(slot: &mut String, value: &str) {
+    slot.clear();
+    slot.push_str(value);
+}
 
 /// Identifier of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -98,31 +105,62 @@ impl JobSpec {
     /// The driver pod spec, optionally pinned to a specific node (this is the
     /// injection performed by the paper's Job Builder).
     pub fn driver_pod(&self, pinned_node: Option<&str>) -> PodSpec {
-        let mut spec = PodSpec::new(format!("{}-driver", self.name), self.driver_requests)
-            .with_role(PodRole::Driver)
-            .with_label("app", self.app_type.clone())
-            .with_label("spark-role", "driver")
-            .with_label("job", self.name.clone());
-        if let Some(node) = pinned_node {
-            spec = spec.pinned_to(node);
-        }
+        let mut spec = PodSpec::new(String::new(), self.driver_requests);
+        self.driver_pod_into(pinned_node, &mut spec);
         spec
+    }
+
+    /// In-place variant of [`JobSpec::driver_pod`]: rebuild `out` as this
+    /// job's driver pod, reusing its name, label and affinity allocations.
+    pub fn driver_pod_into(&self, pinned_node: Option<&str>, out: &mut PodSpec) {
+        out.name.clear();
+        let _ = write!(out.name, "{}-driver", self.name);
+        set_str(&mut out.namespace, "default");
+        out.labels
+            .retain(|k, _| k == "app" || k == "spark-role" || k == "job");
+        out.set_label("app", &self.app_type);
+        out.set_label("spark-role", "driver");
+        out.set_label("job", &self.name);
+        out.requests = self.driver_requests;
+        out.limits = self.driver_requests;
+        out.node_selector.clear();
+        out.tolerations.clear();
+        out.role = PodRole::Driver;
+        match pinned_node {
+            Some(node) => out.affinity.set_required_hostname(node),
+            None => out.affinity.clear(),
+        }
     }
 
     /// The executor pod specs (placed by the default scheduler in the paper).
     pub fn executor_pods(&self) -> Vec<PodSpec> {
-        (0..self.executor_count)
-            .map(|i| {
-                PodSpec::new(
-                    format!("{}-exec-{}", self.name, i + 1),
-                    self.executor_requests,
-                )
-                .with_role(PodRole::Executor)
-                .with_label("app", self.app_type.clone())
-                .with_label("spark-role", "executor")
-                .with_label("job", self.name.clone())
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.executor_count as usize);
+        self.executor_pods_into(&mut out);
+        out
+    }
+
+    /// In-place variant of [`JobSpec::executor_pods`]: rebuild `out` as this
+    /// job's executor pod set, reusing the pod specs already in the vector.
+    pub fn executor_pods_into(&self, out: &mut Vec<PodSpec>) {
+        out.resize_with(self.executor_count as usize, || {
+            PodSpec::new(String::new(), Resources::ZERO)
+        });
+        for (i, pod) in out.iter_mut().enumerate() {
+            pod.name.clear();
+            let _ = write!(pod.name, "{}-exec-{}", self.name, i + 1);
+            set_str(&mut pod.namespace, "default");
+            pod.labels
+                .retain(|k, _| k == "app" || k == "spark-role" || k == "job");
+            pod.set_label("app", &self.app_type);
+            pod.set_label("spark-role", "executor");
+            pod.set_label("job", &self.name);
+            pod.requests = self.executor_requests;
+            pod.limits = self.executor_requests;
+            pod.node_selector.clear();
+            pod.affinity.clear();
+            pod.tolerations.clear();
+            pod.role = PodRole::Executor;
+        }
     }
 
     /// Total resources the whole application will request.

@@ -12,30 +12,79 @@ use crate::job::JobSpec;
 use crate::pod::PodSpec;
 use std::fmt::Write as _;
 
-/// Render a quantity of CPU millicores in Kubernetes notation.
-fn cpu_str(millis: u64) -> String {
+/// Append a quantity of CPU millicores in Kubernetes notation.
+fn write_cpu(out: &mut String, millis: u64) {
     if millis.is_multiple_of(1000) {
-        format!("{}", millis / 1000)
+        let _ = write!(out, "{}", millis / 1000);
     } else {
-        format!("{millis}m")
+        let _ = write!(out, "{millis}m");
     }
 }
 
-/// Render a memory quantity in Kubernetes notation (Mi granularity).
-fn memory_str(bytes: u64) -> String {
-    let mib = bytes / (1024 * 1024);
-    format!("{mib}Mi")
+/// Append a memory quantity in Kubernetes notation (Mi granularity).
+fn write_memory(out: &mut String, bytes: u64) {
+    let _ = write!(out, "{}Mi", bytes / (1024 * 1024));
 }
 
-fn yaml_escape(s: &str) -> String {
+/// Append a YAML scalar, quoting and escaping when it is not a plain token.
+fn write_yaml_escaped(out: &mut String, s: &str) {
     if s.chars()
         .all(|c| c.is_ascii_alphanumeric() || "-_./".contains(c))
         && !s.is_empty()
     {
-        s.to_string()
+        out.push_str(s);
     } else {
-        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
     }
+}
+
+/// Render a quantity of CPU millicores in Kubernetes notation.
+fn cpu_str(millis: u64) -> String {
+    let mut out = String::new();
+    write_cpu(&mut out, millis);
+    out
+}
+
+/// Render a memory quantity in Kubernetes notation (Mi granularity).
+fn memory_str(bytes: u64) -> String {
+    let mut out = String::new();
+    write_memory(&mut out, bytes);
+    out
+}
+
+fn yaml_escape(s: &str) -> String {
+    let mut out = String::new();
+    write_yaml_escaped(&mut out, s);
+    out
+}
+
+/// Append the nodeAffinity block for a single required-hostname pin —
+/// byte-identical to `render_affinity` over
+/// [`NodeAffinity::require_hostname`], but without materializing the
+/// affinity value (the job-manifest hot path stays allocation-free).
+fn write_required_hostname_affinity(out: &mut String, node: &str, indent: &str) {
+    let _ = writeln!(out, "{indent}affinity:");
+    let _ = writeln!(out, "{indent}  nodeAffinity:");
+    let _ = writeln!(
+        out,
+        "{indent}    requiredDuringSchedulingIgnoredDuringExecution:"
+    );
+    let _ = writeln!(out, "{indent}      nodeSelectorTerms:");
+    let _ = writeln!(out, "{indent}      - matchExpressions:");
+    let _ = writeln!(out, "{indent}        - key: kubernetes.io/hostname");
+    let _ = writeln!(out, "{indent}          operator: In");
+    let _ = writeln!(out, "{indent}          values:");
+    let _ = write!(out, "{indent}          - ");
+    write_yaml_escaped(out, node);
+    out.push('\n');
 }
 
 fn render_affinity(out: &mut String, affinity: &NodeAffinity, indent: &str) {
@@ -165,19 +214,29 @@ pub fn render_pod_manifest(spec: &PodSpec) -> String {
 /// `target_node` when given (the Job Builder's nodeAffinity injection).
 pub fn render_job_manifest(spec: &JobSpec, target_node: Option<&str>) -> String {
     let mut out = String::with_capacity(2048);
+    render_job_manifest_into(&mut out, spec, target_node);
+    out
+}
+
+/// In-place variant of [`render_job_manifest`]: clear `out` and render the
+/// manifest into it, reusing the string's allocation. The body goes through
+/// non-allocating write helpers only, so steady-state re-rendering of
+/// same-shaped jobs touches no heap.
+pub fn render_job_manifest_into(out: &mut String, spec: &JobSpec, target_node: Option<&str>) {
+    out.clear();
     let _ = writeln!(out, "apiVersion: sparkoperator.k8s.io/v1beta2");
     let _ = writeln!(out, "kind: SparkApplication");
     let _ = writeln!(out, "metadata:");
-    let _ = writeln!(out, "  name: {}", yaml_escape(&spec.name));
+    let _ = write!(out, "  name: ");
+    write_yaml_escaped(out, &spec.name);
+    out.push('\n');
     let _ = writeln!(out, "  namespace: default");
     let _ = writeln!(out, "spec:");
     let _ = writeln!(out, "  type: Scala");
     let _ = writeln!(out, "  mode: cluster");
-    let _ = writeln!(
-        out,
-        "  mainApplicationFile: local:///opt/spark/examples/{}.jar",
-        yaml_escape(&spec.app_type)
-    );
+    let _ = write!(out, "  mainApplicationFile: local:///opt/spark/examples/");
+    write_yaml_escaped(out, &spec.app_type);
+    let _ = writeln!(out, ".jar");
     let _ = writeln!(out, "  arguments:");
     let _ = writeln!(out, "  - \"{}\"", spec.input_records);
     let _ = writeln!(out, "  - \"{}\"", spec.shuffle_partitions);
@@ -187,17 +246,18 @@ pub fn render_job_manifest(spec: &JobSpec, target_node: Option<&str>) -> String 
         "    cores: {}",
         (spec.driver_requests.cpu_millis / 1000).max(1)
     );
-    let _ = writeln!(
-        out,
-        "    memory: {}",
-        memory_str(spec.driver_requests.memory_bytes)
-    );
+    let _ = write!(out, "    memory: ");
+    write_memory(out, spec.driver_requests.memory_bytes);
+    out.push('\n');
     let _ = writeln!(out, "    labels:");
-    let _ = writeln!(out, "      app: {}", yaml_escape(&spec.app_type));
-    let _ = writeln!(out, "      job: {}", yaml_escape(&spec.name));
+    let _ = write!(out, "      app: ");
+    write_yaml_escaped(out, &spec.app_type);
+    out.push('\n');
+    let _ = write!(out, "      job: ");
+    write_yaml_escaped(out, &spec.name);
+    out.push('\n');
     if let Some(node) = target_node {
-        let affinity = NodeAffinity::require_hostname(node);
-        render_affinity(&mut out, &affinity, "    ");
+        write_required_hostname_affinity(out, node, "    ");
     }
     let _ = writeln!(out, "  executor:");
     let _ = writeln!(out, "    instances: {}", spec.executor_count);
@@ -206,12 +266,9 @@ pub fn render_job_manifest(spec: &JobSpec, target_node: Option<&str>) -> String 
         "    cores: {}",
         (spec.executor_requests.cpu_millis / 1000).max(1)
     );
-    let _ = writeln!(
-        out,
-        "    memory: {}",
-        memory_str(spec.executor_requests.memory_bytes)
-    );
-    out
+    let _ = write!(out, "    memory: ");
+    write_memory(out, spec.executor_requests.memory_bytes);
+    out.push('\n');
 }
 
 #[cfg(test)]

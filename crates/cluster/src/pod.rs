@@ -105,6 +105,20 @@ impl PodSpec {
         self
     }
 
+    /// Set a label in place, reusing the existing value's allocation when
+    /// the key is already present (the in-place builders' steady state).
+    pub fn set_label(&mut self, key: &str, value: &str) {
+        match self.labels.get_mut(key) {
+            Some(slot) => {
+                slot.clear();
+                slot.push_str(value);
+            }
+            None => {
+                self.labels.insert(key.to_string(), value.to_string());
+            }
+        }
+    }
+
     /// Does the simple node selector match a node's labels?
     pub fn node_selector_matches(&self, labels: &BTreeMap<String, String>) -> bool {
         self.node_selector

@@ -6,9 +6,9 @@
 //! specification."*
 
 use crate::request::JobRequest;
-use cluster::manifest::{render_job_manifest, render_pod_manifest};
+use cluster::manifest::{render_job_manifest_into, render_pod_manifest};
 use cluster::pod::PodSpec;
-use cluster::JobSpec;
+use cluster::{JobSpec, Resources};
 use serde::{Deserialize, Serialize};
 
 /// A fully rendered job ready for submission.
@@ -26,6 +26,32 @@ pub struct BuiltJob {
     pub manifest_yaml: String,
 }
 
+impl BuiltJob {
+    /// An empty shell for in-place building via [`JobBuilder::build_into`].
+    pub fn empty() -> Self {
+        BuiltJob {
+            spec: JobSpec::new(String::new(), String::new(), 0),
+            driver_pod: PodSpec::new(String::new(), Resources::ZERO),
+            executor_pods: Vec::new(),
+            target_node: None,
+            manifest_yaml: String::new(),
+        }
+    }
+}
+
+/// Overwrite an optional-string slot in place, keeping its allocation when
+/// it already holds a value.
+fn set_target(slot: &mut Option<String>, target: Option<&str>) {
+    match (slot.as_mut(), target) {
+        (Some(held), Some(node)) => {
+            held.clear();
+            held.push_str(node);
+        }
+        (None, Some(node)) => *slot = Some(node.to_string()),
+        (_, None) => *slot = None,
+    }
+}
+
 /// Builds Kubernetes-style job objects from a request and a placement decision.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JobBuilder;
@@ -34,17 +60,21 @@ impl JobBuilder {
     /// Build the job pinned to `target_node` (or unpinned when `None`, which
     /// reproduces the default-scheduler baseline behaviour).
     pub fn build(&self, request: &JobRequest, target_node: Option<&str>) -> BuiltJob {
-        let spec = request.to_job_spec();
-        let driver_pod = spec.driver_pod(target_node);
-        let executor_pods = spec.executor_pods();
-        let manifest_yaml = render_job_manifest(&spec, target_node);
-        BuiltJob {
-            spec,
-            driver_pod,
-            executor_pods,
-            target_node: target_node.map(str::to_string),
-            manifest_yaml,
-        }
+        let mut out = BuiltJob::empty();
+        self.build_into(request, target_node, &mut out);
+        out
+    }
+
+    /// In-place variant of [`JobBuilder::build`]: rebuild `out` for this
+    /// request and placement, reusing its spec, pod, manifest and name
+    /// allocations. Steady-state bursts over same-shaped requests rebuild
+    /// whole jobs without touching the heap.
+    pub fn build_into(&self, request: &JobRequest, target_node: Option<&str>, out: &mut BuiltJob) {
+        request.to_job_spec_into(&mut out.spec);
+        out.spec.driver_pod_into(target_node, &mut out.driver_pod);
+        out.spec.executor_pods_into(&mut out.executor_pods);
+        render_job_manifest_into(&mut out.manifest_yaml, &out.spec, target_node);
+        set_target(&mut out.target_node, target_node);
     }
 
     /// Render just the driver pod manifest (useful for debugging/logging).

@@ -21,25 +21,68 @@ use crate::decision::{DecisionModule, NodeRanking};
 use crate::predictor::CompletionTimePredictor;
 use crate::request::JobRequest;
 use cluster::scheduler::FilterResult;
-use cluster::{ClusterState, DefaultScheduler, NodeId};
+use cluster::{ClusterState, DefaultScheduler, NodeId, PodSpec, Resources};
 use mlcore::FeatureMatrix;
 use telemetry::{ClusterSnapshot, IndexedTelemetry, NodeTelemetry};
+
+/// The reusable buffers behind a [`SchedulingContext`], detached from any
+/// particular snapshot borrow so a long-lived owner (the scheduler service)
+/// can carry them across bursts: indexed telemetry, candidate/prediction
+/// scratch, the batch feature matrix and the feasibility probe pod.
+/// Steady-state bursts over a fixed cluster size re-enter with warm buffers
+/// and touch no heap.
+#[derive(Debug, Clone)]
+pub struct ContextScratch {
+    telemetry: IndexedTelemetry,
+    /// The current feasible candidate set.
+    candidates: Vec<NodeId>,
+    /// Driver sizing the cached candidate set was computed for.
+    candidate_key: Option<(u64, u64)>,
+    /// One prediction per candidate.
+    predictions: Vec<f64>,
+    /// The candidate × feature matrix one decision's batch inference runs
+    /// over (one contiguous buffer, reused across decisions).
+    features: FeatureMatrix,
+    /// Anonymous unpinned pod whose requests are overwritten per feasibility
+    /// check. The default-scheduler filter only reads requests, selector,
+    /// affinity and tolerations, so this probe filters identically to the
+    /// request's real driver pod without building one.
+    probe: PodSpec,
+}
+
+impl Default for ContextScratch {
+    fn default() -> Self {
+        ContextScratch {
+            telemetry: IndexedTelemetry::default(),
+            candidates: Vec::new(),
+            candidate_key: None,
+            predictions: Vec::new(),
+            features: FeatureMatrix::new(0),
+            // Built field-by-field (not via `PodSpec::new`, which allocates
+            // its namespace string) so `mem::take`-style swaps of a scratch
+            // slot stay heap-free: this default is a placeholder, never
+            // filtered against before its requests are overwritten.
+            probe: PodSpec {
+                name: String::new(),
+                namespace: String::new(),
+                labels: std::collections::BTreeMap::new(),
+                requests: Resources::ZERO,
+                limits: Resources::ZERO,
+                node_selector: std::collections::BTreeMap::new(),
+                affinity: cluster::NodeAffinity::none(),
+                tolerations: Vec::new(),
+                role: cluster::pod::PodRole::Standalone,
+            },
+        }
+    }
+}
 
 /// Per-burst scheduling state: borrowed world view plus reusable scratch.
 #[derive(Debug)]
 pub struct SchedulingContext<'a> {
     snapshot: &'a ClusterSnapshot,
     cluster: &'a ClusterState,
-    telemetry: IndexedTelemetry,
-    /// Scratch: the current feasible candidate set.
-    pub(crate) candidates: Vec<NodeId>,
-    /// Driver sizing the cached candidate set was computed for.
-    candidate_key: Option<(u64, u64)>,
-    /// Scratch: one prediction per candidate.
-    pub(crate) predictions: Vec<f64>,
-    /// Scratch: the candidate × feature matrix one decision's batch
-    /// inference runs over (one contiguous buffer, reused across decisions).
-    pub(crate) features: FeatureMatrix,
+    scratch: ContextScratch,
 }
 
 impl<'a> SchedulingContext<'a> {
@@ -47,16 +90,29 @@ impl<'a> SchedulingContext<'a> {
     /// and cluster state. Costs one pass over the snapshot (nodes + RTT
     /// mesh); everything after that is per-decision work.
     pub fn new(snapshot: &'a ClusterSnapshot, cluster: &'a ClusterState) -> Self {
-        let nodes = cluster.node_count();
+        Self::with_scratch(snapshot, cluster, ContextScratch::default())
+    }
+
+    /// Build a context reusing buffers carried over from a previous burst.
+    /// The cached feasibility key is invalidated (cluster state may have
+    /// changed between bursts); the buffer allocations are kept.
+    pub fn with_scratch(
+        snapshot: &'a ClusterSnapshot,
+        cluster: &'a ClusterState,
+        mut scratch: ContextScratch,
+    ) -> Self {
+        snapshot.index_into(cluster, &mut scratch.telemetry);
+        scratch.candidate_key = None;
         SchedulingContext {
-            telemetry: snapshot.index_for(cluster),
             snapshot,
             cluster,
-            candidates: Vec::with_capacity(nodes),
-            candidate_key: None,
-            predictions: Vec::with_capacity(nodes),
-            features: FeatureMatrix::new(0),
+            scratch,
         }
+    }
+
+    /// Release the context's buffers for reuse by a later burst.
+    pub fn into_scratch(self) -> ContextScratch {
+        self.scratch
     }
 
     /// The telemetry snapshot this burst decides against.
@@ -71,17 +127,17 @@ impl<'a> SchedulingContext<'a> {
 
     /// The dense node-indexed telemetry view.
     pub fn telemetry(&self) -> &IndexedTelemetry {
-        &self.telemetry
+        &self.scratch.telemetry
     }
 
     /// Host telemetry for one node (`None` when it was not scraped).
     pub fn node_telemetry(&self, id: NodeId) -> Option<&NodeTelemetry> {
-        self.telemetry.node(id)
+        self.scratch.telemetry.node(id)
     }
 
     /// Precomputed (mean, max, std-dev) RTT statistics from one node.
     pub fn rtt_stats(&self, id: NodeId) -> (f64, f64, f64) {
-        self.telemetry.rtt_stats(id)
+        self.scratch.telemetry.rtt_stats(id)
     }
 
     /// Ids of the nodes on which the job's driver pod passes the default
@@ -95,17 +151,22 @@ impl<'a> SchedulingContext<'a> {
     /// same-shaped jobs.
     pub fn feasible_candidates(&mut self, request: &JobRequest) -> &[NodeId] {
         let key = (request.driver_cpu_millis, request.driver_memory_bytes);
-        if self.candidate_key != Some(key) {
-            let driver = request.to_job_spec().driver_pod(None);
-            self.candidates.clear();
+        if self.scratch.candidate_key != Some(key) {
+            // The probe pod filters identically to the request's unpinned
+            // driver pod (the filter only reads requests, selector, affinity
+            // and tolerations) without materializing a JobSpec.
+            let requests = request.driver_resources();
+            self.scratch.probe.requests = requests;
+            self.scratch.probe.limits = requests;
+            self.scratch.candidates.clear();
             for (index, node) in self.cluster.nodes().iter().enumerate() {
-                if DefaultScheduler::filter(&driver, node) == FilterResult::Feasible {
-                    self.candidates.push(NodeId::from_index(index));
+                if DefaultScheduler::filter(&self.scratch.probe, node) == FilterResult::Feasible {
+                    self.scratch.candidates.push(NodeId::from_index(index));
                 }
             }
-            self.candidate_key = Some(key);
+            self.scratch.candidate_key = Some(key);
         }
-        &self.candidates
+        &self.scratch.candidates
     }
 
     /// Rank the feasible candidates for `request` by a per-node score
@@ -120,13 +181,13 @@ impl<'a> SchedulingContext<'a> {
         mut score: impl FnMut(&mut Self, NodeId) -> f64,
     ) -> NodeRanking {
         let count = self.feasible_candidates(request).len();
-        self.predictions.clear();
+        self.scratch.predictions.clear();
         for i in 0..count {
-            let id = self.candidates[i];
+            let id = self.scratch.candidates[i];
             let value = score(self, id);
-            self.predictions.push(value);
+            self.scratch.predictions.push(value);
         }
-        DecisionModule.rank(&self.candidates, &self.predictions)
+        DecisionModule.rank(&self.scratch.candidates, &self.scratch.predictions)
     }
 
     /// Rank the feasible candidates by supervised completion-time
@@ -140,17 +201,32 @@ impl<'a> SchedulingContext<'a> {
         request: &JobRequest,
         predictor: &CompletionTimePredictor,
     ) -> NodeRanking {
+        let mut out = NodeRanking::default();
+        self.rank_feasible_batch_into(request, predictor, &mut out);
+        out
+    }
+
+    /// In-place variant of [`SchedulingContext::rank_feasible_batch`]: the
+    /// ranking is built into `out`, reusing its buffer, and every
+    /// intermediate (feature matrix, predictions, candidate set) lives in
+    /// the context's scratch — a steady-state decision touches no heap.
+    pub fn rank_feasible_batch_into(
+        &mut self,
+        request: &JobRequest,
+        predictor: &CompletionTimePredictor,
+        out: &mut NodeRanking,
+    ) {
         let count = self.feasible_candidates(request).len();
         let schema = predictor.schema();
-        self.features.reset(schema.len());
+        self.scratch.features.reset(schema.len());
         for i in 0..count {
-            let id = self.candidates[i];
-            let node = self.telemetry.node(id).copied().unwrap_or_default();
-            let rtt_stats = self.telemetry.rtt_stats(id);
-            schema.construct_into_matrix(&mut self.features, &node, rtt_stats, request);
+            let id = self.scratch.candidates[i];
+            let node = self.scratch.telemetry.node(id).copied().unwrap_or_default();
+            let rtt_stats = self.scratch.telemetry.rtt_stats(id);
+            schema.construct_into_matrix(&mut self.scratch.features, &node, rtt_stats, request);
         }
-        predictor.predict_batch_into(&self.features, &mut self.predictions);
-        DecisionModule.rank(&self.candidates, &self.predictions)
+        predictor.predict_batch_into(&self.scratch.features, &mut self.scratch.predictions);
+        DecisionModule.rank_into(&self.scratch.candidates, &self.scratch.predictions, out);
     }
 }
 

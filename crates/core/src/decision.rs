@@ -77,26 +77,38 @@ impl DecisionModule {
     /// Ties break by ascending [`NodeId`] (registration order) so decisions
     /// are deterministic and auditable.
     pub fn rank(&self, candidates: &[NodeId], predictions: &[f64]) -> NodeRanking {
+        let mut out = NodeRanking::default();
+        self.rank_into(candidates, predictions, &mut out);
+        out
+    }
+
+    /// In-place variant of [`DecisionModule::rank`]: build the ranking into
+    /// `out`, reusing its buffer. The sort is unstable, which is
+    /// result-identical to a stable sort here because the [`NodeId`]
+    /// tie-break makes the comparator a total order over distinct candidates
+    /// (for finite predictions).
+    pub fn rank_into(&self, candidates: &[NodeId], predictions: &[f64], out: &mut NodeRanking) {
         assert_eq!(
             candidates.len(),
             predictions.len(),
             "one prediction per candidate"
         );
-        let mut ranked: Vec<RankedNode> = candidates
-            .iter()
-            .zip(predictions)
-            .map(|(&node, &p)| RankedNode {
-                node,
-                predicted_seconds: p,
-            })
-            .collect();
-        ranked.sort_by(|a, b| {
+        out.ranked.clear();
+        out.ranked.extend(
+            candidates
+                .iter()
+                .zip(predictions)
+                .map(|(&node, &p)| RankedNode {
+                    node,
+                    predicted_seconds: p,
+                }),
+        );
+        out.ranked.sort_unstable_by(|a, b| {
             a.predicted_seconds
                 .partial_cmp(&b.predicted_seconds)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.node.cmp(&b.node))
         });
-        NodeRanking { ranked }
     }
 }
 

@@ -73,15 +73,22 @@ impl JobRequest {
 
     /// Convert into a cluster-level [`JobSpec`] (driver + executor templates).
     pub fn to_job_spec(&self) -> JobSpec {
-        JobSpec::new(
-            self.name.clone(),
-            self.app_type(),
-            self.workload.input_records,
-        )
-        .with_executors(self.workload.executor_count)
-        .with_driver_requests(self.driver_resources())
-        .with_executor_requests(self.executor_resources())
-        .with_shuffle_partitions(self.workload.shuffle_partitions)
+        let mut spec = JobSpec::new(String::new(), String::new(), 0);
+        self.to_job_spec_into(&mut spec);
+        spec
+    }
+
+    /// In-place variant of [`JobRequest::to_job_spec`]: overwrite every field
+    /// of `spec`, reusing its string allocations.
+    pub fn to_job_spec_into(&self, spec: &mut JobSpec) {
+        spec.name.clone_from(&self.name);
+        spec.app_type.clear();
+        spec.app_type.push_str(self.app_type());
+        spec.input_records = self.workload.input_records;
+        spec.executor_count = self.workload.executor_count;
+        spec.driver_requests = self.driver_resources();
+        spec.executor_requests = self.executor_resources();
+        spec.shuffle_partitions = self.workload.shuffle_partitions;
     }
 }
 

@@ -30,6 +30,18 @@ pub trait JobScheduler {
     /// means no node can host the driver.
     fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking;
 
+    /// In-place variant of [`JobScheduler::select`]: build the ranking into
+    /// `out`, reusing its buffer. The default implementation delegates to
+    /// [`JobScheduler::select`]; allocation-free policies override it.
+    fn select_into(
+        &mut self,
+        request: &JobRequest,
+        ctx: &mut SchedulingContext<'_>,
+        out: &mut NodeRanking,
+    ) {
+        *out = self.select(request, ctx);
+    }
+
     /// Rank a burst of requests against one shared context. The default
     /// implementation calls [`JobScheduler::select`] per request; the context
     /// carries the amortized state (indexed telemetry, cached feasibility,
@@ -95,6 +107,15 @@ impl JobScheduler for SupervisedScheduler {
         // One batch inference call over the whole feasible candidate set,
         // instead of one model walk per candidate.
         ctx.rank_feasible_batch(request, &self.predictor)
+    }
+
+    fn select_into(
+        &mut self,
+        request: &JobRequest,
+        ctx: &mut SchedulingContext<'_>,
+        out: &mut NodeRanking,
+    ) {
+        ctx.rank_feasible_batch_into(request, &self.predictor, out);
     }
 }
 

@@ -7,7 +7,7 @@
 //! plane modification, exactly as the paper emphasizes.
 
 use crate::builder::{BuiltJob, JobBuilder};
-use crate::context::SchedulingContext;
+use crate::context::{ContextScratch, SchedulingContext};
 use crate::decision::{NodeRanking, RankedNode};
 use crate::fetcher::TelemetryFetcher;
 use crate::logger::ExecutionLogger;
@@ -15,7 +15,7 @@ use crate::predictor::CompletionTimePredictor;
 use crate::request::JobRequest;
 use crate::schedulers::{JobScheduler, SupervisedScheduler};
 use crate::training::TrainingPipeline;
-use cluster::{ClusterState, NodeId};
+use cluster::ClusterState;
 use mlcore::ModelKind;
 use serde::{Deserialize, Serialize};
 use simcore::rng::Rng;
@@ -87,6 +87,10 @@ pub struct SchedulerService {
     /// nothing new since the last burst, the fetch is skipped entirely and
     /// the held `Arc` is reused — one atomic load per burst.
     held_epoch: Option<u64>,
+    /// Context buffers carried across bursts (indexed telemetry, candidate
+    /// and prediction scratch, the batch feature matrix): each burst takes
+    /// them, decides, and puts them back warm.
+    ctx_scratch: ContextScratch,
 }
 
 impl SchedulerService {
@@ -103,6 +107,7 @@ impl SchedulerService {
             fallback_rng: Rng::seed_from_u64(seed),
             snapshot_scratch: Arc::new(ClusterSnapshot::default()),
             held_epoch: None,
+            ctx_scratch: ContextScratch::default(),
         }
     }
 
@@ -159,9 +164,11 @@ impl SchedulerService {
         now: SimTime,
     ) -> SchedulingDecision {
         let snapshot = self.fetch_shared(metrics_server, now);
-        let mut ctx = SchedulingContext::new(&snapshot, cluster);
-        let (ranking, used_model) = self.decide(request, &mut ctx);
-        drop(ctx);
+        let scratch = std::mem::take(&mut self.ctx_scratch);
+        let mut ctx = SchedulingContext::with_scratch(&snapshot, cluster, scratch);
+        let mut ranking = NodeRanking::default();
+        let used_model = self.decide_into(request, &mut ctx, &mut ranking);
+        self.ctx_scratch = ctx.into_scratch();
         let job = self.builder.build(request, ranking.best_name(cluster));
         SchedulingDecision {
             job,
@@ -181,21 +188,48 @@ impl SchedulerService {
         cluster: &ClusterState,
         now: SimTime,
     ) -> Vec<SchedulingDecision> {
+        let mut out = Vec::with_capacity(requests.len());
+        self.schedule_batch_into(requests, metrics_server, cluster, now, &mut out);
+        out
+    }
+
+    /// In-place variant of [`SchedulerService::schedule_batch`]: decisions
+    /// are written into `out`, reusing the rankings, job specs, pod specs
+    /// and manifest strings of the decisions already there (slots are added
+    /// or dropped to match `requests`). Combined with the epoch fast-path
+    /// and the carried context scratch, a steady-state burst against a
+    /// published snapshot performs **zero heap allocations** — the property
+    /// the `hot_path_alloc` harness pins at runtime.
+    pub fn schedule_batch_into<S: SnapshotSource + ?Sized>(
+        &mut self,
+        requests: &[JobRequest],
+        metrics_server: &S,
+        cluster: &ClusterState,
+        now: SimTime,
+        out: &mut Vec<SchedulingDecision>,
+    ) {
         let snapshot = self.fetch_shared(metrics_server, now);
-        let mut ctx = SchedulingContext::new(&snapshot, cluster);
-        requests
-            .iter()
-            .map(|request| {
-                let (ranking, used_model) = self.decide(request, &mut ctx);
-                let job = self.builder.build(request, ranking.best_name(cluster));
-                SchedulingDecision {
-                    job,
-                    ranking,
-                    snapshot: Arc::clone(&snapshot),
-                    used_model,
-                }
-            })
-            .collect()
+        let scratch = std::mem::take(&mut self.ctx_scratch);
+        let mut ctx = SchedulingContext::with_scratch(&snapshot, cluster, scratch);
+        out.truncate(requests.len());
+        while out.len() < requests.len() {
+            out.push(SchedulingDecision {
+                job: BuiltJob::empty(),
+                ranking: NodeRanking::default(),
+                snapshot: Arc::clone(&snapshot),
+                used_model: false,
+            });
+        }
+        for (request, decision) in requests.iter().zip(out.iter_mut()) {
+            decision.used_model = self.decide_into(request, &mut ctx, &mut decision.ranking);
+            self.builder.build_into(
+                request,
+                decision.ranking.best_name(cluster),
+                &mut decision.job,
+            );
+            decision.snapshot = Arc::clone(&snapshot);
+        }
+        self.ctx_scratch = ctx.into_scratch();
     }
 
     /// Fetch the current telemetry snapshot into the service's reusable
@@ -232,34 +266,48 @@ impl SchedulerService {
         if Arc::get_mut(&mut self.snapshot_scratch).is_none() {
             self.snapshot_scratch = Arc::new(ClusterSnapshot::default());
         }
-        let scratch = Arc::get_mut(&mut self.snapshot_scratch).expect("uniquely owned");
-        fetcher.fetch_into(metrics_server, now, scratch);
+        // Always `Some`: the branch above replaced any shared buffer with a
+        // freshly created (uniquely owned) one.
+        if let Some(scratch) = Arc::get_mut(&mut self.snapshot_scratch) {
+            fetcher.fetch_into(metrics_server, now, scratch);
+        }
         Arc::clone(&self.snapshot_scratch)
     }
 
     /// The core decision: supervised when a model is cached, random-feasible
     /// fallback otherwise. Uses the cached scheduler — no predictor clone.
-    fn decide(
+    /// The ranking is built into `out` (buffer reused); returns whether the
+    /// supervised model decided.
+    fn decide_into(
         &mut self,
         request: &JobRequest,
         ctx: &mut SchedulingContext<'_>,
-    ) -> (NodeRanking, bool) {
+        out: &mut NodeRanking,
+    ) -> bool {
         match &mut self.scheduler {
-            Some(scheduler) => (scheduler.select(request, ctx), true),
+            Some(scheduler) => {
+                scheduler.select_into(request, ctx, out);
+                true
+            }
             None => {
-                let mut candidates: Vec<NodeId> = ctx.feasible_candidates(request).to_vec();
-                self.fallback_rng.shuffle(&mut candidates);
-                let ranking = NodeRanking {
-                    ranked: candidates
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, node)| RankedNode {
-                            node,
-                            predicted_seconds: i as f64,
-                        })
-                        .collect(),
-                };
-                (ranking, false)
+                // Shuffling the ranked slice draws the RNG exactly like the
+                // historical shuffle over a `Vec<NodeId>` of the same length,
+                // so fallback decision streams are unchanged.
+                out.ranked.clear();
+                out.ranked
+                    .extend(
+                        ctx.feasible_candidates(request)
+                            .iter()
+                            .map(|&node| RankedNode {
+                                node,
+                                predicted_seconds: 0.0,
+                            }),
+                    );
+                self.fallback_rng.shuffle(&mut out.ranked);
+                for (i, ranked) in out.ranked.iter_mut().enumerate() {
+                    ranked.predicted_seconds = i as f64;
+                }
+                false
             }
         }
     }

@@ -146,20 +146,37 @@ impl LinearRegression {
                 .sum::<f64>()
     }
 
+    /// The affine prediction over a raw row, standardizing element-wise on
+    /// the fly. Each term is `w * ((x - m) / s)` — the same operations in the
+    /// same order as transforming the row first and calling [`Self::dot`],
+    /// so results are bit-identical, without a scratch buffer.
+    #[inline]
+    fn dot_standardized(&self, scaler: &Scaler, row: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .zip(scaler.means())
+                .zip(scaler.stds())
+                .map(|(((w, x), m), s)| w * ((x - m) / s))
+                .sum::<f64>()
+    }
+
     /// Predict the target for one feature row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         if !self.fitted {
             return 0.0;
         }
         match &self.scaler {
-            Some(s) => self.dot(&s.transformed(row)),
+            Some(s) => self.dot_standardized(s, row),
             None => self.dot(row),
         }
     }
 
     /// Predict every row of a feature matrix into a reused output buffer.
-    /// One standardization scratch row is reused across the whole batch, so
-    /// steady-state batches allocate nothing.
+    /// Standardization is fused into the dot product, so steady-state
+    /// batches allocate nothing.
     pub fn predict_into(&self, x: &FeatureMatrix, out: &mut Vec<f64>) {
         out.clear();
         if !self.fitted {
@@ -168,14 +185,7 @@ impl LinearRegression {
         }
         out.reserve(x.n_rows());
         match &self.scaler {
-            Some(s) => {
-                let mut scratch = vec![0.0; x.n_features()];
-                for row in x.rows() {
-                    scratch.copy_from_slice(row);
-                    s.transform_row(&mut scratch);
-                    out.push(self.dot(&scratch));
-                }
-            }
+            Some(s) => out.extend(x.rows().map(|row| self.dot_standardized(s, row))),
             None => out.extend(x.rows().map(|row| self.dot(row))),
         }
     }

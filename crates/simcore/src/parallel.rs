@@ -50,6 +50,8 @@ where
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
+                // ordering: Relaxed — the counter only claims work indices;
+                // results flow through the per-slot mutexes and scope join.
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {
                     break;

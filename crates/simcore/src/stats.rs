@@ -168,7 +168,7 @@ impl Summary {
                 max: 0.0,
             };
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let mut stats = OnlineStats::new();
         for &x in &v {
             stats.push(x);

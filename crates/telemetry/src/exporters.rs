@@ -149,6 +149,8 @@ impl<Id: Copy> ExporterLayout<Id> {
     ) -> Self {
         let nodes = cluster.nodes();
         let mut layout = ExporterLayout {
+            // ordering: Relaxed — the generation is only a uniqueness tag for
+            // cache invalidation; no memory is published through it.
             generation: LAYOUT_GENERATION.fetch_add(1, Ordering::Relaxed),
             node_names: Vec::with_capacity(nodes.len()),
             net_ids: Vec::with_capacity(nodes.len()),

@@ -131,11 +131,15 @@ impl IngestShared {
 
     /// Mark a commit as in flight (epoch becomes odd).
     fn begin_commit(&self) {
+        // ordering: AcqRel — the Release half orders the odd flip before any
+        // shard mutation; the Acquire half pairs with `end_commit`.
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Mark the in-flight commit as complete (epoch becomes even).
     fn end_commit(&self) {
+        // ordering: AcqRel — the Release half publishes every shard write of
+        // this commit before the even flip readers wait for.
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
@@ -145,6 +149,8 @@ impl IngestShared {
     fn snapshot_into(&self, at: SimTime, rate_window: SimDuration, snap: &mut ClusterSnapshot) {
         let mut waits = 0u32;
         loop {
+            // ordering: Acquire pairs with the AcqRel epoch flips so an even
+            // value here means the prior commit's shard writes are visible.
             let before = self.epoch.load(Ordering::Acquire);
             if before & 1 == 1 {
                 // Apply phases last microseconds: spin first, fall back to
@@ -176,6 +182,9 @@ impl IngestShared {
                     assemble_sharded(&layout, &guards, at, rate_window, snap);
                 }
             }
+            // ordering: Acquire — an unchanged even epoch proves no commit
+            // overlapped the reads above, so the assembled snapshot is
+            // consistent.
             let after = self.epoch.load(Ordering::Acquire);
             if before == after {
                 return;
@@ -292,6 +301,8 @@ impl WriterPool {
                 while let Ok(msg) = rx.recv() {
                     if msg.lead {
                         shared.begin_commit();
+                        // ordering: Release orders the odd epoch flip above
+                        // before the flag the follower writers wait on.
                         msg.token.begin_done.store(true, Ordering::Release);
                     } else {
                         // The lead writer of this chunk flips the epoch odd
@@ -300,6 +311,8 @@ impl WriterPool {
                         // so fall back to yielding rather than burning the
                         // core the lead needs.
                         let mut spins = 0u32;
+                        // ordering: Acquire pairs with the lead's Release
+                        // store, so the epoch is odd before we touch a shard.
                         while !msg.token.begin_done.load(Ordering::Acquire) {
                             spins += 1;
                             if spins > 512 {
@@ -320,6 +333,9 @@ impl WriterPool {
                         // intermediate states of an uncommitted chunk.
                         store.prune_all_to_watermark();
                     }
+                    // ordering: AcqRel — Release publishes this writer's shard
+                    // appends; Acquire on the final decrement makes every
+                    // peer's appends visible before `end_commit` flips even.
                     if msg.token.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                         shared.end_commit();
                     }
@@ -702,6 +718,9 @@ impl ConcurrentScrapeManager {
                 for _ in 0..eval_workers {
                     let eval_tx = eval_tx.clone();
                     scope.spawn(move |_| loop {
+                        // ordering: Relaxed — the counter only claims chunk
+                        // indices; the channel send below synchronizes the
+                        // evaluated payload.
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         if idx >= chunks_ref.len() {
                             break;

@@ -143,6 +143,8 @@ impl SnapshotPublisher {
             epoch,
             snapshot: Arc::clone(buffer),
         });
+        // ordering: Release makes the slot contents written above visible to
+        // any reader whose Acquire load of `epoch` observes this value.
         self.shared.epoch.store(epoch, Ordering::Release);
         self.next_epoch += 1;
         epoch
@@ -181,6 +183,8 @@ pub struct PublishedSnapshot {
 impl PublishedSnapshot {
     /// The latest published epoch number (one atomic load; 0 = none yet).
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the Release store in `publish_with`,
+        // so the slot this epoch points at is fully written before we read it.
         self.shared.epoch.load(Ordering::Acquire)
     }
 

@@ -446,19 +446,33 @@ impl ClusterSnapshot {
     /// snapshot is id-aligned with the cluster (the interned scrape path)
     /// no name is touched at all.
     pub fn index_for(&self, cluster: &cluster::ClusterState) -> IndexedTelemetry {
+        let mut out = IndexedTelemetry::default();
+        self.index_into(cluster, &mut out);
+        out
+    }
+
+    /// In-place variant of [`ClusterSnapshot::index_for`]: resolve this
+    /// snapshot into `out`, reusing its node table, statistics table and
+    /// accumulator scratch. Steady-state bursts over a fixed cluster size
+    /// re-index without touching the heap.
+    pub fn index_into(&self, cluster: &cluster::ClusterState, out: &mut IndexedTelemetry) {
         let n = cluster.node_count();
         let aligned = self.is_aligned_with(cluster);
-        let nodes: Vec<Option<NodeTelemetry>> = if aligned {
-            self.nodes.clone()
+        out.nodes.clear();
+        if aligned {
+            out.nodes.extend_from_slice(&self.nodes);
         } else {
-            cluster
-                .nodes()
-                .iter()
-                .map(|node| self.node(&node.name).copied())
-                .collect()
-        };
+            out.nodes.extend(
+                cluster
+                    .nodes()
+                    .iter()
+                    .map(|node| self.node(&node.name).copied()),
+            );
+        }
 
-        let mut stats: Vec<simcore::OnlineStats> = vec![simcore::OnlineStats::new(); n];
+        let stats = &mut out.stats_scratch;
+        stats.clear();
+        stats.resize(n, simcore::OnlineStats::new());
         for src_idx in 0..self.names.len() {
             let cluster_idx = if aligned {
                 src_idx
@@ -477,18 +491,14 @@ impl ClusterSnapshot {
                 }
             }
         }
-        let rtt_stats = stats
-            .into_iter()
-            .map(|s| {
-                if s.count() == 0 {
-                    (0.0, 0.0, 0.0)
-                } else {
-                    (s.mean(), s.max(), s.std_dev())
-                }
-            })
-            .collect();
-
-        IndexedTelemetry { nodes, rtt_stats }
+        out.rtt_stats.clear();
+        out.rtt_stats.extend(stats.iter().map(|s| {
+            if s.count() == 0 {
+                (0.0, 0.0, 0.0)
+            } else {
+                (s.mean(), s.max(), s.std_dev())
+            }
+        }));
     }
 }
 
@@ -608,12 +618,23 @@ pub trait SnapshotSource {
 /// A dense, [`NodeId`]-indexed resolution of a [`ClusterSnapshot`] against
 /// one cluster's node table. Built once per scheduling burst by
 /// [`ClusterSnapshot::index_for`].
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IndexedTelemetry {
     /// Host telemetry per node id; `None` when the node was not scraped.
     nodes: Vec<Option<NodeTelemetry>>,
     /// Precomputed (mean, max, std-dev) RTT-from-node statistics per node id.
     rtt_stats: Vec<(f64, f64, f64)>,
+    /// Accumulator scratch reused by [`ClusterSnapshot::index_into`]; not
+    /// part of the observable value.
+    stats_scratch: Vec<simcore::OnlineStats>,
+}
+
+/// Equality over the observable view (node table + RTT statistics) only; the
+/// internal accumulator scratch carries no information.
+impl PartialEq for IndexedTelemetry {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.rtt_stats == other.rtt_stats
+    }
 }
 
 impl IndexedTelemetry {

@@ -1,0 +1,218 @@
+//! Runtime counterpart of the `hot-path-alloc` lint: a counting global
+//! allocator proves that steady-state `schedule_batch` bursts perform **zero
+//! heap allocations**.
+//!
+//! The static lint (`cargo run -p analysis -- check`) bans allocating tokens
+//! inside the hot-path function manifest; this harness pins the same claim
+//! dynamically, end to end: against an epoch-published snapshot with a
+//! trained model, a warm `schedule_batch_into` burst must not allocate,
+//! deallocate or reallocate at all — not in telemetry indexing, feasibility
+//! filtering, feature construction, batch inference, ranking, or job/manifest
+//! building.
+
+use netsched::cluster::{ClusterState, Node, Resources};
+use netsched::core::request::JobRequest;
+use netsched::core::service::{SchedulerConfig, SchedulerService, SchedulingDecision};
+use netsched::mlcore::ModelKind;
+use netsched::simcore::rng::Rng;
+use netsched::simcore::{SimDuration, SimTime};
+use netsched::simnet::{gbps, mbps, Network, NodeId, TopologyBuilder};
+use netsched::sparksim::WorkloadKind;
+use netsched::telemetry::{ScrapeConfig, ScrapeManager};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Pass-through allocator that counts every heap operation while armed.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// ordering: counters are independent tallies with no cross-thread
+// synchronization requirement; the test reads them on the same thread that
+// armed them.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if ARMED.load(Ordering::Relaxed) {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn arm() {
+    ALLOCS.store(0, Ordering::Relaxed);
+    DEALLOCS.store(0, Ordering::Relaxed);
+    REALLOCS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+fn disarm() -> (u64, u64, u64) {
+    ARMED.store(false, Ordering::Relaxed);
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        DEALLOCS.load(Ordering::Relaxed),
+        REALLOCS.load(Ordering::Relaxed),
+    )
+}
+
+/// A 4-node, 2-site world with a scraped telemetry round.
+fn test_world() -> (ClusterState, Network, ScrapeManager) {
+    let mut b = TopologyBuilder::new();
+    let s0 = b.add_site("UCSD", SimDuration::from_micros(200), gbps(10.0));
+    let s1 = b.add_site("FIU", SimDuration::from_micros(200), gbps(10.0));
+    for i in 0..2 {
+        b.add_node(format!("node-{}", i + 1), s0, gbps(1.0), gbps(1.0));
+    }
+    for i in 2..4 {
+        b.add_node(format!("node-{}", i + 1), s1, gbps(1.0), gbps(1.0));
+    }
+    b.connect_sites(s0, s1, SimDuration::from_millis(30), mbps(500.0));
+    let network = Network::new(b.build().unwrap());
+    let mut cluster = ClusterState::new();
+    for i in 0..4 {
+        cluster.add_node(Node::new(
+            format!("node-{}", i + 1),
+            NodeId(i),
+            Resources::from_cores_and_gib(6, 8),
+            if i < 2 { "UCSD" } else { "FIU" },
+        ));
+    }
+    let mut scrape = ScrapeManager::new(ScrapeConfig::default());
+    scrape.scrape(&cluster, &network, SimTime::from_secs(1));
+    (cluster, network, scrape)
+}
+
+fn request(i: usize) -> JobRequest {
+    JobRequest::named(format!("sort-{i}"), WorkloadKind::Sort, 100_000, 2)
+}
+
+/// Train a service through its own bootstrap path (fallback decisions →
+/// logged outcomes → retrain), so the steady-state burst runs the supervised
+/// scheduler, not the fallback.
+fn trained_service(cluster: &ClusterState, scrape: &ScrapeManager) -> SchedulerService {
+    let mut service = SchedulerService::new(
+        SchedulerConfig {
+            min_training_samples: 20,
+            model_kind: ModelKind::Linear,
+            ..Default::default()
+        },
+        7,
+    );
+    let mut rng = Rng::seed_from_u64(11);
+    for i in 0..30 {
+        let d = service.schedule(&request(i), scrape, cluster, SimTime::from_secs(2));
+        let node = d.job.target_node.clone().unwrap();
+        let load = d.snapshot.node(&node).map(|t| t.cpu_load).unwrap_or(0.0);
+        service.record_outcome(&d.snapshot, &request(i), &node, 20.0 + 5.0 * load);
+    }
+    assert!(service.retrain(&mut rng));
+    assert!(service.is_model_active());
+    service
+}
+
+#[test]
+fn steady_state_schedule_batch_burst_is_allocation_free() {
+    let (cluster, _network, mut scrape) = test_world();
+    let published = scrape.published_handle();
+    let mut service = trained_service(&cluster, &scrape);
+
+    let requests: Vec<JobRequest> = (0..8).map(request).collect();
+    let now = SimTime::from_secs(3);
+    let mut decisions: Vec<SchedulingDecision> = Vec::new();
+
+    // Warm-up bursts: adopt the published epoch, size every reused buffer
+    // (context scratch, rankings, pod specs, manifest strings) to its
+    // steady-state capacity.
+    for _ in 0..3 {
+        service.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+    let warm: Vec<Option<String>> = decisions
+        .iter()
+        .map(|d| d.job.target_node.clone())
+        .collect();
+
+    // Steady state: with no new epoch published and stable request shapes,
+    // whole bursts must not touch the heap at all.
+    arm();
+    for _ in 0..10 {
+        service.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+    let (allocs, deallocs, reallocs) = disarm();
+    assert_eq!(
+        (allocs, deallocs, reallocs),
+        (0, 0, 0),
+        "steady-state schedule_batch bursts must be allocation-free \
+         (allocs={allocs} deallocs={deallocs} reallocs={reallocs})"
+    );
+
+    // The allocation-free path still produces real decisions.
+    assert_eq!(decisions.len(), requests.len());
+    for decision in &decisions {
+        assert!(decision.used_model);
+        assert_eq!(decision.ranking.len(), 4);
+        assert!(decision.job.target_node.is_some());
+        assert!(decision.job.manifest_yaml.contains("SparkApplication"));
+    }
+    let after: Vec<Option<String>> = decisions
+        .iter()
+        .map(|d| d.job.target_node.clone())
+        .collect();
+    assert_eq!(warm, after, "steady-state bursts are deterministic");
+}
+
+#[test]
+fn steady_state_fallback_burst_is_allocation_free() {
+    // The pre-training fallback path (uniform-random feasible placement)
+    // shares the same in-place machinery and must also run heap-free once
+    // warm.
+    let (cluster, _network, mut scrape) = test_world();
+    let published = scrape.published_handle();
+    let mut service = SchedulerService::new(SchedulerConfig::default(), 7);
+
+    let requests: Vec<JobRequest> = (0..8).map(request).collect();
+    let now = SimTime::from_secs(3);
+    let mut decisions: Vec<SchedulingDecision> = Vec::new();
+    for _ in 0..3 {
+        service.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+
+    arm();
+    for _ in 0..10 {
+        service.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+    let (allocs, deallocs, reallocs) = disarm();
+    assert_eq!(
+        (allocs, deallocs, reallocs),
+        (0, 0, 0),
+        "steady-state fallback bursts must be allocation-free \
+         (allocs={allocs} deallocs={deallocs} reallocs={reallocs})"
+    );
+    assert!(decisions.iter().all(|d| !d.used_model));
+}
