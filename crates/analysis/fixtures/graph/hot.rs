@@ -1,0 +1,29 @@
+//! Call-graph fixture: a hot chain derived from `drive`, with a panic
+//! site, an allocation in a derived (unlisted) fn, a macro-wrapped call,
+//! a nested fn, and a stopped cold branch. Line numbers are asserted in
+//! tests/graph_checks.rs — keep the layout stable.
+
+pub struct Engine {
+    slot: Option<u32>,
+}
+
+impl Engine {
+    pub fn drive(&mut self) {
+        self.step();
+        refresh();
+        emit!(self.flush());
+    }
+
+    fn step(&mut self) {
+        let scores = vec![self.slot.unwrap()];
+        drop(scores);
+    }
+
+    fn flush(&mut self) {
+        fn nested() {}
+        nested();
+    }
+}
+
+/// Cold branch: cut from the closure by the fixture stop entry.
+fn refresh() {}

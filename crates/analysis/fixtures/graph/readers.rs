@@ -1,0 +1,33 @@
+//! Same-named methods across two impls, a trait default method, and
+//! blocking sites on the read path. Line numbers are asserted in
+//! tests/graph_checks.rs — keep the layout stable.
+
+pub trait Source {
+    fn load(&self) -> u32;
+
+    /// Default method: name-based dispatch reaches every impl's `load`.
+    fn total(&self) -> u32 {
+        self.load() + 1
+    }
+}
+
+pub struct Published;
+
+impl Source for Published {
+    fn load(&self) -> u32 {
+        *self.slot.lock()
+    }
+}
+
+pub struct StoreBacked;
+
+impl Source for StoreBacked {
+    fn load(&self) -> u32 {
+        self.feed.recv()
+    }
+}
+
+/// Read-path root.
+pub fn serve(source: &Published) -> u32 {
+    source.total()
+}

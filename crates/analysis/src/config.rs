@@ -14,6 +14,20 @@ pub struct AllowEntry {
     pub file: String,
     pub token: String,
     pub reason: String,
+    /// Line of the entry's `[[...]]` header in lint.toml, so stale-entry
+    /// findings point at the entry itself.
+    pub line: u32,
+}
+
+/// One reachability stop: a fn (as a `path::fn_name` or bare-name spec)
+/// whose subtree is excluded from a closure, with a mandatory reason
+/// documenting why the branch is cold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StopEntry {
+    pub function: String,
+    pub reason: String,
+    /// Line of the entry's `[[...]]` header in lint.toml.
+    pub line: u32,
 }
 
 /// Typed analyzer configuration.
@@ -28,6 +42,23 @@ pub struct Config {
     pub protocol_files: Vec<String>,
     /// Function names whose bodies must not contain allocating tokens.
     pub hot_path_functions: Vec<String>,
+    /// Roots the hot-path closure is derived from (`path::fn_name` specs).
+    pub hot_path_roots: Vec<String>,
+    /// Manifest entries enforced allocation-free although not derivable
+    /// from the roots. Must be a subset of `hot_path_functions`.
+    pub hot_path_pins: Vec<String>,
+    /// Cold branches excluded from the derived hot-path closure.
+    pub hot_path_stops: Vec<StopEntry>,
+    /// Line of the `[hot_path]` table header, for manifest-level findings.
+    pub hot_path_line: u32,
+    /// Roots of the published-snapshot read path that must stay free of
+    /// blocking calls.
+    pub read_path_roots: Vec<String>,
+    /// Branches excluded from the read-path closure (e.g. the store-backed
+    /// fallback that published sources never take).
+    pub read_path_stops: Vec<StopEntry>,
+    /// Per-site blocking-call exemptions on the read path.
+    pub read_path_allow: Vec<AllowEntry>,
     /// Path prefixes of modules that must stay deterministic (no wall-clock
     /// reads, no hash-randomized containers).
     pub determinism_modules: Vec<String>,
@@ -52,7 +83,16 @@ impl Config {
                     config.exclude = table.get_list("exclude")?;
                 }
                 "atomics" => config.protocol_files = table.get_list("protocol_files")?,
-                "hot_path" => config.hot_path_functions = table.get_list("functions")?,
+                "hot_path" => {
+                    config.hot_path_functions = table.get_list("functions")?;
+                    config.hot_path_roots = table.get_list("roots")?;
+                    config.hot_path_pins = table.get_list("pins")?;
+                    config.hot_path_line = table.line;
+                }
+                "hot_path.stop" => config.hot_path_stops.push(table.to_stop_entry(name)?),
+                "read_path" => config.read_path_roots = table.get_list("roots")?,
+                "read_path.stop" => config.read_path_stops.push(table.to_stop_entry(name)?),
+                "read_path.allow" => config.read_path_allow.push(table.to_allow_entry(name)?),
                 "determinism" => config.determinism_modules = table.get_list("modules")?,
                 "panic" => config.panic_skip = table.get_list("skip")?,
                 "panic.allow" => config.panic_allow.push(table.to_allow_entry(name)?),
@@ -75,6 +115,8 @@ struct Doc {
 
 struct Table {
     entries: Vec<(String, Value)>,
+    /// 1-based line of the table's header.
+    line: u32,
 }
 
 enum Value {
@@ -116,6 +158,15 @@ impl Table {
             file: self.get_str(table, "file")?,
             token: self.get_str(table, "token")?,
             reason: self.get_str(table, "reason")?,
+            line: self.line,
+        })
+    }
+
+    fn to_stop_entry(&self, table: &str) -> Result<StopEntry, String> {
+        Ok(StopEntry {
+            function: self.get_str(table, "function")?,
+            reason: self.get_str(table, "reason")?,
+            line: self.line,
         })
     }
 }
@@ -133,6 +184,7 @@ fn parse_toml(text: &str) -> Result<Doc, String> {
                 header.trim().to_string(),
                 Table {
                     entries: Vec::new(),
+                    line: lineno as u32 + 1,
                 },
             ));
         } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
@@ -140,6 +192,7 @@ fn parse_toml(text: &str) -> Result<Doc, String> {
                 header.trim().to_string(),
                 Table {
                     entries: Vec::new(),
+                    line: lineno as u32 + 1,
                 },
             ));
         } else if let Some(eq) = line.find('=') {
@@ -332,15 +385,68 @@ reason = "stderr timing only"
         );
         assert_eq!(config.determinism_modules, vec!["crates/experiments/src"]);
         assert_eq!(config.panic_skip, vec!["crates/experiments/src/bin"]);
-        assert_eq!(
-            config.panic_allow,
-            vec![AllowEntry {
-                file: "crates/core/src/service.rs".into(),
-                token: "expect".into(),
-                reason: "lock poisoning is unrecoverable here".into(),
-            }]
-        );
+        assert_eq!(config.panic_allow.len(), 1);
+        let allow = &config.panic_allow[0];
+        assert_eq!(allow.file, "crates/core/src/service.rs");
+        assert_eq!(allow.token, "expect");
+        assert_eq!(allow.reason, "lock poisoning is unrecoverable here");
+        assert!(allow.line > 0, "allow entries record their header line");
         assert_eq!(config.determinism_allow.len(), 1);
+    }
+
+    #[test]
+    fn parses_graph_tables() {
+        let text = r#"
+[paths]
+include = ["crates"]
+
+[hot_path]
+roots = ["crates/core/src/service.rs::schedule_batch_into"]
+functions = ["schedule_batch_into", "snapshot_into"]
+pins = ["snapshot_into"]
+
+[[hot_path.stop]]
+function = "crates/core/src/context.rs::rebuild"
+reason = "cold: only runs on topology changes"
+
+[read_path]
+roots = ["crates/core/src/service.rs::schedule_batch_into"]
+
+[[read_path.stop]]
+function = "fetch_into"
+reason = "store-backed fallback"
+
+[[read_path.allow]]
+file = "crates/telemetry/src/publish.rs"
+token = "lock"
+reason = "bounded slot mutex"
+"#;
+        let config = Config::parse(text).unwrap();
+        assert_eq!(
+            config.hot_path_roots,
+            vec!["crates/core/src/service.rs::schedule_batch_into"]
+        );
+        assert_eq!(config.hot_path_pins, vec!["snapshot_into"]);
+        assert!(config.hot_path_line > 0);
+        assert_eq!(config.hot_path_stops.len(), 1);
+        assert_eq!(
+            config.hot_path_stops[0].function,
+            "crates/core/src/context.rs::rebuild"
+        );
+        assert_eq!(config.read_path_roots.len(), 1);
+        assert_eq!(config.read_path_stops[0].function, "fetch_into");
+        assert_eq!(config.read_path_allow[0].token, "lock");
+    }
+
+    #[test]
+    fn pins_stand_alone_from_functions() {
+        // Pins are standalone enforcement entries: the engine appends them
+        // to the enforced set alongside the derived closure, so they need
+        // not be repeated under `functions`.
+        let text =
+            "[paths]\ninclude = [\"crates\"]\n\n[hot_path]\nfunctions = [\"a\"]\npins = [\"b\"]\n";
+        let config = Config::parse(text).unwrap();
+        assert_eq!(config.hot_path_pins, vec!["b"]);
     }
 
     #[test]

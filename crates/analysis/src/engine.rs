@@ -1,9 +1,13 @@
-//! The analysis driver: walk the workspace, lex + scope + lint every Rust
-//! file, subtract the baseline, and report.
+//! The analysis driver: walk the workspace, lex + scope every Rust file,
+//! build the item index and call graph, run the token-level and graph-level
+//! lints, subtract the baseline, and report.
 
 use crate::config::Config;
+use crate::graph::CallGraph;
+use crate::items::{CrateMap, ItemIndex, SourceFile};
 use crate::lexer;
-use crate::lints::{self, Finding};
+use crate::lints::{self, Finding, SiteLog};
+use crate::reach;
 use crate::scope;
 use std::collections::BTreeSet;
 use std::fs;
@@ -17,6 +21,15 @@ pub struct Report {
     pub suppressed: usize,
     /// Number of files scanned.
     pub files_scanned: usize,
+}
+
+/// The fully parsed workspace: every scanned file with its tokens and
+/// scopes, the fn-item index, and the call graph. `check` runs lints over
+/// it; the `graph` CLI subcommand queries it directly.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub index: ItemIndex,
+    pub graph: CallGraph,
 }
 
 /// Load the baseline file: one line-agnostic finding key per line, `#`
@@ -35,9 +48,10 @@ pub fn load_baseline(path: &Path) -> Result<BTreeSet<String>, String> {
         .collect())
 }
 
-/// Run the analyzer over the workspace rooted at `root`.
-pub fn check(root: &Path, config: &Config, baseline: &BTreeSet<String>) -> Result<Report, String> {
-    let mut files: Vec<PathBuf> = Vec::new();
+/// Walk, read, lex, and scope every included file, then build the item
+/// index and call graph over the result.
+pub fn parse_workspace(root: &Path, config: &Config) -> Result<Workspace, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
     for include in &config.include {
         // `.` scans the root itself without polluting relative paths.
         let base = if include == "." {
@@ -51,32 +65,72 @@ pub fn check(root: &Path, config: &Config, baseline: &BTreeSet<String>) -> Resul
                 root.display()
             ));
         }
-        collect_rust_files(&base, &mut files)?;
+        collect_rust_files(&base, &mut paths)?;
     }
-    files.sort();
-    files.dedup();
+    paths.sort();
+    paths.dedup();
 
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for file in &files {
-        let rel = relative_path(root, file);
+    let mut files: Vec<SourceFile> = Vec::new();
+    for path in &paths {
+        let rel = relative_path(root, path);
         if config.exclude.iter().any(|e| is_excluded(&rel, e)) {
             continue;
         }
         let src =
-            fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let tokens = lexer::lex(&src);
         let scopes = scope::analyze(&src, &tokens, scope::path_is_test(&rel));
-        let input = lints::FileInput {
-            path: &rel,
-            src: &src,
-            tokens: &tokens,
-            scopes: &scopes,
-            is_crate_root: is_crate_root(&rel),
-        };
-        lints::run_all(&input, config, &mut findings);
-        files_scanned += 1;
+        files.push(SourceFile {
+            rel,
+            src,
+            tokens,
+            scopes,
+        });
     }
+
+    let crates = CrateMap::load(root);
+    let index = ItemIndex::build(&files, &crates);
+    let graph = CallGraph::build(&files, &index, &crates);
+    Ok(Workspace {
+        files,
+        index,
+        graph,
+    })
+}
+
+/// Run the analyzer over the workspace rooted at `root`.
+pub fn check(root: &Path, config: &Config, baseline: &BTreeSet<String>) -> Result<Report, String> {
+    let ws = parse_workspace(root, config)?;
+
+    // Derivation is enforcement: the allocation-free set checked by the
+    // hot-path-alloc token lint is the call-graph closure from the
+    // configured roots, plus pins (entries enforced beyond derivability)
+    // and any residual explicit `functions` entries. A refactor that adds
+    // a callee to the hot path extends enforcement automatically.
+    let mut hot_config = config.clone();
+    hot_config
+        .hot_path_functions
+        .extend(reach::derived_hot_specs(&ws.index, &ws.graph, config));
+    hot_config
+        .hot_path_functions
+        .extend(config.hot_path_pins.iter().cloned());
+    hot_config.hot_path_functions.sort();
+    hot_config.hot_path_functions.dedup();
+
+    let mut findings = Vec::new();
+    let mut log = SiteLog::default();
+    for file in &ws.files {
+        let input = lints::FileInput {
+            path: &file.rel,
+            src: &file.src,
+            tokens: &file.tokens,
+            scopes: &file.scopes,
+            is_crate_root: is_crate_root(&file.rel),
+        };
+        lints::run_all(&input, &hot_config, &mut findings, &mut log);
+    }
+    lints::stale_allow_findings(config, &log, &mut findings);
+    reach::run_graph_lints(&ws.index, &ws.graph, config, &mut findings);
 
     let mut kept = Vec::new();
     let mut suppressed = 0usize;
@@ -98,7 +152,7 @@ pub fn check(root: &Path, config: &Config, baseline: &BTreeSet<String>) -> Resul
     Ok(Report {
         findings: kept,
         suppressed,
-        files_scanned,
+        files_scanned: ws.files.len(),
     })
 }
 

@@ -6,23 +6,43 @@
 //! - **atomics-discipline** — every `Ordering::Relaxed`/`SeqCst` use carries
 //!   an `// ordering:` justification comment, and the telemetry handoff
 //!   protocol files pair Acquire loads with Release stores.
-//! - **hot-path-alloc** — the steady-state scheduling chain (the functions
-//!   named in `lint.toml`'s hot-path manifest) contains no allocating tokens.
-//!   Its dynamic counterpart is `tests/hot_path_alloc.rs`, which proves the
-//!   same property at runtime with a counting global allocator.
+//! - **hot-path-alloc** — the steady-state scheduling chain contains no
+//!   allocating tokens. The enforced set is *derived*: the call-graph
+//!   closure from `[hot_path] roots` (minus stopped cold branches), plus
+//!   pins. Its dynamic counterpart is `tests/hot_path_alloc.rs`, which
+//!   proves the same property at runtime with a counting global allocator.
+//! - **hot-path-closure** — `lint.toml` stays coherent with the derivation:
+//!   `functions` entries must be derivable, pins must not be, and every
+//!   root/stop/pin spec must resolve.
+//! - **panic-reachability** — every panic site reachable from the decision
+//!   roots is reported with its call chain; allow entries covering
+//!   reachable sites need a `hot-path:` justification tier.
+//! - **blocking-on-read-path** — no locks, channel receives, or condvar
+//!   waits reachable from the published-snapshot read path.
 //! - **panic-surface** — `.unwrap()`/`.expect()`/`panic!`/`todo!` are banned
 //!   in non-test library code unless allowlisted per-site with a reason.
+//! - **stale-allowlist** — allow entries that no longer match any
+//!   would-fire site are findings.
 //! - **determinism** — modules feeding pinned fixed-seed artifacts must not
 //!   read wall clocks or use hash-randomized containers.
 //! - **unsafe-forbid** — every crate root carries `#![forbid(unsafe_code)]`.
 //!
-//! Run it with `cargo run -p analysis --release -- check`. Diagnostics are
-//! `file:line: [lint-name] message`; the exit code is nonzero when any
-//! finding survives the checked-in baseline (which ships empty).
+//! The call-graph layer ([`items`] → [`graph`] → [`reach`]) indexes every
+//! fn with its crate/file/`impl`-trait owner, resolves call edges by name
+//! with conservative ambiguity (reachability over-approximates rather than
+//! misses), and answers `cargo run -p analysis -- graph [--why path::fn]`
+//! queries with printable call chains.
+//!
+//! Run the lints with `cargo run -p analysis --release -- check`.
+//! Diagnostics are `file:line: [lint-name] message`; the exit code is
+//! nonzero when any finding survives the checked-in baseline (ships empty).
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod engine;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod lints;
+pub mod reach;
 pub mod scope;

@@ -6,6 +6,7 @@
 //! shipped library surface, not the harnesses that validate it.
 
 use crate::config::{AllowEntry, Config};
+use crate::items::{path_matches, FnSpec};
 use crate::lexer::{Token, TokenKind};
 use crate::scope::Scopes;
 use std::collections::BTreeSet;
@@ -15,6 +16,7 @@ pub const HOT_PATH: &str = "hot-path-alloc";
 pub const PANIC: &str = "panic-surface";
 pub const DETERMINISM: &str = "determinism";
 pub const UNSAFE_FORBID: &str = "unsafe-forbid";
+pub const STALE_ALLOW: &str = "stale-allowlist";
 
 /// One diagnostic, rendered as `file:line: [lint] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,38 +103,6 @@ impl CommentLines {
     }
 }
 
-/// A hot-path manifest entry: a fn name, optionally scoped to one file via
-/// `path::fn_name` (the path part matched as a suffix). Scoping matters when
-/// several impls share a method name and only some are on the hot path.
-struct HotPathEntry<'c> {
-    file: Option<&'c str>,
-    function: &'c str,
-}
-
-impl<'c> HotPathEntry<'c> {
-    fn parse(raw: &'c str) -> HotPathEntry<'c> {
-        match raw.rsplit_once("::") {
-            Some((file, function)) => HotPathEntry {
-                file: Some(file),
-                function,
-            },
-            None => HotPathEntry {
-                file: None,
-                function: raw,
-            },
-        }
-    }
-
-    fn matches(&self, path: &str, fn_name: &str) -> bool {
-        self.function == fn_name && self.file.is_none_or(|f| path_matches(path, f))
-    }
-}
-
-/// Does `path` match the config path `pattern` (exact or suffix)?
-fn path_matches(path: &str, pattern: &str) -> bool {
-    path == pattern || path.ends_with(&format!("/{pattern}")) || path.ends_with(pattern)
-}
-
 fn path_has_prefix(path: &str, prefix: &str) -> bool {
     path == prefix || path.starts_with(&format!("{prefix}/")) || {
         // A file prefix (e.g. `crates/core/src/serde_impls.rs`) matches
@@ -147,8 +117,54 @@ fn allowed(allow: &[AllowEntry], path: &str, token: &str) -> bool {
         .any(|e| e.token == token && path_matches(path, &e.file))
 }
 
+/// Sites the allowlists could match, collected across every scanned file —
+/// whether or not an entry suppressed them. [`stale_allow_findings`] diffs
+/// the allowlists against this log so entries cannot outlive their sites.
+#[derive(Debug, Default)]
+pub struct SiteLog {
+    /// (file, token) of every panic-surface site that would fire absent an
+    /// allowlist entry.
+    panic: BTreeSet<(String, String)>,
+    /// Likewise for determinism sites in scoped modules.
+    determinism: BTreeSet<(String, String)>,
+}
+
+/// After all files ran, flag allowlist entries matching no logged site.
+pub fn stale_allow_findings(config: &Config, log: &SiteLog, findings: &mut Vec<Finding>) {
+    let mut check = |entries: &[AllowEntry], sites: &BTreeSet<(String, String)>, table: &str| {
+        for entry in entries {
+            let live = sites
+                .iter()
+                .any(|(file, token)| *token == entry.token && path_matches(file, &entry.file));
+            if !live {
+                findings.push(Finding {
+                    file: "lint.toml".to_string(),
+                    line: entry.line,
+                    lint: STALE_ALLOW,
+                    message: format!(
+                        "[[{table}]] entry for `{}` in `{}` matches no site in the \
+                         workspace; remove it",
+                        entry.token, entry.file
+                    ),
+                });
+            }
+        }
+    };
+    check(&config.panic_allow, &log.panic, "panic.allow");
+    check(
+        &config.determinism_allow,
+        &log.determinism,
+        "determinism.allow",
+    );
+}
+
 /// Run every lint over one file.
-pub fn run_all(input: &FileInput<'_>, config: &Config, findings: &mut Vec<Finding>) {
+pub fn run_all(
+    input: &FileInput<'_>,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+    log: &mut SiteLog,
+) {
     // Indices of code tokens (comments and shebang dropped), so adjacency
     // checks (`.` before a method name, `!` after a macro name) see through
     // interleaved comments.
@@ -165,10 +181,10 @@ pub fn run_all(input: &FileInput<'_>, config: &Config, findings: &mut Vec<Findin
         .map(|(i, _)| i)
         .collect();
     let comments = CommentLines::build(input.src, input.tokens);
-    let hot_entries: Vec<HotPathEntry<'_>> = config
+    let hot_entries: Vec<FnSpec<'_>> = config
         .hot_path_functions
         .iter()
-        .map(|raw| HotPathEntry::parse(raw))
+        .map(|raw| FnSpec::parse(raw))
         .collect();
     let is_protocol_file = config
         .protocol_files
@@ -288,21 +304,24 @@ pub fn run_all(input: &FileInput<'_>, config: &Config, findings: &mut Vec<Findin
                 "panic" | "todo" | "unimplemented" if next_is_bang => true,
                 _ => false,
             };
-            if hit && !allowed(&config.panic_allow, input.path, text) {
-                let what = if prev_is_dot {
-                    format!("`.{text}()`")
-                } else {
-                    format!("`{text}!`")
-                };
-                push(
-                    findings,
-                    tok.line,
-                    PANIC,
-                    format!(
-                        "{what} on the non-test library panic surface \
-                         (return an error, or allowlist in lint.toml with a reason)"
-                    ),
-                );
+            if hit {
+                log.panic.insert((input.path.to_string(), text.to_string()));
+                if !allowed(&config.panic_allow, input.path, text) {
+                    let what = if prev_is_dot {
+                        format!("`.{text}()`")
+                    } else {
+                        format!("`{text}!`")
+                    };
+                    push(
+                        findings,
+                        tok.line,
+                        PANIC,
+                        format!(
+                            "{what} on the non-test library panic surface \
+                             (return an error, or allowlist in lint.toml with a reason)"
+                        ),
+                    );
+                }
             }
         }
 
@@ -322,6 +341,8 @@ pub fn run_all(input: &FileInput<'_>, config: &Config, findings: &mut Vec<Findin
                 _ => None,
             };
             if let Some(why) = hit {
+                log.determinism
+                    .insert((input.path.to_string(), text.to_string()));
                 if !allowed(&config.determinism_allow, input.path, text) {
                     push(
                         findings,
@@ -430,7 +451,8 @@ mod tests {
             is_crate_root: path.ends_with("src/lib.rs"),
         };
         let mut findings = Vec::new();
-        run_all(&input, config, &mut findings);
+        let mut log = SiteLog::default();
+        run_all(&input, config, &mut findings, &mut log);
         findings
     }
 
@@ -521,6 +543,7 @@ fn cold_path() {
             file: "crates/x/src/lib.rs".into(),
             token: "unwrap".into(),
             reason: "test allow".into(),
+            line: 1,
         });
         let findings = run("crates/x/src/lib.rs", src, &allowing);
         assert!(!findings.iter().any(|f| f.lint == PANIC));
@@ -552,6 +575,54 @@ fn cold_path() {
             .any(|f| f.lint == DETERMINISM && f.message.contains("HashMap")));
         let unscoped = run("crates/core/src/lib.rs", src, &config());
         assert!(!unscoped.iter().any(|f| f.lint == DETERMINISM));
+    }
+
+    #[test]
+    fn stale_allow_entries_are_findings() {
+        let mut config = config();
+        config.panic_allow.push(AllowEntry {
+            file: "crates/x/src/lib.rs".into(),
+            token: "unwrap".into(),
+            reason: "live entry".into(),
+            line: 10,
+        });
+        config.panic_allow.push(AllowEntry {
+            file: "crates/x/src/lib.rs".into(),
+            token: "expect".into(),
+            reason: "nothing matches this".into(),
+            line: 20,
+        });
+        config.determinism_allow.push(AllowEntry {
+            file: "crates/experiments/src/lib.rs".into(),
+            token: "Instant".into(),
+            reason: "no Instant in scope".into(),
+            line: 30,
+        });
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let tokens = lex(src);
+        let scopes = scope::analyze(src, &tokens, false);
+        let input = FileInput {
+            path: "crates/x/src/lib.rs",
+            src,
+            tokens: &tokens,
+            scopes: &scopes,
+            is_crate_root: false,
+        };
+        let mut findings = Vec::new();
+        let mut log = SiteLog::default();
+        run_all(&input, &config, &mut findings, &mut log);
+        stale_allow_findings(&config, &log, &mut findings);
+        let stale: Vec<&Finding> = findings.iter().filter(|f| f.lint == STALE_ALLOW).collect();
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert!(stale
+            .iter()
+            .any(|f| f.line == 20 && f.message.contains("panic.allow")));
+        assert!(stale
+            .iter()
+            .any(|f| f.line == 30 && f.message.contains("determinism.allow")));
+        // The live unwrap entry is not flagged even though it suppressed
+        // its finding.
+        assert!(!findings.iter().any(|f| f.lint == PANIC));
     }
 
     #[test]

@@ -1,43 +1,72 @@
 //! CLI for the workspace invariant analyzer.
 //!
-//! Usage: `cargo run -p analysis --release -- check [--root DIR]
-//! [--config FILE] [--baseline FILE]`
+//! Usage:
+//!   `cargo run -p analysis --release -- check [--root DIR] [--config FILE]
+//!    [--baseline FILE]`
+//!   `cargo run -p analysis --release -- graph [--root DIR] [--config FILE]
+//!    [--why SPEC] [--roots SPEC,...]`
 #![forbid(unsafe_code)]
 
-use analysis::{config::Config, engine};
+use analysis::{config::Config, engine, reach};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: analysis check [--root DIR] [--config FILE] [--baseline FILE]\n\
+         \x20      analysis graph [--root DIR] [--config FILE] [--why SPEC] [--roots SPEC,...]\n\
          \n\
-         Lints the workspace for atomics discipline, hot-path allocations,\n\
-         panic surface, determinism, and #![forbid(unsafe_code)] coverage.\n\
-         Exits 0 when clean, 1 on findings, 2 on usage/config errors."
+         check  Lints the workspace: atomics discipline, hot-path allocations,\n\
+         \x20      panic surface, determinism, #![forbid(unsafe_code)] coverage,\n\
+         \x20      and the call-graph lints (hot-path-closure, panic-reachability,\n\
+         \x20      blocking-on-read-path, stale-allowlist).\n\
+         graph  Dumps the derived hot-path closure, or explains why one fn\n\
+         \x20      (`--why path::fn_name` or a bare name) is reachable via its\n\
+         \x20      call chain. `--roots` overrides the configured roots.\n\
+         \n\
+         Exits 0 when clean/reachable, 1 on findings or an unreachable --why\n\
+         target, 2 on usage/config errors."
     );
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
+struct Cli {
+    command: &'static str,
+    root: PathBuf,
+    config: Config,
+    baseline_file: PathBuf,
+    why: Option<String>,
+    roots_override: Option<Vec<String>>,
+}
+
+fn parse_cli() -> Result<Cli, ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut root = None;
     let mut config_path = None;
     let mut baseline_path = None;
+    let mut why = None;
+    let mut roots_override = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "check" if command.is_none() => command = Some("check"),
+            "graph" if command.is_none() => command = Some("graph"),
             "--root" => root = it.next().cloned(),
             "--config" => config_path = it.next().cloned(),
             "--baseline" => baseline_path = it.next().cloned(),
-            _ => return usage(),
+            "--why" => why = it.next().cloned(),
+            "--roots" => {
+                roots_override = it
+                    .next()
+                    .map(|r| r.split(',').map(str::to_string).collect::<Vec<_>>())
+            }
+            _ => return Err(usage()),
         }
     }
-    if command != Some("check") {
-        return usage();
-    }
+    let Some(command) = command else {
+        return Err(usage());
+    };
 
     // Default to the workspace root: the analyzer lives at
     // <workspace>/crates/analysis, so walk two levels up from the manifest.
@@ -57,25 +86,35 @@ fn main() -> ExitCode {
         Ok(text) => text,
         Err(e) => {
             eprintln!("analysis: cannot read {}: {e}", config_file.display());
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
     let config = match Config::parse(&config_text) {
         Ok(config) => config,
         Err(e) => {
             eprintln!("analysis: {e}");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
-    let baseline = match engine::load_baseline(&baseline_file) {
+    Ok(Cli {
+        command,
+        root,
+        config,
+        baseline_file,
+        why,
+        roots_override,
+    })
+}
+
+fn run_check(cli: &Cli) -> ExitCode {
+    let baseline = match engine::load_baseline(&cli.baseline_file) {
         Ok(baseline) => baseline,
         Err(e) => {
             eprintln!("analysis: {e}");
             return ExitCode::from(2);
         }
     };
-
-    match engine::check(&root, &config, &baseline) {
+    match engine::check(&cli.root, &cli.config, &baseline) {
         Ok(report) => {
             for finding in &report.findings {
                 println!("{}", finding.render());
@@ -100,5 +139,95 @@ fn main() -> ExitCode {
             eprintln!("analysis: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn run_graph(cli: &Cli) -> ExitCode {
+    let ws = match engine::parse_workspace(&cli.root, &cli.config) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // `--roots` overrides the configured hot-path roots; the configured
+    // stops only apply to the configured roots (an explicit root list asks
+    // for the raw closure).
+    let (roots, stops): (Vec<String>, Vec<String>) = match &cli.roots_override {
+        Some(roots) => (roots.clone(), Vec::new()),
+        None => (
+            cli.config.hot_path_roots.clone(),
+            cli.config
+                .hot_path_stops
+                .iter()
+                .map(|s| s.function.clone())
+                .collect(),
+        ),
+    };
+    if roots.is_empty() {
+        eprintln!("analysis: no roots — configure [hot_path] roots in lint.toml or pass --roots");
+        return ExitCode::from(2);
+    }
+    for root in &roots {
+        if ws.index.find_spec(root).is_empty() {
+            eprintln!("analysis: root `{root}` matches no fn in the workspace");
+            return ExitCode::from(2);
+        }
+    }
+    let reach = reach::closure(&ws.index, &ws.graph, &roots, &stops);
+
+    if let Some(why) = &cli.why {
+        let targets = ws.index.find_spec(why);
+        if targets.is_empty() {
+            eprintln!("analysis: --why `{why}` matches no fn in the workspace");
+            return ExitCode::from(2);
+        }
+        let mut any_reachable = false;
+        for idx in targets {
+            let spec = ws.index.fns[idx as usize].spec();
+            if reach.contains(idx) {
+                any_reachable = true;
+                println!("{spec}: reachable");
+                println!("  via: {}", reach.chain_text(&ws.index, idx));
+            } else {
+                println!("{spec}: NOT reachable from {}", roots.join(", "));
+            }
+        }
+        return if any_reachable {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    // Default dump: the derived closure, one spec per line, sorted.
+    let mut specs: Vec<String> = reach
+        .members
+        .iter()
+        .map(|&i| ws.index.fns[i as usize].spec())
+        .collect();
+    specs.sort();
+    specs.dedup();
+    for spec in &specs {
+        println!("{spec}");
+    }
+    println!(
+        "analysis: {} fn(s) reachable from {} root(s), {} stop(s) applied",
+        specs.len(),
+        roots.len(),
+        stops.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
+    match cli.command {
+        "check" => run_check(&cli),
+        "graph" => run_graph(&cli),
+        _ => usage(),
     }
 }

@@ -1,0 +1,620 @@
+//! Reachability over the call graph, and the lints built on it.
+//!
+//! A closure is a deterministic BFS from configured root fns, optionally cut
+//! at stop fns (documented cold branches). Parent pointers let every
+//! membership be *explained* as a call chain, which the lints print so a
+//! finding is an argument, not an assertion. Three lints consume closures:
+//!
+//! - **hot-path-closure** — the allocation-free set is derived from the
+//!   roots and diffed against the `[hot_path] functions` manifest in both
+//!   directions, turning the manifest from an assertion into a checked
+//!   projection (pins cover entries enforced beyond derivability).
+//! - **panic-reachability** — every panic site reachable from the decision
+//!   roots is reported with its chain; allowlist entries covering reachable
+//!   sites must carry a `hot-path:` justification tier.
+//! - **blocking-on-read-path** — `Mutex::lock`/`RwLock`/channel `recv` must
+//!   be unreachable from the published-snapshot decision path, statically
+//!   proving the epoch-read guarantee.
+
+use crate::config::{Config, StopEntry};
+use crate::graph::{CallGraph, SiteKind};
+use crate::items::{FnSpec, ItemIndex};
+use crate::lints::Finding;
+use std::collections::BTreeSet;
+
+pub const HOT_CLOSURE: &str = "hot-path-closure";
+pub const PANIC_REACH: &str = "panic-reachability";
+pub const BLOCKING_READ: &str = "blocking-on-read-path";
+
+/// A computed closure with provenance.
+pub struct Reach {
+    /// For each fn index: `Some(parent)` when reachable (roots point to
+    /// themselves). Indexed like `ItemIndex::fns`.
+    parent: Vec<Option<u32>>,
+    /// Members in BFS discovery order.
+    pub members: Vec<u32>,
+}
+
+impl Reach {
+    pub fn contains(&self, idx: u32) -> bool {
+        self.parent[idx as usize].is_some()
+    }
+
+    /// The root-to-`idx` call chain as fn indices (empty when unreachable).
+    pub fn chain(&self, idx: u32) -> Vec<u32> {
+        if !self.contains(idx) {
+            return Vec::new();
+        }
+        let mut chain = vec![idx];
+        let mut at = idx;
+        while let Some(parent) = self.parent[at as usize] {
+            if parent == at {
+                break;
+            }
+            chain.push(parent);
+            at = parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The chain rendered as `a -> b -> c` display names. Line-agnostic, so
+    /// safe to embed in baseline-keyed finding messages.
+    pub fn chain_text(&self, index: &ItemIndex, idx: u32) -> String {
+        self.chain(idx)
+            .iter()
+            .map(|&i| index.fns[i as usize].display())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// BFS closure from `roots` (specs), cut at `stops` (specs): a stopped fn is
+/// neither a member nor traversed. Test fns never join a closure.
+pub fn closure(index: &ItemIndex, graph: &CallGraph, roots: &[String], stops: &[String]) -> Reach {
+    let stop_set: BTreeSet<u32> = stops.iter().flat_map(|s| index.find_spec(s)).collect();
+    let mut parent: Vec<Option<u32>> = vec![None; index.fns.len()];
+    let mut queue: Vec<u32> = Vec::new();
+    for root in roots {
+        for idx in index.find_spec(root) {
+            let item = &index.fns[idx as usize];
+            if item.is_test || stop_set.contains(&idx) || parent[idx as usize].is_some() {
+                continue;
+            }
+            parent[idx as usize] = Some(idx);
+            queue.push(idx);
+        }
+    }
+    let mut members = queue.clone();
+    let mut head = 0usize;
+    while head < queue.len() {
+        let at = queue[head];
+        head += 1;
+        for edge in graph.edges(at) {
+            let to = edge.to;
+            if parent[to as usize].is_some() || stop_set.contains(&to) {
+                continue;
+            }
+            if index.fns[to as usize].is_test {
+                continue;
+            }
+            parent[to as usize] = Some(at);
+            queue.push(to);
+            members.push(to);
+        }
+    }
+    Reach { parent, members }
+}
+
+/// Run every graph lint. No-ops when the respective roots are unconfigured,
+/// so token-level-only configs (fixtures, minimal setups) are unaffected.
+pub fn run_graph_lints(
+    index: &ItemIndex,
+    graph: &CallGraph,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    if !config.hot_path_roots.is_empty() {
+        hot_path_closure(index, graph, config, findings);
+        panic_reachability(index, graph, config, findings);
+    }
+    if !config.read_path_roots.is_empty() {
+        blocking_on_read_path(index, graph, config, findings);
+    }
+}
+
+fn push(findings: &mut Vec<Finding>, file: &str, line: u32, lint: &'static str, message: String) {
+    findings.push(Finding {
+        file: file.to_string(),
+        line,
+        lint,
+        message,
+    });
+}
+
+/// Every root/stop spec must resolve to at least one fn — a spec that
+/// matches nothing is rot, exactly what derivation exists to prevent.
+fn check_specs_resolve(
+    index: &ItemIndex,
+    lint: &'static str,
+    what: &str,
+    specs: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    for spec in specs {
+        if index.find_spec(spec).is_empty() {
+            push(
+                findings,
+                "lint.toml",
+                1,
+                lint,
+                format!("{what} `{spec}` matches no fn in the workspace"),
+            );
+        }
+    }
+}
+
+fn check_stops_resolve(
+    index: &ItemIndex,
+    lint: &'static str,
+    stops: &[StopEntry],
+    findings: &mut Vec<Finding>,
+) {
+    for stop in stops {
+        if index.find_spec(&stop.function).is_empty() {
+            push(
+                findings,
+                "lint.toml",
+                stop.line,
+                lint,
+                format!(
+                    "stop entry `{}` matches no fn in the workspace",
+                    stop.function
+                ),
+            );
+        }
+    }
+}
+
+fn stop_specs(stops: &[StopEntry]) -> Vec<String> {
+    stops.iter().map(|s| s.function.clone()).collect()
+}
+
+/// The derived allocation-free set: every fn in the stopped closure from
+/// the hot-path roots, as exact `file::name` specs. The engine feeds these
+/// into the hot-path-alloc token lint, so the enforcement set is *derived*
+/// from the call graph — a refactor that adds a callee extends enforcement
+/// automatically instead of silently rotting a hand-kept manifest.
+pub fn derived_hot_specs(index: &ItemIndex, graph: &CallGraph, config: &Config) -> Vec<String> {
+    if config.hot_path_roots.is_empty() {
+        return Vec::new();
+    }
+    let reach = closure(
+        index,
+        graph,
+        &config.hot_path_roots,
+        &stop_specs(&config.hot_path_stops),
+    );
+    let mut specs: Vec<String> = reach
+        .members
+        .iter()
+        .map(|&i| index.fns[i as usize].spec())
+        .collect();
+    specs.sort();
+    specs.dedup();
+    specs
+}
+
+/// Keep the manifest coherent with the derivation: `functions` entries must
+/// be derivable (derivation enforces them anyway — a non-derivable entry is
+/// rot or belongs under pins), pins must NOT be derivable (a derivable pin
+/// is redundant), and every root/stop/pin spec must resolve.
+fn hot_path_closure(
+    index: &ItemIndex,
+    graph: &CallGraph,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    check_specs_resolve(index, HOT_CLOSURE, "root", &config.hot_path_roots, findings);
+    check_specs_resolve(index, HOT_CLOSURE, "pin", &config.hot_path_pins, findings);
+    check_stops_resolve(index, HOT_CLOSURE, &config.hot_path_stops, findings);
+    let reach = closure(
+        index,
+        graph,
+        &config.hot_path_roots,
+        &stop_specs(&config.hot_path_stops),
+    );
+    let derivable = |raw: &str| {
+        let spec = FnSpec::parse(raw);
+        reach
+            .members
+            .iter()
+            .any(|&i| spec.matches_item(&index.fns[i as usize]))
+    };
+    for raw in &config.hot_path_functions {
+        if !derivable(raw) {
+            push(
+                findings,
+                "lint.toml",
+                config.hot_path_line,
+                HOT_CLOSURE,
+                format!(
+                    "stale [hot_path] entry `{raw}`: not reachable from the roots \
+                     (remove it, or move it to pins with a reason)"
+                ),
+            );
+        }
+    }
+    for pin in &config.hot_path_pins {
+        if derivable(pin) {
+            push(
+                findings,
+                "lint.toml",
+                config.hot_path_line,
+                HOT_CLOSURE,
+                format!("pin `{pin}` is derivable from the roots; drop the pin"),
+            );
+        }
+    }
+}
+
+/// Report reachable panic sites with chains; reachable allowlist coverage
+/// must be justified at the `hot-path:` tier.
+fn panic_reachability(
+    index: &ItemIndex,
+    graph: &CallGraph,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    // The panic closure ignores hot-path stops: a documented cold branch is
+    // still runtime-reachable, and a panic there still kills a decision.
+    let reach = closure(index, graph, &config.hot_path_roots, &[]);
+    // One finding per (file, token, fn): a fn with three `expect`s is one
+    // decision, not three.
+    let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for &idx in &reach.members {
+        let item = &index.fns[idx as usize];
+        if config
+            .panic_skip
+            .iter()
+            .any(|m| item.file.starts_with(&format!("{m}/")) || item.file == *m)
+        {
+            continue;
+        }
+        for site in &graph.sites[idx as usize] {
+            if site.kind != SiteKind::Panic {
+                continue;
+            }
+            let entry = config
+                .panic_allow
+                .iter()
+                .find(|e| e.token == site.token && crate::items::path_matches(&item.file, &e.file));
+            let key = (item.file.clone(), site.token.clone(), item.name.clone());
+            match entry {
+                None => {
+                    if seen.insert(key) {
+                        push(
+                            findings,
+                            &item.file,
+                            site.line,
+                            PANIC_REACH,
+                            format!(
+                                "`{}` in `{}` is reachable from the decision root \
+                                 ({}); fix it or allowlist it with a `hot-path:` reason",
+                                site.token,
+                                item.name,
+                                reach.chain_text(index, idx)
+                            ),
+                        );
+                    }
+                }
+                Some(entry) if !entry.reason.starts_with("hot-path:") => {
+                    if seen.insert(key) {
+                        push(
+                            findings,
+                            &item.file,
+                            site.line,
+                            PANIC_REACH,
+                            format!(
+                                "allow entry for `{}` in `{}` covers a site reachable \
+                                 from the decision root ({}); its reason must start \
+                                 with `hot-path:`",
+                                site.token,
+                                entry.file,
+                                reach.chain_text(index, idx)
+                            ),
+                        );
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Prove the published-snapshot read path takes no locks.
+fn blocking_on_read_path(
+    index: &ItemIndex,
+    graph: &CallGraph,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    check_specs_resolve(
+        index,
+        BLOCKING_READ,
+        "root",
+        &config.read_path_roots,
+        findings,
+    );
+    check_stops_resolve(index, BLOCKING_READ, &config.read_path_stops, findings);
+    let reach = closure(
+        index,
+        graph,
+        &config.read_path_roots,
+        &stop_specs(&config.read_path_stops),
+    );
+    let mut matched_allow: BTreeSet<usize> = BTreeSet::new();
+    let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for &idx in &reach.members {
+        let item = &index.fns[idx as usize];
+        for site in &graph.sites[idx as usize] {
+            if site.kind != SiteKind::Blocking {
+                continue;
+            }
+            let allow = config.read_path_allow.iter().position(|e| {
+                e.token == site.token && crate::items::path_matches(&item.file, &e.file)
+            });
+            if let Some(at) = allow {
+                matched_allow.insert(at);
+                continue;
+            }
+            if seen.insert((item.file.clone(), site.token.clone(), item.name.clone())) {
+                push(
+                    findings,
+                    &item.file,
+                    site.line,
+                    BLOCKING_READ,
+                    format!(
+                        "blocking call `{}` in `{}` is reachable from the \
+                         published-read root ({})",
+                        site.token,
+                        item.name,
+                        reach.chain_text(index, idx)
+                    ),
+                );
+            }
+        }
+    }
+    // An allow entry no blocking site on the read path matches is rot.
+    for (at, entry) in config.read_path_allow.iter().enumerate() {
+        if !matched_allow.contains(&at) {
+            push(
+                findings,
+                "lint.toml",
+                entry.line,
+                BLOCKING_READ,
+                format!(
+                    "stale [[read_path.allow]] entry: no blocking `{}` site in \
+                     `{}` is reachable from the read-path roots",
+                    entry.token, entry.file
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllowEntry;
+    use crate::graph::CallGraph;
+    use crate::items::{CrateMap, SourceFile};
+    use crate::{lexer, scope};
+
+    fn workspace(files: &[(&str, &str)]) -> (ItemIndex, CallGraph) {
+        let files: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| {
+                let tokens = lexer::lex(src);
+                let scopes = scope::analyze(src, &tokens, scope::path_is_test(rel));
+                SourceFile {
+                    rel: rel.to_string(),
+                    src: src.to_string(),
+                    tokens,
+                    scopes,
+                }
+            })
+            .collect();
+        let crates = CrateMap::single("ws");
+        let index = ItemIndex::build(&files, &crates);
+        let graph = CallGraph::build(&files, &index, &crates);
+        (index, graph)
+    }
+
+    const CHAIN_SRC: &str = "fn root() { mid(); cold(); }\n\
+                             fn mid() { leaf(); }\n\
+                             fn leaf() {}\n\
+                             fn cold() { icy(); }\n\
+                             fn icy() {}\n\
+                             fn unrelated() {}";
+
+    #[test]
+    fn closure_members_and_chains() {
+        let (index, graph) = workspace(&[("src/a.rs", CHAIN_SRC)]);
+        let reach = closure(&index, &graph, &["root".to_string()], &[]);
+        let names: BTreeSet<String> = reach
+            .members
+            .iter()
+            .map(|&i| index.fns[i as usize].name.clone())
+            .collect();
+        assert_eq!(
+            names,
+            ["root", "mid", "leaf", "cold", "icy"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        );
+        let leaf = index.find_spec("leaf")[0];
+        assert_eq!(reach.chain_text(&index, leaf), "root -> mid -> leaf");
+    }
+
+    #[test]
+    fn stops_cut_the_branch() {
+        let (index, graph) = workspace(&[("src/a.rs", CHAIN_SRC)]);
+        let reach = closure(&index, &graph, &["root".to_string()], &["cold".to_string()]);
+        let cold = index.find_spec("cold")[0];
+        let icy = index.find_spec("icy")[0];
+        assert!(!reach.contains(cold));
+        assert!(!reach.contains(icy));
+        assert!(reach.contains(index.find_spec("leaf")[0]));
+    }
+
+    fn graph_config() -> Config {
+        Config {
+            include: vec![".".into()],
+            hot_path_roots: vec!["root".into()],
+            read_path_roots: vec!["root".into()],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn derived_specs_are_the_stopped_closure() {
+        let (index, graph) = workspace(&[("src/a.rs", CHAIN_SRC)]);
+        let mut config = graph_config();
+        config.hot_path_stops.push(StopEntry {
+            function: "cold".into(),
+            reason: "cold branch".into(),
+            line: 1,
+        });
+        let specs = derived_hot_specs(&index, &graph, &config);
+        assert_eq!(
+            specs,
+            vec!["src/a.rs::leaf", "src/a.rs::mid", "src/a.rs::root"]
+        );
+        // No roots configured → empty set, token lint keeps manifest-only
+        // behavior (fixtures rely on this).
+        config.hot_path_roots.clear();
+        assert!(derived_hot_specs(&index, &graph, &config).is_empty());
+    }
+
+    #[test]
+    fn hot_closure_flags_manifest_rot() {
+        let (index, graph) = workspace(&[("src/a.rs", CHAIN_SRC)]);
+        let mut config = graph_config();
+        // `mid` is derivable (redundant but harmless — no finding);
+        // `unrelated` is not reachable, so the entry is rot.
+        config.hot_path_functions = vec!["mid".into(), "unrelated".into()];
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        let hot: Vec<&Finding> = findings.iter().filter(|f| f.lint == HOT_CLOSURE).collect();
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert!(hot[0]
+            .message
+            .contains("stale [hot_path] entry `unrelated`"));
+        // Moved to pins, the entry is legitimate; a derivable pin is rot.
+        config.hot_path_functions.clear();
+        config.hot_path_pins = vec!["unrelated".into(), "mid".into()];
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        assert!(!findings
+            .iter()
+            .any(|f| f.message.contains("stale [hot_path] entry")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("pin `mid` is derivable")));
+    }
+
+    #[test]
+    fn panic_reachability_reports_chains_and_tiers() {
+        let src = "fn root() { mid(); }\n\
+                   fn mid(x: Option<u32>) { x.unwrap(); }\n\
+                   fn far(x: Option<u32>) { x.expect(\"m\"); }";
+        let (index, graph) = workspace(&[("src/a.rs", src)]);
+        let mut config = graph_config();
+        config.hot_path_functions = vec!["root".into(), "mid".into()];
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        let reach: Vec<&Finding> = findings.iter().filter(|f| f.lint == PANIC_REACH).collect();
+        // The unreachable `far` expect is not reported; the reachable
+        // unallowed unwrap is, with its chain.
+        assert_eq!(reach.len(), 1, "{reach:?}");
+        assert!(reach[0].message.contains("root -> mid"));
+
+        // A covering allow entry without the tier prefix is a finding; with
+        // the prefix the site is justified.
+        config.panic_allow.push(AllowEntry {
+            file: "src/a.rs".into(),
+            token: "unwrap".into(),
+            reason: "checked above".into(),
+            line: 1,
+        });
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        assert!(findings
+            .iter()
+            .any(|f| f.lint == PANIC_REACH && f.message.contains("hot-path:")));
+        config.panic_allow[0].reason = "hot-path: checked above".into();
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        assert!(!findings.iter().any(|f| f.lint == PANIC_REACH));
+    }
+
+    #[test]
+    fn blocking_read_path_with_stops_and_allows() {
+        let src = "fn root(m: &M) { fast(); fallback(); }\n\
+                   fn fast(m: &M) { m.lock(); }\n\
+                   fn fallback(m: &M) { m.recv(); }";
+        let (index, graph) = workspace(&[("src/a.rs", src)]);
+        let mut config = graph_config();
+        config.hot_path_roots.clear(); // isolate the read-path lint
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        let blocked: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.lint == BLOCKING_READ)
+            .collect();
+        assert_eq!(blocked.len(), 2, "{blocked:?}");
+
+        // Stopping the fallback and allowing the bounded lock proves clean;
+        // the allow entry is live, so no stale-allow finding either.
+        config.read_path_stops.push(StopEntry {
+            function: "fallback".into(),
+            reason: "store-backed fallback".into(),
+            line: 1,
+        });
+        config.read_path_allow.push(AllowEntry {
+            file: "src/a.rs".into(),
+            token: "lock".into(),
+            reason: "bounded slot mutex".into(),
+            line: 1,
+        });
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        assert!(
+            !findings.iter().any(|f| f.lint == BLOCKING_READ),
+            "{findings:?}"
+        );
+
+        // Removing the lock site leaves the allow entry stale.
+        config.read_path_allow[0].token = "wait".into();
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        assert!(findings
+            .iter()
+            .any(|f| f.lint == BLOCKING_READ && f.message.contains("stale [[read_path.allow]]")));
+    }
+
+    #[test]
+    fn unresolvable_specs_are_findings() {
+        let (index, graph) = workspace(&[("src/a.rs", "fn root() {}")]);
+        let mut config = graph_config();
+        config.read_path_roots.clear();
+        config.hot_path_roots = vec!["missing_fn".into()];
+        let mut findings = Vec::new();
+        run_graph_lints(&index, &graph, &config, &mut findings);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("root `missing_fn` matches no fn")));
+    }
+}

@@ -22,6 +22,8 @@ fn fixture_config() -> Config {
         r#"
 [paths]
 include = ["."]
+# The call-graph fixtures have their own scan (tests/graph_checks.rs).
+exclude = ["graph"]
 
 [atomics]
 protocol_files = ["protocol_pairing.rs"]
