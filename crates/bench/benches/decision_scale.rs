@@ -1,0 +1,277 @@
+//! Bench: decision latency and pruning accuracy at 1k–10k nodes.
+//!
+//! The two-stage decision path (resource-sorted feasibility index + top-K
+//! prune in front of the supervised rank) exists so a single decision stays
+//! fast as worlds grow from the paper's 6 nodes to 10k. This harness builds
+//! [`experiments::scale`] worlds and measures, per decision on a warm
+//! [`SchedulingContext`] (whose scratch holds the persistent
+//! [`FeasibilityIndex`], exactly what [`SchedulerService`] carries across
+//! bursts):
+//!
+//! * `decision_{n}n_full` — per-decision latency of the *unpruned* supervised
+//!   rank over the whole feasible set, versus node count: the baseline the
+//!   two-stage path exists to beat.
+//! * `decision_{n}n_k{K}` — the same decision under each candidate budget K
+//!   with the default model-aligned policy; at 10k nodes the acceptance bar
+//!   is a >= 10x median speedup with p95 < 1 ms at a K whose Top-1 agreement
+//!   with the unpruned rank stays within 2 points.
+//! * Accuracy at each K from [`experiments::scale::run_scale_cell`] — the
+//!   same fixed-seed measurement the `scenario_scale` sweep reports, so the
+//!   latency/accuracy tradeoff lands in one file.
+//!
+//! Results go to `results/BENCH_decision.json`. Run with `-- --smoke` for a
+//! CI-sized smoke (small world, no JSON written).
+//!
+//! [`FeasibilityIndex`]: cluster::FeasibilityIndex
+//! [`SchedulerService`]: netsched_core::SchedulerService
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::{synthetic_logger, LatencySummary};
+use experiments::scale::{
+    run_scale_cell, train_scale_predictor, PruneAccuracy, ScaleWorld, ScaleWorldSpec,
+};
+use mlcore::{ModelConfig, ModelKind, TrainedModel};
+use netsched_core::context::{PruningPolicy, SchedulingContext};
+use netsched_core::features::FeatureSchema;
+use netsched_core::predictor::CompletionTimePredictor;
+use simcore::rng::Rng;
+
+/// Latency and accuracy at one candidate budget.
+struct BudgetRow {
+    k: Option<usize>,
+    latency: LatencySummary,
+    accuracy: Option<PruneAccuracy>,
+}
+
+/// Everything measured on one world size.
+struct WorldRow {
+    nodes: usize,
+    mean_feasible: f64,
+    budgets: Vec<BudgetRow>,
+}
+
+/// Per-decision latency of the two-stage path at one budget: each sample is
+/// one full decision (index sync + feasibility + prune + supervised rank)
+/// for one request, exactly what the service pays inside a burst.
+fn measure_budget(
+    world: &ScaleWorld,
+    predictor: &CompletionTimePredictor,
+    k: Option<usize>,
+    jobs: usize,
+    reps: usize,
+) -> LatencySummary {
+    let requests = world.requests(jobs);
+    let mut ctx = SchedulingContext::new(&world.snapshot, &world.cluster);
+    ctx.set_top_k(k);
+    // Warmup: build the feasibility index and populate the telemetry index,
+    // per-sizing caches and coarse scoreboards once, as a live service's
+    // first burst does.
+    for request in &requests {
+        black_box(ctx.rank_feasible_batch(request, predictor).len());
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(jobs * reps);
+    for _ in 0..reps {
+        for request in &requests {
+            let t0 = Instant::now();
+            let ranking = ctx.rank_feasible_batch(request, predictor);
+            samples.push(t0.elapsed().as_nanos() as f64);
+            black_box(ranking.len());
+        }
+    }
+    LatencySummary::from_samples(&mut samples)
+}
+
+/// A cheap linear predictor for smoke runs (the full run uses the same
+/// random-forest the `scenario_scale` sweep ranks with).
+fn smoke_predictor() -> CompletionTimePredictor {
+    let data = synthetic_logger(300, 17).to_dataset();
+    let mut rng = Rng::seed_from_u64(18);
+    let model = TrainedModel::train(ModelKind::Linear, &ModelConfig::default(), &data, &mut rng);
+    CompletionTimePredictor::new(FeatureSchema::standard(), model)
+        .expect("synthetic logger rows use the standard schema")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = 11u64;
+    let (node_counts, ks, jobs, reps, predictor) = if smoke {
+        (vec![240usize], vec![8usize, 32], 6, 2, smoke_predictor())
+    } else {
+        (
+            vec![1_000usize, 4_000, 10_000],
+            vec![8usize, 16, 32, 64, 128, 256, 512],
+            24,
+            6,
+            train_scale_predictor(seed),
+        )
+    };
+    println!("decision_scale: worlds {node_counts:?}, budgets {ks:?}, {jobs} jobs x {reps} reps");
+
+    let mut rows: Vec<WorldRow> = Vec::new();
+    for &nodes in &node_counts {
+        let build_start = Instant::now();
+        let world = ScaleWorld::build(ScaleWorldSpec::with_nodes(nodes, seed ^ nodes as u64));
+        println!(
+            "world {nodes}n built in {:.2} s ({} rtt probes)",
+            build_start.elapsed().as_secs_f64(),
+            world.snapshot.rtt().len()
+        );
+
+        // Accuracy under the default (model-aligned) policy — the policy the
+        // latency rows below run with. The full policy matrix lives in
+        // `scenario_scale`.
+        let accuracy = run_scale_cell(
+            &world,
+            &predictor,
+            &[PruningPolicy::ModelAligned],
+            &ks,
+            jobs,
+        );
+        let mut budgets: Vec<BudgetRow> = Vec::new();
+        for (label, k) in std::iter::once(("full".to_string(), None))
+            .chain(ks.iter().map(|&k| (format!("k{k}"), Some(k))))
+        {
+            let latency = measure_budget(&world, &predictor, k, jobs, reps);
+            let acc = k.and_then(|k| accuracy.ks.iter().find(|a| a.k == k).cloned());
+            match &acc {
+                Some(a) => println!(
+                    "decision_{nodes}n_{label}: p50 {:.0} ns, p95 {:.0} ns \
+                     (top-1 agreement {:.3}, winner survival {:.3})",
+                    latency.p50,
+                    latency.p95,
+                    a.top1_hit_rate(),
+                    a.winner_survival_rate(),
+                ),
+                None => println!(
+                    "decision_{nodes}n_{label}: p50 {:.0} ns, p95 {:.0} ns (unpruned reference)",
+                    latency.p50, latency.p95,
+                ),
+            }
+            budgets.push(BudgetRow {
+                k,
+                latency,
+                accuracy: acc,
+            });
+        }
+        rows.push(WorldRow {
+            nodes,
+            mean_feasible: accuracy.mean_feasible,
+            budgets,
+        });
+    }
+
+    // The acceptance point: at the largest world, the smallest budget that
+    // keeps Top-1 agreement within 2 points of the unpruned rank (which
+    // agrees with itself by definition) AND p95 under 1 ms, plus the median
+    // per-decision speedup it buys over the unpruned baseline.
+    let recommended = rows.last().and_then(|row| {
+        row.budgets
+            .iter()
+            .filter(|b| {
+                b.accuracy
+                    .as_ref()
+                    .is_some_and(|a| a.top1_hit_rate() >= 0.98)
+                    && b.latency.p95 < 1e6
+            })
+            .min_by_key(|b| b.k.unwrap_or(usize::MAX))
+    });
+    let speedup_of = |row: &WorldRow, best: &BudgetRow| {
+        row.budgets
+            .iter()
+            .find(|b| b.k.is_none())
+            .map(|full| full.latency.p50 / best.latency.p50)
+    };
+    if let (Some(row), Some(best)) = (rows.last(), recommended) {
+        let acc = best.accuracy.as_ref().expect("filtered on accuracy");
+        let speedup = speedup_of(row, best).unwrap_or(f64::NAN);
+        println!(
+            "acceptance @ {} nodes: K={} gives p50 {:.3} ms / p95 {:.3} ms, top-1 agreement \
+             {:.3}, median speedup {:.1}x over unpruned (target: >= 10x with p95 < 1 ms within \
+             2 points of unpruned) -> {}",
+            row.nodes,
+            best.k.unwrap_or(0),
+            best.latency.p50 / 1e6,
+            best.latency.p95 / 1e6,
+            acc.top1_hit_rate(),
+            speedup,
+            if speedup >= 10.0 { "MET" } else { "MISSED" },
+        );
+    } else {
+        println!(
+            "acceptance: no budget kept top-1 agreement >= 0.98 at p95 < 1 ms at the largest \
+             world -> MISSED"
+        );
+    }
+
+    if smoke {
+        println!("smoke mode: skipping results/BENCH_decision.json");
+        return;
+    }
+
+    let budget_json = |b: &BudgetRow| {
+        let k = b.k.map_or_else(|| "null".to_string(), |k| k.to_string());
+        let acc = b.accuracy.as_ref().map_or_else(
+            || "null".to_string(),
+            |a| {
+                format!(
+                    "{{\"top1_hit_rate\": {:.4}, \"winner_survival_rate\": {:.4}, \
+                     \"decisions\": {}}}",
+                    a.top1_hit_rate(),
+                    a.winner_survival_rate(),
+                    a.decisions
+                )
+            },
+        );
+        format!(
+            "      {{\"k\": {k}, \"latency\": {}, \"accuracy\": {acc}}}",
+            b.latency.to_json()
+        )
+    };
+    let worlds_json = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"nodes\": {}, \"mean_feasible\": {:.1}, \"budgets\": [\n{}\n    ]}}",
+                row.nodes,
+                row.mean_feasible,
+                row.budgets
+                    .iter()
+                    .map(budget_json)
+                    .collect::<Vec<_>>()
+                    .join(",\n")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let recommended_json = match (rows.last(), recommended) {
+        (Some(row), Some(best)) => {
+            let acc = best.accuracy.as_ref().expect("filtered on accuracy");
+            format!(
+                "{{\"nodes\": {}, \"k\": {}, \"p50_ns\": {:.0}, \"p95_ns\": {:.0}, \
+                 \"p95_under_1ms\": {}, \"median_speedup\": {:.1}, \"top1_hit_rate\": {:.4}}}",
+                row.nodes,
+                best.k.unwrap_or(0),
+                best.latency.p50,
+                best.latency.p95,
+                best.latency.p95 < 1e6,
+                speedup_of(row, best).unwrap_or(f64::NAN),
+                acc.top1_hit_rate()
+            )
+        }
+        _ => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"jobs\": {jobs},\n  \"reps\": {reps},\n  \"policy\": \"ModelAligned\",\n  \"worlds\": [\n{worlds_json}\n  ],\n  \"acceptance\": {recommended_json}\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_decision.json"
+    );
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(path, json).expect("write BENCH_decision.json");
+    println!("(results written to results/BENCH_decision.json)");
+}

@@ -1,0 +1,316 @@
+//! Resource-sorted feasibility index over the cluster's node table.
+//!
+//! At paper scale (6–64 nodes) scanning every node per decision is free; at
+//! 10k nodes the linear scan in front of the expensive ranking model starts to
+//! dominate decision latency. [`FeasibilityIndex`] precomputes, per
+//! [`ClusterState::generation`], which nodes are *eligible* for driver pods
+//! (schedulable and free of untolerated `NoSchedule` taints — the
+//! request-independent part of [`DefaultScheduler::filter`]) together with two
+//! resource-sorted arrays over the eligible set. A query binary-searches the
+//! sorted arrays to find the nodes with enough free CPU / memory, then walks
+//! only the *smaller* of the two suffixes applying the exact
+//! [`Resources::fits_within`] check — so the result is byte-identical to the
+//! naive full scan, in ascending [`NodeId`] order, while the work is
+//! proportional to the matching suffix rather than the node table.
+//!
+//! Driver pods carry no node selector, no affinity and no tolerations (see
+//! [`crate::job::JobSpec::driver_pod`]), so eligibility plus the resource fit
+//! is the complete filter for them. The index is *not* valid for pods with
+//! selectors/affinity/tolerations; callers with such pods must use
+//! [`DefaultScheduler::filter`] directly.
+
+use crate::node::Node;
+use crate::pod::PodSpec;
+use crate::resources::Resources;
+use crate::scheduler::{DefaultScheduler, FilterResult};
+use crate::state::{ClusterState, NodeId};
+
+/// Sorted per-resource feasibility index, cached against a cluster
+/// [generation](ClusterState::generation).
+///
+/// Build with [`FeasibilityIndex::sync`], query with
+/// [`FeasibilityIndex::query_into`]. `sync` is a no-op (single integer
+/// compare) while the cluster generation is unchanged, which is what makes
+/// the index shareable across decision bursts on the PR 6 held-epoch fast
+/// path.
+#[derive(Debug, Clone)]
+pub struct FeasibilityIndex {
+    /// Generation of the cluster this index was built against.
+    generation: Option<u64>,
+    /// How many times the index was actually rebuilt (not merely synced).
+    rebuilds: u64,
+    /// Free resources per node, dense by [`NodeId`] index. Only entries for
+    /// eligible nodes are consulted by queries.
+    available: Vec<Resources>,
+    /// `(available cpu_millis, node index)` over eligible nodes, ascending.
+    by_cpu: Vec<(u64, u32)>,
+    /// `(available memory_bytes, node index)` over eligible nodes, ascending.
+    by_memory: Vec<(u64, u32)>,
+    /// Zero-request, selector-free, toleration-free probe pod the eligibility
+    /// pass filters with. Held (rather than built per rebuild) so rebuilds
+    /// stay allocation-free once the sorted arrays' capacity has warmed.
+    probe: PodSpec,
+}
+
+impl Default for FeasibilityIndex {
+    fn default() -> Self {
+        FeasibilityIndex {
+            generation: None,
+            rebuilds: 0,
+            available: Vec::new(),
+            by_cpu: Vec::new(),
+            by_memory: Vec::new(),
+            // Built field-by-field (not via `PodSpec::new`, which allocates
+            // its name/namespace strings) so index construction inside
+            // `mem::take`-style scratch swaps stays heap-free. The filter
+            // only reads requests, selector, affinity and tolerations, so
+            // the empty name is irrelevant.
+            probe: PodSpec {
+                name: String::new(),
+                namespace: String::new(),
+                labels: std::collections::BTreeMap::new(),
+                requests: Resources::ZERO,
+                limits: Resources::ZERO,
+                node_selector: std::collections::BTreeMap::new(),
+                affinity: crate::NodeAffinity::none(),
+                tolerations: Vec::new(),
+                role: crate::pod::PodRole::Standalone,
+            },
+        }
+    }
+}
+
+impl FeasibilityIndex {
+    /// Create an empty, unsynced index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when `node` can host *some* driver pod: it is schedulable and has
+    /// no untolerated `NoSchedule` taint. This is exactly
+    /// [`DefaultScheduler::filter`] with a zero-request, selector-free,
+    /// toleration-free probe pod, so it cannot drift from the scheduler's
+    /// filter semantics.
+    pub fn eligible(node: &Node) -> bool {
+        let probe = PodSpec::new("feasibility-probe", Resources::ZERO);
+        DefaultScheduler::filter(&probe, node) == FilterResult::Feasible
+    }
+
+    /// Bring the index up to date with `cluster`. Returns `true` when a
+    /// rebuild actually happened, `false` when the cached generation matched
+    /// and the call was a single compare. A rebuild is one pass over the
+    /// node table plus two sorts, allocation-free at steady cluster size.
+    pub fn sync(&mut self, cluster: &ClusterState) -> bool {
+        if self.generation == Some(cluster.generation()) {
+            return false;
+        }
+        let nodes = cluster.nodes();
+        self.available.clear();
+        self.available.reserve(nodes.len());
+        self.by_cpu.clear();
+        self.by_memory.clear();
+        for (index, node) in nodes.iter().enumerate() {
+            let free = node.available();
+            self.available.push(free);
+            if DefaultScheduler::filter(&self.probe, node) == FilterResult::Feasible {
+                self.by_cpu.push((free.cpu_millis, index as u32));
+                self.by_memory.push((free.memory_bytes, index as u32));
+            }
+        }
+        self.by_cpu.sort_unstable();
+        self.by_memory.sort_unstable();
+        self.generation = Some(cluster.generation());
+        self.rebuilds += 1;
+        true
+    }
+
+    /// Number of eligible nodes in the index.
+    pub fn eligible_count(&self) -> usize {
+        self.by_cpu.len()
+    }
+
+    /// How many times [`sync`](Self::sync) actually rebuilt the index.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The cluster generation the index currently reflects, if any.
+    pub fn generation(&self) -> Option<u64> {
+        self.generation
+    }
+
+    /// Collect every eligible node whose free resources fit `requests`, in
+    /// ascending [`NodeId`] order, into `out` (cleared first). Byte-identical
+    /// to filtering every node with [`DefaultScheduler::filter`] for a
+    /// selector-free, toleration-free pod with the same requests.
+    pub fn query_into(&self, requests: &Resources, out: &mut Vec<NodeId>) {
+        out.clear();
+        // Nodes with at least `requests.cpu_millis` free CPU form a suffix of
+        // `by_cpu`; likewise for memory. Scan whichever suffix is shorter and
+        // apply the exact two-sided fit check.
+        let cpu_start = self
+            .by_cpu
+            .partition_point(|&(c, _)| c < requests.cpu_millis);
+        let mem_start = self
+            .by_memory
+            .partition_point(|&(m, _)| m < requests.memory_bytes);
+        let cpu_suffix = &self.by_cpu[cpu_start..];
+        let mem_suffix = &self.by_memory[mem_start..];
+        let scan = if cpu_suffix.len() <= mem_suffix.len() {
+            cpu_suffix
+        } else {
+            mem_suffix
+        };
+        for &(_, index) in scan {
+            if requests.fits_within(&self.available[index as usize]) {
+                out.push(NodeId(index));
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Convenience wrapper around [`query_into`](Self::query_into).
+    pub fn query(&self, requests: &Resources) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.query_into(requests, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::{Taint, TaintEffect};
+    use crate::pod::PodId;
+    use simcore::rng::Rng;
+    use simnet::NodeId as NetId;
+
+    /// The reference implementation: filter every node with the real
+    /// scheduler filter for a plain pod with the given requests.
+    fn naive(cluster: &ClusterState, requests: &Resources) -> Vec<NodeId> {
+        let pod = PodSpec::new("naive", *requests);
+        cluster
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| DefaultScheduler::filter(&pod, node) == FilterResult::Feasible)
+            .map(|(index, _)| NodeId::from_index(index))
+            .collect()
+    }
+
+    /// A varied world: mixed capacities, some cordoned, some tainted, some
+    /// partially or fully loaded.
+    fn varied_world(nodes: usize, seed: u64) -> ClusterState {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut cluster = ClusterState::new();
+        for i in 0..nodes {
+            let cores = 2 + rng.gen_range_usize(0, 7) as u64;
+            let gib = 2 + rng.gen_range_usize(0, 15) as u64;
+            let mut node = Node::new(
+                format!("node-{i}"),
+                NetId(i),
+                Resources::from_cores_and_gib(cores, gib),
+                "SITE",
+            );
+            match rng.gen_range_usize(0, 10) {
+                0 => node.schedulable = false,
+                1 => node.taints.push(Taint {
+                    key: "dedicated".into(),
+                    value: "infra".into(),
+                    effect: TaintEffect::NoSchedule,
+                }),
+                2 => node.taints.push(Taint {
+                    key: "flaky".into(),
+                    value: "true".into(),
+                    effect: TaintEffect::PreferNoSchedule,
+                }),
+                _ => {}
+            }
+            cluster.add_node(node);
+        }
+        // Load some nodes, a few to the brim.
+        for i in 0..nodes {
+            let load = rng.gen_range_usize(0, 4);
+            if load == 0 {
+                continue;
+            }
+            let node = cluster.node_by_id_mut(NodeId::from_index(i)).unwrap();
+            let free = node.available();
+            let req = if load == 1 {
+                free // fill completely
+            } else {
+                Resources {
+                    cpu_millis: free.cpu_millis / load as u64,
+                    memory_bytes: free.memory_bytes / load as u64,
+                }
+            };
+            node.bind(PodId(i as u64), req);
+        }
+        cluster
+    }
+
+    #[test]
+    fn query_matches_naive_filter_on_varied_worlds() {
+        for seed in 0..8 {
+            let cluster = varied_world(40, seed);
+            let mut index = FeasibilityIndex::new();
+            assert!(index.sync(&cluster));
+            for (cpu, gib) in [(0, 0), (1, 1), (2, 4), (4, 2), (6, 8), (9, 1), (1, 16)] {
+                let req = Resources::from_cores_and_gib(cpu, gib);
+                assert_eq!(
+                    index.query(&req),
+                    naive(&cluster, &req),
+                    "seed {seed}, request {cpu}c/{gib}GiB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_is_generation_keyed() {
+        let mut cluster = varied_world(10, 3);
+        let mut index = FeasibilityIndex::new();
+        assert!(index.sync(&cluster));
+        assert_eq!(index.rebuilds(), 1);
+        assert_eq!(index.generation(), Some(cluster.generation()));
+        // Unchanged cluster: no rebuild.
+        assert!(!index.sync(&cluster));
+        assert!(!index.sync(&cluster));
+        assert_eq!(index.rebuilds(), 1);
+        // Any node mutation invalidates.
+        cluster.node_by_id_mut(NodeId(0)).unwrap().schedulable = false;
+        assert!(index.sync(&cluster));
+        assert_eq!(index.rebuilds(), 2);
+        let req = Resources::ZERO;
+        assert_eq!(index.query(&req), naive(&cluster, &req));
+    }
+
+    #[test]
+    fn stale_index_reflects_old_world_until_synced() {
+        let mut cluster = ClusterState::new();
+        cluster.add_node(Node::new(
+            "only",
+            NetId(0),
+            Resources::from_cores_and_gib(4, 4),
+            "SITE",
+        ));
+        let mut index = FeasibilityIndex::new();
+        index.sync(&cluster);
+        assert_eq!(index.eligible_count(), 1);
+        cluster.node_mut("only").unwrap().schedulable = false;
+        // Until synced, the index still answers from the old generation.
+        assert_eq!(index.query(&Resources::ZERO).len(), 1);
+        assert!(index.sync(&cluster));
+        assert!(index.query(&Resources::ZERO).is_empty());
+        assert_eq!(index.eligible_count(), 0);
+    }
+
+    #[test]
+    fn empty_cluster_queries_are_empty() {
+        let cluster = ClusterState::new();
+        let mut index = FeasibilityIndex::new();
+        assert!(index.sync(&cluster));
+        assert!(index.query(&Resources::ZERO).is_empty());
+        assert_eq!(index.eligible_count(), 0);
+    }
+}

@@ -22,6 +22,9 @@
 //!   baseline the paper quantifies.
 //! * [`state`] — the cluster state: bind/evict pods, track allocations,
 //!   record events.
+//! * [`feasibility`] — a resource-sorted feasibility index over the node
+//!   table so 10k-node worlds find the feasible set without scanning every
+//!   node, cached against [`state::ClusterState::generation`].
 //! * [`job`] — a Spark-application-shaped job object (driver + executors) and
 //!   its lifecycle.
 //! * [`manifest`] — declarative YAML rendering of pods/jobs, including the
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod feasibility;
 pub mod job;
 pub mod manifest;
 pub mod node;
@@ -43,6 +47,7 @@ pub use affinity::{
     NodeAffinity, NodeSelectorOp, NodeSelectorRequirement, NodeSelectorTerm, Taint, TaintEffect,
     Toleration,
 };
+pub use feasibility::FeasibilityIndex;
 pub use job::{Job, JobId, JobPhase, JobSpec};
 pub use node::{Node, NodeName};
 pub use pod::{Pod, PodId, PodPhase, PodSpec};

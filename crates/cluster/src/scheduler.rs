@@ -211,8 +211,14 @@ impl DefaultScheduler {
     }
 }
 
-impl Scheduler for DefaultScheduler {
-    fn schedule(&mut self, pod: &PodSpec, nodes: &[Node]) -> ScheduleOutcome {
+impl DefaultScheduler {
+    /// [`Scheduler::schedule`] over a pre-selected candidate slice of node
+    /// references (e.g. the output of a feasibility index or prefilter).
+    /// Filtering, scoring, ranking and randomized tie-breaking behave exactly
+    /// as they do over the full node table: passing references to every node
+    /// in table order produces a byte-identical outcome and consumes the
+    /// tie-break RNG identically.
+    pub fn schedule_refs(&mut self, pod: &PodSpec, nodes: &[&Node]) -> ScheduleOutcome {
         let mut reasons = Vec::with_capacity(nodes.len());
         let mut feasible: Vec<&Node> = Vec::with_capacity(nodes.len());
         for node in nodes {
@@ -248,6 +254,13 @@ impl Scheduler for DefaultScheduler {
         };
         let node = ranking[pick].node.clone();
         ScheduleOutcome::Scheduled { node, ranking }
+    }
+}
+
+impl Scheduler for DefaultScheduler {
+    fn schedule(&mut self, pod: &PodSpec, nodes: &[Node]) -> ScheduleOutcome {
+        let refs: Vec<&Node> = nodes.iter().collect();
+        self.schedule_refs(pod, &refs)
     }
 
     fn name(&self) -> &str {

@@ -90,6 +90,13 @@ pub struct ClusterState {
     pods: BTreeMap<u64, Pod>,
     next_pod_id: u64,
     events: Vec<ClusterEvent>,
+    /// Monotone mutation counter, bumped by every operation that can change
+    /// a node's feasibility (adding nodes, handing out `&mut Node`, binding
+    /// or releasing pods through the node lookups). Derived caches such as
+    /// [`crate::feasibility::FeasibilityIndex`] compare it to decide whether
+    /// they are stale, so bumping is deliberately conservative: any mutable
+    /// node access counts as a change.
+    generation: u64,
 }
 
 impl ClusterState {
@@ -114,7 +121,16 @@ impl ClusterState {
             node.name
         );
         self.nodes.push(node);
+        self.generation += 1;
         id
+    }
+
+    /// The current mutation generation. Bumped whenever the node table is
+    /// grown or a mutable node reference is handed out, so callers caching
+    /// node-derived state (feasibility indexes) can detect staleness with a
+    /// single compare.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// All nodes, indexed by [`NodeId`].
@@ -126,6 +142,7 @@ impl ClusterState {
     /// names must not be changed through this; the intern table would go
     /// stale.
     pub fn nodes_mut(&mut self) -> &mut [Node] {
+        self.generation += 1;
         &mut self.nodes
     }
 
@@ -159,7 +176,11 @@ impl ClusterState {
 
     /// Look up a node by interned id (mutable).
     pub fn node_by_id_mut(&mut self, id: NodeId) -> Option<&mut Node> {
-        self.nodes.get_mut(id.index())
+        let node = self.nodes.get_mut(id.index());
+        if node.is_some() {
+            self.generation += 1;
+        }
+        node
     }
 
     /// Find a node by name.
@@ -170,7 +191,7 @@ impl ClusterState {
     /// Find a node by name (mutable).
     pub fn node_mut(&mut self, name: &str) -> Option<&mut Node> {
         match self.node_id(name) {
-            Some(id) => self.nodes.get_mut(id.index()),
+            Some(id) => self.node_by_id_mut(id),
             None => None,
         }
     }
@@ -529,6 +550,46 @@ mod tests {
             Resources::from_cores_and_gib(2, 2),
             "SITE",
         ));
+    }
+
+    #[test]
+    fn generation_tracks_node_mutations() {
+        let mut c = ClusterState::new();
+        assert_eq!(c.generation(), 0);
+        c.add_node(Node::new(
+            "node-1",
+            NodeId(0),
+            Resources::from_cores_and_gib(6, 8),
+            "SITE",
+        ));
+        let after_add = c.generation();
+        assert!(after_add > 0);
+        // Read-only access does not bump.
+        let _ = c.node("node-1");
+        let _ = c.nodes();
+        let _ = c.node_by_id(super::NodeId(0));
+        assert_eq!(c.generation(), after_add);
+        // Mutable access bumps, even if the node is not actually changed.
+        let _ = c.nodes_mut();
+        assert!(c.generation() > after_add);
+        let g = c.generation();
+        c.node_by_id_mut(super::NodeId(0)).unwrap().schedulable = false;
+        assert!(c.generation() > g);
+        // A miss hands out no reference and does not bump.
+        let g = c.generation();
+        assert!(c.node_by_id_mut(super::NodeId(9)).is_none());
+        assert!(c.node_mut("nope").is_none());
+        assert_eq!(c.generation(), g);
+        // Pod binding and release route through node_mut and bump.
+        let t = SimTime::ZERO;
+        c.node_by_id_mut(super::NodeId(0)).unwrap().schedulable = true;
+        let g = c.generation();
+        let id = c.create_pod(PodSpec::new("p", Resources::from_cores_and_gib(1, 1)), t);
+        c.bind_pod(id, "node-1", t).unwrap();
+        assert!(c.generation() > g);
+        let g = c.generation();
+        c.complete_pod(id, true, t).unwrap();
+        assert!(c.generation() > g);
     }
 
     #[test]

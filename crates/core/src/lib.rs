@@ -52,7 +52,7 @@ pub mod service;
 pub mod training;
 
 pub use builder::JobBuilder;
-pub use context::SchedulingContext;
+pub use context::{ContextScratch, PruningPolicy, SchedulingContext};
 pub use decision::{DecisionModule, NodeRanking, RankedNode};
 pub use features::{FeatureGroup, FeatureSchema, FeatureVector};
 pub use fetcher::TelemetryFetcher;

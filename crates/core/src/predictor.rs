@@ -48,10 +48,47 @@ impl fmt::Display for PredictorError {
 impl std::error::Error for PredictorError {}
 
 /// A trained model plus its feature schema.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CompletionTimePredictor {
     schema: FeatureSchema,
     model: TrainedModel,
+    /// The model's split thresholds per schema column (sorted, deduplicated),
+    /// cached at construction for [`CompletionTimePredictor::signature_cells`].
+    /// Derived state — not serialized, rebuilt on load.
+    signature_grid: Vec<Vec<f64>>,
+}
+
+/// The serialized form: schema + model only — the signature grid is derived
+/// state, rebuilt by [`CompletionTimePredictor::new`] on load. Field names
+/// match the predictor's own, so archives saved before the grid existed load
+/// unchanged.
+#[derive(Serialize, Deserialize)]
+struct PredictorArchive {
+    schema: FeatureSchema,
+    model: TrainedModel,
+}
+
+impl Serialize for CompletionTimePredictor {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("schema".into()),
+                self.schema.serialize_value(),
+            ),
+            (
+                serde::Value::Str("model".into()),
+                self.model.serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for CompletionTimePredictor {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let archive = PredictorArchive::deserialize_value(v)?;
+        CompletionTimePredictor::new(archive.schema, archive.model)
+            .map_err(|e| serde::Error::custom(e.to_string()))
+    }
 }
 
 impl CompletionTimePredictor {
@@ -71,7 +108,30 @@ impl CompletionTimePredictor {
                 });
             }
         }
-        Ok(CompletionTimePredictor { schema, model })
+        let signature_grid = model.split_grid(schema.len());
+        Ok(CompletionTimePredictor {
+            schema,
+            model,
+            signature_grid,
+        })
+    }
+
+    /// Collapse a feature row to the model's partition-cell coordinates in
+    /// place: each value becomes the index of the inter-threshold cell it
+    /// falls in on that column (`0` everywhere for a linear model). Rows with
+    /// identical cell coordinates take identical paths through every tree and
+    /// receive **identical predictions** from tree ensembles — and
+    /// ordering-identical scores from linear models, whose job columns only
+    /// shift every candidate by the same constant — which is what makes equal
+    /// cells safe to share a coarse scoreboard in the two-stage decision
+    /// path.
+    pub fn signature_cells(&self, row: &mut [f64]) {
+        for (value, thresholds) in row.iter_mut().zip(&self.signature_grid) {
+            // `x <= t` sends a row left: two values agree on every split of
+            // this column iff the same prefix of the sorted thresholds lies
+            // strictly below them.
+            *value = thresholds.partition_point(|t| *t < *value) as f64;
+        }
     }
 
     /// The feature schema.
@@ -156,8 +216,7 @@ impl CompletionTimePredictor {
     /// The schema/model width check is re-applied, so a tampered archive
     /// cannot smuggle in a mismatched pair.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        let raw: CompletionTimePredictor = serde_json::from_str(json).map_err(|e| e.to_string())?;
-        Self::new(raw.schema, raw.model).map_err(|e| e.to_string())
+        serde_json::from_str(json).map_err(|e| e.to_string())
     }
 }
 
@@ -248,6 +307,7 @@ mod tests {
         let mut sabotaged = CompletionTimePredictor {
             schema: narrow,
             model: predictor.model().clone(),
+            signature_grid: Vec::new(),
         };
         let json = sabotaged.to_json();
         assert!(CompletionTimePredictor::from_json(&json).is_err());

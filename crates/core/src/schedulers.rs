@@ -18,7 +18,7 @@ use crate::context::SchedulingContext;
 use crate::decision::{NodeRanking, RankedNode};
 use crate::predictor::CompletionTimePredictor;
 use crate::request::JobRequest;
-use cluster::{ClusterState, DefaultScheduler, NodeId};
+use cluster::{DefaultScheduler, NodeId};
 use simcore::rng::Rng;
 
 /// A placement policy.
@@ -57,22 +57,6 @@ pub trait JobScheduler {
             .map(|request| self.select(request, ctx))
             .collect()
     }
-}
-
-/// Names of nodes on which the job's driver pod passes the default
-/// scheduler's filtering phase. Convenience wrapper over
-/// [`SchedulingContext::feasible_candidates`] for callers that want names and
-/// have no burst to amortize; the hot path uses the context directly.
-pub fn feasible_candidates(request: &JobRequest, cluster: &ClusterState) -> Vec<String> {
-    let driver = request.to_job_spec().driver_pod(None);
-    cluster
-        .nodes()
-        .iter()
-        .filter(|node| {
-            DefaultScheduler::filter(&driver, node) == cluster::scheduler::FilterResult::Feasible
-        })
-        .map(|node| node.name.clone())
-        .collect()
 }
 
 /// The paper's contribution: rank by supervised completion-time predictions.
@@ -146,7 +130,23 @@ impl JobScheduler for KubeDefaultScheduler {
         let driver = request.to_job_spec().driver_pod(None);
         let cluster = ctx.cluster();
         use cluster::scheduler::Scheduler as _;
-        match self.inner.schedule(&driver, cluster.nodes()) {
+        // With pruning off this is the historical full-table scan; with a
+        // top-K budget the kube filter/score/tie-break runs over the pruned
+        // candidate refs through the same code path (`schedule` delegates to
+        // `schedule_refs`), so `K ≥ |feasible|` stays byte-identical.
+        let outcome = match ctx.top_k() {
+            None => self.inner.schedule(&driver, cluster.nodes()),
+            Some(_) => {
+                let nodes = cluster.nodes();
+                let refs: Vec<&cluster::Node> = ctx
+                    .pruned_candidates(request)
+                    .iter()
+                    .map(|id| &nodes[id.index()])
+                    .collect();
+                self.inner.schedule_refs(&driver, &refs)
+            }
+        };
+        match outcome {
             cluster::ScheduleOutcome::Unschedulable { .. } => NodeRanking::default(),
             cluster::ScheduleOutcome::Scheduled { node, ranking } => {
                 // Within equal-score groups kube-scheduler has no preference;
@@ -213,7 +213,7 @@ impl JobScheduler for RandomScheduler {
     }
 
     fn select(&mut self, request: &JobRequest, ctx: &mut SchedulingContext<'_>) -> NodeRanking {
-        let mut candidates: Vec<NodeId> = ctx.feasible_candidates(request).to_vec();
+        let mut candidates: Vec<NodeId> = ctx.pruned_candidates(request).to_vec();
         self.rng.shuffle(&mut candidates);
         NodeRanking {
             ranked: candidates
@@ -272,7 +272,7 @@ impl JobScheduler for LowestRttScheduler {
 mod tests {
     use super::*;
     use crate::features::FeatureSchema;
-    use cluster::{Node, Resources};
+    use cluster::{ClusterState, Node, Resources};
     use mlcore::{Dataset, ModelConfig, ModelKind, TrainedModel};
     use simcore::SimTime;
     use sparksim::WorkloadKind;
@@ -325,6 +325,22 @@ mod tests {
         JobRequest::named("sort-t", WorkloadKind::Sort, 100_000, 2)
     }
 
+    /// Reference full-scan feasibility by name (the retired legacy free
+    /// function, kept as a test oracle): filter every node with the real
+    /// driver pod.
+    fn feasible_names(request: &JobRequest, cluster: &ClusterState) -> Vec<String> {
+        let driver = request.to_job_spec().driver_pod(None);
+        cluster
+            .nodes()
+            .iter()
+            .filter(|node| {
+                DefaultScheduler::filter(&driver, node)
+                    == cluster::scheduler::FilterResult::Feasible
+            })
+            .map(|node| node.name.clone())
+            .collect()
+    }
+
     /// A predictor trained to prefer low-CPU-load nodes.
     fn predictor() -> CompletionTimePredictor {
         let schema = FeatureSchema::standard();
@@ -351,7 +367,7 @@ mod tests {
             SimTime::ZERO,
         );
         c.bind_pod(id, "node-2", SimTime::ZERO).unwrap();
-        let candidates = feasible_candidates(&request(), &c);
+        let candidates = feasible_names(&request(), &c);
         assert_eq!(candidates, vec!["node-1", "node-3"]);
         // The context agrees, id-for-name.
         let snap = snapshot(3);

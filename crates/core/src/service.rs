@@ -7,6 +7,7 @@
 //! plane modification, exactly as the paper emphasizes.
 
 use crate::builder::{BuiltJob, JobBuilder};
+use crate::context::PruningPolicy;
 use crate::context::{ContextScratch, SchedulingContext};
 use crate::decision::{NodeRanking, RankedNode};
 use crate::fetcher::TelemetryFetcher;
@@ -33,6 +34,17 @@ pub struct SchedulerConfig {
     /// Minimum number of logged executions before the service switches from
     /// fallback placement to supervised placement.
     pub min_training_samples: usize,
+    /// Candidate-pruning budget: rank at most this many prefiltered
+    /// candidates per decision (the two-stage decision path for large
+    /// worlds). `None` (the default) ranks the full feasible set; any value
+    /// `≥ |feasible|` is byte-identical to `None`.
+    pub prune_top_k: Option<usize>,
+    /// Which stage-1 scorer a `prune_top_k` budget prunes with. The default,
+    /// [`PruningPolicy::ModelAligned`], keeps supervised decisions
+    /// byte-identical to the unpruned rank at every K; the model-blind
+    /// policies are cheaper but approximate (the `scenario_scale` sweep
+    /// publishes their measured accuracy).
+    pub pruning_policy: PruningPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -41,6 +53,8 @@ impl Default for SchedulerConfig {
             model_kind: ModelKind::RandomForest,
             rate_window: SimDuration::from_secs(30),
             min_training_samples: 50,
+            prune_top_k: None,
+            pruning_policy: PruningPolicy::default(),
         }
     }
 }
@@ -87,9 +101,12 @@ pub struct SchedulerService {
     /// nothing new since the last burst, the fetch is skipped entirely and
     /// the held `Arc` is reused — one atomic load per burst.
     held_epoch: Option<u64>,
-    /// Context buffers carried across bursts (indexed telemetry, candidate
-    /// and prediction scratch, the batch feature matrix): each burst takes
-    /// them, decides, and puts them back warm.
+    /// Context buffers carried across bursts (indexed telemetry, the
+    /// generation-keyed feasibility index, candidate/pruning/prediction
+    /// scratch, the batch feature matrix): each burst takes them, decides,
+    /// and puts them back warm. On the held-epoch fast path — and any burst
+    /// where the cluster did not change — feasibility costs one integer
+    /// compare instead of an index rebuild.
     ctx_scratch: ContextScratch,
 }
 
@@ -144,6 +161,14 @@ impl SchedulerService {
         self.scheduler.is_some()
     }
 
+    /// How many times the persistent feasibility index was actually rebuilt
+    /// (as opposed to reused after a generation match). A burst against an
+    /// unchanged cluster — e.g. the held-epoch fast path — must not bump
+    /// this.
+    pub fn feasibility_rebuilds(&self) -> u64 {
+        self.ctx_scratch.feasibility_rebuilds()
+    }
+
     /// Make a placement decision for `request` at time `now`.
     ///
     /// Telemetry is fetched from `metrics_server` — any
@@ -166,6 +191,8 @@ impl SchedulerService {
         let snapshot = self.fetch_shared(metrics_server, now);
         let scratch = std::mem::take(&mut self.ctx_scratch);
         let mut ctx = SchedulingContext::with_scratch(&snapshot, cluster, scratch);
+        ctx.set_top_k(self.config.prune_top_k);
+        ctx.set_pruning_policy(self.config.pruning_policy);
         let mut ranking = NodeRanking::default();
         let used_model = self.decide_into(request, &mut ctx, &mut ranking);
         self.ctx_scratch = ctx.into_scratch();
@@ -211,6 +238,8 @@ impl SchedulerService {
         let snapshot = self.fetch_shared(metrics_server, now);
         let scratch = std::mem::take(&mut self.ctx_scratch);
         let mut ctx = SchedulingContext::with_scratch(&snapshot, cluster, scratch);
+        ctx.set_top_k(self.config.prune_top_k);
+        ctx.set_pruning_policy(self.config.pruning_policy);
         out.truncate(requests.len());
         while out.len() < requests.len() {
             out.push(SchedulingDecision {
@@ -292,17 +321,17 @@ impl SchedulerService {
             None => {
                 // Shuffling the ranked slice draws the RNG exactly like the
                 // historical shuffle over a `Vec<NodeId>` of the same length,
-                // so fallback decision streams are unchanged.
+                // so fallback decision streams are unchanged with pruning off
+                // (the pruned set *is* the feasible set at `top_k = None`).
                 out.ranked.clear();
-                out.ranked
-                    .extend(
-                        ctx.feasible_candidates(request)
-                            .iter()
-                            .map(|&node| RankedNode {
-                                node,
-                                predicted_seconds: 0.0,
-                            }),
-                    );
+                out.ranked.extend(
+                    ctx.pruned_candidates(request)
+                        .iter()
+                        .map(|&node| RankedNode {
+                            node,
+                            predicted_seconds: 0.0,
+                        }),
+                );
                 self.fallback_rng.shuffle(&mut out.ranked);
                 for (i, ranked) in out.ranked.iter_mut().enumerate() {
                     ranked.predicted_seconds = i as f64;
@@ -583,6 +612,98 @@ mod tests {
         assert!(!fourth.snapshot.is_empty());
         let fifth = service.schedule(&request(4), &published, &cluster, now);
         assert_eq!(fifth.snapshot.time, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn reused_epoch_does_not_rebuild_the_feasibility_index() {
+        let (mut cluster, network, mut scrape) = test_world();
+        let published = scrape.published_handle();
+        let mut service = SchedulerService::new(SchedulerConfig::default(), 7);
+        let now = SimTime::from_secs(2);
+
+        // First burst builds the index once.
+        service.schedule(&request(0), &published, &cluster, now);
+        assert_eq!(service.feasibility_rebuilds(), 1);
+
+        // Same epoch, unchanged cluster: the held-epoch fast path must reuse
+        // the feasibility index too — a rebuild here would undo the fast
+        // path's whole point on large worlds.
+        service.schedule(&request(1), &published, &cluster, now);
+        service.schedule_batch(
+            &(2..5).map(request).collect::<Vec<_>>(),
+            &published,
+            &cluster,
+            now,
+        );
+        assert_eq!(service.feasibility_rebuilds(), 1);
+
+        // A new epoch alone (cluster untouched) still reuses the index…
+        scrape.scrape(&cluster, &network, SimTime::from_secs(6));
+        service.schedule(&request(5), &published, &cluster, now);
+        assert_eq!(service.feasibility_rebuilds(), 1);
+
+        // …while a cluster mutation (bind bumps the generation) forces
+        // exactly one rebuild on the next burst.
+        let pod = cluster.create_pod(
+            cluster::PodSpec::new("hog", Resources::from_cores_and_gib(1, 1)),
+            SimTime::ZERO,
+        );
+        cluster.bind_pod(pod, "node-1", SimTime::ZERO).unwrap();
+        service.schedule(&request(6), &published, &cluster, now);
+        assert_eq!(service.feasibility_rebuilds(), 2);
+        service.schedule(&request(7), &published, &cluster, now);
+        assert_eq!(service.feasibility_rebuilds(), 2);
+    }
+
+    #[test]
+    fn oversized_prune_budget_matches_unpruned_decisions() {
+        let (cluster, _network, scrape) = test_world();
+        let requests: Vec<JobRequest> = (0..6).map(request).collect();
+        let now = SimTime::from_secs(2);
+        // K ≥ |feasible| must be byte-identical to pruning disabled, on both
+        // the fallback path (RNG stream included) and the supervised path.
+        let mut unpruned = SchedulerService::new(SchedulerConfig::default(), 7);
+        let mut pruned = SchedulerService::new(
+            SchedulerConfig {
+                prune_top_k: Some(100),
+                ..Default::default()
+            },
+            7,
+        );
+        let mut rng_a = Rng::seed_from_u64(4);
+        let mut rng_b = Rng::seed_from_u64(4);
+        for (i, req) in requests.iter().enumerate() {
+            let u = unpruned.schedule(req, &scrape, &cluster, now);
+            let p = pruned.schedule(req, &scrape, &cluster, now);
+            assert_eq!(u.ranking, p.ranking, "request {i}");
+            assert_eq!(u.job.target_node, p.job.target_node);
+            let node = u.job.target_node.clone().unwrap();
+            unpruned.record_outcome(&u.snapshot, req, &node, 20.0 + i as f64);
+            pruned.record_outcome(&p.snapshot, req, &node, 20.0 + i as f64);
+        }
+        // Force-train both on the identical logs (below the default minimum,
+        // so lower the bar), then compare supervised decisions.
+        for service in [&mut unpruned, &mut pruned] {
+            service.config.min_training_samples = 5;
+        }
+        assert!(unpruned.retrain(&mut rng_a));
+        assert!(pruned.retrain(&mut rng_b));
+        let u = unpruned.schedule(&request(50), &scrape, &cluster, now);
+        let p = pruned.schedule(&request(50), &scrape, &cluster, now);
+        assert!(u.used_model && p.used_model);
+        assert_eq!(u.ranking, p.ranking);
+        assert_eq!(u.job.target_node, p.job.target_node);
+
+        // A genuinely binding budget ranks exactly K candidates.
+        let mut tight = SchedulerService::new(
+            SchedulerConfig {
+                prune_top_k: Some(2),
+                ..Default::default()
+            },
+            7,
+        );
+        let d = tight.schedule(&request(0), &scrape, &cluster, now);
+        assert_eq!(d.ranking.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Run the **scale sweep**: world size × candidate budget K × stage-one
+//! pruning policy, measuring the accuracy cost of two-stage candidate
+//! pruning on 1k/4k/10k-node clos worlds (see [`experiments::scale`]).
+//!
+//! ```text
+//! cargo run --release -p experiments --bin scenario_scale            # 1k/4k/10k × 5 budgets × 3 policies
+//! cargo run --release -p experiments --bin scenario_scale quick      # one 240-node world (CI cell, no JSON)
+//! ```
+//!
+//! Emits `results/scenario_scale.json` (machine-readable, byte-stable for a
+//! fixed seed) and `results/scenario_scale.md` (human summary). The
+//! acceptance bar is Top-1 agreement ≥ 0.95 at the default policy/budget —
+//! exact (1.0) for the model-aligned scoreboard by construction; the
+//! model-blind policies' curves quantify what a cheaper stage one costs.
+//! Decision *latency* at these node counts is the `decision_scale` bench.
+
+use experiments::report::{emit, write_result_file};
+use experiments::scale::{run_scale_sweep, standard_ks, standard_node_counts, standard_policies};
+use netsched_core::context::PruningPolicy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick" || a == "--quick");
+    for arg in &args {
+        if arg != "quick" && arg != "--quick" {
+            eprintln!("ignoring unrecognized argument `{arg}` (expected `quick`)");
+        }
+    }
+    let (node_counts, ks, jobs) = if quick {
+        (vec![240usize], vec![4usize, 16, 64], 8)
+    } else {
+        (standard_node_counts(), standard_ks(), 24)
+    };
+    let policies = standard_policies();
+
+    eprintln!(
+        "scale sweep: {} worlds {node_counts:?} x {} budgets {ks:?} x {} policies, {jobs} jobs each ...",
+        node_counts.len(),
+        ks.len(),
+        policies.len(),
+    );
+    let start = std::time::Instant::now();
+    let report = run_scale_sweep(&node_counts, &policies, &ks, jobs, 11);
+    eprintln!(
+        "sweep finished in {:.1}s ({} worlds)",
+        start.elapsed().as_secs_f64(),
+        report.cells.len(),
+    );
+
+    // Acceptance: at the largest world and the default (model-aligned)
+    // policy, every budget must keep Top-1 agreement >= 0.95.
+    let mut acceptance = String::new();
+    if let Some(cell) = report.cells.last() {
+        let worst = cell
+            .ks
+            .iter()
+            .filter(|a| a.policy == PruningPolicy::ModelAligned)
+            .map(|a| a.top1_hit_rate())
+            .fold(f64::INFINITY, f64::min);
+        acceptance = format!(
+            "\nAcceptance @ {} nodes, default ModelAligned policy: worst-budget top-1 agreement {:.3} (target >= 0.95) -> {}\n",
+            cell.nodes,
+            worst,
+            if worst >= 0.95 { "MET" } else { "MISSED" },
+        );
+        eprint!("{acceptance}");
+    }
+
+    let mut md = report.to_markdown();
+    md.push_str(&acceptance);
+    if quick {
+        println!("quick mode: skipping results/scenario_scale.json");
+        println!("{md}");
+        return;
+    }
+    if let Some(path) = write_result_file("scenario_scale.json", &report.to_json()) {
+        println!("(JSON report written to {})", path.display());
+    }
+    emit(
+        "Scale sweep — two-stage pruning accuracy per (world, policy, K)",
+        "scenario_scale.md",
+        &md,
+    );
+}

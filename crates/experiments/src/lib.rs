@@ -39,6 +39,7 @@ pub mod evaluation;
 pub mod fabric;
 pub mod figures;
 pub mod report;
+pub mod scale;
 pub mod scenarios;
 pub mod tables;
 pub mod workflow;

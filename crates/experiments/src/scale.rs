@@ -1,0 +1,459 @@
+//! Scale worlds: 1k–10k-node clusters for the two-stage decision path.
+//!
+//! The scenario matrix exercises the full simulation pipeline on worlds of at
+//! most a few dozen nodes — a full-mesh RTT scrape and per-job network
+//! simulation are quadratic and cannot reach 10k nodes. Scale worlds take the
+//! opposite trade: a [`simnet::TieredClosSpec`] substrate (racks → pods →
+//! spine) provides real network structure, but telemetry is synthesized
+//! directly — per-node load drawn around the cluster's actual allocations and
+//! a *sampled* RTT mesh (a few probes per node: rack neighbor, same-pod,
+//! cross-pod) exactly like a production ping exporter that cannot afford n²
+//! probes either.
+//!
+//! What is measured at this scale is the **accuracy cost of candidate
+//! pruning**: for each decision the supervised model ranks the full feasible
+//! set (the reference), then [`run_scale_cell`] replays the decision at every
+//! (pruning policy × budget K) cell and records (a) how often the two-stage
+//! top-1 equals the unpruned top-1 and (b) how often the unpruned winner
+//! survives stage one at all. Under [`PruningPolicy::ModelAligned`] both are
+//! exact by construction — pinned here as a measurement so a regression in
+//! the scoreboard path shows up as a number, not just a failing test — while
+//! the model-blind policies pay a measurable accuracy cost. Everything
+//! derives from `(spec, seed)`, so reports are byte-stable — decision
+//! *latency* at these node counts is measured by the `decision_scale` bench,
+//! not here.
+
+use cluster::{ClusterState, Node, PodSpec, Resources};
+use netsched_core::context::{PruningPolicy, SchedulingContext};
+use netsched_core::predictor::CompletionTimePredictor;
+use netsched_core::request::JobRequest;
+use serde::{Deserialize, Serialize};
+use simcore::rng::Rng;
+use simcore::SimTime;
+use simnet::{TieredClosSpec, TopologySpec};
+use sparksim::WorkloadKind;
+use telemetry::{ClusterSnapshot, NodeTelemetry};
+
+/// Declarative description of one scale world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleWorldSpec {
+    /// Total node count (rounded up to whole 40-node racks).
+    pub nodes: usize,
+    /// Seed for background load, telemetry noise and probe sampling.
+    pub seed: u64,
+    /// RTT probes per node (the sampled mesh's out-degree).
+    pub rtt_probes_per_node: usize,
+    /// Fraction of nodes carrying a background pod (drives feasibility and
+    /// load variation; a slice of these are filled completely).
+    pub busy_fraction: f64,
+}
+
+impl ScaleWorldSpec {
+    /// The standard world at `nodes` total nodes.
+    pub fn with_nodes(nodes: usize, seed: u64) -> Self {
+        ScaleWorldSpec {
+            nodes,
+            seed,
+            rtt_probes_per_node: 6,
+            busy_fraction: 0.6,
+        }
+    }
+
+    /// World name used in reports, e.g. `scale-clos-10000`.
+    pub fn name(&self) -> String {
+        format!("scale-clos-{}", self.nodes)
+    }
+}
+
+/// A built scale world: cluster state plus a synthesized telemetry snapshot.
+#[derive(Debug)]
+pub struct ScaleWorld {
+    /// The spec this world was built from.
+    pub spec: ScaleWorldSpec,
+    /// Cluster with background pods bound (real allocations, real
+    /// feasibility variation).
+    pub cluster: ClusterState,
+    /// Synthesized snapshot: per-node telemetry consistent with the
+    /// cluster's allocations, sampled RTT mesh over the Clos substrate.
+    pub snapshot: ClusterSnapshot,
+}
+
+impl ScaleWorld {
+    /// Build the world. Deterministic in the spec.
+    pub fn build(spec: ScaleWorldSpec) -> Self {
+        let clos = TieredClosSpec::with_total_nodes(spec.nodes);
+        let nodes_per_rack = clos.nodes_per_rack;
+        let racks_per_pod = clos.racks_per_pod;
+        let topo = TopologySpec::TieredClos(clos)
+            .build(spec.seed)
+            .expect("tiered clos topologies are connected by construction");
+        let n = topo.node_count();
+        let mut rng = Rng::seed_from_u64(spec.seed ^ 0x5CA1E0_u64);
+
+        let mut cluster = ClusterState::new();
+        for net in topo.nodes() {
+            let site = topo.site(net.site).name.clone();
+            cluster.add_node(Node::new(
+                net.name.clone(),
+                net.id,
+                Resources::from_cores_and_gib(6, 8),
+                site,
+            ));
+        }
+
+        // Background pods: most busy nodes keep headroom, a slice are filled
+        // to the brim so the feasible set is a strict subset of the table.
+        for i in 0..n {
+            if !rng.gen_bool(spec.busy_fraction) {
+                continue;
+            }
+            let full = rng.gen_bool(0.08);
+            let (cpu, gib) = if full {
+                (6, 8)
+            } else {
+                (1 + rng.gen_range(4), 1 + rng.gen_range(5))
+            };
+            let pod = cluster.create_pod(
+                PodSpec::new(format!("bg-{i}"), Resources::from_cores_and_gib(cpu, gib)),
+                SimTime::ZERO,
+            );
+            cluster
+                .bind_pod(pod, &format!("node-{}", i + 1), SimTime::ZERO)
+                .expect("background pod fits an empty node");
+        }
+
+        // Telemetry consistent with the allocations plus measurement noise.
+        let mut snapshot = ClusterSnapshot::at(SimTime::from_secs(60));
+        for node in cluster.nodes() {
+            snapshot.insert_node(
+                node.name.as_str(),
+                NodeTelemetry {
+                    cpu_load: node.cpu_load() + rng.uniform(0.0, 0.5),
+                    memory_available_bytes: node.memory_available(),
+                    tx_rate: rng.uniform(0.0, 2.0e7),
+                    rx_rate: rng.uniform(0.0, 2.0e7),
+                },
+            );
+        }
+        // Sampled RTT mesh: every node probes its rack neighbor, one same-pod
+        // rack and a few cross-pod nodes — the structure a network-aware
+        // prefilter needs, at out-degree `rtt_probes_per_node` instead of n.
+        let nodes_per_pod = nodes_per_rack * racks_per_pod;
+        for i in 0..n {
+            let mut peers = Vec::with_capacity(spec.rtt_probes_per_node);
+            peers.push((i / nodes_per_rack) * nodes_per_rack + (i + 1) % nodes_per_rack);
+            if n > nodes_per_pod {
+                let pod_base = (i / nodes_per_pod) * nodes_per_pod;
+                peers.push(pod_base + (i + nodes_per_rack) % nodes_per_pod.min(n - pod_base));
+            }
+            while peers.len() < spec.rtt_probes_per_node {
+                peers.push(rng.gen_range(n as u64) as usize);
+            }
+            for peer in peers {
+                if peer == i || peer >= n {
+                    continue;
+                }
+                let base = topo
+                    .base_rtt(simnet::NodeId(i), simnet::NodeId(peer))
+                    .as_secs_f64();
+                let congestion = 1.0 + rng.uniform(0.0, 0.35);
+                snapshot.insert_rtt(
+                    &format!("node-{}", i + 1),
+                    &format!("node-{}", peer + 1),
+                    base * congestion,
+                );
+            }
+        }
+
+        ScaleWorld {
+            spec,
+            cluster,
+            snapshot,
+        }
+    }
+
+    /// A deterministic batch of varied job requests against this world.
+    pub fn requests(&self, jobs: usize) -> Vec<JobRequest> {
+        let mut rng = Rng::seed_from_u64(self.spec.seed ^ 0x10B5_u64);
+        let kinds = [
+            WorkloadKind::Sort,
+            WorkloadKind::PageRank,
+            WorkloadKind::Join,
+            WorkloadKind::GroupBy,
+            WorkloadKind::WordCount,
+        ];
+        (0..jobs)
+            .map(|i| {
+                let kind = kinds[i % kinds.len()];
+                let records = 50_000 + rng.gen_range(400_000);
+                let executors = 2 + rng.gen_range(4) as u32;
+                JobRequest::named(format!("scale-job-{i}"), kind, records, executors)
+                    .with_driver_resources(
+                        500 + 250 * rng.gen_range(5),
+                        (1 + rng.gen_range(3)) * 1024 * 1024 * 1024,
+                    )
+            })
+            .collect()
+    }
+}
+
+/// Pruning accuracy at one (policy, budget `K`) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruneAccuracy {
+    /// The stage-one pruning policy this cell ran with.
+    pub policy: PruningPolicy,
+    /// The candidate budget.
+    pub k: usize,
+    /// Decisions evaluated.
+    pub decisions: usize,
+    /// Decisions where the two-stage top-1 (stage-one prune under `policy`
+    /// plus exact model re-rank of the K survivors) equals the unpruned
+    /// top-1. Under [`PruningPolicy::ModelAligned`] this is exact by
+    /// construction — the scoreboard is keyed by the job's cell in the
+    /// model's split-threshold partition, and equal cells walk identical
+    /// tree paths — but recorded as a measurement so a regression in the
+    /// scoreboard path shows up as a number, not just a failing test.
+    pub top1_hits: usize,
+    /// Decisions where the unpruned winner survived stage one at all (it
+    /// appears somewhere in the two-stage ranking): the ceiling on any
+    /// re-rank's accuracy, and the curve that shows what a model-blind
+    /// candidate budget costs at scale.
+    pub winner_in_pruned: usize,
+}
+
+impl PruneAccuracy {
+    /// Top-1 agreement rate between the two-stage decision and the unpruned
+    /// rank.
+    pub fn top1_hit_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.top1_hits as f64 / self.decisions as f64
+        }
+    }
+
+    /// How often the unpruned winner survives stage one.
+    pub fn winner_survival_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.winner_in_pruned as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// Everything measured on one scale world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleCellReport {
+    /// World name (`scale-clos-<nodes>`).
+    pub world: String,
+    /// Total node count.
+    pub nodes: usize,
+    /// Mean feasible-set size across the evaluated decisions.
+    pub mean_feasible: f64,
+    /// Accuracy at each swept (policy, budget) cell, policy-major with
+    /// ascending K inside each policy.
+    pub ks: Vec<PruneAccuracy>,
+}
+
+/// The machine-readable scale sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleSweepReport {
+    /// One report per world, in ascending node count.
+    pub cells: Vec<ScaleCellReport>,
+}
+
+impl ScaleSweepReport {
+    /// Serialize to JSON (the `results/scenario_scale.json` artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("scale report serialization cannot fail")
+    }
+
+    /// Restore a report saved with [`ScaleSweepReport::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Render a markdown summary: one row per (world, policy, K).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| World | Nodes | Mean feasible | Policy | K | Two-stage top-1 vs unpruned | Winner survives stage one |\n|---|---|---|---|---|---|---|\n",
+        );
+        for cell in &self.cells {
+            for acc in &cell.ks {
+                out.push_str(&format!(
+                    "| {} | {} | {:.0} | {:?} | {} | {:.3} | {:.3} |\n",
+                    cell.world,
+                    cell.nodes,
+                    cell.mean_feasible,
+                    acc.policy,
+                    acc.k,
+                    acc.top1_hit_rate(),
+                    acc.winner_survival_rate(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Measure pruning accuracy on one world: rank every request unpruned (the
+/// reference decision), then at each (policy, budget) cell, and count
+/// agreements. Both measurements come from the real two-stage path
+/// ([`SchedulingContext::rank_feasible_batch`] with a budget and policy set):
+/// `top1_hits` compares winners, `winner_in_pruned` checks the reference
+/// winner's membership among the stage-one survivors the re-rank saw.
+pub fn run_scale_cell(
+    world: &ScaleWorld,
+    predictor: &CompletionTimePredictor,
+    policies: &[PruningPolicy],
+    ks: &[usize],
+    jobs: usize,
+) -> ScaleCellReport {
+    let requests = world.requests(jobs);
+    let mut ctx = SchedulingContext::new(&world.snapshot, &world.cluster);
+    let mut accs: Vec<PruneAccuracy> = policies
+        .iter()
+        .flat_map(|&policy| {
+            ks.iter().map(move |&k| PruneAccuracy {
+                policy,
+                k,
+                decisions: 0,
+                top1_hits: 0,
+                winner_in_pruned: 0,
+            })
+        })
+        .collect();
+    let mut feasible_total = 0usize;
+    for request in &requests {
+        ctx.set_top_k(None);
+        feasible_total += ctx.feasible_candidates(request).len();
+        let full = ctx.rank_feasible_batch(request, predictor);
+        let Some(winner) = full.ranked.first().map(|r| r.node) else {
+            continue;
+        };
+        for acc in accs.iter_mut() {
+            ctx.set_top_k(Some(acc.k));
+            ctx.set_pruning_policy(acc.policy);
+            let pruned = ctx.rank_feasible_batch(request, predictor);
+            acc.decisions += 1;
+            if pruned.ranked.iter().any(|r| r.node == winner) {
+                acc.winner_in_pruned += 1;
+            }
+            if pruned.ranked.first().map(|r| r.node) == Some(winner) {
+                acc.top1_hits += 1;
+            }
+        }
+    }
+    ScaleCellReport {
+        world: world.spec.name(),
+        nodes: world.cluster.node_count(),
+        mean_feasible: if requests.is_empty() {
+            0.0
+        } else {
+            feasible_total as f64 / requests.len() as f64
+        },
+        ks: accs,
+    }
+}
+
+/// Train the supervised predictor the scale sweep ranks with: a random
+/// forest fitted on a quick FABRIC-slice dataset (the scale worlds share the
+/// feature schema, so the model transfers; what is measured here is pruning
+/// agreement against the *same* model, not absolute accuracy).
+pub fn train_scale_predictor(seed: u64) -> CompletionTimePredictor {
+    use crate::workflow::{ExperimentConfig, Workflow};
+    let dataset = Workflow::new(ExperimentConfig::quick(3, 2, seed)).run();
+    let data = dataset.full_logger().to_dataset();
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5CA1E);
+    let config = mlcore::ModelConfig {
+        forest: mlcore::RandomForestConfig {
+            n_trees: 40,
+            workers: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model =
+        mlcore::TrainedModel::train(mlcore::ModelKind::RandomForest, &config, &data, &mut rng);
+    CompletionTimePredictor::new(dataset.schema.clone(), model)
+        .expect("experiment datasets are built from their own schema")
+}
+
+/// Run the full scale sweep: one cell per node count, shared predictor.
+pub fn run_scale_sweep(
+    node_counts: &[usize],
+    policies: &[PruningPolicy],
+    ks: &[usize],
+    jobs: usize,
+    seed: u64,
+) -> ScaleSweepReport {
+    let predictor = train_scale_predictor(seed);
+    let cells = node_counts
+        .iter()
+        .map(|&nodes| {
+            let world = ScaleWorld::build(ScaleWorldSpec::with_nodes(nodes, seed ^ nodes as u64));
+            run_scale_cell(&world, &predictor, policies, ks, jobs)
+        })
+        .collect();
+    ScaleSweepReport { cells }
+}
+
+/// The standard scale-cell family: 1k, 4k and 10k nodes.
+pub fn standard_node_counts() -> Vec<usize> {
+    vec![1000, 4000, 10_000]
+}
+
+/// The standard budget sweep.
+pub fn standard_ks() -> Vec<usize> {
+    vec![8, 16, 32, 64, 128]
+}
+
+/// Every stage-one pruning policy, model-aligned default first.
+pub fn standard_policies() -> Vec<PruningPolicy> {
+    vec![
+        PruningPolicy::ModelAligned,
+        PruningPolicy::LinearBlend,
+        PruningPolicy::LeastAllocated,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_world_builds_deterministically() {
+        let a = ScaleWorld::build(ScaleWorldSpec::with_nodes(200, 9));
+        let b = ScaleWorld::build(ScaleWorldSpec::with_nodes(200, 9));
+        assert_eq!(a.cluster.node_count(), 200);
+        assert_eq!(a.snapshot, b.snapshot);
+        assert!(!a.snapshot.is_empty());
+        // Busy fraction leaves a non-trivial mix of loaded and idle nodes.
+        let loaded = a
+            .cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.available().cpu_millis < 6000)
+            .count();
+        assert!(loaded > 40 && loaded < 200, "{loaded}");
+        // The sampled mesh probes only a few peers per node.
+        let rtts = a.snapshot.rtt().len();
+        assert!((200..=200 * 6).contains(&rtts), "{rtts}");
+    }
+
+    #[test]
+    fn requests_are_varied_and_deterministic() {
+        let world = ScaleWorld::build(ScaleWorldSpec::with_nodes(80, 3));
+        let a = world.requests(10);
+        let b = world.requests(10);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.driver_cpu_millis, y.driver_cpu_millis);
+            assert_eq!(x.name, y.name);
+        }
+        let sizings: std::collections::BTreeSet<u64> =
+            a.iter().map(|r| r.driver_cpu_millis).collect();
+        assert!(sizings.len() > 1, "driver sizings must vary");
+    }
+}

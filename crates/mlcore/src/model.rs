@@ -212,6 +212,34 @@ impl TrainedModel {
         }
     }
 
+    /// Sorted, deduplicated split thresholds per feature column across every
+    /// tree in the model — its axis-aligned partition of feature space. Two
+    /// rows whose values fall in the same inter-threshold cell on every
+    /// column take identical paths through every tree and receive identical
+    /// predictions; a linear model splits nowhere, so every column's list is
+    /// empty (one cell: predictions differ only by the row's linear term).
+    /// Columns beyond any split's feature index come back empty.
+    pub fn split_grid(&self, n_features: usize) -> Vec<Vec<f64>> {
+        let mut grid = vec![Vec::new(); n_features];
+        let trees = match self {
+            TrainedModel::Linear(_) => &[],
+            TrainedModel::RandomForest(m) => m.trees(),
+            TrainedModel::GradientBoosting(m) => m.trees(),
+        };
+        for tree in trees {
+            for (feature, threshold) in tree.flat().splits() {
+                if let Some(column) = grid.get_mut(feature) {
+                    column.push(threshold);
+                }
+            }
+        }
+        for column in &mut grid {
+            column.sort_by(f64::total_cmp);
+            column.dedup();
+        }
+        grid
+    }
+
     /// Serialize to a JSON string (for saving a trained scheduler model).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("model serialization cannot fail")

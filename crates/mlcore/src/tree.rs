@@ -433,6 +433,15 @@ impl FlatTree {
     pub fn depth(&self) -> usize {
         self.depth as usize
     }
+
+    /// Iterate `(feature, threshold)` over the split (non-leaf) nodes. Two
+    /// rows on the same side of every split's threshold walk identical paths
+    /// and receive identical predictions.
+    pub fn splits(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (0..self.feature.len())
+            .filter(|&i| !self.leaf[i])
+            .map(|i| (self.feature[i] as usize, self.threshold[i]))
+    }
 }
 
 /// A fitted regression tree.

@@ -123,6 +123,60 @@ impl Default for FatTreeLiteSpec {
     }
 }
 
+/// Three-tier Clos fabric at datacenter scale: racks of nodes under leaf
+/// switches, leaves grouped into pods under aggregation switches, pods joined
+/// through one spine tier. This is the family the 1k–10k-node scale worlds
+/// come from — per-tier oversubscription plus rack locality gives the
+/// network-aware scheduler real structure to exploit, while site count grows
+/// only as `racks + pods + 1`, so building a 10k-node topology stays cheap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TieredClosSpec {
+    /// Number of racks (leaf sites holding nodes).
+    pub racks: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Racks under each aggregation (pod) switch.
+    pub racks_per_pod: usize,
+    /// One-way rack↔pod link delay, microseconds.
+    pub rack_pod_delay_us: u64,
+    /// One-way pod↔spine link delay, microseconds.
+    pub pod_spine_delay_us: u64,
+    /// Rack↔pod link capacity, bytes/sec.
+    pub rack_pod_bps: f64,
+    /// Pod↔spine link capacity, bytes/sec (the oversubscribed tier).
+    pub pod_spine_bps: f64,
+    /// NIC capacity per node, bytes/sec.
+    pub nic_bps: f64,
+}
+
+impl Default for TieredClosSpec {
+    fn default() -> Self {
+        TieredClosSpec {
+            racks: 25,
+            nodes_per_rack: 40,
+            racks_per_pod: 8,
+            rack_pod_delay_us: 120,
+            pod_spine_delay_us: 300,
+            rack_pod_bps: gbps(40.0),
+            pod_spine_bps: gbps(25.0),
+            nic_bps: gbps(10.0),
+        }
+    }
+}
+
+impl TieredClosSpec {
+    /// A spec holding (at least) `total` nodes in 40-node racks, 8 racks per
+    /// pod — the preset family behind the 1k/4k/10k scale worlds.
+    pub fn with_total_nodes(total: usize) -> Self {
+        let nodes_per_rack = 40;
+        TieredClosSpec {
+            racks: total.div_ceil(nodes_per_rack).max(1),
+            nodes_per_rack,
+            ..Default::default()
+        }
+    }
+}
+
 /// N-site WAN mesh: a connectivity ring plus random chords, with per-link
 /// delays/capacities and per-node NIC capacities drawn from configurable
 /// ranges. This is the FABRIC slice generalized to arbitrary scale and
@@ -175,6 +229,8 @@ pub enum TopologySpec {
     LeafSpine(LeafSpineSpec),
     /// Reduced three-tier fat-tree.
     FatTreeLite(FatTreeLiteSpec),
+    /// Datacenter-scale three-tier Clos (racks → pods → spine).
+    TieredClos(TieredClosSpec),
     /// Randomized N-site WAN mesh.
     WanMesh(WanMeshSpec),
 }
@@ -191,6 +247,9 @@ impl TopologySpec {
                 "fat-tree-{}p{}e{}n",
                 s.pods, s.edges_per_pod, s.nodes_per_edge
             ),
+            TopologySpec::TieredClos(s) => {
+                format!("tiered-clos-{}x{}", s.racks, s.nodes_per_rack)
+            }
             TopologySpec::WanMesh(s) => format!("wan-mesh-{}x{}", s.sites, s.nodes_per_site),
         }
     }
@@ -201,6 +260,7 @@ impl TopologySpec {
             TopologySpec::StarLan(s) => s.nodes,
             TopologySpec::LeafSpine(s) => s.leaves * s.nodes_per_leaf,
             TopologySpec::FatTreeLite(s) => s.pods * s.edges_per_pod * s.nodes_per_edge,
+            TopologySpec::TieredClos(s) => s.racks * s.nodes_per_rack,
             TopologySpec::WanMesh(s) => s.sites * s.nodes_per_site,
         }
     }
@@ -212,6 +272,7 @@ impl TopologySpec {
             TopologySpec::StarLan(s) => build_star_lan(s),
             TopologySpec::LeafSpine(s) => build_leaf_spine(s),
             TopologySpec::FatTreeLite(s) => build_fat_tree_lite(s),
+            TopologySpec::TieredClos(s) => build_tiered_clos(s),
             TopologySpec::WanMesh(s) => build_wan_mesh(s, seed),
         }
     }
@@ -285,6 +346,48 @@ fn build_fat_tree_lite(spec: &FatTreeLiteSpec) -> Result<Topology, TopologyError
     b.build()
 }
 
+fn build_tiered_clos(spec: &TieredClosSpec) -> Result<Topology, TopologyError> {
+    let mut b = TopologyBuilder::new();
+    let lan_delay = SimDuration::from_micros(50);
+    let spine = b.add_site("spine", lan_delay, gbps(100.0));
+    let racks_per_pod = spec.racks_per_pod.max(1);
+    let pods = spec.racks.div_ceil(racks_per_pod);
+    let pod_sites: Vec<_> = (0..pods)
+        .map(|p| {
+            let pod = b.add_site(format!("pod-{}", p + 1), lan_delay, gbps(50.0));
+            b.connect_sites(
+                pod,
+                spine,
+                SimDuration::from_micros(spec.pod_spine_delay_us.max(1)),
+                spec.pod_spine_bps,
+            );
+            pod
+        })
+        .collect();
+    // Nodes are numbered rack-sequentially (rack 1 holds node-1..node-R):
+    // rack locality is the structure the scale worlds exploit, so keep ids
+    // contiguous within a rack rather than round-robin like the small
+    // families.
+    for r in 0..spec.racks {
+        let rack = b.add_site(format!("rack-{}", r + 1), lan_delay, gbps(40.0));
+        b.connect_sites(
+            rack,
+            pod_sites[r / racks_per_pod],
+            SimDuration::from_micros(spec.rack_pod_delay_us.max(1)),
+            spec.rack_pod_bps,
+        );
+        for n in 0..spec.nodes_per_rack {
+            b.add_node(
+                format!("node-{}", r * spec.nodes_per_rack + n + 1),
+                rack,
+                spec.nic_bps,
+                spec.nic_bps,
+            );
+        }
+    }
+    b.build()
+}
+
 /// RNG stream constant for the WAN mesh generator ("WAN MESH" in ASCII-ish hex).
 const WAN_MESH_STREAM: u64 = 0x57A4_4E5F_4D45_5348;
 
@@ -345,6 +448,7 @@ mod tests {
             TopologySpec::StarLan(StarLanSpec::default()),
             TopologySpec::LeafSpine(LeafSpineSpec::default()),
             TopologySpec::FatTreeLite(FatTreeLiteSpec::default()),
+            TopologySpec::TieredClos(TieredClosSpec::default()),
             TopologySpec::WanMesh(WanMeshSpec::default()),
         ]
     }
@@ -402,6 +506,45 @@ mod tests {
             .filter(|r| matches!(r, Resource::LinkDir(..)))
             .count();
         assert_eq!(wan_hops, 4, "route {:?}", route.site_path);
+    }
+
+    #[test]
+    fn tiered_clos_scales_to_ten_thousand_nodes_with_rack_locality() {
+        let spec = TieredClosSpec::with_total_nodes(10_000);
+        let topo = TopologySpec::TieredClos(spec.clone()).build(0).unwrap();
+        assert_eq!(topo.node_count(), 10_000);
+        assert_eq!(spec.racks, 250);
+
+        // Same rack: no WAN hops at all.
+        let same_rack = topo.route(NodeId(0), NodeId(1));
+        assert_eq!(
+            same_rack
+                .resources
+                .iter()
+                .filter(|r| matches!(r, Resource::LinkDir(..)))
+                .count(),
+            0
+        );
+        // Same pod, different rack: rack → pod → rack, two WAN hops.
+        let cross_rack = topo.route(NodeId(0), NodeId(spec.nodes_per_rack));
+        assert_eq!(
+            cross_rack
+                .resources
+                .iter()
+                .filter(|r| matches!(r, Resource::LinkDir(..)))
+                .count(),
+            2
+        );
+        // Different pods: rack → pod → spine → pod → rack, four WAN hops.
+        let cross_pod = topo.route(NodeId(0), NodeId(spec.racks_per_pod * spec.nodes_per_rack));
+        let wan_hops = cross_pod
+            .resources
+            .iter()
+            .filter(|r| matches!(r, Resource::LinkDir(..)))
+            .count();
+        assert_eq!(wan_hops, 4, "route {:?}", cross_pod.site_path);
+        let transit = topo.site(cross_pod.site_path[2]).name.clone();
+        assert_eq!(transit, "spine");
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub use background::{
     place_random_background_load, BackgroundLoadConfig, BackgroundLoadGenerator, BackgroundTransfer,
 };
 pub use flow::{Flow, FlowId, FlowState};
-pub use generators::{FatTreeLiteSpec, LeafSpineSpec, StarLanSpec, TopologySpec, WanMeshSpec};
+pub use generators::{
+    FatTreeLiteSpec, LeafSpineSpec, StarLanSpec, TieredClosSpec, TopologySpec, WanMeshSpec,
+};
 pub use network::{InterfaceCounters, Network, NodeRates};
 pub use rtt::RttModel;
 pub use topology::{LinkId, NetNode, NodeId, Site, SiteId, Topology, TopologyBuilder};

@@ -245,7 +245,7 @@ impl Network {
                 let flow = &self.flows[id];
                 FlowDemand {
                     index: i,
-                    resources: self.topology.route(flow.src, flow.dst).resources.clone(),
+                    resources: self.topology.route(flow.src, flow.dst).resources,
                     rate_cap: f64::INFINITY,
                 }
             })

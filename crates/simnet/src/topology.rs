@@ -114,14 +114,31 @@ pub struct Route {
     pub site_path: Vec<SiteId>,
 }
 
-/// An immutable network topology with precomputed all-pairs routes.
+/// The site-level part of a route, shared by every node pair between the
+/// same two sites. Storing routes per **site pair** instead of per node pair
+/// is what lets 10k-node topologies build in milliseconds: the table grows
+/// with `sites²` (a few hundred sites even at 10k nodes), while node-level
+/// [`Route`]s are assembled on demand from one of these plus the endpoints'
+/// NICs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SiteRoute {
+    /// Directed WAN hops, in traversal order (empty for same-site pairs).
+    link_dirs: Vec<(LinkId, bool)>,
+    /// End-to-end one-way propagation delay.
+    delay: SimDuration,
+    /// Site-level hops (for diagnostics).
+    site_path: Vec<SiteId>,
+}
+
+/// An immutable network topology with precomputed site-pair routes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Topology {
     sites: Vec<Site>,
     nodes: Vec<NetNode>,
     links: Vec<Link>,
-    /// routes[src][dst]; the diagonal holds an empty loopback route.
-    routes: Vec<Vec<Route>>,
+    /// site_routes[src_site][dst_site]; the diagonal holds the intra-site
+    /// (LAN fabric) route.
+    site_routes: Vec<Vec<SiteRoute>>,
 }
 
 /// Errors raised while building or querying a topology.
@@ -265,7 +282,7 @@ impl TopologyBuilder {
         }
 
         let topo = Topology {
-            routes: Vec::new(),
+            site_routes: Vec::new(),
             sites: self.sites,
             nodes: self.nodes,
             links: self.links,
@@ -283,16 +300,70 @@ struct SiteHop {
 
 impl Topology {
     fn with_routes(mut self) -> Result<Topology, TopologyError> {
-        let n = self.nodes.len();
-        let mut routes: Vec<Vec<Route>> = Vec::with_capacity(n);
-        for src in 0..n {
-            let mut row = Vec::with_capacity(n);
-            for dst in 0..n {
-                row.push(self.compute_route(NodeId(src), NodeId(dst))?);
+        // One Dijkstra per *occupied* source site covers every node pair;
+        // unoccupied (transit-only) sites get placeholder rows so the table
+        // stays square and index-addressable. Only site pairs that actually
+        // host nodes on both ends must be reachable.
+        let occupied: Vec<bool> = {
+            let mut occ = vec![false; self.sites.len()];
+            for n in &self.nodes {
+                occ[n.site.0] = true;
             }
-            routes.push(row);
+            occ
+        };
+        let mut site_routes: Vec<Vec<SiteRoute>> = Vec::with_capacity(self.sites.len());
+        for src in 0..self.sites.len() {
+            let src = SiteId(src);
+            if !occupied[src.0] {
+                site_routes.push(Vec::new());
+                continue;
+            }
+            let (prev, dist) = self.site_paths(src);
+            let mut row = Vec::with_capacity(self.sites.len());
+            for dst in 0..self.sites.len() {
+                let dst = SiteId(dst);
+                if src == dst {
+                    row.push(SiteRoute {
+                        link_dirs: Vec::new(),
+                        delay: self.sites[src.0].lan_delay,
+                        site_path: vec![src],
+                    });
+                    continue;
+                }
+                if !occupied[dst.0] {
+                    row.push(SiteRoute {
+                        link_dirs: Vec::new(),
+                        delay: SimDuration::ZERO,
+                        site_path: Vec::new(),
+                    });
+                    continue;
+                }
+                let total = dist[dst.0].ok_or(TopologyError::Unreachable(src, dst))?;
+                // Reconstruct the path dst -> src.
+                let mut path_sites = vec![dst];
+                let mut link_dirs: Vec<(LinkId, bool)> = Vec::new();
+                let mut cur = dst;
+                while cur != src {
+                    let hop = prev[cur.0].ok_or(TopologyError::Unreachable(src, dst))?;
+                    let link = &self.links[hop.via_link.0];
+                    // Direction: traversal goes hop.prev_site -> cur;
+                    // forward if that is a->b.
+                    let forward = link.a == hop.prev_site && link.b == cur;
+                    link_dirs.push((hop.via_link, forward));
+                    cur = hop.prev_site;
+                    path_sites.push(cur);
+                }
+                path_sites.reverse();
+                link_dirs.reverse();
+                row.push(SiteRoute {
+                    link_dirs,
+                    delay: total,
+                    site_path: path_sites,
+                });
+            }
+            site_routes.push(row);
         }
-        self.routes = routes;
+        self.site_routes = site_routes;
         Ok(self)
     }
 
@@ -343,52 +414,6 @@ impl Topology {
         (prev, dist)
     }
 
-    fn compute_route(&self, src: NodeId, dst: NodeId) -> Result<Route, TopologyError> {
-        if src == dst {
-            return Ok(Route {
-                resources: Vec::new(),
-                delay: SimDuration::ZERO,
-                site_path: vec![self.nodes[src.0].site],
-            });
-        }
-        let s_site = self.nodes[src.0].site;
-        let d_site = self.nodes[dst.0].site;
-        let mut resources = Vec::with_capacity(4);
-        resources.push(Resource::NodeEgress(src));
-        let (delay, site_path) = if s_site == d_site {
-            resources.push(Resource::SiteFabric(s_site));
-            (self.sites[s_site.0].lan_delay, vec![s_site])
-        } else {
-            let (prev, dist) = self.site_paths(s_site);
-            let total = dist[d_site.0].ok_or(TopologyError::Unreachable(s_site, d_site))?;
-            // Reconstruct path d_site -> s_site.
-            let mut path_sites = vec![d_site];
-            let mut link_hops: Vec<(LinkId, bool)> = Vec::new();
-            let mut cur = d_site;
-            while cur != s_site {
-                let hop = prev[cur.0].ok_or(TopologyError::Unreachable(s_site, d_site))?;
-                let link = &self.links[hop.via_link.0];
-                // Direction: we traverse from hop.prev_site -> cur; forward if that is a->b.
-                let forward = link.a == hop.prev_site && link.b == cur;
-                link_hops.push((hop.via_link, forward));
-                cur = hop.prev_site;
-                path_sites.push(cur);
-            }
-            path_sites.reverse();
-            link_hops.reverse();
-            for (link, forward) in link_hops {
-                resources.push(Resource::LinkDir(link, forward));
-            }
-            (total, path_sites)
-        };
-        resources.push(Resource::NodeIngress(dst));
-        Ok(Route {
-            resources,
-            delay,
-            site_path,
-        })
-    }
-
     /// All sites.
     pub fn sites(&self) -> &[Site] {
         &self.sites
@@ -429,9 +454,35 @@ impl Topology {
         self.nodes.iter().find(|n| n.name == name)
     }
 
-    /// The precomputed route from `src` to `dst`.
-    pub fn route(&self, src: NodeId, dst: NodeId) -> &Route {
-        &self.routes[src.0][dst.0]
+    /// The route from `src` to `dst`: assembled from the precomputed
+    /// site-pair table plus the endpoints' NICs (same path and delay the old
+    /// per-node-pair table held, without its `nodes²` memory footprint).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Route {
+        if src == dst {
+            return Route {
+                resources: Vec::new(),
+                delay: SimDuration::ZERO,
+                site_path: vec![self.nodes[src.0].site],
+            };
+        }
+        let s_site = self.nodes[src.0].site;
+        let d_site = self.nodes[dst.0].site;
+        let site_route = &self.site_routes[s_site.0][d_site.0];
+        let mut resources = Vec::with_capacity(site_route.link_dirs.len() + 3);
+        resources.push(Resource::NodeEgress(src));
+        if s_site == d_site {
+            resources.push(Resource::SiteFabric(s_site));
+        } else {
+            for &(link, forward) in &site_route.link_dirs {
+                resources.push(Resource::LinkDir(link, forward));
+            }
+        }
+        resources.push(Resource::NodeIngress(dst));
+        Route {
+            resources,
+            delay: site_route.delay,
+            site_path: site_route.site_path.clone(),
+        }
     }
 
     /// The capacity of a [`Resource`] in bytes/sec.
@@ -449,7 +500,8 @@ impl Topology {
         if a == b {
             return SimDuration::from_micros(50);
         }
-        let one_way = self.route(a, b).delay;
+        // Site-pair delay directly — no route assembly on this hot path.
+        let one_way = self.site_routes[self.nodes[a.0].site.0][self.nodes[b.0].site.0].delay;
         one_way * 2
     }
 

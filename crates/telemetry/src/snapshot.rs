@@ -38,65 +38,188 @@ pub struct NodeTelemetry {
     pub rx_rate: f64,
 }
 
+/// Node count up to which the mesh stores a dense `n × n` matrix. The paper's
+/// worlds (6–64 nodes, fully probed by the ping mesh) stay dense, keeping
+/// every existing access pattern — and its floating-point accumulation order —
+/// byte-for-byte unchanged. Past this limit a dense matrix is quadratic
+/// memory (10k nodes ≈ 1.6 GB of `Option<f64>`), while the 1k–10k scale
+/// worlds only probe a sampled peer set, so the mesh switches to a sorted
+/// sparse map keyed `(source, target)`.
+const DENSE_NODE_LIMIT: usize = 512;
+
+/// Storage behind [`RttMesh`]: dense matrix at paper scale, sorted sparse map
+/// at 1k–10k scale. The representation is a pure function of the current
+/// dimension (`n <= DENSE_NODE_LIMIT` ⟺ dense), so equality can compare
+/// like-for-like.
+#[derive(Debug, Clone, PartialEq)]
+enum MeshRepr {
+    /// Row-major `n × n` values; `None` = pair not probed.
+    Dense(Vec<Option<f64>>),
+    /// Probed pairs keyed `(source, target)`; the `BTreeMap`'s lexicographic
+    /// key order **is** row-major order, so iteration matches the dense form.
+    Sparse(std::collections::BTreeMap<(u32, u32), f64>),
+}
+
+impl Default for MeshRepr {
+    fn default() -> Self {
+        MeshRepr::Dense(Vec::new())
+    }
+}
+
+/// Iterator over all probed `(source, target, rtt)` entries, row-major.
+enum MeshIter<'a> {
+    Dense {
+        values: std::iter::Enumerate<std::slice::Iter<'a, Option<f64>>>,
+        n: usize,
+    },
+    Sparse(std::collections::btree_map::Iter<'a, (u32, u32), f64>),
+}
+
+impl Iterator for MeshIter<'_> {
+    type Item = (NodeId, NodeId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            MeshIter::Dense { values, n } => {
+                for (i, v) in values.by_ref() {
+                    if let Some(rtt) = v {
+                        return Some((NodeId((i / *n) as u32), NodeId((i % *n) as u32), *rtt));
+                    }
+                }
+                None
+            }
+            MeshIter::Sparse(iter) => iter.next().map(|(&(s, t), &v)| (NodeId(s), NodeId(t), v)),
+        }
+    }
+}
+
+/// Iterator over one source row's probed `(target, rtt)` entries, in
+/// ascending target-id order.
+enum RowIter<'a> {
+    Dense(std::iter::Enumerate<std::slice::Iter<'a, Option<f64>>>),
+    Sparse(std::collections::btree_map::Range<'a, (u32, u32), f64>),
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (NodeId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RowIter::Dense(values) => {
+                for (t, v) in values.by_ref() {
+                    if let Some(rtt) = v {
+                        return Some((NodeId(t as u32), *rtt));
+                    }
+                }
+                None
+            }
+            RowIter::Sparse(range) => range.next().map(|(&(_, t), &v)| (NodeId(t), v)),
+        }
+    }
+}
+
 /// The pairwise RTT mesh in seconds, keyed by `(source, target)` [`NodeId`]
-/// pairs: a dense matrix over the snapshot's node table, reusable across
-/// fetches without reallocation.
+/// pairs: a dense matrix over the snapshot's node table at paper scale
+/// (reusable across fetches without reallocation), a sorted sparse map past
+/// [`DENSE_NODE_LIMIT`] nodes where full meshes are neither probed nor
+/// affordable.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RttMesh {
     /// Matrix dimension (number of interned nodes).
     n: u32,
-    /// Row-major `n × n` values; `None` = pair not probed.
-    values: Vec<Option<f64>>,
+    /// Dense or sparse values, per [`MeshRepr`].
+    repr: MeshRepr,
     /// Number of present entries.
     count: u32,
 }
 
 impl RttMesh {
-    /// Grow the matrix to hold at least `n` nodes, preserving entries.
+    /// Grow the mesh to hold at least `n` nodes, preserving entries and
+    /// migrating dense → sparse when `n` crosses [`DENSE_NODE_LIMIT`].
     fn ensure_nodes(&mut self, n: usize) {
         let old = self.n as usize;
         if n <= old {
             return;
         }
-        if old == 0 {
-            // Fresh layout: reuse the existing buffer's capacity.
-            self.values.clear();
-            self.values.resize(n * n, None);
-        } else {
-            let mut values = vec![None; n * n];
-            for s in 0..old {
-                for t in 0..old {
-                    values[s * n + t] = self.values[s * old + t];
+        match &mut self.repr {
+            MeshRepr::Sparse(_) => {
+                // Sparse keys are dimension-independent; nothing to move.
+            }
+            MeshRepr::Dense(values) if n <= DENSE_NODE_LIMIT => {
+                if old == 0 {
+                    // Fresh layout: reuse the existing buffer's capacity.
+                    values.clear();
+                    values.resize(n * n, None);
+                } else {
+                    let mut grown = vec![None; n * n];
+                    for s in 0..old {
+                        for t in 0..old {
+                            grown[s * n + t] = values[s * old + t];
+                        }
+                    }
+                    *values = grown;
                 }
             }
-            self.values = values;
+            MeshRepr::Dense(values) => {
+                let mut map = std::collections::BTreeMap::new();
+                for s in 0..old {
+                    for t in 0..old {
+                        if let Some(v) = values[s * old + t] {
+                            map.insert((s as u32, t as u32), v);
+                        }
+                    }
+                }
+                self.repr = MeshRepr::Sparse(map);
+            }
         }
         self.n = n as u32;
     }
 
-    /// Reset all entries to "not probed" without shrinking the matrix.
+    /// Reset all entries to "not probed" without shrinking the mesh.
     fn clear_values(&mut self) {
-        self.values.iter_mut().for_each(|v| *v = None);
+        match &mut self.repr {
+            MeshRepr::Dense(values) => values.iter_mut().for_each(|v| *v = None),
+            MeshRepr::Sparse(map) => map.clear(),
+        }
         self.count = 0;
     }
 
-    /// Empty the mesh (dimension back to zero) keeping the value buffer's
+    /// Empty the mesh (dimension back to zero) keeping the dense buffer's
     /// allocation for the next layout.
     fn reset(&mut self) {
         self.n = 0;
-        self.values.clear();
         self.count = 0;
+        match &mut self.repr {
+            MeshRepr::Dense(values) => values.clear(),
+            // An empty mesh is below the dense limit by definition; restore
+            // the representation invariant.
+            repr @ MeshRepr::Sparse(_) => *repr = MeshRepr::default(),
+        }
     }
 
-    /// Record the RTT from `src` to `dst`, growing the matrix if needed.
+    /// True while the mesh stores the dense matrix (paper-scale worlds).
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, MeshRepr::Dense(_))
+    }
+
+    /// Record the RTT from `src` to `dst`, growing the mesh if needed.
     pub fn set(&mut self, src: NodeId, dst: NodeId, rtt_seconds: f64) {
         let need = src.index().max(dst.index()) + 1;
         self.ensure_nodes(need);
-        let slot = &mut self.values[src.index() * self.n as usize + dst.index()];
-        if slot.is_none() {
-            self.count += 1;
+        match &mut self.repr {
+            MeshRepr::Dense(values) => {
+                let slot = &mut values[src.index() * self.n as usize + dst.index()];
+                if slot.is_none() {
+                    self.count += 1;
+                }
+                *slot = Some(rtt_seconds);
+            }
+            MeshRepr::Sparse(map) => {
+                if map.insert((src.0, dst.0), rtt_seconds).is_none() {
+                    self.count += 1;
+                }
+            }
         }
-        *slot = Some(rtt_seconds);
     }
 
     /// The RTT from `src` to `dst`, if probed.
@@ -104,7 +227,10 @@ impl RttMesh {
         if src.index() >= self.n as usize || dst.index() >= self.n as usize {
             return None;
         }
-        self.values[src.index() * self.n as usize + dst.index()]
+        match &self.repr {
+            MeshRepr::Dense(values) => values[src.index() * self.n as usize + dst.index()],
+            MeshRepr::Sparse(map) => map.get(&(src.0, dst.0)).copied(),
+        }
     }
 
     /// Number of probed pairs.
@@ -119,10 +245,29 @@ impl RttMesh {
 
     /// All probed `(source, target, rtt)` entries, row-major.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        let n = self.n as usize;
-        self.values.iter().enumerate().filter_map(move |(i, v)| {
-            v.map(|rtt| (NodeId((i / n) as u32), NodeId((i % n) as u32), rtt))
-        })
+        match &self.repr {
+            MeshRepr::Dense(values) => MeshIter::Dense {
+                values: values.iter().enumerate(),
+                n: self.n as usize,
+            },
+            MeshRepr::Sparse(map) => MeshIter::Sparse(map.iter()),
+        }
+    }
+
+    /// One source row's probed `(target, rtt)` entries in ascending
+    /// target-id order. For sparse meshes the work is proportional to the
+    /// row's entries, which is what keeps snapshot indexing linear at 10k
+    /// nodes.
+    pub fn row(&self, src: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        match &self.repr {
+            MeshRepr::Dense(values) => {
+                let n = self.n as usize;
+                let start = (src.index() * n).min(values.len());
+                let end = (start + n).min(values.len());
+                RowIter::Dense(values[start..end].iter().enumerate())
+            }
+            MeshRepr::Sparse(map) => RowIter::Sparse(map.range((src.0, 0)..=(src.0, u32::MAX))),
+        }
     }
 }
 
@@ -404,23 +549,40 @@ impl ClusterSnapshot {
     }
 
     /// Summary statistics (mean, max, std-dev) of the RTTs from `source` —
-    /// exactly the three RTT features in Table 1 of the paper. Accumulation
-    /// runs in target-name order so results are bit-identical to the
-    /// name-keyed mesh this replaced.
+    /// exactly the three RTT features in Table 1 of the paper. On dense
+    /// meshes accumulation runs in target-name order so results are
+    /// bit-identical to the name-keyed mesh this replaced.
     pub fn rtt_stats_from(&self, source: &str) -> (f64, f64, f64) {
         let Some(src) = self.node_id(source) else {
             return (0.0, 0.0, 0.0);
         };
         let mut stats = simcore::OnlineStats::new();
-        for &t in &self.sorted {
-            if let Some(rtt) = self.rtt.get(src, NodeId(t)) {
-                stats.push(rtt);
-            }
-        }
+        self.accumulate_rtts_from(src, &mut stats);
         if stats.count() == 0 {
             return (0.0, 0.0, 0.0);
         }
         (stats.mean(), stats.max(), stats.std_dev())
+    }
+
+    /// Push every RTT probed from `src` into `stats`. Dense meshes
+    /// accumulate in target-name order (the floating-point order the
+    /// paper-scale pins depend on); sparse meshes walk the source row in
+    /// target-id order so the work is proportional to the row's entries
+    /// rather than the node table. Both [`ClusterSnapshot::rtt_stats_from`]
+    /// and [`ClusterSnapshot::index_for`] go through here, so the two can
+    /// never disagree on accumulation order.
+    fn accumulate_rtts_from(&self, src: NodeId, stats: &mut simcore::OnlineStats) {
+        if self.rtt.is_dense() {
+            for &t in &self.sorted {
+                if let Some(rtt) = self.rtt.get(src, NodeId(t)) {
+                    stats.push(rtt);
+                }
+            }
+        } else {
+            for (_, rtt) in self.rtt.row(src) {
+                stats.push(rtt);
+            }
+        }
     }
 
     /// True when the snapshot has no scraped node at all.
@@ -483,13 +645,7 @@ impl ClusterSnapshot {
                 }
             };
             let src = NodeId(src_idx as u32);
-            // Target-name order keeps the floating-point accumulation
-            // bit-identical to the name-keyed mesh this replaced.
-            for &t in &self.sorted {
-                if let Some(rtt) = self.rtt.get(src, NodeId(t)) {
-                    stats[cluster_idx].push(rtt);
-                }
-            }
+            self.accumulate_rtts_from(src, &mut stats[cluster_idx]);
         }
         out.rtt_stats.clear();
         out.rtt_stats.extend(stats.iter().map(|s| {
@@ -971,6 +1127,126 @@ mod tests {
         let back: ClusterSnapshot =
             serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
         assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn sparse_mesh_matches_dense_semantics() {
+        // Same probes recorded twice: once within the dense limit, once
+        // shifted past it so the mesh goes sparse. Every accessor must agree.
+        let probes = [
+            (0u32, 3u32, 0.010),
+            (3, 0, 0.011),
+            (1, 2, 0.020),
+            (5, 5, 0.0),
+        ];
+        let mut dense = RttMesh::default();
+        let mut sparse = RttMesh::default();
+        let shift = super::DENSE_NODE_LIMIT as u32 + 100;
+        for &(s, t, v) in &probes {
+            dense.set(NodeId(s), NodeId(t), v);
+            sparse.set(NodeId(s + shift), NodeId(t + shift), v);
+        }
+        assert!(dense.is_dense());
+        assert!(!sparse.is_dense());
+        assert_eq!(dense.len(), sparse.len());
+        for &(s, t, v) in &probes {
+            assert_eq!(dense.get(NodeId(s), NodeId(t)), Some(v));
+            assert_eq!(sparse.get(NodeId(s + shift), NodeId(t + shift)), Some(v));
+        }
+        assert_eq!(sparse.get(NodeId(0), NodeId(3)), None);
+        // Row-major full iteration and per-row iteration line up.
+        let dense_iter: Vec<_> = dense.iter().collect();
+        let sparse_iter: Vec<_> = sparse
+            .iter()
+            .map(|(s, t, v)| (NodeId(s.0 - shift), NodeId(t.0 - shift), v))
+            .collect();
+        assert_eq!(dense_iter, sparse_iter);
+        let dense_row: Vec<_> = dense.row(NodeId(0)).collect();
+        let sparse_row: Vec<_> = sparse
+            .row(NodeId(shift))
+            .map(|(t, v)| (NodeId(t.0 - shift), v))
+            .collect();
+        assert_eq!(dense_row, vec![(NodeId(3), 0.010)]);
+        assert_eq!(dense_row, sparse_row);
+        // Overwrites do not double-count in either representation.
+        dense.set(NodeId(0), NodeId(3), 0.9);
+        sparse.set(NodeId(shift), NodeId(3 + shift), 0.9);
+        assert_eq!(dense.len(), sparse.len());
+        // Out-of-range rows are empty, not a panic.
+        assert_eq!(dense.row(NodeId(9999)).count(), 0);
+        assert_eq!(sparse.row(NodeId(9999)).count(), 0);
+    }
+
+    #[test]
+    fn dense_mesh_migrates_to_sparse_preserving_entries() {
+        let mut mesh = RttMesh::default();
+        mesh.set(NodeId(0), NodeId(1), 0.001);
+        mesh.set(NodeId(1), NodeId(0), 0.002);
+        assert!(mesh.is_dense());
+        // Growing past the dense limit migrates without losing probes.
+        mesh.set(NodeId(super::DENSE_NODE_LIMIT as u32), NodeId(0), 0.003);
+        assert!(!mesh.is_dense());
+        assert_eq!(mesh.len(), 3);
+        assert_eq!(mesh.get(NodeId(0), NodeId(1)), Some(0.001));
+        assert_eq!(mesh.get(NodeId(1), NodeId(0)), Some(0.002));
+        assert_eq!(
+            mesh.get(NodeId(super::DENSE_NODE_LIMIT as u32), NodeId(0)),
+            Some(0.003)
+        );
+    }
+
+    #[test]
+    fn large_snapshot_stats_and_roundtrip_use_sparse_mesh() {
+        use cluster::{Node, Resources};
+
+        // A world past the dense limit with a sampled (non-full) RTT mesh.
+        let n = super::DENSE_NODE_LIMIT + 8;
+        let mut snap = ClusterSnapshot::at(SimTime::from_secs(1));
+        let mut c = cluster::ClusterState::new();
+        for i in 0..n {
+            let name = format!("node-{i:05}");
+            c.add_node(Node::new(
+                &name,
+                simnet::NodeId(i),
+                Resources::from_cores_and_gib(6, 8),
+                "SITE",
+            ));
+            snap.insert_node(
+                &name,
+                NodeTelemetry {
+                    cpu_load: i as f64 * 0.01,
+                    ..Default::default()
+                },
+            );
+        }
+        // Each node probes 3 peers.
+        for i in 0..n {
+            for k in 1..=3usize {
+                snap.insert_rtt(
+                    &format!("node-{i:05}"),
+                    &format!("node-{:05}", (i + k * 7) % n),
+                    0.001 * (i % 17 + k) as f64,
+                );
+            }
+        }
+        assert!(!snap.rtt().is_dense());
+        assert_eq!(snap.rtt().len(), 3 * n);
+        assert!(snap.is_aligned_with(&c));
+
+        let indexed = snap.index_for(&c);
+        for i in [0usize, 17, n - 1] {
+            let name = format!("node-{i:05}");
+            let id = c.node_id(&name).unwrap();
+            assert_eq!(indexed.node(id), snap.node(&name));
+            assert_eq!(indexed.rtt_stats(id), snap.rtt_stats_from(&name));
+            let (mean, max, _) = indexed.rtt_stats(id);
+            assert!(mean > 0.0 && max >= mean);
+        }
+
+        // Canonical serialization survives the sparse representation.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ClusterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

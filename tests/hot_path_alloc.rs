@@ -13,6 +13,7 @@
 use netsched::cluster::{ClusterState, Node, Resources};
 use netsched::core::request::JobRequest;
 use netsched::core::service::{SchedulerConfig, SchedulerService, SchedulingDecision};
+use netsched::core::PruningPolicy;
 use netsched::mlcore::ModelKind;
 use netsched::simcore::rng::Rng;
 use netsched::simcore::{SimDuration, SimTime};
@@ -116,12 +117,16 @@ fn request(i: usize) -> JobRequest {
 /// Train a service through its own bootstrap path (fallback decisions →
 /// logged outcomes → retrain), so the steady-state burst runs the supervised
 /// scheduler, not the fallback.
-fn trained_service(cluster: &ClusterState, scrape: &ScrapeManager) -> SchedulerService {
+fn trained_service_with(
+    cluster: &ClusterState,
+    scrape: &ScrapeManager,
+    config: SchedulerConfig,
+) -> SchedulerService {
     let mut service = SchedulerService::new(
         SchedulerConfig {
             min_training_samples: 20,
             model_kind: ModelKind::Linear,
-            ..Default::default()
+            ..config
         },
         7,
     );
@@ -135,6 +140,10 @@ fn trained_service(cluster: &ClusterState, scrape: &ScrapeManager) -> SchedulerS
     assert!(service.retrain(&mut rng));
     assert!(service.is_model_active());
     service
+}
+
+fn trained_service(cluster: &ClusterState, scrape: &ScrapeManager) -> SchedulerService {
+    trained_service_with(cluster, scrape, SchedulerConfig::default())
 }
 
 #[test]
@@ -185,6 +194,81 @@ fn steady_state_schedule_batch_burst_is_allocation_free() {
         .map(|d| d.job.target_node.clone())
         .collect();
     assert_eq!(warm, after, "steady-state bursts are deterministic");
+}
+
+#[test]
+fn steady_state_pruned_bursts_are_allocation_free() {
+    // Two-stage decision path with a candidate budget: the supervised burst
+    // prunes through the model-aligned coarse scoreboard (board pool, bounded
+    // heap, signature cells — all scratch-carried and epoch-recycled), the
+    // fallback burst through the model-blind prefilter. Both must run
+    // heap-free once warm.
+    let (cluster, _network, mut scrape) = test_world();
+    let published = scrape.published_handle();
+    let mut service = trained_service_with(
+        &cluster,
+        &scrape,
+        SchedulerConfig {
+            prune_top_k: Some(2),
+            ..Default::default()
+        },
+    );
+
+    let requests: Vec<JobRequest> = (0..8).map(request).collect();
+    let now = SimTime::from_secs(3);
+    let mut decisions: Vec<SchedulingDecision> = Vec::new();
+    for _ in 0..3 {
+        service.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+
+    arm();
+    for _ in 0..10 {
+        service.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+    let (allocs, deallocs, reallocs) = disarm();
+    assert_eq!(
+        (allocs, deallocs, reallocs),
+        (0, 0, 0),
+        "steady-state pruned supervised bursts must be allocation-free \
+         (allocs={allocs} deallocs={deallocs} reallocs={reallocs})"
+    );
+    for decision in &decisions {
+        assert!(decision.used_model);
+        assert_eq!(
+            decision.ranking.len(),
+            2,
+            "the budget binds: 2 of 4 feasible nodes get ranked"
+        );
+        assert!(decision.job.target_node.is_some());
+    }
+
+    // The model-blind prefilter policies share the same scratch machinery
+    // through the fallback path.
+    let mut fallback = SchedulerService::new(
+        SchedulerConfig {
+            prune_top_k: Some(2),
+            pruning_policy: PruningPolicy::LeastAllocated,
+            ..Default::default()
+        },
+        7,
+    );
+    for _ in 0..3 {
+        fallback.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+    arm();
+    for _ in 0..10 {
+        fallback.schedule_batch_into(&requests, &published, &cluster, now, &mut decisions);
+    }
+    let (allocs, deallocs, reallocs) = disarm();
+    assert_eq!(
+        (allocs, deallocs, reallocs),
+        (0, 0, 0),
+        "steady-state pruned fallback bursts must be allocation-free \
+         (allocs={allocs} deallocs={deallocs} reallocs={reallocs})"
+    );
+    assert!(decisions
+        .iter()
+        .all(|d| !d.used_model && d.ranking.len() == 2));
 }
 
 #[test]

@@ -16,8 +16,8 @@ use netsched::core::features::FeatureSchema;
 use netsched::core::predictor::CompletionTimePredictor;
 use netsched::core::request::JobRequest;
 use netsched::core::schedulers::{
-    feasible_candidates, JobScheduler, KubeDefaultScheduler, LeastLoadedScheduler,
-    LowestRttScheduler, RandomScheduler, SupervisedScheduler,
+    JobScheduler, KubeDefaultScheduler, LeastLoadedScheduler, LowestRttScheduler, RandomScheduler,
+    SupervisedScheduler,
 };
 use netsched::core::NodeRanking;
 use netsched::experiments::{FabricTestbed, SimWorld};
@@ -35,6 +35,20 @@ fn frozen_world() -> (ClusterState, ClusterSnapshot) {
     world.advance_by(SimDuration::from_secs(12));
     let snapshot = world.snapshot();
     (world.cluster, snapshot)
+}
+
+/// Full-scan reference: names of every node that can host the request's
+/// driver pod, via the real scheduler filter (the oracle the indexed
+/// [`SchedulingContext::feasible_candidates`] path must agree with).
+fn feasible_names(request: &JobRequest, cluster: &ClusterState) -> Vec<String> {
+    use netsched::cluster::scheduler::{DefaultScheduler, FilterResult};
+    let driver = request.to_job_spec().driver_pod(None);
+    cluster
+        .nodes()
+        .iter()
+        .filter(|node| DefaultScheduler::filter(&driver, node) == FilterResult::Feasible)
+        .map(|node| node.name.clone())
+        .collect()
 }
 
 /// A small predictor trained on synthetic load-sensitive data.
@@ -85,7 +99,7 @@ fn all_policies_rank_over_the_identical_feasible_set() {
     let request = requests(1).remove(0);
 
     // The shared candidate contract, by name and by id.
-    let expected_names = feasible_candidates(&request, &cluster);
+    let expected_names = feasible_names(&request, &cluster);
     assert_eq!(expected_names.len(), 6, "paper testbed: all six nodes fit");
     let mut ctx = SchedulingContext::new(&snapshot, &cluster);
     let expected_ids: Vec<NodeId> = ctx.feasible_candidates(&request).to_vec();
